@@ -1,0 +1,254 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index). Each benchmark runs the
+// corresponding experiment end to end and reports its headline quantities
+// as benchmark metrics; the rendered table is printed once per benchmark.
+//
+// The per-iteration simulation horizon is kept short so `go test -bench=.`
+// completes quickly; the cmd tools run the paper's full 530 s horizon
+// (their outputs are recorded in EXPERIMENTS.md).
+package bluegs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bluegs/internal/experiments"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+	"bluegs/internal/stats"
+)
+
+// benchCfg is the per-iteration experiment configuration.
+var benchCfg = experiments.Config{Duration: 5 * time.Second, Seed: 1}
+
+// printOnce prints each experiment table a single time across benchmark
+// reruns.
+var printOnce sync.Map
+
+func printTable(name string, tbl *stats.Table) {
+	if _, loaded := printOnce.LoadOrStore(name, true); loaded {
+		return
+	}
+	fmt.Printf("\n%s\n", tbl.String())
+}
+
+// BenchmarkFigure5ThroughputVsDelayReq regenerates Figure 5: per-slave
+// throughput versus the Guaranteed Service delay requirement.
+func BenchmarkFigure5ThroughputVsDelayReq(b *testing.B) {
+	var lastBE, lastGS float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.Figure5(benchCfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Violations > 0 {
+				b.Fatalf("bound violated at %v", r.Target)
+			}
+		}
+		last := rows[len(rows)-1]
+		lastBE, lastGS = last.BEKbps, last.GSKbps
+		printTable("fig5", tbl)
+	}
+	b.ReportMetric(lastGS, "GS_kbps@46ms")
+	b.ReportMetric(lastBE, "BE_kbps@46ms")
+}
+
+// BenchmarkTableT1AnalyticalParams recomputes the §4.1 derived parameters
+// (x values, admissible rate cap, supportable bounds).
+func BenchmarkTableT1AnalyticalParams(b *testing.B) {
+	var t1 experiments.T1
+	for i := 0; i < b.N; i++ {
+		var tbl *stats.Table
+		var err error
+		t1, tbl, err = experiments.TableT1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("t1", tbl)
+	}
+	b.ReportMetric(t1.MaxRate, "max_R_bytes/s")
+	b.ReportMetric(float64(t1.MinBound)/1e6, "min_bound_ms")
+}
+
+// BenchmarkTableT2DelayCompliance verifies the §4.2 claim that no packet
+// exceeds its delay bound, across delay requirements.
+func BenchmarkTableT2DelayCompliance(b *testing.B) {
+	var worstMargin float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.TableT2(benchCfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstMargin = 1e18
+		for _, r := range rows {
+			if !r.OK {
+				b.Fatalf("flow %d at %v violated its bound", r.Flow, r.Target)
+			}
+			if margin := float64(r.Bound - r.MaxSeen); margin < worstMargin {
+				worstMargin = margin
+			}
+		}
+		printTable("t2", tbl)
+	}
+	b.ReportMetric(worstMargin/1e6, "worst_margin_ms")
+}
+
+// BenchmarkTableT3TotalThroughput reproduces the §4.2 capacity result
+// (~656 kbps carried at a loose requirement).
+func BenchmarkTableT3TotalThroughput(b *testing.B) {
+	var t3 experiments.T3
+	for i := 0; i < b.N; i++ {
+		var tbl *stats.Table
+		var err error
+		t3, tbl, err = experiments.TableT3(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("t3", tbl)
+	}
+	b.ReportMetric(t3.TotalKbps, "total_kbps")
+	b.ReportMetric(t3.BEKbps, "BE_kbps")
+}
+
+// BenchmarkTableT4SCOComparison reproduces the §5 SCO-versus-poller
+// comparison.
+func BenchmarkTableT4SCOComparison(b *testing.B) {
+	var gsBusy, scoReserved float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.TableT4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scoReserved = rows[0].BusySlots
+		gsBusy = rows[1].BusySlots
+		printTable("t4", tbl)
+	}
+	b.ReportMetric(scoReserved, "sco_slots/s")
+	b.ReportMetric(gsBusy, "gs_tightest_slots/s")
+}
+
+// BenchmarkAblationImprovements quantifies the §3.2 improvement rules
+// (experiment A1).
+func BenchmarkAblationImprovements(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.AblationImprovements(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed := rows[0].GSSlots
+		all := rows[len(rows)-1].GSSlots
+		saved = float64(fixed - all)
+		printTable("a1", tbl)
+	}
+	b.ReportMetric(saved, "slots_saved")
+}
+
+// BenchmarkBaselinePollers compares the related-work best-effort pollers
+// (experiment A2).
+func BenchmarkBaselinePollers(b *testing.B) {
+	var pfpFairness float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.BaselinePollers(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Poller == "pfp" {
+				pfpFairness = r.Fairness
+			}
+		}
+		printTable("a2", tbl)
+	}
+	b.ReportMetric(pfpFairness, "pfp_fairness")
+}
+
+// BenchmarkRetransmissionStudy runs the paper's future-work experiment
+// (E5): lossy radio with ARQ, with and without the saved-bandwidth
+// recovery policy.
+func BenchmarkRetransmissionStudy(b *testing.B) {
+	var recoveredDelivery float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.RetransmissionStudy(benchCfg, []float64{0, 1e-4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Recovery {
+				recoveredDelivery = r.GSDelivery
+			}
+		}
+		printTable("e5", tbl)
+	}
+	b.ReportMetric(recoveredDelivery, "delivery@1e-4")
+}
+
+// BenchmarkSCOCoexistence runs the SCO coexistence experiment (E6): a GS
+// voice flow plus best effort with and without a reserved HV3 link.
+func BenchmarkSCOCoexistence(b *testing.B) {
+	var scoKbps float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.SCOCoexistence(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Violations > 0 {
+				b.Fatalf("%q violated the bound", r.Label)
+			}
+			if r.SCOKbps > 0 {
+				scoKbps = r.SCOKbps
+			}
+		}
+		printTable("e6", tbl)
+	}
+	b.ReportMetric(scoKbps, "sco_kbps")
+}
+
+// BenchmarkDelayDistribution runs the E7 delay-distribution
+// characterisation at a 38 ms requirement.
+func BenchmarkDelayDistribution(b *testing.B) {
+	var worstCDF float64
+	for i := 0; i < b.N; i++ {
+		rows, tbl, _, err := experiments.DelayDistribution(benchCfg, 38*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstCDF = 1
+		for _, r := range rows {
+			if r.Max > r.Bound {
+				b.Fatalf("flow %d: max %v > bound %v", r.Flow, r.Max, r.Bound)
+			}
+			if r.CDFAtBound < worstCDF {
+				worstCDF = r.CDFAtBound
+			}
+		}
+		printTable("e7", tbl)
+	}
+	b.ReportMetric(worstCDF, "worst_cdf_at_bound")
+}
+
+// BenchmarkPaperScenarioSimulation measures raw simulation throughput of
+// the full Fig. 4 piconet (simulated seconds per wall second).
+func BenchmarkPaperScenarioSimulation(b *testing.B) {
+	b.ReportAllocs()
+	simulated := 10 * time.Second
+	for i := 0; i < b.N; i++ {
+		spec := scenario.Paper(38 * time.Millisecond)
+		spec.Duration = simulated
+		res, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalKbps(piconet.Guaranteed) < 200 {
+			b.Fatal("implausible result")
+		}
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(simulated.Seconds()/perOp.Seconds(), "sim_s/wall_s")
+	}
+}

@@ -1,0 +1,139 @@
+// Command admit is an admission-control what-if tool: it feeds a list of
+// Guaranteed Service flow requests through the paper's Fig. 3 routine and
+// prints the resulting priority assignment, worst-case poll lags x_i,
+// exported error terms and delay bounds — with and without piggybacking,
+// so the §3.1.4 "piggybacking accepts more flows" effect is visible.
+//
+// Flows are given as comma-separated "slave:direction" endpoints, e.g.
+//
+//	admit -flows 1:up,2:down,2:up,3:up -rate 12800
+//	admit -flows 1:up,2:down,2:up,3:up -target 38ms
+//
+// All flows use the paper's §4.1 traffic specification (64 kbps CBR,
+// 144–176 byte packets, DH1+DH3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+	"bluegs/internal/stats"
+	"bluegs/internal/tspec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "admit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		flows  = flag.String("flows", "1:up,2:down,2:up,3:up", "comma-separated slave:dir endpoints")
+		rate   = flag.Float64("rate", 0, "requested fluid rate in bytes/s (0 = use -target)")
+		target = flag.Duration("target", 38*time.Millisecond, "requested delay bound (used when -rate is 0)")
+	)
+	flag.Parse()
+
+	reqs, err := parseFlows(*flows)
+	if err != nil {
+		return err
+	}
+	for _, piggy := range []bool{true, false} {
+		label := "with piggybacking"
+		var opts []admission.ControllerOption
+		if !piggy {
+			label = "without piggybacking"
+			opts = append(opts, admission.WithoutPiggybacking())
+		}
+		cfg := admission.Config{MaxExchange: baseband.SlotsToDuration(6)}
+		var ctrl *admission.Controller
+		var admitErr error
+		if *rate > 0 {
+			ctrl = admission.NewController(cfg, opts...)
+			for _, r := range reqs {
+				r.Rate = *rate
+				if _, err := ctrl.Admit(r); err != nil {
+					admitErr = fmt.Errorf("flow %d: %w", r.ID, err)
+					break
+				}
+			}
+		} else {
+			var drs []admission.DelayRequest
+			for _, r := range reqs {
+				drs = append(drs, admission.DelayRequest{Request: r, Target: *target})
+			}
+			ctrl, admitErr = admission.PlanForDelay(drs, cfg, opts...)
+		}
+		fmt.Printf("== %s ==\n", label)
+		if admitErr != nil {
+			fmt.Printf("REJECTED: %v\n\n", admitErr)
+			continue
+		}
+		tbl := stats.NewTable("", "flow", "slave", "dir", "prio", "R (B/s)", "t", "x", "C", "D", "bound", "pair")
+		for _, pf := range ctrl.Flows() {
+			pair := ""
+			if pf.Counterpart != piconet.None {
+				pair = fmt.Sprintf("flow %d", pf.Counterpart)
+			}
+			tbl.AddRow(pf.Request.ID, pf.Request.Slave, pf.Request.Dir, pf.Priority,
+				fmt.Sprintf("%.0f", pf.Request.Rate),
+				pf.Params.Interval.Round(time.Microsecond),
+				pf.X, fmt.Sprintf("%.0fB", pf.Terms.C), pf.Terms.D,
+				pf.Bound.Round(time.Microsecond), pair)
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// parseFlows parses "1:up,2:down" into paper-spec requests.
+func parseFlows(s string) ([]admission.Request, error) {
+	var reqs []admission.Request
+	spec := tspec.CBR(20*time.Millisecond, 144, 176)
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad flow %q: want slave:dir", part)
+		}
+		slave, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad slave in %q: %v", part, err)
+		}
+		var dir piconet.Direction
+		switch strings.ToLower(fields[1]) {
+		case "up":
+			dir = piconet.Up
+		case "down":
+			dir = piconet.Down
+		default:
+			return nil, fmt.Errorf("bad direction in %q: want up or down", part)
+		}
+		reqs = append(reqs, admission.Request{
+			ID:      piconet.FlowID(i + 1),
+			Slave:   piconet.SlaveID(slave),
+			Dir:     dir,
+			Spec:    spec,
+			Allowed: baseband.PaperTypes,
+		})
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("no flows given")
+	}
+	return reqs, nil
+}

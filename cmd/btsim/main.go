@@ -1,0 +1,131 @@
+// Command btsim runs a Bluetooth Guaranteed Service piconet scenario and
+// prints the per-flow report: throughput, delay statistics and delay-bound
+// compliance.
+//
+// Usage:
+//
+//	btsim [flags]
+//
+// Examples:
+//
+//	btsim -target 40ms -duration 530s            # the paper's Fig. 4 setup
+//	btsim -mode fixed -target 36ms               # the §3.1 fixed-interval poller
+//	btsim -poller round-robin -target 46ms -csv  # RR for best effort, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+	"bluegs/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "btsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target   = flag.Duration("target", 40*time.Millisecond, "GS delay requirement")
+		duration = flag.Duration("duration", 60*time.Second, "simulated time")
+		seed     = flag.Int64("seed", 1, "random seed")
+		mode     = flag.String("mode", "variable", "planner mode: fixed or variable")
+		pollerK  = flag.String("poller", "pfp", "best-effort poller: pfp, round-robin, exhaustive-rr, fep, edc, demand, hol-priority")
+		noPiggy  = flag.Bool("no-piggyback", false, "disable piggybacking in admission")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
+		config   = flag.String("config", "", "JSON scenario file (overrides the Fig. 4 preset; see internal/scenario.FileSpec)")
+		hist     = flag.Bool("hist", false, "print per-GS-flow delay histograms")
+		traceOut = flag.String("trace", "", "write an exchange trace CSV to this file")
+	)
+	flag.Parse()
+
+	var spec scenario.Spec
+	if *config != "" {
+		loaded, err := scenario.LoadSpec(*config)
+		if err != nil {
+			return err
+		}
+		spec = loaded
+		if spec.Duration <= 0 {
+			spec.Duration = *duration
+		}
+	} else {
+		spec = scenario.Paper(*target)
+		spec.Duration = *duration
+		spec.Seed = *seed
+		spec.BEPoller = scenario.BEPollerKind(*pollerK)
+		spec.WithoutPiggybacking = *noPiggy
+		switch *mode {
+		case "fixed":
+			spec.Mode = core.FixedInterval
+		case "variable":
+			spec.Mode = core.VariableInterval
+		default:
+			return fmt.Errorf("unknown mode %q", *mode)
+		}
+	}
+
+	var csvTracer *piconet.CSVTracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvTracer = piconet.NewCSVTracer(f)
+		spec.Tracer = csvTracer
+	}
+
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	if csvTracer != nil {
+		if err := csvTracer.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	tbl := res.Report()
+	if *csv {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("\nslot budget: %v\n", res.Slots)
+		fmt.Printf("admitted GS flows:\n")
+		for _, pf := range res.Admitted {
+			fmt.Printf("  flow %d: priority %d, R=%.0f B/s, t=%v, x=%v, bound=%v\n",
+				pf.Request.ID, pf.Priority, pf.Request.Rate,
+				pf.Params.Interval.Round(time.Microsecond), pf.X, pf.Bound.Round(time.Microsecond))
+		}
+	}
+	if *hist {
+		for _, f := range res.Flows {
+			if f.Class != piconet.Guaranteed || f.Delay == nil || f.Delay.Count() == 0 {
+				continue
+			}
+			upper := f.Bound + f.Bound/4
+			h := stats.NewDurationHistogram(upper, 20)
+			f.Delay.FillHistogram(h)
+			fmt.Printf("\nflow %d delay distribution (bound %v):\n", f.ID, f.Bound.Round(time.Microsecond))
+			if err := h.WriteASCII(os.Stdout, 48); err != nil {
+				return err
+			}
+		}
+	}
+	if v := res.BoundViolations(); len(v) > 0 {
+		return fmt.Errorf("%d GS flows violated their delay bound", len(v))
+	}
+	return nil
+}

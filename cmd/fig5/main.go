@@ -1,0 +1,66 @@
+// Command fig5 regenerates Figure 5 of the paper: the throughput of every
+// slave of the Fig. 4 piconet as a function of the Guaranteed Service delay
+// requirement, under the PFP implementation of the variable-interval
+// poller.
+//
+// Usage:
+//
+//	fig5 [flags]
+//
+// Example (the paper's full 530 s runs):
+//
+//	fig5 -duration 530s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bluegs/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fig5:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		duration = flag.Duration("duration", 60*time.Second, "simulated time per point")
+		seed     = flag.Int64("seed", 1, "random seed")
+		from     = flag.Duration("from", 28*time.Millisecond, "first delay requirement")
+		to       = flag.Duration("to", 46*time.Millisecond, "last delay requirement")
+		step     = flag.Duration("step", 2*time.Millisecond, "sweep step")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
+	)
+	flag.Parse()
+	if *step <= 0 || *to < *from {
+		return fmt.Errorf("bad sweep: from %v to %v step %v", *from, *to, *step)
+	}
+	var targets []time.Duration
+	for t := *from; t <= *to; t += *step {
+		targets = append(targets, t)
+	}
+	cfg := experiments.Config{Duration: *duration, Seed: *seed}
+	rows, tbl, err := experiments.Figure5(cfg, targets)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		if err := tbl.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if r.Violations > 0 {
+			return fmt.Errorf("delay bound violated at requirement %v", r.Target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command report regenerates every table and figure of the paper's
+// evaluation in one run (the source of the numbers recorded in
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	report [-duration 530s] [-seed 1]
+//
+// The default duration matches the paper's 530 s simulation runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bluegs/internal/experiments"
+	"bluegs/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		duration = flag.Duration("duration", 530*time.Second, "simulated time per run")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Duration: *duration, Seed: *seed}
+
+	print := func(tbl *stats.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+
+	_, t1, err := experiments.TableT1()
+	if err := print(t1, err); err != nil {
+		return fmt.Errorf("T1: %w", err)
+	}
+	_, fig5, err := experiments.Figure5(cfg, nil)
+	if err := print(fig5, err); err != nil {
+		return fmt.Errorf("figure 5: %w", err)
+	}
+	_, t2, err := experiments.TableT2(cfg, nil)
+	if err := print(t2, err); err != nil {
+		return fmt.Errorf("T2: %w", err)
+	}
+	_, t3, err := experiments.TableT3(cfg)
+	if err := print(t3, err); err != nil {
+		return fmt.Errorf("T3: %w", err)
+	}
+	_, t4, err := experiments.TableT4(cfg)
+	if err := print(t4, err); err != nil {
+		return fmt.Errorf("T4: %w", err)
+	}
+	_, a1, err := experiments.AblationImprovements(cfg)
+	if err := print(a1, err); err != nil {
+		return fmt.Errorf("A1: %w", err)
+	}
+	_, a2, err := experiments.BaselinePollers(cfg)
+	if err := print(a2, err); err != nil {
+		return fmt.Errorf("A2: %w", err)
+	}
+	_, e5, err := experiments.RetransmissionStudy(cfg, nil)
+	if err := print(e5, err); err != nil {
+		return fmt.Errorf("E5: %w", err)
+	}
+	_, e6, err := experiments.SCOCoexistence(cfg)
+	if err := print(e6, err); err != nil {
+		return fmt.Errorf("E6: %w", err)
+	}
+	_, e7, _, err := experiments.DelayDistribution(cfg, 38*time.Millisecond)
+	if err := print(e7, err); err != nil {
+		return fmt.Errorf("E7: %w", err)
+	}
+	return nil
+}

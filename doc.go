@@ -1,0 +1,27 @@
+// Package bluegs is a Go reproduction of "Providing Delay Guarantees in
+// Bluetooth" (Rachid Ait Yaiz and Geert Heijenk, ICDCSW'03): a Bluetooth
+// intra-piconet polling mechanism that provides IETF Guaranteed Service
+// (RFC 2212) delay bounds while leaving unused capacity to best-effort
+// traffic.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the paper's contribution: the Guaranteed Service
+//     scheduler with fixed-interval (§3.1) and variable-interval (§3.2)
+//     poll planners;
+//   - internal/admission — the x_i fixed point (Fig. 2), feasibility
+//     condition (eq. 8/9) and priority-reassigning, piggyback-aware
+//     admission routine (Fig. 3);
+//   - internal/piconet, internal/baseband, internal/sim — the simulated
+//     Bluetooth substrate (TDD slot engine, packet types, event kernel);
+//   - internal/poller — best-effort pollers: RR, ERR, FEP, EDC,
+//     demand-based, HOL priority, and the Predictive Fair Poller;
+//   - internal/gs, internal/tspec, internal/segmentation — RFC 2212 delay
+//     bound math, token buckets, and segmentation policies;
+//   - internal/scenario, internal/experiments — the paper's Fig. 4
+//     evaluation setup and one entry point per paper table/figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure.
+package bluegs

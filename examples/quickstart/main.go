@@ -1,0 +1,106 @@
+// Quickstart: admit one 64 kbps Guaranteed Service flow, run the piconet
+// for ten simulated seconds, and verify the measured packet delays stay
+// within the exported delay bound.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/sim"
+	"bluegs/internal/tspec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A voice-like source: one packet of 144..176 bytes every 20 ms
+	// (64 kbps), slave-to-master, allowed to use DH1 and DH3 packets.
+	spec := tspec.CBR(20*time.Millisecond, 144, 176)
+
+	// Admission control (paper Fig. 2 + Fig. 3): request a 12.8 kB/s
+	// fluid rate and get back the poll plan and the delay bound.
+	ctrl := admission.NewController(admission.Config{
+		MaxExchange: baseband.SlotsToDuration(6), // worst ongoing exchange: DH3 both ways
+	})
+	flow, err := ctrl.Admit(admission.Request{
+		ID:      1,
+		Slave:   1,
+		Dir:     piconet.Up,
+		Spec:    spec,
+		Rate:    12800,
+		Allowed: baseband.PaperTypes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("admitted: poll interval t=%v, worst lag x=%v, error terms %v, delay bound %v\n",
+		flow.Params.Interval.Round(time.Microsecond), flow.X, flow.Terms,
+		flow.Bound.Round(time.Microsecond))
+
+	// Build the piconet and install the Guaranteed Service scheduler.
+	s := sim.New(sim.WithSeed(7))
+	pn := piconet.New(s)
+	if err := pn.AddSlave(1); err != nil {
+		return err
+	}
+	if err := pn.AddFlow(piconet.FlowConfig{
+		ID: 1, Slave: 1, Dir: piconet.Up,
+		Class: piconet.Guaranteed, Allowed: baseband.PaperTypes,
+	}); err != nil {
+		return err
+	}
+	sched, err := core.New(pn, ctrl.Flows())
+	if err != nil {
+		return err
+	}
+	pn.SetScheduler(sched)
+
+	// The traffic source: a self-rescheduling simulator event.
+	var tick func()
+	tick = func() {
+		size := 144 + s.Rand().Intn(33)
+		if err := pn.EnqueuePacket(1, size); err != nil {
+			log.Printf("enqueue: %v", err)
+			return
+		}
+		s.After(20*time.Millisecond, tick)
+	}
+	s.Schedule(0, tick)
+
+	if err := pn.Start(); err != nil {
+		return err
+	}
+	if err := s.Run(10 * time.Second); err != nil {
+		return err
+	}
+	if err := pn.Err(); err != nil {
+		return err
+	}
+
+	delays, _ := pn.FlowDelayStats(1)
+	delivered, _ := pn.FlowDelivered(1)
+	fmt.Printf("delivered %d packets (%.1f kbps)\n",
+		delivered.Packets(), delivered.Kbps(s.Now()))
+	fmt.Printf("delay: mean %v, p99 %v, max %v (bound %v)\n",
+		delays.Mean().Round(time.Microsecond), delays.Quantile(0.99).Round(time.Microsecond),
+		delays.Max().Round(time.Microsecond), flow.Bound.Round(time.Microsecond))
+	if delays.Max() > flow.Bound {
+		return fmt.Errorf("delay bound violated")
+	}
+	fmt.Println("delay bound held for every packet")
+	return nil
+}

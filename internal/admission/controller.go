@@ -1,0 +1,352 @@
+package admission
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bluegs/internal/gs"
+	"bluegs/internal/piconet"
+)
+
+// PlannedFlow is an admitted flow together with its polling plan and
+// Guaranteed Service export.
+type PlannedFlow struct {
+	// Request is the admitted request.
+	Request Request
+	// Params are the derived polling parameters.
+	Params Params
+	// Priority is the flow's poll priority; 1 is highest. A piggybacked
+	// pair shares one priority.
+	Priority int
+	// X is the worst-case lag between a planned poll and its execution
+	// (paper Fig. 2).
+	X time.Duration
+	// Terms is the exported Guaranteed Service error-term pair:
+	// C = eta_min, D = X.
+	Terms gs.ErrorTerms
+	// Bound is the delay bound at the requested rate.
+	Bound time.Duration
+	// Counterpart is the oppositely-directed flow on the same slave this
+	// flow shares polls with (None if unpaired).
+	Counterpart piconet.FlowID
+	// Primary reports whether this flow drives the pair's poll planning
+	// (the flow with the smaller poll interval; always true when
+	// unpaired).
+	Primary bool
+}
+
+// group is one poll stream: a primary flow and an optional piggybacked
+// counterpart.
+type group struct {
+	primary   *PlannedFlow
+	secondary *PlannedFlow
+}
+
+// stream returns the group's Fig. 2 stream parameters. A pair's exchange
+// carries maximal segments in both directions.
+func (g *group) stream() Stream {
+	ex := g.primary.Params.Exchange
+	if g.secondary != nil {
+		ex = pairExchangeTime(g.primary.Params.MaxSegmentSlots, g.secondary.Params.MaxSegmentSlots)
+	}
+	return Stream{Interval: g.primary.Params.Interval, Exchange: ex}
+}
+
+// flows returns the group's members, primary first.
+func (g *group) flows() []*PlannedFlow {
+	if g.secondary == nil {
+		return []*PlannedFlow{g.primary}
+	}
+	return []*PlannedFlow{g.primary, g.secondary}
+}
+
+// Controller runs Guaranteed Service admission control for one piconet. It
+// maintains the accepted flow set with its priority assignment and
+// recomputes the assignment on every admission per the paper's Fig. 3
+// routine. The zero value is not usable; create with NewController.
+type Controller struct {
+	cfg Config
+	// groups holds the accepted poll streams in priority order
+	// (groups[0] has priority 1).
+	groups []*group
+	// piggyback enables the pairing optimisation of Fig. 3; disabling it
+	// reproduces the naive routine (each flow its own poll stream) for
+	// the paper's "piggybacking accepts more flows" comparison.
+	piggyback bool
+}
+
+// ControllerOption configures a Controller.
+type ControllerOption func(*Controller)
+
+// WithoutPiggybacking disables the pairing of oppositely-directed flows,
+// for comparison experiments.
+func WithoutPiggybacking() ControllerOption {
+	return func(c *Controller) { c.piggyback = false }
+}
+
+// NewController returns an empty admission controller.
+func NewController(cfg Config, opts ...ControllerOption) *Controller {
+	c := &Controller{cfg: cfg, piggyback: true}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Flows returns the admitted flows in priority order (pairs adjacent,
+// primary first).
+func (c *Controller) Flows() []*PlannedFlow {
+	var out []*PlannedFlow
+	for _, g := range c.groups {
+		out = append(out, g.flows()...)
+	}
+	return out
+}
+
+// Find returns the planned flow with the given id.
+func (c *Controller) Find(id piconet.FlowID) (*PlannedFlow, bool) {
+	for _, g := range c.groups {
+		for _, f := range g.flows() {
+			if f.Request.ID == id {
+				return f, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// maxExchange returns the piconet-wide Xi over the given groups, honouring
+// the configured override.
+func (c *Controller) maxExchange(groups []*group) time.Duration {
+	if c.cfg.MaxExchange > 0 {
+		return c.cfg.MaxExchange
+	}
+	var maxEx time.Duration
+	for _, g := range groups {
+		if ex := g.stream().Exchange; ex > maxEx {
+			maxEx = ex
+		}
+	}
+	return maxEx
+}
+
+// Admit runs the Fig. 3 admission routine for a new request. On success the
+// controller's flow set and priorities are updated and the planned flow is
+// returned; on rejection the controller is left unchanged and the error
+// wraps ErrRejected.
+func (c *Controller) Admit(req Request) (*PlannedFlow, error) {
+	if _, dup := c.Find(req.ID); dup {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateFlow, req.ID)
+	}
+	params, err := DeriveParams(req, c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range c.groups {
+		for _, f := range g.flows() {
+			if f.Request.Slave == req.Slave && f.Request.Dir == req.Dir {
+				return nil, fmt.Errorf("%w: slave %d already has a %v GS flow",
+					ErrBadRequest, req.Slave, req.Dir)
+			}
+		}
+	}
+
+	newFlow := &PlannedFlow{Request: req, Params: params}
+
+	// Step b: P = accepted flows + the new one, with initial priority
+	// values (existing flows keep theirs; the new flow inherits its
+	// counterpart's, or gets the lowest).
+	type item struct {
+		g        *group
+		initPrio int
+	}
+	var items []item
+	// Rebuild groups from copies so rejection leaves the controller
+	// untouched.
+	all := make([]*PlannedFlow, 0, len(c.Flows())+1)
+	for _, f := range c.Flows() {
+		cp := *f
+		all = append(all, &cp)
+	}
+	all = append(all, newFlow)
+
+	groups, err := c.pairUp(all)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		// A group's initial priority is that of any existing member
+		// (so a new flow paired with an accepted one inherits its
+		// counterpart's); a group of only the new flow gets the value
+		// after the current lowest.
+		prio := 0
+		for _, f := range g.flows() {
+			if f != newFlow && f.Priority > 0 {
+				prio = f.Priority
+				break
+			}
+		}
+		if prio == 0 {
+			prio = len(c.groups) + 1
+		}
+		items = append(items, item{g: g, initPrio: prio})
+	}
+
+	// SCO links act as an implicit highest-priority stream and bound the
+	// largest schedulable exchange.
+	scoSt, err := c.cfg.scoStreams()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		if err := c.cfg.checkSCOWindow(g.stream().Exchange); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrRejected, err)
+		}
+	}
+
+	// Step e: assign priorities from lowest (value card(P)) to highest,
+	// scanning candidates in descending initial priority so as few flows
+	// as possible change priority.
+	sort.SliceStable(items, func(i, j int) bool { return items[i].initPrio > items[j].initPrio })
+	xi := c.maxExchange(groups)
+	remaining := items
+	assignedRev := make([]*group, 0, len(items)) // lowest priority first
+	for len(remaining) > 0 {
+		found := -1
+		for idx, cand := range remaining {
+			others := make([]Stream, 0, len(remaining)-1+len(scoSt))
+			others = append(others, scoSt...)
+			for j, o := range remaining {
+				if j != idx {
+					others = append(others, o.g.stream())
+				}
+			}
+			st := cand.g.stream()
+			x := DetermineX(xi, others, st.Interval)
+			if Feasible(x, st.Interval) {
+				found = idx
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("%w: no priority assignment satisfies x <= t for flow %d",
+				ErrRejected, req.ID)
+		}
+		assignedRev = append(assignedRev, remaining[found].g)
+		remaining = append(remaining[:found], remaining[found+1:]...)
+	}
+
+	// Reverse into priority order and finalise.
+	ordered := make([]*group, len(assignedRev))
+	for i, g := range assignedRev {
+		ordered[len(assignedRev)-1-i] = g
+	}
+	if err := c.finalize(ordered, xi); err != nil {
+		return nil, err
+	}
+	c.groups = ordered
+	admitted, _ := c.Find(req.ID)
+	return admitted, nil
+}
+
+// Remove drops a flow from the accepted set. Remaining flows keep their
+// relative priority order; their x values and bounds are recomputed (they
+// can only improve).
+func (c *Controller) Remove(id piconet.FlowID) error {
+	if _, ok := c.Find(id); !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	var kept []*PlannedFlow
+	for _, f := range c.Flows() {
+		if f.Request.ID != id {
+			cp := *f
+			kept = append(kept, &cp)
+		}
+	}
+	groups, err := c.pairUp(kept)
+	if err != nil {
+		return err
+	}
+	// Preserve relative order by previous priority.
+	sort.SliceStable(groups, func(i, j int) bool {
+		return groups[i].primary.Priority < groups[j].primary.Priority
+	})
+	if err := c.finalize(groups, c.maxExchange(groups)); err != nil {
+		return err
+	}
+	c.groups = groups
+	return nil
+}
+
+// pairUp groups flows into poll streams, pairing oppositely-directed flows
+// on the same slave when piggybacking is enabled. The pair's primary is the
+// flow with the smaller poll interval (larger rate demand), per §3.1.4.
+func (c *Controller) pairUp(flows []*PlannedFlow) ([]*group, error) {
+	bySlave := make(map[piconet.SlaveID][]*PlannedFlow)
+	var order []piconet.SlaveID
+	for _, f := range flows {
+		if len(bySlave[f.Request.Slave]) == 0 {
+			order = append(order, f.Request.Slave)
+		}
+		bySlave[f.Request.Slave] = append(bySlave[f.Request.Slave], f)
+	}
+	var groups []*group
+	for _, slave := range order {
+		fl := bySlave[slave]
+		if c.piggyback && len(fl) == 2 && fl[0].Request.Dir != fl[1].Request.Dir {
+			primary, secondary := fl[0], fl[1]
+			if secondary.Params.Interval < primary.Params.Interval {
+				primary, secondary = secondary, primary
+			}
+			primary.Primary = true
+			secondary.Primary = false
+			primary.Counterpart = secondary.Request.ID
+			secondary.Counterpart = primary.Request.ID
+			groups = append(groups, &group{primary: primary, secondary: secondary})
+			continue
+		}
+		for _, f := range fl {
+			f.Primary = true
+			f.Counterpart = piconet.None
+			groups = append(groups, &group{primary: f})
+		}
+	}
+	return groups, nil
+}
+
+// finalize recomputes x, priorities, error terms and bounds for groups in
+// priority order, verifying feasibility.
+func (c *Controller) finalize(ordered []*group, xi time.Duration) error {
+	scoSt, err := c.cfg.scoStreams()
+	if err != nil {
+		return err
+	}
+	for i, g := range ordered {
+		if err := c.cfg.checkSCOWindow(g.stream().Exchange); err != nil {
+			return fmt.Errorf("%w: %w", ErrRejected, err)
+		}
+		higher := make([]Stream, 0, i+len(scoSt))
+		higher = append(higher, scoSt...)
+		for _, h := range ordered[:i] {
+			higher = append(higher, h.stream())
+		}
+		st := g.stream()
+		x := DetermineX(xi, higher, st.Interval)
+		if !Feasible(x, st.Interval) {
+			return fmt.Errorf("%w: finalize: x=%v > t=%v at priority %d",
+				ErrRejected, x, st.Interval, i+1)
+		}
+		for _, f := range g.flows() {
+			f.Priority = i + 1
+			f.X = x
+			f.Terms = ErrorTerms(f.Params.EtaMin, x)
+			bound, err := gs.DelayBound(f.Request.Spec, f.Request.Rate, f.Terms)
+			if err != nil {
+				return fmt.Errorf("admission: bound for flow %d: %w", f.Request.ID, err)
+			}
+			f.Bound = bound
+		}
+	}
+	return nil
+}

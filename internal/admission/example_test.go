@@ -1,0 +1,58 @@
+package admission_test
+
+import (
+	"fmt"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+	"bluegs/internal/tspec"
+)
+
+// Admitting the paper's four GS flows at the maximal rate: flows 2 and 3
+// piggyback on one poll stream, so three streams carry four flows.
+func ExampleController_Admit() {
+	ctrl := admission.NewController(admission.Config{
+		MaxExchange: baseband.SlotsToDuration(6),
+	})
+	spec := tspec.CBR(20*time.Millisecond, 144, 176)
+	flows := []struct {
+		id    piconet.FlowID
+		slave piconet.SlaveID
+		dir   piconet.Direction
+	}{
+		{1, 1, piconet.Up}, {2, 2, piconet.Down}, {3, 2, piconet.Up}, {4, 3, piconet.Up},
+	}
+	for _, f := range flows {
+		pf, err := ctrl.Admit(admission.Request{
+			ID: f.id, Slave: f.slave, Dir: f.dir,
+			Spec: spec, Rate: 12800, Allowed: baseband.PaperTypes,
+		})
+		if err != nil {
+			fmt.Println("rejected:", err)
+			return
+		}
+		fmt.Printf("flow %d: priority %d, x=%v, bound=%v\n",
+			f.id, pf.Priority, pf.X, pf.Bound)
+	}
+	// Output:
+	// flow 1: priority 1, x=3.75ms, bound=28.75ms
+	// flow 2: priority 2, x=7.5ms, bound=32.5ms
+	// flow 3: priority 2, x=7.5ms, bound=32.5ms
+	// flow 4: priority 3, x=11.25ms, bound=36.25ms
+}
+
+// The Fig. 2 fixed point by hand: a stream behind two identical streams at
+// the paper's maximal rate waits up to three worst-case exchanges.
+func ExampleDetermineX() {
+	xi := baseband.SlotsToDuration(6) // DH3 both ways: 3.75ms
+	interval := 11250 * time.Microsecond
+	higher := []admission.Stream{
+		{Interval: interval, Exchange: xi},
+		{Interval: interval, Exchange: xi},
+	}
+	x := admission.DetermineX(xi, higher, interval)
+	fmt.Println(x, "feasible:", admission.Feasible(x, interval))
+	// Output: 11.25ms feasible: true
+}

@@ -1,0 +1,239 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+	"bluegs/internal/tspec"
+)
+
+// randomStream draws a plausible poll stream.
+func randomStream(rng *rand.Rand) Stream {
+	return Stream{
+		Interval: time.Duration(2+rng.Intn(40)) * time.Millisecond,
+		Exchange: baseband.SlotsToDuration(2 + rng.Intn(9)),
+	}
+}
+
+// TestPropertyDetermineXMonotoneInLoad: on the feasible region, adding a
+// higher-priority stream never decreases x, and extra load never turns an
+// infeasible stream feasible. (Among infeasible outcomes the raw values are
+// not comparable: the algorithm stops at the first accumulation crossing t,
+// which heavier load can reach earlier at a lower value — paper Fig. 2
+// step f.)
+func TestPropertyDetermineXMonotoneInLoad(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xi := baseband.SlotsToDuration(2 + rng.Intn(9))
+		own := time.Duration(5+rng.Intn(40)) * time.Millisecond
+		var higher []Stream
+		prev := DetermineX(xi, nil, own)
+		if prev != xi {
+			return false // with no competitors, x = Xi exactly
+		}
+		for i := 0; i < 4; i++ {
+			higher = append(higher, randomStream(rng))
+			x := DetermineX(xi, higher, own)
+			if Feasible(x, own) && x < prev {
+				return false
+			}
+			if !Feasible(prev, own) && Feasible(x, own) {
+				return false // more load cannot restore feasibility
+			}
+			prev = x
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDetermineXMonotoneInXi: a larger piconet-wide worst exchange
+// never decreases a feasible x and never turns an infeasible stream
+// feasible.
+func TestPropertyDetermineXMonotoneInXi(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		own := time.Duration(5+rng.Intn(40)) * time.Millisecond
+		var higher []Stream
+		for i := 0; i < rng.Intn(4); i++ {
+			higher = append(higher, randomStream(rng))
+		}
+		xiSmall := baseband.SlotsToDuration(2 + rng.Intn(5))
+		xiLarge := xiSmall + baseband.SlotsToDuration(1+rng.Intn(5))
+		xSmall := DetermineX(xiSmall, higher, own)
+		xLarge := DetermineX(xiLarge, higher, own)
+		if Feasible(xLarge, own) && xLarge < xSmall {
+			return false
+		}
+		if !Feasible(xSmall, own) && Feasible(xLarge, own) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPiggybackingAcceptsSuperset: any flow sequence fully accepted
+// without piggybacking is also fully accepted with it (pairing only frees
+// capacity).
+func TestPropertyPiggybackingAcceptsSuperset(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []Request
+		id := piconet.FlowID(1)
+		for slave := piconet.SlaveID(1); slave <= 3; slave++ {
+			for _, dir := range []piconet.Direction{piconet.Down, piconet.Up} {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				interval := time.Duration(15+rng.Intn(20)) * time.Millisecond
+				spec := tspec.CBR(interval, 144, 176)
+				reqs = append(reqs, Request{
+					ID: id, Slave: slave, Dir: dir,
+					Spec:    spec,
+					Rate:    spec.TokenRate * (1 + rng.Float64()*0.45),
+					Allowed: baseband.PaperTypes,
+				})
+				id++
+			}
+		}
+		withoutOK := true
+		ctrlNo := NewController(Config{MaxExchange: 3750 * time.Microsecond}, WithoutPiggybacking())
+		for _, r := range reqs {
+			if _, err := ctrlNo.Admit(r); err != nil {
+				withoutOK = false
+				break
+			}
+		}
+		if !withoutOK {
+			return true // nothing to compare
+		}
+		ctrlWith := NewController(Config{MaxExchange: 3750 * time.Microsecond})
+		for _, r := range reqs {
+			if _, err := ctrlWith.Admit(r); err != nil {
+				return false // piggybacking rejected what pairing-free accepted
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(79))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAdmittedSetsAreFeasible: every accepted plan satisfies
+// x <= t for all streams, bounds are finite and at least the fluid-model
+// floor, and priorities are a permutation of 1..k.
+func TestPropertyAdmittedSetsAreFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctrl := NewController(Config{MaxExchange: 3750 * time.Microsecond})
+		id := piconet.FlowID(1)
+		for i := 0; i < 6; i++ {
+			slave := piconet.SlaveID(1 + rng.Intn(4))
+			dir := piconet.Down
+			if rng.Intn(2) == 0 {
+				dir = piconet.Up
+			}
+			interval := time.Duration(10+rng.Intn(30)) * time.Millisecond
+			maxSize := 100 + rng.Intn(250)
+			minSize := 50 + rng.Intn(maxSize-60)
+			spec := tspec.CBR(interval, minSize, maxSize)
+			_, _ = ctrl.Admit(Request{
+				ID: id, Slave: slave, Dir: dir,
+				Spec:    spec,
+				Rate:    spec.TokenRate * (1 + rng.Float64()*2),
+				Allowed: baseband.PaperTypes,
+			})
+			id++
+		}
+		flows := ctrl.Flows()
+		prios := map[int]bool{}
+		for _, pf := range flows {
+			if !Feasible(pf.X, pf.Params.Interval) {
+				return false
+			}
+			if pf.Bound <= 0 {
+				return false
+			}
+			fluidFloor := time.Duration(float64(pf.Request.Spec.MaxTransferUnit) /
+				pf.Request.Rate * float64(time.Second))
+			if pf.Bound < fluidFloor {
+				return false
+			}
+			prios[pf.Priority] = true
+		}
+		// Priorities are contiguous 1..k (pairs share one).
+		for p := 1; p <= len(prios); p++ {
+			if !prios[p] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(83))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRemoveKeepsFeasibility: removing any admitted flow leaves a
+// feasible plan with x values no worse than before for every survivor.
+func TestPropertyRemoveKeepsFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctrl := NewController(Config{MaxExchange: 3750 * time.Microsecond})
+		var admitted []piconet.FlowID
+		for i := 0; i < 5; i++ {
+			spec := tspec.CBR(time.Duration(15+rng.Intn(20))*time.Millisecond, 144, 176)
+			req := Request{
+				ID:    piconet.FlowID(i + 1),
+				Slave: piconet.SlaveID(1 + i%4),
+				Dir:   piconet.Direction(1 + i%2),
+				Spec:  spec, Rate: spec.TokenRate * (1 + rng.Float64()*0.4),
+				Allowed: baseband.PaperTypes,
+			}
+			if _, err := ctrl.Admit(req); err == nil {
+				admitted = append(admitted, req.ID)
+			}
+		}
+		if len(admitted) == 0 {
+			return true
+		}
+		before := map[piconet.FlowID]time.Duration{}
+		for _, pf := range ctrl.Flows() {
+			before[pf.Request.ID] = pf.X
+		}
+		victim := admitted[rng.Intn(len(admitted))]
+		if err := ctrl.Remove(victim); err != nil {
+			return false
+		}
+		for _, pf := range ctrl.Flows() {
+			if pf.Request.ID == victim {
+				return false
+			}
+			if pf.X > before[pf.Request.ID] {
+				return false // removal must not worsen anyone
+			}
+			if !Feasible(pf.X, pf.Params.Interval) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(89))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

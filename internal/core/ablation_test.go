@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"bluegs/internal/core"
+	"bluegs/internal/sim"
+)
+
+// TestPropertyAllRuleSubsetsMeetBounds: the delay-bound guarantee must hold
+// under every combination of the §3.2 improvement rules (the rules save
+// slots; they must never trade away correctness).
+func TestPropertyAllRuleSubsetsMeetBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rule-subset sweep is long")
+	}
+	for rules := core.Improvements(0); rules <= core.AllImprovements; rules++ {
+		rules := rules
+		t.Run(rules.String(), func(t *testing.T) {
+			s := sim.New(sim.WithSeed(1000 + int64(rules)))
+			ctrl := admitPaperFlows(t, 12800)
+			pn, sched := buildPaperGS(t, s, ctrl,
+				core.WithMode(core.VariableInterval),
+				core.WithImprovements(rules),
+			)
+			if sched.Rules() != rules {
+				t.Fatalf("rules = %v, want %v", sched.Rules(), rules)
+			}
+			for i, pf := range ctrl.Flows() {
+				attachCBR(t, s, pn, pf.Request.ID, 20*time.Millisecond,
+					time.Duration(i)*4*time.Millisecond, 144, 176)
+			}
+			if err := pn.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(15 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := pn.Err(); err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			for _, pf := range ctrl.Flows() {
+				ds, _ := pn.FlowDelayStats(pf.Request.ID)
+				if ds.Count() == 0 {
+					t.Fatalf("flow %d: no samples", pf.Request.ID)
+				}
+				if ds.Max() > pf.Bound {
+					t.Fatalf("rules %v: flow %d max delay %v exceeds bound %v",
+						rules, pf.Request.ID, ds.Max(), pf.Bound)
+				}
+			}
+		})
+	}
+}
+
+// TestImprovementsStringNames sanity-checks the bitmask helpers used by the
+// ablation harness.
+func TestImprovementsStringNames(t *testing.T) {
+	if core.AllImprovements != core.PostponeAfterPacket|core.PostponeAfterEmpty|core.SkipEmptyDown {
+		t.Fatal("AllImprovements does not cover the three rules")
+	}
+	seen := map[string]bool{}
+	for rules := core.Improvements(0); rules <= core.AllImprovements; rules++ {
+		s := rules.String()
+		if s == "" || seen[s] {
+			t.Fatalf("ambiguous Improvements string %q for %d", s, rules)
+		}
+		seen[s] = true
+	}
+}

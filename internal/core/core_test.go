@@ -1,0 +1,553 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/poller"
+	"bluegs/internal/sim"
+	"bluegs/internal/tspec"
+)
+
+// xiPaper is the piconet-wide worst exchange with DH1+DH3: 6 slots.
+const xiPaper = 3750 * time.Microsecond
+
+// gsRequest builds the paper's §4.1 GS request at the given rate.
+func gsRequest(id piconet.FlowID, slave piconet.SlaveID, dir piconet.Direction, rate float64) admission.Request {
+	return admission.Request{
+		ID:      id,
+		Slave:   slave,
+		Dir:     dir,
+		Spec:    tspec.CBR(20*time.Millisecond, 144, 176),
+		Rate:    rate,
+		Allowed: baseband.PaperTypes,
+	}
+}
+
+// attachCBR schedules a CBR source into a flow: one packet every interval,
+// sizes uniform in [minSize, maxSize], starting at phase.
+func attachCBR(t testing.TB, s *sim.Simulator, pn *piconet.Piconet, flow piconet.FlowID,
+	interval, phase time.Duration, minSize, maxSize int) {
+	t.Helper()
+	var tick func()
+	tick = func() {
+		size := minSize
+		if maxSize > minSize {
+			size += s.Rand().Intn(maxSize - minSize + 1)
+		}
+		if err := pn.EnqueuePacket(flow, size); err != nil {
+			t.Errorf("EnqueuePacket(%d): %v", flow, err)
+			return
+		}
+		s.After(interval, tick)
+	}
+	s.Schedule(phase, tick)
+}
+
+// buildPaperGS builds a piconet holding the admitted GS flows of the
+// controller plus any extra BE flows, with CBR sources attached to the GS
+// flows (paper §4.1 sources).
+func buildPaperGS(t testing.TB, s *sim.Simulator, ctrl *admission.Controller, opts ...core.Option) (*piconet.Piconet, *core.Scheduler) {
+	t.Helper()
+	pn := piconet.New(s)
+	added := map[piconet.SlaveID]bool{}
+	for _, pf := range ctrl.Flows() {
+		if !added[pf.Request.Slave] {
+			if err := pn.AddSlave(pf.Request.Slave); err != nil {
+				t.Fatalf("AddSlave: %v", err)
+			}
+			added[pf.Request.Slave] = true
+		}
+		if err := pn.AddFlow(piconet.FlowConfig{
+			ID:      pf.Request.ID,
+			Slave:   pf.Request.Slave,
+			Dir:     pf.Request.Dir,
+			Class:   piconet.Guaranteed,
+			Allowed: pf.Request.Allowed,
+		}); err != nil {
+			t.Fatalf("AddFlow: %v", err)
+		}
+	}
+	sched, err := core.New(pn, ctrl.Flows(), opts...)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	pn.SetScheduler(sched)
+	return pn, sched
+}
+
+func admitPaperFlows(t testing.TB, rate float64) *admission.Controller {
+	t.Helper()
+	ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+	reqs := []admission.Request{
+		gsRequest(1, 1, piconet.Up, rate),
+		gsRequest(2, 2, piconet.Down, rate),
+		gsRequest(3, 2, piconet.Up, rate),
+		gsRequest(4, 3, piconet.Up, rate),
+	}
+	for _, r := range reqs {
+		if _, err := ctrl.Admit(r); err != nil {
+			t.Fatalf("Admit(%d): %v", r.ID, err)
+		}
+	}
+	return ctrl
+}
+
+// TestDelayBoundsHoldPaperScenario is the paper's §4.2 headline on a short
+// horizon: with the variable-interval PFP poller, no GS packet delay
+// exceeds its exported bound.
+func TestDelayBoundsHoldPaperScenario(t *testing.T) {
+	for _, rate := range []float64{8800, 10000, 12800} {
+		rate := rate
+		t.Run(time.Duration(float64(time.Second)*144/rate).String(), func(t *testing.T) {
+			s := sim.New(sim.WithSeed(42))
+			ctrl := admitPaperFlows(t, rate)
+			pn, _ := buildPaperGS(t, s, ctrl)
+			// Paper sources: packet every 20 ms, uniform 144..176,
+			// staggered phases.
+			for i, pf := range ctrl.Flows() {
+				attachCBR(t, s, pn, pf.Request.ID, 20*time.Millisecond,
+					time.Duration(i)*3*time.Millisecond, 144, 176)
+			}
+			if err := pn.Start(); err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			if err := s.Run(30 * time.Second); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := pn.Err(); err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			for _, pf := range ctrl.Flows() {
+				ds, _ := pn.FlowDelayStats(pf.Request.ID)
+				if ds.Count() < 1400 {
+					t.Fatalf("flow %d: only %d packets", pf.Request.ID, ds.Count())
+				}
+				if ds.Max() > pf.Bound {
+					t.Fatalf("flow %d: max delay %v exceeds bound %v",
+						pf.Request.ID, ds.Max(), pf.Bound)
+				}
+			}
+		})
+	}
+}
+
+// TestFixedIntervalBoundsHold: the §3.1 poller also meets the bounds (it
+// just wastes more slots).
+func TestFixedIntervalBoundsHold(t *testing.T) {
+	s := sim.New(sim.WithSeed(7))
+	ctrl := admitPaperFlows(t, 12800)
+	pn, sched := buildPaperGS(t, s, ctrl, core.WithMode(core.FixedInterval))
+	if sched.Rules() != 0 {
+		t.Fatalf("fixed mode rules = %v, want none", sched.Rules())
+	}
+	for i, pf := range ctrl.Flows() {
+		attachCBR(t, s, pn, pf.Request.ID, 20*time.Millisecond,
+			time.Duration(i)*time.Millisecond, 144, 176)
+	}
+	if err := pn.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Run(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, pf := range ctrl.Flows() {
+		ds, _ := pn.FlowDelayStats(pf.Request.ID)
+		if ds.Max() > pf.Bound {
+			t.Fatalf("flow %d: max delay %v exceeds bound %v", pf.Request.ID, ds.Max(), pf.Bound)
+		}
+	}
+}
+
+// TestVariableSavesSlotsVersusFixed is the paper's §3.2/§4.2 efficiency
+// claim: the variable-interval poller consumes fewer GS slots than the
+// fixed-interval poller for identical traffic and bounds.
+func TestVariableSavesSlotsVersusFixed(t *testing.T) {
+	run := func(mode core.Mode) piconet.SlotAccount {
+		s := sim.New(sim.WithSeed(11))
+		ctrl := admitPaperFlows(t, 12800)
+		pn, _ := buildPaperGS(t, s, ctrl, core.WithMode(mode))
+		for i, pf := range ctrl.Flows() {
+			attachCBR(t, s, pn, pf.Request.ID, 20*time.Millisecond,
+				time.Duration(i)*2*time.Millisecond, 144, 176)
+		}
+		if err := pn.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		if err := s.Run(20 * time.Second); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return pn.SlotAccount(s.Now())
+	}
+	fixed := run(core.FixedInterval)
+	variable := run(core.VariableInterval)
+	fixedGS := fixed.GSData + fixed.GSOverhead
+	variableGS := variable.GSData + variable.GSOverhead
+	if variableGS >= fixedGS {
+		t.Fatalf("variable GS slots %d >= fixed %d; improvements save nothing", variableGS, fixedGS)
+	}
+	// Overhead specifically should shrink (fewer POLL/NULL exchanges).
+	if variable.GSOverhead >= fixed.GSOverhead {
+		t.Fatalf("variable GS overhead %d >= fixed %d", variable.GSOverhead, fixed.GSOverhead)
+	}
+}
+
+// TestSkipRuleGoesDormant: a master-to-slave-only GS flow with no traffic
+// consumes zero polls under rule (c), and revives on arrivals.
+func TestSkipRuleGoesDormant(t *testing.T) {
+	s := sim.New(sim.WithSeed(3))
+	ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+	if _, err := ctrl.Admit(gsRequest(1, 1, piconet.Down, 12800)); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	pn, sched := buildPaperGS(t, s, ctrl)
+	if err := pn.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Idle for a second: with rule (c) the stream goes dormant after one
+	// skip; no GS polls at all.
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sched.GSPolls(); got != 0 {
+		t.Fatalf("dormant stream executed %d polls, want 0", got)
+	}
+	if got := sched.SkippedPolls(); got == 0 {
+		t.Fatal("no skips recorded")
+	}
+	acct := pn.SlotAccount(s.Now())
+	if acct.GSOverhead != 0 {
+		t.Fatalf("dormant stream wasted %d overhead slots", acct.GSOverhead)
+	}
+	// An arrival revives the stream and is served with a sane delay.
+	if err := pn.EnqueuePacket(1, 176); err != nil {
+		t.Fatalf("EnqueuePacket: %v", err)
+	}
+	if err := s.Run(s.Now() + 100*time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	del, _ := pn.FlowDelivered(1)
+	if del.Packets() != 1 {
+		t.Fatalf("delivered %d packets after revival, want 1", del.Packets())
+	}
+	pf, _ := ctrl.Find(1)
+	ds, _ := pn.FlowDelayStats(1)
+	if ds.Max() > pf.Bound {
+		t.Fatalf("revived packet delay %v exceeds bound %v", ds.Max(), pf.Bound)
+	}
+}
+
+// TestFixedModePollsEmptyDownFlow: without rule (c) the fixed poller keeps
+// polling an idle down flow (the §3.2 drawback), wasting slots.
+func TestFixedModePollsEmptyDownFlow(t *testing.T) {
+	s := sim.New(sim.WithSeed(3))
+	ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+	if _, err := ctrl.Admit(gsRequest(1, 1, piconet.Down, 12800)); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	pn, sched := buildPaperGS(t, s, ctrl, core.WithMode(core.FixedInterval))
+	if err := pn.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// t = 11.25 ms: ~88 polls in a second, each wasting a POLL+NULL.
+	if got := sched.GSPolls(); got < 80 {
+		t.Fatalf("fixed poller executed %d polls, want ~88", got)
+	}
+	acct := pn.SlotAccount(s.Now())
+	if acct.GSOverhead < 160 {
+		t.Fatalf("GS overhead = %d slots, want ~176 wasted", acct.GSOverhead)
+	}
+}
+
+// TestRuleAPostponesAfterLargePacket: serving a maximum-size packet (176
+// bytes > eta_min = 144) postpones the next poll beyond the fixed grid.
+func TestRuleAPostponesAfterLargePacket(t *testing.T) {
+	s := sim.New(sim.WithSeed(5))
+	ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+	if _, err := ctrl.Admit(gsRequest(1, 1, piconet.Up, 12800)); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	pn, sched := buildPaperGS(t, s, ctrl, core.WithImprovements(core.PostponeAfterPacket))
+	if err := pn.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// One maximal packet at t=0: first poll at 0, completes; rule (a)
+	// postpones the next plan to 0 + 176/12800 s = 13.75 ms instead of
+	// the fixed 11.25 ms.
+	if err := pn.EnqueuePacket(1, 176); err != nil {
+		t.Fatalf("EnqueuePacket: %v", err)
+	}
+	if err := s.Run(5 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, st := range sched.Streams() {
+		if st.Polls != 1 {
+			t.Fatalf("polls = %d, want 1", st.Polls)
+		}
+		if want := sim.Time(13750 * time.Microsecond); st.NextPlan != want {
+			t.Fatalf("next plan = %v, want %v (rule a)", st.NextPlan, want)
+		}
+	}
+}
+
+// TestRuleBPlansFromActualTime: an unsuccessful poll executed late plans
+// the next poll from its actual time.
+func TestRuleBPlansFromActualTime(t *testing.T) {
+	s := sim.New(sim.WithSeed(5))
+	ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+	// An up flow (cannot be skipped: the master does not know the slave
+	// queue).
+	if _, err := ctrl.Admit(gsRequest(1, 1, piconet.Up, 12800)); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	pn, sched := buildPaperGS(t, s, ctrl, core.WithImprovements(core.PostponeAfterEmpty))
+	if err := pn.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// No traffic: poll at t=0 is unsuccessful (POLL+NULL ends at 1.25ms);
+	// rule (b) plans the next from the actual time 0 (same here), so the
+	// grid stays 11.25ms; but after a few rounds actual and planned times
+	// drift apart only if the master is busy. Simply check spacing is by
+	// actual time: with an idle master actual == planned, so successive
+	// plans advance by exactly t.
+	if err := s.Run(40 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := sched.Streams()[0]
+	if st.Polls < 3 {
+		t.Fatalf("polls = %d, want >= 3", st.Polls)
+	}
+	// Plans progress on the 11.25ms grid from each poll's actual start,
+	// which aligns to the 1.25ms decision grid: 0 -> 11.25 (exec 11.25?
+	// aligned up to 12.5) etc. The next plan must be actual+11.25ms and
+	// actual is slot-pair aligned.
+	plan := time.Duration(st.NextPlan)
+	if plan%(1250*time.Microsecond) == plan%(11250*time.Microsecond) {
+		// Non-degenerate check below instead.
+		_ = plan
+	}
+	if st.NextPlan <= 33750*time.Microsecond {
+		t.Fatalf("next plan %v too early; rule (b) should plan from actual times", st.NextPlan)
+	}
+}
+
+// TestBETrafficServedAroundGS: BE flows receive leftover capacity while GS
+// bounds hold.
+func TestBETrafficServedAroundGS(t *testing.T) {
+	s := sim.New(sim.WithSeed(9))
+	ctrl := admitPaperFlows(t, 12800)
+	pn, sched := buildPaperGS(t, s, ctrl)
+	// Add one BE slave with saturating traffic both ways.
+	if err := pn.AddSlave(4); err != nil {
+		t.Fatalf("AddSlave: %v", err)
+	}
+	for _, cfg := range []piconet.FlowConfig{
+		{ID: 10, Slave: 4, Dir: piconet.Down, Class: piconet.BestEffort, Allowed: baseband.PaperTypes},
+		{ID: 11, Slave: 4, Dir: piconet.Up, Class: piconet.BestEffort, Allowed: baseband.PaperTypes},
+	} {
+		if err := pn.AddFlow(cfg); err != nil {
+			t.Fatalf("AddFlow: %v", err)
+		}
+	}
+	// Rebuild the scheduler so the BE view sees slave 4.
+	sched2, err := core.New(pn, ctrl.Flows())
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	pn.SetScheduler(sched2)
+	sched = sched2
+	for i, pf := range ctrl.Flows() {
+		attachCBR(t, s, pn, pf.Request.ID, 20*time.Millisecond,
+			time.Duration(i)*2*time.Millisecond, 144, 176)
+	}
+	// Saturating BE: a packet every 2 ms each way (704 kbps demand).
+	attachCBR(t, s, pn, 10, 2*time.Millisecond, 0, 176, 176)
+	attachCBR(t, s, pn, 11, 2*time.Millisecond, time.Millisecond, 176, 176)
+	if err := pn.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Run(20 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, pf := range ctrl.Flows() {
+		ds, _ := pn.FlowDelayStats(pf.Request.ID)
+		if ds.Max() > pf.Bound {
+			t.Fatalf("flow %d: max delay %v exceeds bound %v under BE load",
+				pf.Request.ID, ds.Max(), pf.Bound)
+		}
+	}
+	// BE got substantial leftover throughput.
+	beKbps := pn.SlaveThroughputKbps(4, s.Now())
+	if beKbps < 100 {
+		t.Fatalf("BE throughput = %.1f kbps, want substantial leftover", beKbps)
+	}
+	if sched.BEPolls() == 0 {
+		t.Fatal("no BE polls recorded")
+	}
+}
+
+// TestConstructionErrors covers New validation.
+func TestConstructionErrors(t *testing.T) {
+	s := sim.New()
+	ctrl := admitPaperFlows(t, 12800)
+	if _, err := core.New(nil, ctrl.Flows()); !errors.Is(err, core.ErrNilPiconet) {
+		t.Fatalf("nil piconet: err = %v", err)
+	}
+	pn := piconet.New(s)
+	if _, err := core.New(pn, ctrl.Flows()); !errors.Is(err, core.ErrFlowMismatch) {
+		t.Fatalf("missing flows: err = %v", err)
+	}
+	// Flow exists but is BE class.
+	if err := pn.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.AddFlow(piconet.FlowConfig{ID: 1, Slave: 1, Dir: piconet.Up, Class: piconet.BestEffort, Allowed: baseband.PaperTypes}); err != nil {
+		t.Fatal(err)
+	}
+	one := ctrl.Flows()[:1]
+	if _, err := core.New(pn, one); !errors.Is(err, core.ErrFlowMismatch) {
+		t.Fatalf("class mismatch: err = %v", err)
+	}
+	if _, err := core.New(pn, []*admission.PlannedFlow{nil}); !errors.Is(err, core.ErrBadPlan) {
+		t.Fatalf("nil planned flow: err = %v", err)
+	}
+}
+
+// TestPropertyRandomAdmittedSetsMeetBounds is the repository's headline
+// property test: for random admitted GS flow sets under conformant CBR
+// traffic with saturating BE background, every measured delay stays within
+// the exported bound.
+func TestPropertyRandomAdmittedSetsMeetBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test is long")
+	}
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		t.Run(time.Now().Format("t")+string(rune('A'+trial)), func(t *testing.T) {
+			ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+			type src struct {
+				flow     piconet.FlowID
+				interval time.Duration
+				min, max int
+			}
+			var sources []src
+			nFlows := 1 + rng.Intn(5)
+			id := piconet.FlowID(1)
+			for i := 0; i < nFlows; i++ {
+				slave := piconet.SlaveID(1 + i%3)
+				dir := piconet.Up
+				if rng.Intn(2) == 0 {
+					dir = piconet.Down
+				}
+				interval := time.Duration(15+rng.Intn(30)) * time.Millisecond
+				maxSize := 100 + rng.Intn(200)
+				minSize := 50 + rng.Intn(maxSize-60)
+				spec := tspec.CBR(interval, minSize, maxSize)
+				rate := spec.TokenRate * (1 + rng.Float64())
+				req := admission.Request{
+					ID: id, Slave: slave, Dir: dir,
+					Spec: spec, Rate: rate, Allowed: baseband.PaperTypes,
+				}
+				if _, err := ctrl.Admit(req); err != nil {
+					continue // rejected: fine, try the next
+				}
+				sources = append(sources, src{flow: id, interval: interval, min: minSize, max: maxSize})
+				id++
+			}
+			if len(sources) == 0 {
+				t.Skip("nothing admitted this trial")
+			}
+			s := sim.New(sim.WithSeed(int64(200 + trial)))
+			pn, _ := buildPaperGS(t, s, ctrl)
+			// Background BE slave with saturating traffic.
+			if err := pn.AddSlave(7); err != nil {
+				t.Fatal(err)
+			}
+			if err := pn.AddFlow(piconet.FlowConfig{ID: 99, Slave: 7, Dir: piconet.Down, Class: piconet.BestEffort, Allowed: baseband.PaperTypes}); err != nil {
+				t.Fatal(err)
+			}
+			sched, err := core.New(pn, ctrl.Flows())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pn.SetScheduler(sched)
+			for _, sc := range sources {
+				attachCBR(t, s, pn, sc.flow, sc.interval,
+					time.Duration(rng.Intn(10))*time.Millisecond, sc.min, sc.max)
+			}
+			attachCBR(t, s, pn, 99, 2*time.Millisecond, 0, 176, 176)
+			if err := pn.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := pn.Err(); err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			for _, pf := range ctrl.Flows() {
+				ds, ok := pn.FlowDelayStats(pf.Request.ID)
+				if !ok || ds.Count() == 0 {
+					t.Fatalf("flow %d: no delay samples", pf.Request.ID)
+				}
+				if ds.Max() > pf.Bound {
+					t.Fatalf("flow %d: max delay %v exceeds bound %v (trial %d)",
+						pf.Request.ID, ds.Max(), pf.Bound, trial)
+				}
+			}
+		})
+	}
+}
+
+// TestIdleWithNoBESlavesSleeps: a GS-only piconet with dormant streams must
+// not busy-poll.
+func TestIdleWithNoBESlavesSleeps(t *testing.T) {
+	s := sim.New()
+	ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+	if _, err := ctrl.Admit(gsRequest(1, 1, piconet.Down, 12800)); err != nil {
+		t.Fatal(err)
+	}
+	pn, _ := buildPaperGS(t, s, ctrl)
+	if err := pn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The only events should be a handful of decisions, not ~8000
+	// busy-poll decisions.
+	if got := s.Executed(); got > 100 {
+		t.Fatalf("executed %d events while fully idle, want few", got)
+	}
+}
+
+func TestPFPDefaultBEPoller(t *testing.T) {
+	s := sim.New()
+	ctrl := admitPaperFlows(t, 12800)
+	_, sched := buildPaperGS(t, s, ctrl)
+	if got := sched.BEPoller().Name(); got != "pfp" {
+		t.Fatalf("default BE poller = %q, want pfp", got)
+	}
+	if sched.Mode() != core.VariableInterval {
+		t.Fatalf("default mode = %v", sched.Mode())
+	}
+}
+
+func TestWithBEPollerOption(t *testing.T) {
+	s := sim.New()
+	ctrl := admitPaperFlows(t, 12800)
+	_, sched := buildPaperGS(t, s, ctrl, core.WithBEPoller(&poller.RoundRobin{}))
+	if got := sched.BEPoller().Name(); got != "round-robin" {
+		t.Fatalf("BE poller = %q, want round-robin", got)
+	}
+}

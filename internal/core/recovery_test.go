@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/radio"
+	"bluegs/internal/sim"
+)
+
+// buildLossy builds a single-GS-flow piconet over a BER channel with ARQ.
+func buildLossy(t *testing.T, seed int64, ber float64, recovery bool) (*sim.Simulator, *piconet.Piconet, *core.Scheduler, *admission.Controller) {
+	t.Helper()
+	s := sim.New(sim.WithSeed(seed))
+	ctrl := admission.NewController(admission.Config{MaxExchange: xiPaper})
+	if _, err := ctrl.Admit(gsRequest(1, 1, piconet.Up, 12800)); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	pn := piconet.New(s,
+		piconet.WithRadio(radio.BER{BitErrorRate: ber}),
+		piconet.WithARQ(true),
+	)
+	if err := pn.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.AddFlow(piconet.FlowConfig{
+		ID: 1, Slave: 1, Dir: piconet.Up,
+		Class: piconet.Guaranteed, Allowed: gsRequest(1, 1, piconet.Up, 12800).Allowed,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.New(pn, ctrl.Flows(), core.WithLossRecovery(recovery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.SetScheduler(sched)
+	return s, pn, sched, ctrl
+}
+
+func TestLossRecoveryImprovesDelays(t *testing.T) {
+	run := func(recovery bool) (maxDelay time.Duration, delivered uint64, recoveryPolls uint64) {
+		s, pn, sched, _ := buildLossy(t, 21, 3e-4, recovery)
+		attachCBR(t, s, pn, 1, 20*time.Millisecond, 0, 144, 176)
+		if err := pn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := pn.Err(); err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		ds, _ := pn.FlowDelayStats(1)
+		del, _ := pn.FlowDelivered(1)
+		return ds.Max(), del.Packets(), sched.RecoveryPolls()
+	}
+	maxNo, delNo, pollsNo := run(false)
+	maxRec, delRec, pollsRec := run(true)
+	if pollsNo != 0 {
+		t.Fatalf("recovery disabled but %d recovery polls issued", pollsNo)
+	}
+	if pollsRec == 0 {
+		t.Fatal("recovery enabled but no recovery polls issued at BER 3e-4")
+	}
+	if maxRec >= maxNo {
+		t.Fatalf("recovery should cut the worst delay: %v vs %v", maxRec, maxNo)
+	}
+	if delRec < delNo {
+		t.Fatalf("recovery should not reduce delivery: %d vs %d", delRec, delNo)
+	}
+}
+
+func TestLossRecoveryDoesNotDisturbOtherFlows(t *testing.T) {
+	// Two GS flows; only flow 1's slave suffers losses (uniform BER hits
+	// both, so instead verify globally: with recovery enabled, the
+	// loss-free analytic bound still holds for packets that never lost a
+	// segment is not separable — so assert the stronger practical
+	// property: at a BER low enough that each packet loses at most one
+	// segment attempt, every delay stays within bound + one poll round.
+	s := sim.New(sim.WithSeed(33))
+	ctrl := admitPaperFlows(t, 12800)
+	pn := piconet.New(s,
+		piconet.WithRadio(radio.BER{BitErrorRate: 1e-4}),
+		piconet.WithARQ(true),
+	)
+	added := map[piconet.SlaveID]bool{}
+	for _, pf := range ctrl.Flows() {
+		if !added[pf.Request.Slave] {
+			if err := pn.AddSlave(pf.Request.Slave); err != nil {
+				t.Fatal(err)
+			}
+			added[pf.Request.Slave] = true
+		}
+		if err := pn.AddFlow(piconet.FlowConfig{
+			ID: pf.Request.ID, Slave: pf.Request.Slave, Dir: pf.Request.Dir,
+			Class: piconet.Guaranteed, Allowed: pf.Request.Allowed,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched, err := core.New(pn, ctrl.Flows(), core.WithLossRecovery(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.SetScheduler(sched)
+	for i, pf := range ctrl.Flows() {
+		attachCBR(t, s, pn, pf.Request.ID, 20*time.Millisecond,
+			time.Duration(i)*3*time.Millisecond, 144, 176)
+	}
+	if err := pn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One recovery round adds at most one exchange plus scheduling slack;
+	// allow half a poll interval beyond the analytic (error-free) bound.
+	slack := 6 * time.Millisecond
+	for _, pf := range ctrl.Flows() {
+		ds, _ := pn.FlowDelayStats(pf.Request.ID)
+		if ds.Max() > pf.Bound+slack {
+			t.Fatalf("flow %d: max delay %v far beyond bound %v despite recovery",
+				pf.Request.ID, ds.Max(), pf.Bound)
+		}
+		del, _ := pn.FlowDelivered(pf.Request.ID)
+		if del.Packets() < 1400 {
+			t.Fatalf("flow %d delivered only %d packets", pf.Request.ID, del.Packets())
+		}
+	}
+}
+
+func TestRecoveryPollsAccounting(t *testing.T) {
+	s, pn, sched, _ := buildLossy(t, 5, 0, true)
+	attachCBR(t, s, pn, 1, 20*time.Millisecond, 0, 144, 176)
+	if err := pn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// No losses on an error-free channel: recovery must stay silent.
+	if got := sched.RecoveryPolls(); got != 0 {
+		t.Fatalf("recovery polls on lossless channel = %d", got)
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+	"bluegs/internal/sco"
+	"bluegs/internal/stats"
+)
+
+// T4Row compares one scheme (SCO channel or GS/PFP at a delay target) for
+// carrying a 64 kbps voice-like flow.
+type T4Row struct {
+	Scheme string
+	// Bound is the scheme's delay bound; MaxSeen the measured maximum
+	// (zero for the analytic SCO row).
+	Bound   time.Duration
+	MaxSeen time.Duration
+	// BusySlots is the slot consumption per second while the source is
+	// active; IdleSlots while the source is silent. SCO reserves its
+	// slots unconditionally; the GS poller's consumption shrinks when
+	// idle and the difference is reclaimable for BE or retransmissions.
+	BusySlots float64
+	IdleSlots float64
+	// Reclaimable reports whether unused capacity can serve other
+	// traffic.
+	Reclaimable bool
+}
+
+// TableT4 reproduces the §5 SCO comparison: the GS/PFP poller approaches
+// SCO delay bounds while its slots, unlike SCO's hard reservation, are
+// reclaimable.
+func TableT4(cfg Config) ([]T4Row, *stats.Table, error) {
+	cfg = cfg.withDefaults()
+	hv3, err := sco.NewChannel(baseband.TypeHV3)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: T4: %w", err)
+	}
+	rows := []T4Row{{
+		Scheme:      hv3.String(),
+		Bound:       hv3.DelayBound(),
+		BusySlots:   hv3.ReservedSlotsPerSecond(),
+		IdleSlots:   hv3.ReservedSlotsPerSecond(),
+		Reclaimable: false,
+	}}
+
+	for _, target := range []time.Duration{
+		13 * time.Millisecond, 20 * time.Millisecond, 36 * time.Millisecond, 47 * time.Millisecond,
+	} {
+		busy, err := runVoice(cfg, target, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: T4 busy at %v: %w", target, err)
+		}
+		idle, err := runVoice(cfg, target, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: T4 idle at %v: %w", target, err)
+		}
+		f, _ := busy.FlowByID(1)
+		perSec := func(r *scenario.Result) float64 {
+			gsSlots := r.Slots.GSData + r.Slots.GSOverhead
+			return float64(gsSlots) / r.Elapsed.Seconds()
+		}
+		rows = append(rows, T4Row{
+			Scheme:      fmt.Sprintf("GS/PFP target %v", target),
+			Bound:       f.Bound,
+			MaxSeen:     f.DelayMax,
+			BusySlots:   perSec(busy),
+			IdleSlots:   perSec(idle),
+			Reclaimable: true,
+		})
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("T4: SCO vs GS/PFP for one 64 kbps voice flow (%v per run)", cfg.Duration),
+		"scheme", "bound", "max_seen", "slots/s busy", "slots/s idle", "reclaimable")
+	for _, r := range rows {
+		maxSeen := ""
+		if r.MaxSeen > 0 {
+			maxSeen = r.MaxSeen.Round(time.Microsecond).String()
+		}
+		tbl.AddRow(r.Scheme, r.Bound.Round(time.Microsecond), maxSeen,
+			fmt.Sprintf("%.0f", r.BusySlots), fmt.Sprintf("%.0f", r.IdleSlots),
+			r.Reclaimable)
+	}
+	return rows, tbl, nil
+}
+
+// runVoice runs the single voice flow scenario, with or without traffic.
+func runVoice(cfg Config, target time.Duration, withTraffic bool) (*scenario.Result, error) {
+	g := scenario.GSFlow{
+		ID: 1, Slave: 1, Dir: piconet.Up,
+		Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176,
+	}
+	spec := scenario.Spec{
+		Name:        "voice-vs-sco",
+		GS:          []scenario.GSFlow{g},
+		DelayTarget: target,
+		Duration:    cfg.Duration,
+		Seed:        cfg.Seed,
+	}
+	if !withTraffic {
+		spec.GS[0].Phase = cfg.Duration + time.Second // source never fires
+	}
+	return scenario.Run(spec)
+}
+
+// AblationRow reports one improvement-rule configuration (experiment A1).
+type AblationRow struct {
+	Label      string
+	GSSlots    int64
+	GSOverhead int64
+	Skipped    uint64
+	BEKbps     float64
+	Violations int
+}
+
+// AblationImprovements quantifies the §3.2 design choices: GS slot
+// consumption of the fixed-interval poller versus each improvement rule
+// individually and combined, on the Fig. 4 scenario at a 46 ms target.
+// Piggybacking is disabled so that flow 2 forms a master-to-slave-only
+// stream: rule (c) only acts on such streams (§3.2: the master knows only
+// its own queues), and in the paper scenario flow 2 is otherwise paired
+// with uplink flow 3.
+func AblationImprovements(cfg Config) ([]AblationRow, *stats.Table, error) {
+	cfg = cfg.withDefaults()
+	configs := []struct {
+		label string
+		mode  core.Mode
+		rules core.Improvements
+	}{
+		{"fixed (§3.1, no rules)", core.FixedInterval, 0},
+		{"rule a (postpone after packet)", core.VariableInterval, core.PostponeAfterPacket},
+		{"rule b (postpone after empty)", core.VariableInterval, core.PostponeAfterEmpty},
+		{"rule c (skip empty down)", core.VariableInterval, core.SkipEmptyDown},
+		{"rules a+b", core.VariableInterval, core.PostponeAfterPacket | core.PostponeAfterEmpty},
+		{"all rules (§3.2)", core.VariableInterval, core.AllImprovements},
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("A1: §3.2 improvement-rule ablation, Fig. 4 scenario at 46 ms, no piggybacking (%v per run)", cfg.Duration),
+		"configuration", "gs_slots", "gs_overhead", "skipped_polls", "be_kbps", "bound_ok")
+	var rows []AblationRow
+	for _, c := range configs {
+		spec := scenario.Paper(46 * time.Millisecond)
+		spec.Duration = cfg.Duration
+		spec.Seed = cfg.Seed
+		spec.Mode = c.mode
+		spec.Rules = c.rules
+		spec.RulesSet = c.mode == core.VariableInterval
+		spec.WithoutPiggybacking = true
+		res, err := scenario.Run(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: ablation %q: %w", c.label, err)
+		}
+		row := AblationRow{
+			Label:      c.label,
+			GSSlots:    res.Slots.GSData + res.Slots.GSOverhead,
+			GSOverhead: res.Slots.GSOverhead,
+			Skipped:    res.Skipped,
+			BEKbps:     res.TotalKbps(piconet.BestEffort),
+			Violations: len(res.BoundViolations()),
+		}
+		rows = append(rows, row)
+		ok := "yes"
+		if row.Violations > 0 {
+			ok = "VIOLATED"
+		}
+		tbl.AddRow(c.label, row.GSSlots, row.GSOverhead, row.Skipped,
+			stats.FormatKbps(row.BEKbps), ok)
+	}
+	return rows, tbl, nil
+}
+
+// BaselineRow reports one best-effort poller on the baseline comparison
+// (experiment A2).
+type BaselineRow struct {
+	Poller    string
+	TotalKbps float64
+	MeanDelay time.Duration
+	P99Delay  time.Duration
+	MaxDelay  time.Duration
+	// Fairness is Jain's index over the loaded slaves'
+	// achieved/offered ratios.
+	Fairness float64
+}
+
+// BaselinePollers compares the related-work pollers on a saturated
+// best-effort piconet with idle slaves present (experiment A2): none of
+// them bounds delay, which motivates the paper's GS mechanism.
+func BaselinePollers(cfg Config) ([]BaselineRow, *stats.Table, error) {
+	cfg = cfg.withDefaults()
+	kinds := []scenario.BEPollerKind{
+		scenario.BERoundRobin, scenario.BEExhaustive, scenario.BEFEP,
+		scenario.BEEDC, scenario.BEDemand, scenario.BEHOL, scenario.BEPFP,
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("A2: best-effort pollers on a saturated piconet (%v per run)", cfg.Duration),
+		"poller", "total_kbps", "delay_mean", "delay_p99", "delay_max", "fairness")
+	var rows []BaselineRow
+	for _, kind := range kinds {
+		spec := baselineSpec(cfg, kind)
+		res, err := scenario.Run(spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: baseline %q: %w", kind, err)
+		}
+		row := summarizeBaseline(string(kind), spec, res)
+		rows = append(rows, row)
+		tbl.AddRow(row.Poller, stats.FormatKbps(row.TotalKbps),
+			row.MeanDelay.Round(time.Microsecond), row.P99Delay.Round(time.Microsecond),
+			row.MaxDelay.Round(time.Microsecond), fmt.Sprintf("%.3f", row.Fairness))
+	}
+	return rows, tbl, nil
+}
+
+// baselineSpec is a BE-only piconet: four loaded slaves (60..90 kbps per
+// direction, overloading the channel together) and three idle slaves that
+// penalise non-adaptive pollers.
+func baselineSpec(cfg Config, kind scenario.BEPollerKind) scenario.Spec {
+	var be []scenario.BEFlow
+	id := piconet.FlowID(1)
+	for i, rate := range []float64{60, 70, 80, 90} {
+		slave := piconet.SlaveID(4 + i)
+		be = append(be,
+			scenario.BEFlow{ID: id, Slave: slave, Dir: piconet.Down, RateKbps: rate, PacketSize: 176},
+			scenario.BEFlow{ID: id + 1, Slave: slave, Dir: piconet.Up, RateKbps: rate, PacketSize: 176},
+		)
+		id += 2
+	}
+	// Idle slaves: registered with negligible-rate flows so the pollers
+	// must discover they are uninteresting.
+	for s := piconet.SlaveID(1); s <= 3; s++ {
+		be = append(be, scenario.BEFlow{
+			ID: id, Slave: s, Dir: piconet.Up, RateKbps: 0.5, PacketSize: 176,
+		})
+		id++
+	}
+	return scenario.Spec{
+		Name:     fmt.Sprintf("baseline-%s", kind),
+		BE:       be,
+		BEPoller: kind,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+	}
+}
+
+func summarizeBaseline(name string, spec scenario.Spec, res *scenario.Result) BaselineRow {
+	row := BaselineRow{Poller: name, TotalKbps: res.TotalKbps(piconet.BestEffort)}
+	var ratios []float64
+	var meanSum float64
+	var meanN int
+	for _, b := range spec.BE {
+		f, _ := res.FlowByID(b.ID)
+		if b.RateKbps >= 1 { // loaded flows only
+			ratios = append(ratios, f.Kbps/b.RateKbps)
+		}
+		if f.Delivered > 0 {
+			meanSum += float64(f.DelayMean) * float64(f.Delivered)
+			meanN += int(f.Delivered)
+			if f.DelayMax > row.MaxDelay {
+				row.MaxDelay = f.DelayMax
+			}
+			if f.DelayP99 > row.P99Delay {
+				row.P99Delay = f.DelayP99
+			}
+		}
+	}
+	if meanN > 0 {
+		row.MeanDelay = time.Duration(meanSum / float64(meanN))
+	}
+	row.Fairness = stats.Fairness(ratios)
+	return row
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDelayDistribution(t *testing.T) {
+	rows, tbl, hists, err := DelayDistribution(quick, 38*time.Millisecond)
+	if err != nil {
+		t.Fatalf("DelayDistribution: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 GS flows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Samples < 300 {
+			t.Fatalf("flow %d: %d samples", r.Flow, r.Samples)
+		}
+		// Quantiles are ordered.
+		if !(r.P50 <= r.P90 && r.P90 <= r.P99 && r.P99 <= r.P999 && r.P999 <= r.Max) {
+			t.Fatalf("flow %d: quantiles out of order: %+v", r.Flow, r)
+		}
+		// The headline: every observation is inside the bound.
+		if r.Max > r.Bound {
+			t.Fatalf("flow %d: max %v > bound %v", r.Flow, r.Max, r.Bound)
+		}
+		if r.CDFAtBound < 0.9999 {
+			t.Fatalf("flow %d: CDF at bound = %v, want 1", r.Flow, r.CDFAtBound)
+		}
+		h, ok := hists[r.Flow]
+		if !ok || h.Count() != r.Samples {
+			t.Fatalf("flow %d: histogram missing or inconsistent", r.Flow)
+		}
+		if h.Overflow() != 0 {
+			t.Fatalf("flow %d: %d observations beyond bound+25%%", r.Flow, h.Overflow())
+		}
+	}
+	if !strings.Contains(tbl.String(), "cdf_at_bound") {
+		t.Fatal("table missing header")
+	}
+}

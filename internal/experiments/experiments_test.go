@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bluegs/internal/piconet"
+)
+
+// quick is a short experiment config for tests.
+var quick = Config{Duration: 8 * time.Second, Seed: 1}
+
+func TestFigure5Shape(t *testing.T) {
+	targets := []time.Duration{28 * time.Millisecond, 36 * time.Millisecond, 46 * time.Millisecond}
+	rows, tbl, err := Figure5(quick, targets)
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	if len(rows) != len(targets) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(targets))
+	}
+	for _, row := range rows {
+		// GS slaves flat at 64/128/64 kbps regardless of requirement.
+		if row.SlaveKbps[1] < 62 || row.SlaveKbps[1] > 66 {
+			t.Fatalf("S1 = %.1f at %v, want ~64", row.SlaveKbps[1], row.Target)
+		}
+		if row.SlaveKbps[2] < 124 || row.SlaveKbps[2] > 132 {
+			t.Fatalf("S2 = %.1f at %v, want ~128", row.SlaveKbps[2], row.Target)
+		}
+		if row.SlaveKbps[3] < 62 || row.SlaveKbps[3] > 66 {
+			t.Fatalf("S3 = %.1f at %v, want ~64", row.SlaveKbps[3], row.Target)
+		}
+		// S4 (smallest BE demand) achieves its maximum at every point.
+		if row.SlaveKbps[4] < 81 {
+			t.Fatalf("S4 = %.1f at %v, want ~83.2", row.SlaveKbps[4], row.Target)
+		}
+		// No bound violations anywhere on the sweep.
+		if row.Violations != 0 {
+			t.Fatalf("bound violations at %v", row.Target)
+		}
+	}
+	// BE total grows monotonically with the delay requirement.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BEKbps < rows[i-1].BEKbps-2 {
+			t.Fatalf("BE total not increasing: %.1f then %.1f",
+				rows[i-1].BEKbps, rows[i].BEKbps)
+		}
+	}
+	// At the loose end every BE slave reaches its offered maximum and
+	// the total approaches the paper's 656 kbps.
+	last := rows[len(rows)-1]
+	for slave, want := range map[piconet.SlaveID]float64{4: 83.2, 5: 94.4, 6: 105.6, 7: 116.8} {
+		if last.SlaveKbps[slave] < want*0.97 {
+			t.Fatalf("S%d = %.1f at 46ms, want ~%.1f", slave, last.SlaveKbps[slave], want)
+		}
+	}
+	total := last.GSKbps + last.BEKbps
+	if total < 640 || total > 670 {
+		t.Fatalf("total = %.1f kbps at 46ms, want ~656", total)
+	}
+	if tbl.NumRows() != len(targets) {
+		t.Fatalf("table rows = %d", tbl.NumRows())
+	}
+}
+
+func TestTableT1PaperValues(t *testing.T) {
+	t1, tbl, err := TableT1()
+	if err != nil {
+		t.Fatalf("TableT1: %v", err)
+	}
+	if t1.EtaMin != 144 || t1.WorstSize != 144 {
+		t.Fatalf("eta_min = %v @ %d", t1.EtaMin, t1.WorstSize)
+	}
+	if t1.Xi != 3750*time.Microsecond {
+		t.Fatalf("Xi = %v", t1.Xi)
+	}
+	wantX := []time.Duration{3750 * time.Microsecond, 7500 * time.Microsecond, 11250 * time.Microsecond}
+	if len(t1.X) != 3 {
+		t.Fatalf("X = %v, want 3 streams", t1.X)
+	}
+	for i, x := range t1.X {
+		if x != wantX[i] {
+			t.Fatalf("x_%d = %v, want %v", i+1, x, wantX[i])
+		}
+	}
+	if t1.MaxRate != 12800 {
+		t.Fatalf("MaxRate = %v, want 12800", t1.MaxRate)
+	}
+	if t1.MinBound != 36250*time.Microsecond {
+		t.Fatalf("MinBound = %v, want 36.25ms", t1.MinBound)
+	}
+	// Bound at R=r: 320/8800 s + 11.25 ms ~= 47.61 ms.
+	if t1.NeverExceed < 47*time.Millisecond || t1.NeverExceed > 48*time.Millisecond {
+		t.Fatalf("NeverExceed = %v, want ~47.6ms", t1.NeverExceed)
+	}
+	if !strings.Contains(tbl.String(), "eta_min") {
+		t.Fatal("table missing eta_min row")
+	}
+}
+
+func TestTableT2AllCompliant(t *testing.T) {
+	rows, tbl, err := TableT2(quick, nil)
+	if err != nil {
+		t.Fatalf("TableT2: %v", err)
+	}
+	if len(rows) != 3*4 {
+		t.Fatalf("rows = %d, want 12 (3 targets x 4 flows)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Fatalf("flow %d at %v: max %v > bound %v", r.Flow, r.Target, r.MaxSeen, r.Bound)
+		}
+		if r.Samples == 0 {
+			t.Fatalf("flow %d at %v: no samples", r.Flow, r.Target)
+		}
+	}
+	if strings.Contains(tbl.String(), "VIOLATED") {
+		t.Fatal("table shows violations")
+	}
+}
+
+func TestTableT3TotalThroughput(t *testing.T) {
+	t3, tbl, err := TableT3(quick)
+	if err != nil {
+		t.Fatalf("TableT3: %v", err)
+	}
+	if t3.GSKbps < 250 || t3.GSKbps > 260 {
+		t.Fatalf("GS = %.1f, want ~256", t3.GSKbps)
+	}
+	if t3.BEKbps < 392 || t3.BEKbps > 404 {
+		t.Fatalf("BE = %.1f, want ~400", t3.BEKbps)
+	}
+	if t3.TotalKbps < 645 || t3.TotalKbps > 665 {
+		t.Fatalf("total = %.1f, want ~656", t3.TotalKbps)
+	}
+	if !t3.AllBEAtMax {
+		t.Fatal("not all BE flows reached their maximum at the loose requirement")
+	}
+	if !strings.Contains(tbl.String(), "656") {
+		t.Fatal("table missing paper reference")
+	}
+}
+
+func TestTableT4SCOComparison(t *testing.T) {
+	rows, tbl, err := TableT4(quick)
+	if err != nil {
+		t.Fatalf("TableT4: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 1 SCO + 4 GS", len(rows))
+	}
+	scoRow := rows[0]
+	if scoRow.Reclaimable {
+		t.Fatal("SCO slots must not be reclaimable")
+	}
+	if scoRow.BusySlots != scoRow.IdleSlots {
+		t.Fatal("SCO reservation must be unconditional")
+	}
+	// The tightest GS bound approaches (but does not beat) SCO's.
+	tightest := rows[1]
+	if tightest.Bound < scoRow.Bound {
+		t.Fatalf("GS bound %v beats SCO %v; unexpected", tightest.Bound, scoRow.Bound)
+	}
+	if tightest.Bound > 4*scoRow.Bound {
+		t.Fatalf("GS bound %v does not approach SCO %v", tightest.Bound, scoRow.Bound)
+	}
+	for _, r := range rows[1:] {
+		if !r.Reclaimable {
+			t.Fatal("GS rows must be reclaimable")
+		}
+		if r.MaxSeen > r.Bound {
+			t.Fatalf("%s: measured %v exceeds bound %v", r.Scheme, r.MaxSeen, r.Bound)
+		}
+		// Idle consumption is below busy consumption (slots are
+		// actually saved when the source pauses).
+		if r.IdleSlots >= r.BusySlots {
+			t.Fatalf("%s: idle %v >= busy %v", r.Scheme, r.IdleSlots, r.BusySlots)
+		}
+	}
+	// Looser targets consume fewer busy slots.
+	for i := 2; i < len(rows); i++ {
+		if rows[i].BusySlots > rows[i-1].BusySlots {
+			t.Fatalf("busy slots not decreasing with looser targets: %v then %v",
+				rows[i-1].BusySlots, rows[i].BusySlots)
+		}
+	}
+	if !strings.Contains(tbl.String(), "SCO") {
+		t.Fatal("table missing SCO row")
+	}
+}
+
+func TestAblationImprovements(t *testing.T) {
+	rows, tbl, err := AblationImprovements(quick)
+	if err != nil {
+		t.Fatalf("AblationImprovements: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byLabel := map[string]AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		if r.Violations != 0 {
+			t.Fatalf("%q violated bounds", r.Label)
+		}
+	}
+	fixed := byLabel["fixed (§3.1, no rules)"]
+	all := byLabel["all rules (§3.2)"]
+	if all.GSSlots >= fixed.GSSlots {
+		t.Fatalf("all rules %d GS slots >= fixed %d", all.GSSlots, fixed.GSSlots)
+	}
+	// Rule (c) is what skips polls.
+	if byLabel["rule c (skip empty down)"].Skipped == 0 {
+		t.Fatal("rule c recorded no skips")
+	}
+	if fixed.Skipped != 0 {
+		t.Fatal("fixed mode must not skip")
+	}
+	// Each individual rule already helps (or at least does not hurt).
+	for _, label := range []string{
+		"rule a (postpone after packet)",
+		"rule b (postpone after empty)",
+		"rule c (skip empty down)",
+	} {
+		if byLabel[label].GSSlots > fixed.GSSlots {
+			t.Fatalf("%q uses more GS slots (%d) than fixed (%d)",
+				label, byLabel[label].GSSlots, fixed.GSSlots)
+		}
+	}
+	if tbl.NumRows() != 6 {
+		t.Fatalf("table rows = %d", tbl.NumRows())
+	}
+}
+
+func TestBaselinePollers(t *testing.T) {
+	rows, tbl, err := BaselinePollers(quick)
+	if err != nil {
+		t.Fatalf("BaselinePollers: %v", err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 pollers", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalKbps < 50 {
+			t.Fatalf("%s carried only %.1f kbps", r.Poller, r.TotalKbps)
+		}
+		if r.Fairness <= 0 || r.Fairness > 1+1e-9 {
+			t.Fatalf("%s fairness = %v", r.Poller, r.Fairness)
+		}
+		// The channel is overloaded: every baseline shows unbounded
+		// (multi-interval) worst-case delays, motivating the GS
+		// mechanism.
+		if r.MaxDelay < 20*time.Millisecond {
+			t.Fatalf("%s max delay %v suspiciously low for an overloaded channel",
+				r.Poller, r.MaxDelay)
+		}
+	}
+	if tbl.NumRows() != 7 {
+		t.Fatalf("table rows = %d", tbl.NumRows())
+	}
+}

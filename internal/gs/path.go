@@ -1,0 +1,85 @@
+package gs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bluegs/internal/tspec"
+)
+
+// Element is one network element on a Guaranteed Service path, identified
+// for reporting and carrying its exported error terms. A paper-style
+// Bluetooth piconet is one such element (C = eta_min, D = x); a flow
+// crossing several piconets of a scatternet, or a piconet plus a wired
+// backbone, accumulates terms per RFC 2212.
+type Element struct {
+	// Name identifies the element in reports.
+	Name string
+	// Terms is the element's exported (C, D) pair.
+	Terms ErrorTerms
+}
+
+// Path is an ordered sequence of Guaranteed Service elements between a
+// source and a destination. The zero value is an empty path ready to use.
+type Path struct {
+	elements []Element
+}
+
+// Append adds an element at the end of the path and returns the path for
+// chaining.
+func (p *Path) Append(name string, terms ErrorTerms) *Path {
+	p.elements = append(p.elements, Element{Name: name, Terms: terms})
+	return p
+}
+
+// Len returns the number of elements.
+func (p *Path) Len() int { return len(p.elements) }
+
+// Elements returns a copy of the path's elements.
+func (p *Path) Elements() []Element {
+	return append([]Element(nil), p.elements...)
+}
+
+// Terms returns the accumulated (Ctot, Dtot) along the path.
+func (p *Path) Terms() ErrorTerms {
+	var tot ErrorTerms
+	for _, e := range p.elements {
+		tot = tot.Add(e.Terms)
+	}
+	return tot
+}
+
+// DelayBound returns the end-to-end delay bound for a flow served at the
+// given rate across every element of the path.
+func (p *Path) DelayBound(spec tspec.TSpec, rate float64) (time.Duration, error) {
+	return DelayBound(spec, rate, p.Terms())
+}
+
+// RequiredRate returns the minimum reservation achieving the target bound
+// across the whole path.
+func (p *Path) RequiredRate(spec tspec.TSpec, target time.Duration) (float64, error) {
+	return RequiredRate(spec, target, p.Terms())
+}
+
+// Slack returns the RFC 2212 slack term available when the path is
+// reserved at the given rate against the given target: the difference
+// between the target and the achieved bound (negative when the target is
+// missed). Downstream elements may consume slack to relax their own
+// reservations.
+func (p *Path) Slack(spec tspec.TSpec, rate float64, target time.Duration) (time.Duration, error) {
+	bound, err := p.DelayBound(spec, rate)
+	if err != nil {
+		return 0, err
+	}
+	return target - bound, nil
+}
+
+// String renders e.g. "piconet-A(C=144.0B, D=11.25ms) -> backbone(C=0.0B, D=2ms)".
+func (p *Path) String() string {
+	parts := make([]string, 0, len(p.elements))
+	for _, e := range p.elements {
+		parts = append(parts, fmt.Sprintf("%s%v", e.Name, e.Terms))
+	}
+	return strings.Join(parts, " -> ")
+}

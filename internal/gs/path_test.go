@@ -1,0 +1,107 @@
+package gs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bluegs/internal/tspec"
+)
+
+func TestPathAccumulatesTerms(t *testing.T) {
+	var p Path
+	p.Append("piconet-A", ErrorTerms{C: 144, D: 11250 * time.Microsecond}).
+		Append("backbone", ErrorTerms{C: 0, D: 2 * time.Millisecond}).
+		Append("piconet-B", ErrorTerms{C: 144, D: 3750 * time.Microsecond})
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	tot := p.Terms()
+	if tot.C != 288 || tot.D != 17*time.Millisecond {
+		t.Fatalf("Terms = %v", tot)
+	}
+	if got := len(p.Elements()); got != 3 {
+		t.Fatalf("Elements = %d", got)
+	}
+}
+
+func TestPathDelayBoundMatchesManualComposition(t *testing.T) {
+	spec := tspec.CBR(20*time.Millisecond, 144, 176)
+	var p Path
+	p.Append("hop1", ErrorTerms{C: 144, D: 11250 * time.Microsecond})
+	p.Append("hop2", ErrorTerms{C: 144, D: 3750 * time.Microsecond})
+	got, err := p.DelayBound(spec, 12800)
+	if err != nil {
+		t.Fatalf("DelayBound: %v", err)
+	}
+	want, err := DelayBound(spec, 12800, ErrorTerms{C: 288, D: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("path bound %v != manual %v", got, want)
+	}
+	// Two hops cost strictly more than one.
+	one, err := DelayBound(spec, 12800, ErrorTerms{C: 144, D: 11250 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= one {
+		t.Fatalf("two-hop bound %v <= one-hop %v", got, one)
+	}
+}
+
+func TestPathRequiredRateRoundTrip(t *testing.T) {
+	spec := tspec.CBR(20*time.Millisecond, 144, 176)
+	var p Path
+	p.Append("hop1", ErrorTerms{C: 144, D: 5 * time.Millisecond})
+	p.Append("hop2", ErrorTerms{C: 144, D: 5 * time.Millisecond})
+	target := 45 * time.Millisecond
+	rate, err := p.RequiredRate(spec, target)
+	if err != nil {
+		t.Fatalf("RequiredRate: %v", err)
+	}
+	bound, err := p.DelayBound(spec, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound > target+time.Microsecond {
+		t.Fatalf("bound %v exceeds target %v", bound, target)
+	}
+}
+
+func TestPathSlack(t *testing.T) {
+	spec := tspec.CBR(20*time.Millisecond, 144, 176)
+	var p Path
+	p.Append("hop", ErrorTerms{C: 144, D: 11250 * time.Microsecond})
+	// Bound at R=12800 is 36.25 ms; a 50 ms target leaves 13.75 ms slack.
+	slack, err := p.Slack(spec, 12800, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Slack: %v", err)
+	}
+	if slack != 13750*time.Microsecond {
+		t.Fatalf("Slack = %v, want 13.75ms", slack)
+	}
+	// A missed target yields negative slack.
+	slack, err = p.Slack(spec, 12800, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slack >= 0 {
+		t.Fatalf("Slack = %v, want negative", slack)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	var p Path
+	p.Append("a", ErrorTerms{C: 1, D: time.Millisecond})
+	p.Append("b", ErrorTerms{})
+	s := p.String()
+	if !strings.Contains(s, "a(") || !strings.Contains(s, " -> b(") {
+		t.Fatalf("String = %q", s)
+	}
+	var empty Path
+	if empty.String() != "" {
+		t.Fatalf("empty path String = %q", empty.String())
+	}
+}

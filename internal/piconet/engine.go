@@ -1,0 +1,339 @@
+package piconet
+
+import (
+	"fmt"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/sim"
+)
+
+// Err returns the first fatal error encountered by the engine (an invalid
+// scheduler action). The simulation stops when one occurs.
+func (p *Piconet) Err() error { return p.err }
+
+// alignUp rounds t up to the next master transmit opportunity (even slot
+// boundary relative to the piconet start).
+func (p *Piconet) alignUp(t sim.Time) sim.Time {
+	if t < p.startTime {
+		t = p.startTime
+	}
+	offset := t - p.startTime
+	k := offset / DecisionInterval
+	if offset%DecisionInterval != 0 {
+		k++
+	}
+	return p.startTime + k*DecisionInterval
+}
+
+// scheduleDecision arranges for the master to decide at the aligned time at
+// or after the given time, superseding any pending idle wake-up.
+func (p *Piconet) scheduleDecision(at sim.Time) {
+	at = p.alignUp(at)
+	if p.wake != nil && !p.wake.Cancelled() {
+		if p.wake.At() <= at {
+			return
+		}
+		p.simulator.Cancel(p.wake)
+	}
+	p.wake = p.simulator.Schedule(at, p.decide)
+}
+
+// wakeIfIdle pulls the next decision forward to the next transmit
+// opportunity; called on master-side arrivals so an idling master reacts.
+func (p *Piconet) wakeIfIdle() {
+	now := p.simulator.Now()
+	if now < p.busyUntil {
+		return // mid-exchange: a decision is already scheduled at its end
+	}
+	next := p.alignUp(now)
+	if p.wake != nil && !p.wake.Cancelled() {
+		if p.wake.At() <= next {
+			return
+		}
+		p.simulator.Cancel(p.wake)
+	}
+	p.wake = p.simulator.Schedule(next, p.decide)
+}
+
+// decide runs one master decision opportunity.
+func (p *Piconet) decide() {
+	p.wake = nil
+	if p.err != nil {
+		return
+	}
+	now := p.simulator.Now()
+	if now < p.busyUntil {
+		// A stale wake-up landed mid-exchange (e.g. an arrival event
+		// scheduled a decision for the same instant an exchange
+		// began); the exchange-end callback will decide next.
+		return
+	}
+	slot := p.slotIndex(now)
+	if l := p.scoDue(slot); l != nil {
+		// SCO reservations preempt all polling.
+		p.executeSCO(now, l)
+		return
+	}
+	window := p.slotsUntilNextReservation(slot)
+	action := p.scheduler.Decide(now, int(window))
+	switch action.Kind {
+	case ActionIdle:
+		until := action.Until
+		if minNext := now + DecisionInterval; until < minNext {
+			until = minNext
+		}
+		// Never sleep through an SCO reservation.
+		if window != noWindowLimit {
+			if res := now + sim.Time(window)*baseband.SlotDuration; until > res {
+				until = res
+			}
+		}
+		p.scheduleDecision(until)
+	case ActionPollGS, ActionPollBE:
+		if err := p.executePoll(now, action, window); err != nil {
+			p.err = fmt.Errorf("at %v: %w", now, err)
+			p.simulator.Stop()
+		}
+	default:
+		p.err = fmt.Errorf("%w: kind %d", ErrActionInvalid, action.Kind)
+		p.simulator.Stop()
+	}
+}
+
+// resolveGSLeg validates and returns the flow state for one leg of a GS
+// poll action.
+func (p *Piconet) resolveGSLeg(a Action, flow FlowID, dir Direction) (*flowState, error) {
+	if flow == None {
+		return nil, nil
+	}
+	fs, ok := p.flows[flow]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if fs.cfg.Slave != a.Slave {
+		return nil, fmt.Errorf("%w: flow %d is at slave %d, polled slave %d",
+			ErrSlaveNotOfFlow, flow, fs.cfg.Slave, a.Slave)
+	}
+	if fs.cfg.Dir != dir {
+		return nil, fmt.Errorf("%w: flow %d direction %v, expected %v",
+			ErrQueueMismatch, flow, fs.cfg.Dir, dir)
+	}
+	if fs.cfg.Class != Guaranteed {
+		return nil, fmt.Errorf("%w: flow %d is %v", ErrClassMismatch, flow, fs.cfg.Class)
+	}
+	return fs, nil
+}
+
+// pickBE returns the first best-effort flow of the slave in the given
+// direction whose head packet is available at the cutoff, rotating through
+// the slave's flows for fairness across multiple BE flows.
+func (p *Piconet) pickBE(sl *slaveState, dir Direction, cutoff sim.Time) *flowState {
+	n := len(sl.flows)
+	for i := 0; i < n; i++ {
+		id := sl.flows[(sl.beRR+i)%n]
+		fs := p.flows[id]
+		if fs.cfg.Class != BestEffort || fs.cfg.Dir != dir {
+			continue
+		}
+		if fs.headAvailable(cutoff) {
+			sl.beRR = (sl.beRR + i + 1) % n
+			return fs
+		}
+	}
+	return nil
+}
+
+// executePoll performs one poll exchange starting at now. window is the
+// number of slots available before the next SCO reservation; an exchange
+// that would overlap it is a scheduler error.
+func (p *Piconet) executePoll(now sim.Time, a Action, window int64) error {
+	sl, ok := p.slaves[a.Slave]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSlave, a.Slave)
+	}
+
+	var downFS, upFS *flowState
+	switch a.Kind {
+	case ActionPollGS:
+		var err error
+		if downFS, err = p.resolveGSLeg(a, a.DownFlow, Down); err != nil {
+			return err
+		}
+		if upFS, err = p.resolveGSLeg(a, a.UpFlow, Up); err != nil {
+			return err
+		}
+		if downFS == nil && upFS == nil {
+			return fmt.Errorf("%w: GS poll with no flows", ErrActionInvalid)
+		}
+	case ActionPollBE:
+		downFS = p.pickBE(sl, Down, now)
+		upFS = p.pickBEUp(sl, now)
+	}
+
+	rng := p.simulator.Rand()
+	cutoff := now // paper §3.1: data must be available at master TX start
+
+	// Downlink leg.
+	down := LegOutcome{Type: baseband.TypePOLL}
+	var downPkt *hlPacket
+	if downFS != nil {
+		if pkt := downFS.headPacket(cutoff); pkt != nil {
+			downPkt = pkt
+			seg := pkt.plan[pkt.nextSeg]
+			down = LegOutcome{Flow: downFS.cfg.ID, Type: seg.Type, Bytes: seg.Bytes}
+		}
+	}
+	downDelivered := p.radioModel.Deliver(rng, down.Type)
+	downEnd := now + down.Type.Duration()
+
+	// Uplink leg: the slave answers only if it decoded the master's
+	// packet; otherwise its response slot passes silently.
+	up := LegOutcome{Type: baseband.TypeNULL}
+	var upPkt *hlPacket
+	upMore := false
+	upDelivered := true
+	upDur := baseband.TypeNULL.Duration() // silence also occupies one slot
+	if downDelivered {
+		if upFS != nil {
+			if pkt := upFS.headPacket(cutoff); pkt != nil {
+				upPkt = pkt
+				seg := pkt.plan[pkt.nextSeg]
+				up = LegOutcome{Flow: upFS.cfg.ID, Type: seg.Type, Bytes: seg.Bytes}
+			}
+			upMore = upFS.moreAfterHeadSegment(cutoff)
+		}
+		upDelivered = p.radioModel.Deliver(rng, up.Type)
+		upDur = up.Type.Duration()
+	}
+	end := downEnd + upDur
+	if int64((end-now)/baseband.SlotDuration) > window {
+		return fmt.Errorf("%w: %v+%v exchange, %d free slots",
+			ErrWindowOverflow, down.Type, up.Type, window)
+	}
+
+	// Apply downlink state changes.
+	if downPkt != nil {
+		if downDelivered {
+			downFS.advanceHead(downPkt, downEnd, &down)
+		} else {
+			down.Lost = true
+			down.Bytes = 0
+			p.handleLoss(downFS, downPkt)
+		}
+	}
+	// Apply uplink state changes.
+	if upPkt != nil {
+		if upDelivered {
+			upFS.advanceHead(upPkt, end, &up)
+		} else {
+			up.Lost = true
+			up.Bytes = 0
+			p.handleLoss(upFS, upPkt)
+		}
+	}
+
+	outcome := Outcome{
+		Start:      now,
+		End:        end,
+		Kind:       a.Kind,
+		Slave:      a.Slave,
+		Down:       down,
+		Up:         up,
+		UpMoreData: upMore,
+	}
+	p.busyUntil = end
+	downOK, upOK := downDelivered, upDelivered && downDelivered
+	kind := TraceGS
+	if a.Kind == ActionPollBE {
+		kind = TraceBE
+	}
+	entry := TraceEntry{
+		Start: now, End: end, Kind: kind, Slave: a.Slave,
+		DownType: down.Type, UpType: up.Type,
+		DownFlow: down.Flow, UpFlow: up.Flow,
+		DownBytes: down.Bytes, UpBytes: up.Bytes,
+		Lost: down.Lost || up.Lost,
+	}
+	p.simulator.Schedule(end, func() {
+		// Slots are booked at exchange end so that a SlotAccount
+		// snapshot never counts slots beyond the measurement horizon.
+		p.account(a.Kind, down, downOK, up, upOK)
+		p.trace(entry)
+		p.scheduler.OnOutcome(outcome)
+		p.decide()
+	})
+	return nil
+}
+
+// pickBEUp selects the slave's best-effort uplink flow for a BE poll,
+// rotating independently of the downlink pick.
+func (p *Piconet) pickBEUp(sl *slaveState, cutoff sim.Time) *flowState {
+	n := len(sl.flows)
+	for i := 0; i < n; i++ {
+		id := sl.flows[(sl.beUpRR+i)%n]
+		fs := p.flows[id]
+		if fs.cfg.Class != BestEffort || fs.cfg.Dir != Up {
+			continue
+		}
+		if fs.headAvailable(cutoff) {
+			sl.beUpRR = (sl.beUpRR + i + 1) % n
+			return fs
+		}
+	}
+	return nil
+}
+
+// advanceHead consumes the head segment of pkt at the given delivery time,
+// recording completion in the leg outcome and the flow statistics.
+func (fs *flowState) advanceHead(pkt *hlPacket, deliveredAt sim.Time, leg *LegOutcome) {
+	pkt.nextSeg++
+	if pkt.done() {
+		leg.CompletedPacketSize = pkt.size
+		if !pkt.corrupt {
+			fs.delay.Add(deliveredAt - pkt.arrival)
+			fs.delivered.Add(pkt.size)
+		} else {
+			fs.lost.Add(pkt.size)
+		}
+		fs.popCompleted()
+	}
+}
+
+// handleLoss processes an on-air segment loss: with ARQ the segment stays at
+// the head of the queue for retransmission; without it the segment is
+// consumed and the packet marked corrupt (counted lost at completion).
+func (p *Piconet) handleLoss(fs *flowState, pkt *hlPacket) {
+	if p.arq {
+		return // segment remains pending; the next poll retries it
+	}
+	pkt.corrupt = true
+	pkt.nextSeg++
+	if pkt.done() {
+		fs.lost.Add(pkt.size)
+		fs.popCompleted()
+	}
+}
+
+// account books the exchange's slots into the slot account.
+func (p *Piconet) account(kind ActionKind, down LegOutcome, downOK bool, up LegOutcome, upOK bool) {
+	gs := kind == ActionPollGS
+	book := func(leg LegOutcome, delivered bool) {
+		slots := int64(leg.Type.Slots())
+		switch {
+		case leg.Type == baseband.TypePOLL || leg.Type == baseband.TypeNULL:
+			if gs {
+				p.acct.GSOverhead += slots
+			} else {
+				p.acct.BEOverhead += slots
+			}
+		case !delivered && p.arq:
+			p.acct.Retransmit += slots
+		case gs:
+			p.acct.GSData += slots
+		default:
+			p.acct.BEData += slots
+		}
+	}
+	book(down, downOK)
+	book(up, upOK)
+}

@@ -1,0 +1,562 @@
+// Package piconet models a Bluetooth piconet: one master, up to seven
+// active slaves, per-flow logical channels with separate QoS and best-effort
+// queues, and the master-driven TDD exchange engine that the polling
+// mechanisms plug into.
+//
+// The model follows the assumptions of Ait Yaiz & Heijenk (ICDCSW'03) §3:
+// no inquiry or paging, logical channels where a poll for a QoS flow cannot
+// result in best-effort data, QoS and BE traffic queued separately, and a
+// packet only being served by a poll if it was available when the master
+// started the poll transmission. The radio is ideal by default; lossy models
+// with ARQ retransmission can be enabled for the future-work experiments.
+//
+// Knowledge model: the master observes its own downlink queues exactly; for
+// uplink queues it sees only poll outcomes (carried bytes, a NULL response,
+// and the slave's more-data flag). Schedulers must respect this — accessor
+// methods prefixed Oracle are for tests and verification only.
+package piconet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/radio"
+	"bluegs/internal/segmentation"
+	"bluegs/internal/sim"
+	"bluegs/internal/stats"
+)
+
+// Errors returned by piconet configuration and operation.
+var (
+	ErrTooManySlaves   = errors.New("piconet: more than 7 active slaves")
+	ErrDuplicateSlave  = errors.New("piconet: duplicate slave")
+	ErrUnknownSlave    = errors.New("piconet: unknown slave")
+	ErrUnknownFlow     = errors.New("piconet: unknown flow")
+	ErrDuplicateFlow   = errors.New("piconet: duplicate flow id")
+	ErrInvalidFlow     = errors.New("piconet: invalid flow configuration")
+	ErrNoScheduler     = errors.New("piconet: no scheduler installed")
+	ErrAlreadyStarted  = errors.New("piconet: already started")
+	ErrNotDownFlow     = errors.New("piconet: flow is not master-to-slave")
+	ErrQueueMismatch   = errors.New("piconet: flow/slave/direction mismatch in action")
+	ErrPacketTooSmall  = errors.New("piconet: packet size must be positive")
+	ErrSegmentFailure  = errors.New("piconet: segmentation failed")
+	ErrActionInvalid   = errors.New("piconet: invalid scheduler action")
+	ErrClassMismatch   = errors.New("piconet: action class does not match flow class")
+	ErrSlaveNotOfFlow  = errors.New("piconet: flow does not belong to addressed slave")
+	ErrStartBeforeFlow = errors.New("piconet: flows must be added before start")
+)
+
+// DecisionInterval is the spacing of master transmit opportunities: every
+// other slot (master transmissions start in even-numbered slots).
+const DecisionInterval = 2 * baseband.SlotDuration
+
+// SlaveID identifies an active slave (1..7, mirroring the AM_ADDR).
+type SlaveID int
+
+// FlowID identifies a logical flow. Zero means "no flow".
+type FlowID int
+
+// None is the absent FlowID.
+const None FlowID = 0
+
+// Direction of a flow relative to the master.
+type Direction int
+
+// Flow directions.
+const (
+	// Down is master-to-slave.
+	Down Direction = iota + 1
+	// Up is slave-to-master.
+	Up
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Down:
+		return "down"
+	case Up:
+		return "up"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Class is the service class of a flow's logical channel.
+type Class int
+
+// Flow classes.
+const (
+	// BestEffort traffic has no guarantees and is served in leftover
+	// capacity.
+	BestEffort Class = iota + 1
+	// Guaranteed traffic belongs to an admitted Guaranteed Service flow.
+	Guaranteed
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case BestEffort:
+		return "BE"
+	case Guaranteed:
+		return "GS"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// FlowConfig describes one unidirectional flow in the piconet.
+type FlowConfig struct {
+	// ID is the flow identifier (must be nonzero and unique).
+	ID FlowID
+	// Slave is the slave endpoint.
+	Slave SlaveID
+	// Dir is the flow direction.
+	Dir Direction
+	// Class is the service class.
+	Class Class
+	// Allowed is the set of baseband packet types the flow may use.
+	Allowed baseband.TypeSet
+	// Policy segments higher-layer packets (defaults to best-fit).
+	Policy segmentation.Policy
+}
+
+func (c FlowConfig) validate() error {
+	if c.ID == None {
+		return fmt.Errorf("%w: zero flow id", ErrInvalidFlow)
+	}
+	if c.Dir != Down && c.Dir != Up {
+		return fmt.Errorf("%w: bad direction", ErrInvalidFlow)
+	}
+	if c.Class != BestEffort && c.Class != Guaranteed {
+		return fmt.Errorf("%w: bad class", ErrInvalidFlow)
+	}
+	if _, ok := c.Allowed.LargestACL(); !ok {
+		return fmt.Errorf("%w: no ACL types allowed", ErrInvalidFlow)
+	}
+	return nil
+}
+
+// ActionKind says what the master does at a decision opportunity.
+type ActionKind int
+
+// Action kinds.
+const (
+	// ActionIdle leaves the channel unused until Until.
+	ActionIdle ActionKind = iota + 1
+	// ActionPollGS polls a Guaranteed Service logical channel.
+	ActionPollGS
+	// ActionPollBE polls a slave's best-effort logical channel.
+	ActionPollBE
+)
+
+// Action is the scheduler's decision for one master transmit opportunity.
+type Action struct {
+	Kind ActionKind
+	// Slave is the addressed slave (poll actions).
+	Slave SlaveID
+	// DownFlow, for ActionPollGS, is the GS down flow whose segment rides
+	// in the master's packet, or None for a bare POLL.
+	DownFlow FlowID
+	// UpFlow, for ActionPollGS, is the GS up flow the slave may answer
+	// with, or None when the poll only pushes downlink data.
+	UpFlow FlowID
+	// Until, for ActionIdle, is the next time the scheduler wants to
+	// decide again. Zero or past times mean "next opportunity".
+	Until sim.Time
+}
+
+// Idle returns an idle action until the given time.
+func Idle(until sim.Time) Action { return Action{Kind: ActionIdle, Until: until} }
+
+// PollGS returns a GS poll action for the given slave and flow pair.
+func PollGS(slave SlaveID, down, up FlowID) Action {
+	return Action{Kind: ActionPollGS, Slave: slave, DownFlow: down, UpFlow: up}
+}
+
+// PollBE returns a BE poll action for the given slave.
+func PollBE(slave SlaveID) Action { return Action{Kind: ActionPollBE, Slave: slave} }
+
+// Outcome reports the result of an executed poll exchange to the scheduler.
+type Outcome struct {
+	// Start is when the master began transmitting; End is when the
+	// exchange (including the slave's response or response slot) ended.
+	Start, End sim.Time
+	// Kind is the action kind that produced the exchange.
+	Kind ActionKind
+	// Slave is the addressed slave.
+	Slave SlaveID
+
+	// Down describes the master's packet.
+	Down LegOutcome
+	// Up describes the slave's response.
+	Up LegOutcome
+
+	// UpMoreData is the slave's more-data flag for the polled channel:
+	// whether, at the availability cutoff, further segments were queued
+	// after the served one.
+	UpMoreData bool
+}
+
+// LegOutcome describes one direction of an exchange.
+type LegOutcome struct {
+	// Flow is the flow served (None for POLL/NULL legs or BE polls that
+	// found nothing).
+	Flow FlowID
+	// Type is the baseband packet type sent.
+	Type baseband.PacketType
+	// Bytes is the number of payload bytes carried (post-loss: zero if
+	// the packet was lost on air).
+	Bytes int
+	// Lost reports an on-air loss (only with lossy radio models).
+	Lost bool
+	// CompletedPacketSize is the size of the higher-layer packet whose
+	// final segment this leg delivered, or zero.
+	CompletedPacketSize int
+}
+
+// ServedGS reports whether the exchange moved payload for the given flow.
+func (o Outcome) ServedGS(flow FlowID) bool {
+	return (o.Down.Flow == flow && o.Down.Bytes > 0) || (o.Up.Flow == flow && o.Up.Bytes > 0)
+}
+
+// Scheduler is the master's polling brain. Implementations include the
+// paper's Guaranteed Service scheduler (internal/core) and the best-effort
+// pollers (internal/poller) via adapters.
+type Scheduler interface {
+	// Decide returns the master's action for the transmit opportunity at
+	// now. The piconet calls it whenever the channel is free at a master
+	// TX boundary. freeSlots is the number of slots available before the
+	// next SCO reservation (a large value when no SCO links exist); the
+	// returned exchange must fit within it.
+	Decide(now sim.Time, freeSlots int) Action
+	// OnOutcome delivers the result of each executed exchange at its end
+	// time.
+	OnOutcome(o Outcome)
+	// OnDownArrival notifies the scheduler that a packet arrived in a
+	// master-side (downlink) queue.
+	OnDownArrival(flow FlowID, now sim.Time)
+}
+
+// Option configures a Piconet.
+type Option func(*Piconet)
+
+// WithRadio installs a radio channel model (default: ideal).
+func WithRadio(m radio.Model) Option {
+	return func(p *Piconet) {
+		if m != nil {
+			p.radioModel = m
+		}
+	}
+}
+
+// WithARQ enables retransmission of lost segments (used with lossy radio
+// models; with an ideal radio it has no effect).
+func WithARQ(enabled bool) Option {
+	return func(p *Piconet) { p.arq = enabled }
+}
+
+// Piconet is the simulated piconet. Create with New, configure slaves,
+// flows and a scheduler, then Start it and run the simulator.
+type Piconet struct {
+	simulator  *sim.Simulator
+	radioModel radio.Model
+	arq        bool
+	scheduler  Scheduler
+
+	slaves map[SlaveID]*slaveState
+	flows  map[FlowID]*flowState
+	// flowOrder preserves AddFlow order for deterministic iteration.
+	flowOrder []FlowID
+	// scoLinks holds the reserved synchronous channels.
+	scoLinks []*scoLink
+
+	started   bool
+	startTime sim.Time
+	// busyUntil is the end of the exchange in progress.
+	busyUntil sim.Time
+	// wake is the pending idle-decision event, cancelled when an arrival
+	// warrants an earlier decision.
+	wake *sim.Event
+
+	acct   SlotAccount
+	nextID uint64
+	// tracer, when set, receives every completed exchange.
+	tracer Tracer
+	// err records the first fatal engine error (invalid scheduler action).
+	err error
+}
+
+type slaveState struct {
+	id SlaveID
+	// flows lists the slave's flow ids in AddFlow order.
+	flows []FlowID
+	// beRR and beUpRR rotate best-effort flow selection (down and up)
+	// across the slave's flows.
+	beRR   int
+	beUpRR int
+}
+
+// New returns an empty piconet bound to the simulator.
+func New(s *sim.Simulator, opts ...Option) *Piconet {
+	p := &Piconet{
+		simulator:  s,
+		radioModel: radio.Ideal{},
+		slaves:     make(map[SlaveID]*slaveState),
+		flows:      make(map[FlowID]*flowState),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Simulator returns the underlying simulator.
+func (p *Piconet) Simulator() *sim.Simulator { return p.simulator }
+
+// Now returns the current virtual time.
+func (p *Piconet) Now() sim.Time { return p.simulator.Now() }
+
+// AddSlave registers an active slave.
+func (p *Piconet) AddSlave(id SlaveID) error {
+	if p.started {
+		return ErrAlreadyStarted
+	}
+	if id < 1 || int(id) > baseband.MaxActiveSlaves {
+		return fmt.Errorf("%w: slave id %d outside 1..%d", ErrInvalidFlow, id, baseband.MaxActiveSlaves)
+	}
+	if _, dup := p.slaves[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateSlave, id)
+	}
+	if len(p.slaves) >= baseband.MaxActiveSlaves {
+		return ErrTooManySlaves
+	}
+	p.slaves[id] = &slaveState{id: id}
+	return nil
+}
+
+// AddFlow registers a flow. The slave must already exist.
+func (p *Piconet) AddFlow(cfg FlowConfig) error {
+	if p.started {
+		return ErrAlreadyStarted
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	sl, ok := p.slaves[cfg.Slave]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSlave, cfg.Slave)
+	}
+	if _, dup := p.flows[cfg.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateFlow, cfg.ID)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = segmentation.BestFit{}
+	}
+	p.flows[cfg.ID] = newFlowState(cfg)
+	p.flowOrder = append(p.flowOrder, cfg.ID)
+	sl.flows = append(sl.flows, cfg.ID)
+	return nil
+}
+
+// SetScheduler installs the master's scheduler. Must be called before Start.
+func (p *Piconet) SetScheduler(s Scheduler) { p.scheduler = s }
+
+// Start begins the master's decision loop at the current simulation time.
+func (p *Piconet) Start() error {
+	if p.started {
+		return ErrAlreadyStarted
+	}
+	if p.scheduler == nil {
+		return ErrNoScheduler
+	}
+	p.started = true
+	p.startTime = p.simulator.Now()
+	p.scheduleDecision(p.startTime)
+	return nil
+}
+
+// Slaves returns the registered slave ids in ascending order.
+func (p *Piconet) Slaves() []SlaveID {
+	out := make([]SlaveID, 0, len(p.slaves))
+	for id := SlaveID(1); int(id) <= baseband.MaxActiveSlaves; id++ {
+		if _, ok := p.slaves[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Flows returns all flow ids in AddFlow order.
+func (p *Piconet) Flows() []FlowID {
+	return append([]FlowID(nil), p.flowOrder...)
+}
+
+// FlowsAt returns the slave's flow ids in AddFlow order.
+func (p *Piconet) FlowsAt(slave SlaveID) []FlowID {
+	sl, ok := p.slaves[slave]
+	if !ok {
+		return nil
+	}
+	return append([]FlowID(nil), sl.flows...)
+}
+
+// FlowConfig returns the configuration of a flow.
+func (p *Piconet) FlowConfig(id FlowID) (FlowConfig, bool) {
+	fs, ok := p.flows[id]
+	if !ok {
+		return FlowConfig{}, false
+	}
+	return fs.cfg, true
+}
+
+// DownQueueLen returns the number of higher-layer packets queued for a
+// master-to-slave flow (master-side knowledge).
+func (p *Piconet) DownQueueLen(flow FlowID) int {
+	fs, ok := p.flows[flow]
+	if !ok || fs.cfg.Dir != Down {
+		return 0
+	}
+	return len(fs.queue)
+}
+
+// DownQueueBytes returns the remaining payload bytes queued for a
+// master-to-slave flow (master-side knowledge).
+func (p *Piconet) DownQueueBytes(flow FlowID) int {
+	fs, ok := p.flows[flow]
+	if !ok || fs.cfg.Dir != Down {
+		return 0
+	}
+	return fs.queuedBytes()
+}
+
+// DownHeadAvailable reports whether the head packet of a down flow was
+// available at the given cutoff time (master-side knowledge).
+func (p *Piconet) DownHeadAvailable(flow FlowID, cutoff sim.Time) bool {
+	fs, ok := p.flows[flow]
+	if !ok || fs.cfg.Dir != Down {
+		return false
+	}
+	return fs.headAvailable(cutoff)
+}
+
+// OracleUpQueueLen returns the number of higher-layer packets queued at the
+// slave for an up flow. It is an oracle accessor for tests and verification;
+// schedulers must not call it (the real master cannot see slave queues).
+func (p *Piconet) OracleUpQueueLen(flow FlowID) int {
+	fs, ok := p.flows[flow]
+	if !ok || fs.cfg.Dir != Up {
+		return 0
+	}
+	return len(fs.queue)
+}
+
+// FlowDelayStats returns the higher-layer packet delay statistics of a flow
+// (arrival to delivery of the final segment).
+func (p *Piconet) FlowDelayStats(flow FlowID) (*stats.DurationStats, bool) {
+	fs, ok := p.flows[flow]
+	if !ok {
+		return nil, false
+	}
+	return fs.delay, true
+}
+
+// FlowDelivered returns the delivery meter of a flow (bytes and packets that
+// completed reassembly).
+func (p *Piconet) FlowDelivered(flow FlowID) (*stats.Meter, bool) {
+	fs, ok := p.flows[flow]
+	if !ok {
+		return nil, false
+	}
+	return fs.delivered, true
+}
+
+// FlowOffered returns the offered-load meter of a flow (generated packets).
+func (p *Piconet) FlowOffered(flow FlowID) (*stats.Meter, bool) {
+	fs, ok := p.flows[flow]
+	if !ok {
+		return nil, false
+	}
+	return fs.offered, true
+}
+
+// FlowLost returns the loss meter of a flow (higher-layer packets corrupted
+// on air; nonzero only with lossy radio models and ARQ disabled).
+func (p *Piconet) FlowLost(flow FlowID) (*stats.Meter, bool) {
+	fs, ok := p.flows[flow]
+	if !ok {
+		return nil, false
+	}
+	return fs.lost, true
+}
+
+// SlaveThroughputKbps returns the delivered throughput of all flows of the
+// slave (both directions) over the elapsed time, in kilobits per second.
+func (p *Piconet) SlaveThroughputKbps(slave SlaveID, elapsed time.Duration) float64 {
+	sl, ok := p.slaves[slave]
+	if !ok || elapsed <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, id := range sl.flows {
+		total += p.flows[id].delivered.Kbps(elapsed)
+	}
+	return total
+}
+
+// SlotAccount returns a snapshot of the slot usage accounting, with idle
+// time computed against the given end-of-measurement time.
+func (p *Piconet) SlotAccount(end sim.Time) SlotAccount {
+	acct := p.acct
+	elapsed := end - p.startTime
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	total := int64(elapsed / baseband.SlotDuration)
+	busy := acct.GSData + acct.GSOverhead + acct.BEData + acct.BEOverhead +
+		acct.Retransmit + acct.SCO
+	if total > busy {
+		acct.Idle = total - busy
+	}
+	acct.Total = total
+	return acct
+}
+
+// SlotAccount tallies slot usage by purpose. All values are slot counts.
+type SlotAccount struct {
+	// GSData is slots spent carrying Guaranteed Service payload.
+	GSData int64
+	// GSOverhead is slots spent on GS polling overhead: POLL packets,
+	// NULL responses and unsuccessful GS polls.
+	GSOverhead int64
+	// BEData is slots spent carrying best-effort payload.
+	BEData int64
+	// BEOverhead is slots spent on BE polling overhead.
+	BEOverhead int64
+	// Retransmit is slots consumed re-sending lost segments (lossy radio
+	// only).
+	Retransmit int64
+	// SCO is slots consumed by reserved synchronous links.
+	SCO int64
+	// Idle is slots in which the channel was unused.
+	Idle int64
+	// Total is the total elapsed slots of the measurement.
+	Total int64
+}
+
+// GSShare returns the fraction of slots used for GS (data plus overhead).
+func (a SlotAccount) GSShare() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.GSData+a.GSOverhead) / float64(a.Total)
+}
+
+// String summarises the account.
+func (a SlotAccount) String() string {
+	return fmt.Sprintf("slots{total=%d gsData=%d gsOvh=%d beData=%d beOvh=%d rtx=%d sco=%d idle=%d}",
+		a.Total, a.GSData, a.GSOverhead, a.BEData, a.BEOverhead, a.Retransmit, a.SCO, a.Idle)
+}

@@ -1,0 +1,135 @@
+package piconet
+
+import (
+	"fmt"
+
+	"bluegs/internal/segmentation"
+	"bluegs/internal/sim"
+	"bluegs/internal/stats"
+)
+
+// hlPacket is a higher-layer packet in a flow queue, carrying its
+// segmentation plan and transmission progress.
+type hlPacket struct {
+	id      uint64
+	size    int
+	arrival sim.Time
+	plan    segmentation.Plan
+	// nextSeg indexes the first not-yet-delivered segment.
+	nextSeg int
+	// corrupt marks a packet that lost a segment on air with ARQ
+	// disabled; it completes its plan but is not counted as delivered.
+	corrupt bool
+}
+
+func (pkt *hlPacket) remainingBytes() int {
+	total := 0
+	for i := pkt.nextSeg; i < len(pkt.plan); i++ {
+		total += pkt.plan[i].Bytes
+	}
+	return total
+}
+
+func (pkt *hlPacket) done() bool { return pkt.nextSeg >= len(pkt.plan) }
+
+// flowState is the runtime state of one flow: its queue (held at the master
+// for down flows, at the slave for up flows) and its measurement hooks.
+type flowState struct {
+	cfg FlowConfig
+	// queue holds pending packets in arrival order; the head may be
+	// partially transmitted.
+	queue []*hlPacket
+
+	delay     *stats.DurationStats
+	delivered *stats.Meter
+	offered   *stats.Meter
+	lost      *stats.Meter
+}
+
+func newFlowState(cfg FlowConfig) *flowState {
+	return &flowState{
+		cfg:       cfg,
+		delay:     stats.NewDurationStats(0),
+		delivered: &stats.Meter{},
+		offered:   &stats.Meter{},
+		lost:      &stats.Meter{},
+	}
+}
+
+func (fs *flowState) queuedBytes() int {
+	total := 0
+	for _, pkt := range fs.queue {
+		total += pkt.remainingBytes()
+	}
+	return total
+}
+
+// headAvailable reports whether the queue head exists and arrived at or
+// before the cutoff (the paper requires data to be available when the master
+// starts its transmission).
+func (fs *flowState) headAvailable(cutoff sim.Time) bool {
+	return len(fs.queue) > 0 && fs.queue[0].arrival <= cutoff
+}
+
+// headPacket returns the available head packet, or nil.
+func (fs *flowState) headPacket(cutoff sim.Time) *hlPacket {
+	if !fs.headAvailable(cutoff) {
+		return nil
+	}
+	return fs.queue[0]
+}
+
+// moreAfterHeadSegment reports whether, after the head's next segment is
+// served, further segments remain available at the cutoff (the slave's
+// more-data flag).
+func (fs *flowState) moreAfterHeadSegment(cutoff sim.Time) bool {
+	if !fs.headAvailable(cutoff) {
+		return false
+	}
+	head := fs.queue[0]
+	if head.nextSeg+1 < len(head.plan) {
+		return true
+	}
+	// Head would complete; is another packet available?
+	return len(fs.queue) > 1 && fs.queue[1].arrival <= cutoff
+}
+
+// popCompleted removes the head if fully delivered.
+func (fs *flowState) popCompleted() {
+	if len(fs.queue) > 0 && fs.queue[0].done() {
+		fs.queue[0] = nil
+		fs.queue = fs.queue[1:]
+	}
+}
+
+// EnqueuePacket inserts a higher-layer packet of the given size into the
+// flow's queue at the current simulation time, segmenting it with the
+// flow's policy. Traffic sources call this; for down flows the scheduler is
+// notified and the master wakes up if idle.
+func (p *Piconet) EnqueuePacket(flow FlowID, size int) error {
+	fs, ok := p.flows[flow]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if size <= 0 {
+		return ErrPacketTooSmall
+	}
+	plan, err := fs.cfg.Policy.Segment(size, fs.cfg.Allowed)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSegmentFailure, err)
+	}
+	now := p.simulator.Now()
+	p.nextID++
+	fs.queue = append(fs.queue, &hlPacket{
+		id:      p.nextID,
+		size:    size,
+		arrival: now,
+		plan:    plan,
+	})
+	fs.offered.Add(size)
+	if fs.cfg.Dir == Down && p.started {
+		p.scheduler.OnDownArrival(flow, now)
+		p.wakeIfIdle()
+	}
+	return nil
+}

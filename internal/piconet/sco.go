@@ -1,0 +1,174 @@
+package piconet
+
+import (
+	"errors"
+	"fmt"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/sim"
+	"bluegs/internal/stats"
+)
+
+// Errors returned by SCO link management.
+var (
+	ErrNotSCOType     = errors.New("piconet: packet type is not an SCO type")
+	ErrSCOMixedTypes  = errors.New("piconet: all SCO links must use the same HV type")
+	ErrSCOCapacity    = errors.New("piconet: SCO slot capacity exhausted")
+	ErrSCODuplicate   = errors.New("piconet: slave already has an SCO link")
+	ErrWindowOverflow = errors.New("piconet: ACL exchange does not fit before the next SCO reservation")
+)
+
+// scoLink is one synchronous connection: every intervalSlots slots
+// (counting master transmission slots), starting at offsetSlots, a two-slot
+// HV exchange runs regardless of the polling discipline.
+type scoLink struct {
+	slave         SlaveID
+	typ           baseband.PacketType
+	offsetSlots   int64
+	intervalSlots int64
+	down, up      *stats.Meter
+}
+
+// AddSCOLink reserves a synchronous (SCO) channel to the slave using the
+// given HV packet type. SCO links preempt all ACL polling: their slot pairs
+// recur unconditionally (HV1 every 2 slots, HV2 every 4, HV3 every 6), and
+// ACL exchanges are only started when they fit entirely before the next
+// reservation. All links in one piconet must use the same HV type; the
+// capacity is 1 HV1, 2 HV2 or 3 HV3 links.
+func (p *Piconet) AddSCOLink(slave SlaveID, typ baseband.PacketType) error {
+	if p.started {
+		return ErrAlreadyStarted
+	}
+	if !typ.IsSCO() {
+		return fmt.Errorf("%w: %v", ErrNotSCOType, typ)
+	}
+	if _, ok := p.slaves[slave]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSlave, slave)
+	}
+	var interval int64
+	switch typ {
+	case baseband.TypeHV1:
+		interval = 2
+	case baseband.TypeHV2:
+		interval = 4
+	default:
+		interval = 6
+	}
+	for _, l := range p.scoLinks {
+		if l.typ != typ {
+			return fmt.Errorf("%w: have %v, adding %v", ErrSCOMixedTypes, l.typ, typ)
+		}
+		if l.slave == slave {
+			return fmt.Errorf("%w: slave %d", ErrSCODuplicate, slave)
+		}
+	}
+	if int64(len(p.scoLinks)) >= interval/2 {
+		return fmt.Errorf("%w: %v supports %d links", ErrSCOCapacity, typ, interval/2)
+	}
+	p.scoLinks = append(p.scoLinks, &scoLink{
+		slave:         slave,
+		typ:           typ,
+		offsetSlots:   int64(2 * len(p.scoLinks)),
+		intervalSlots: interval,
+		down:          &stats.Meter{},
+		up:            &stats.Meter{},
+	})
+	return nil
+}
+
+// SCOMeters returns the delivered-byte meters (master-to-slave,
+// slave-to-master) of the slave's SCO link.
+func (p *Piconet) SCOMeters(slave SlaveID) (down, up *stats.Meter, ok bool) {
+	for _, l := range p.scoLinks {
+		if l.slave == slave {
+			return l.down, l.up, true
+		}
+	}
+	return nil, nil, false
+}
+
+// MaxACLWindowSlots returns the largest ACL exchange (in slots) that can
+// run between SCO reservations, or a large sentinel when no SCO links
+// exist. Admission control must reject flows whose worst exchange exceeds
+// this window.
+func (p *Piconet) MaxACLWindowSlots() int {
+	if len(p.scoLinks) == 0 {
+		return int(noWindowLimit)
+	}
+	interval := p.scoLinks[0].intervalSlots
+	window := interval - 2*int64(len(p.scoLinks))
+	if window < 0 {
+		window = 0
+	}
+	return int(window)
+}
+
+// noWindowLimit is the freeSlots value passed to schedulers when no SCO
+// reservation constrains the channel.
+const noWindowLimit int64 = 1 << 30
+
+// slotIndex converts a time to the master slot counter since start.
+func (p *Piconet) slotIndex(t sim.Time) int64 {
+	return int64((t - p.startTime) / baseband.SlotDuration)
+}
+
+// scoDue returns the link reserved at exactly the given slot, if any.
+func (p *Piconet) scoDue(slot int64) *scoLink {
+	for _, l := range p.scoLinks {
+		if slot >= l.offsetSlots && (slot-l.offsetSlots)%l.intervalSlots == 0 {
+			return l
+		}
+	}
+	return nil
+}
+
+// slotsUntilNextReservation returns how many slots from the given slot are
+// free for an ACL exchange before any SCO reservation begins.
+func (p *Piconet) slotsUntilNextReservation(slot int64) int64 {
+	if len(p.scoLinks) == 0 {
+		return noWindowLimit
+	}
+	next := noWindowLimit
+	for _, l := range p.scoLinks {
+		var k int64
+		if slot > l.offsetSlots {
+			k = (slot - l.offsetSlots + l.intervalSlots - 1) / l.intervalSlots
+		}
+		at := l.offsetSlots + k*l.intervalSlots
+		if at-slot < next {
+			next = at - slot
+		}
+	}
+	return next
+}
+
+// executeSCO runs the two-slot HV exchange of the link at now. A voice
+// stream always has data (the Bluetooth SCO model: the codec produces
+// bytes continuously), so the link carries a full payload in each
+// direction on every reservation, subject to the radio model.
+func (p *Piconet) executeSCO(now sim.Time, l *scoLink) {
+	rng := p.simulator.Rand()
+	end := now + 2*baseband.SlotDuration
+	entry := TraceEntry{
+		Start: now, End: end, Kind: TraceSCO, Slave: l.slave,
+		DownType: l.typ, UpType: l.typ,
+	}
+	if p.radioModel.Deliver(rng, l.typ) {
+		l.down.Add(l.typ.Payload())
+		entry.DownBytes = l.typ.Payload()
+	} else {
+		entry.Lost = true
+	}
+	if p.radioModel.Deliver(rng, l.typ) {
+		l.up.Add(l.typ.Payload())
+		entry.UpBytes = l.typ.Payload()
+	} else {
+		entry.Lost = true
+	}
+	p.busyUntil = end
+	p.simulator.Schedule(end, func() {
+		p.acct.SCO += 2
+		p.trace(entry)
+		p.decide()
+	})
+}

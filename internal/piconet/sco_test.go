@@ -1,0 +1,278 @@
+package piconet_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+	"bluegs/internal/sim"
+)
+
+func TestAddSCOLinkValidation(t *testing.T) {
+	s := sim.New()
+	p := piconet.New(s)
+	if err := p.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSlave(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeDH1); !errors.Is(err, piconet.ErrNotSCOType) {
+		t.Fatalf("ACL type: err = %v", err)
+	}
+	if err := p.AddSCOLink(9, baseband.TypeHV3); !errors.Is(err, piconet.ErrUnknownSlave) {
+		t.Fatalf("unknown slave: err = %v", err)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatalf("AddSCOLink: %v", err)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); !errors.Is(err, piconet.ErrSCODuplicate) {
+		t.Fatalf("duplicate: err = %v", err)
+	}
+	if err := p.AddSCOLink(2, baseband.TypeHV2); !errors.Is(err, piconet.ErrSCOMixedTypes) {
+		t.Fatalf("mixed types: err = %v", err)
+	}
+	if err := p.AddSCOLink(2, baseband.TypeHV3); err != nil {
+		t.Fatalf("second HV3 link: %v", err)
+	}
+}
+
+func TestSCOCapacityLimits(t *testing.T) {
+	tests := []struct {
+		typ baseband.PacketType
+		max int
+	}{
+		{baseband.TypeHV1, 1},
+		{baseband.TypeHV2, 2},
+		{baseband.TypeHV3, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.typ.String(), func(t *testing.T) {
+			s := sim.New()
+			p := piconet.New(s)
+			for i := 1; i <= tt.max+1; i++ {
+				if err := p.AddSlave(piconet.SlaveID(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 1; i <= tt.max; i++ {
+				if err := p.AddSCOLink(piconet.SlaveID(i), tt.typ); err != nil {
+					t.Fatalf("link %d: %v", i, err)
+				}
+			}
+			err := p.AddSCOLink(piconet.SlaveID(tt.max+1), tt.typ)
+			if !errors.Is(err, piconet.ErrSCOCapacity) {
+				t.Fatalf("over capacity: err = %v", err)
+			}
+		})
+	}
+}
+
+func TestHV3LinkCarries64Kbps(t *testing.T) {
+	s := sim.New()
+	p := piconet.New(s)
+	if err := p.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	p.SetScheduler(&fixedActionScheduler{action: piconet.Idle(0)})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	down, up, ok := p.SCOMeters(1)
+	if !ok {
+		t.Fatal("no SCO meters")
+	}
+	// One 30-byte HV3 each way every 3.75 ms: 8000 bytes/s = 64 kbps.
+	if kbps := down.Kbps(time.Second); kbps < 63 || kbps > 65 {
+		t.Fatalf("SCO down = %.1f kbps, want ~64", kbps)
+	}
+	if kbps := up.Kbps(time.Second); kbps < 63 || kbps > 65 {
+		t.Fatalf("SCO up = %.1f kbps, want ~64", kbps)
+	}
+	acct := p.SlotAccount(s.Now())
+	// 2 slots every 6: one third of 1600.
+	if acct.SCO < 530 || acct.SCO > 536 {
+		t.Fatalf("SCO slots = %d, want ~533", acct.SCO)
+	}
+	if _, _, ok := p.SCOMeters(9); ok {
+		t.Fatal("meters for a slave without SCO link")
+	}
+}
+
+func TestSCOPreemptsPolling(t *testing.T) {
+	// An always-polling scheduler on a piconet with an HV3 link: ACL
+	// exchanges must fit entirely between reservations.
+	s := sim.New()
+	p := buildBE(t, s)
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	sched := &rrScheduler{slaves: []piconet.SlaveID{1}}
+	p.SetScheduler(sched)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	// Reservations start at slots 0, 6, 12...: no ACL exchange may
+	// overlap [6k, 6k+2) slots.
+	for i, o := range sched.outcomes {
+		startSlot := int64(o.Start / baseband.SlotDuration)
+		endSlot := int64(o.End / baseband.SlotDuration)
+		for slot := startSlot; slot < endSlot; slot++ {
+			if slot%6 == 0 || slot%6 == 1 {
+				t.Fatalf("outcome %d [%v,%v) overlaps SCO reservation at slot %d",
+					i, o.Start, o.End, slot)
+			}
+		}
+	}
+	acct := p.SlotAccount(s.Now())
+	if acct.SCO == 0 || acct.BEOverhead == 0 {
+		t.Fatalf("expected both SCO and BE slots: %v", acct)
+	}
+}
+
+func TestSCOWindowOverflowDetected(t *testing.T) {
+	// A window-oblivious scheduler that moves DH3 packets both ways (6
+	// slots) cannot fit the 4-slot windows of an HV3 piconet: the engine
+	// must flag it rather than silently overlap.
+	s := sim.New()
+	p := piconet.New(s)
+	if err := p.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []piconet.FlowConfig{
+		{ID: 1, Slave: 1, Dir: piconet.Down, Class: piconet.Guaranteed, Allowed: baseband.PaperTypes},
+		{ID: 2, Slave: 1, Dir: piconet.Up, Class: piconet.Guaranteed, Allowed: baseband.PaperTypes},
+	} {
+		if err := p.AddFlow(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	sched := &gsScheduler{slave: 1, down: 1, up: 2}
+	p.SetScheduler(sched)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnqueuePacket(1, 176); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnqueuePacket(2, 176); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Run(time.Second)
+	if err := p.Err(); !errors.Is(err, piconet.ErrWindowOverflow) {
+		t.Fatalf("err = %v, want ErrWindowOverflow", err)
+	}
+}
+
+func TestMaxACLWindowSlots(t *testing.T) {
+	s := sim.New()
+	p := piconet.New(s)
+	if err := p.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSlave(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MaxACLWindowSlots(); got < 1<<20 {
+		t.Fatalf("no-SCO window = %d, want unbounded sentinel", got)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MaxACLWindowSlots(); got != 4 {
+		t.Fatalf("one HV3 link: window = %d, want 4", got)
+	}
+	if err := p.AddSCOLink(2, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MaxACLWindowSlots(); got != 2 {
+		t.Fatalf("two HV3 links: window = %d, want 2", got)
+	}
+}
+
+func TestSCOAfterStartRejected(t *testing.T) {
+	s := sim.New()
+	p := buildBE(t, s)
+	p.SetScheduler(&fixedActionScheduler{action: piconet.Idle(0)})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); !errors.Is(err, piconet.ErrAlreadyStarted) {
+		t.Fatalf("after start: err = %v", err)
+	}
+}
+
+func TestSCOWithLossyRadio(t *testing.T) {
+	// SCO has no ARQ: a lossy channel loses voice bytes but timing is
+	// unaffected.
+	s := sim.New(sim.WithSeed(5))
+	p := piconet.New(s)
+	if err := p.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	p.SetScheduler(&fixedActionScheduler{action: piconet.Idle(0)})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	down, up, _ := p.SCOMeters(1)
+	ideal := down.Kbps(time.Second) + up.Kbps(time.Second)
+
+	s2 := sim.New(sim.WithSeed(5))
+	p2 := piconet.New(s2, piconet.WithRadio(&lossyHalf{}))
+	if err := p2.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	p2.SetScheduler(&fixedActionScheduler{action: piconet.Idle(0)})
+	if err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	down2, up2, _ := p2.SCOMeters(1)
+	lossy := down2.Kbps(time.Second) + up2.Kbps(time.Second)
+	if lossy >= ideal*0.7 {
+		t.Fatalf("lossy SCO carried %.1f kbps vs ideal %.1f; expected heavy loss", lossy, ideal)
+	}
+	acct := p2.SlotAccount(s2.Now())
+	if acct.SCO < 530 {
+		t.Fatalf("SCO slots with loss = %d; reservations must not shrink", acct.SCO)
+	}
+}
+
+// lossyHalf drops every other packet deterministically.
+type lossyHalf struct{ toggle bool }
+
+func (*lossyHalf) Name() string { return "lossy-half" }
+
+func (l *lossyHalf) Deliver(_ *rand.Rand, _ baseband.PacketType) bool {
+	l.toggle = !l.toggle
+	return l.toggle
+}

@@ -1,0 +1,155 @@
+package piconet
+
+import (
+	"fmt"
+	"io"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/sim"
+)
+
+// TraceKind classifies a traced channel use.
+type TraceKind string
+
+// Trace kinds.
+const (
+	// TraceGS is a Guaranteed Service poll exchange.
+	TraceGS TraceKind = "GS"
+	// TraceBE is a best-effort poll exchange.
+	TraceBE TraceKind = "BE"
+	// TraceSCO is a reserved synchronous exchange.
+	TraceSCO TraceKind = "SCO"
+)
+
+// TraceEntry records one completed exchange on the air.
+type TraceEntry struct {
+	Start, End sim.Time
+	Kind       TraceKind
+	Slave      SlaveID
+	DownType   baseband.PacketType
+	UpType     baseband.PacketType
+	DownFlow   FlowID
+	UpFlow     FlowID
+	DownBytes  int
+	UpBytes    int
+	// Lost reports an on-air loss in either leg.
+	Lost bool
+}
+
+// String renders one line, e.g.
+// "12.5ms GS S2 DH3:176(f2) / DH3:150(f3)".
+func (e TraceEntry) String() string {
+	leg := func(t baseband.PacketType, bytes int, flow FlowID) string {
+		s := t.String()
+		if bytes > 0 {
+			s += fmt.Sprintf(":%d", bytes)
+		}
+		if flow != None {
+			s += fmt.Sprintf("(f%d)", flow)
+		}
+		return s
+	}
+	suffix := ""
+	if e.Lost {
+		suffix = " LOST"
+	}
+	return fmt.Sprintf("%v %s S%d %s / %s%s",
+		e.Start, e.Kind, e.Slave,
+		leg(e.DownType, e.DownBytes, e.DownFlow),
+		leg(e.UpType, e.UpBytes, e.UpFlow), suffix)
+}
+
+// Tracer receives every completed exchange. Implementations must not
+// mutate piconet state.
+type Tracer interface {
+	Trace(e TraceEntry)
+}
+
+// WithTracer installs an exchange tracer.
+func WithTracer(t Tracer) Option {
+	return func(p *Piconet) { p.tracer = t }
+}
+
+// trace dispatches to the installed tracer, if any.
+func (p *Piconet) trace(e TraceEntry) {
+	if p.tracer != nil {
+		p.tracer.Trace(e)
+	}
+}
+
+// RingTracer keeps the most recent entries in a fixed-size ring. The zero
+// value is unusable; create with NewRingTracer.
+type RingTracer struct {
+	entries []TraceEntry
+	next    int
+	full    bool
+}
+
+var _ Tracer = (*RingTracer)(nil)
+
+// NewRingTracer keeps the last n entries (n < 1 is normalised to 1).
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{entries: make([]TraceEntry, n)}
+}
+
+// Trace implements Tracer.
+func (r *RingTracer) Trace(e TraceEntry) {
+	r.entries[r.next] = e
+	r.next++
+	if r.next == len(r.entries) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Entries returns the retained entries in chronological order.
+func (r *RingTracer) Entries() []TraceEntry {
+	if !r.full {
+		return append([]TraceEntry(nil), r.entries[:r.next]...)
+	}
+	out := make([]TraceEntry, 0, len(r.entries))
+	out = append(out, r.entries[r.next:]...)
+	out = append(out, r.entries[:r.next]...)
+	return out
+}
+
+// CSVTracer streams entries as CSV rows. Create with NewCSVTracer; the
+// header is written on the first entry. Write errors are retained and
+// reported by Err (the simulation is not interrupted).
+type CSVTracer struct {
+	w       io.Writer
+	started bool
+	err     error
+}
+
+var _ Tracer = (*CSVTracer)(nil)
+
+// NewCSVTracer writes CSV to w.
+func NewCSVTracer(w io.Writer) *CSVTracer { return &CSVTracer{w: w} }
+
+// Err returns the first write error.
+func (c *CSVTracer) Err() error { return c.err }
+
+// Trace implements Tracer.
+func (c *CSVTracer) Trace(e TraceEntry) {
+	if c.err != nil {
+		return
+	}
+	if !c.started {
+		c.started = true
+		if _, err := fmt.Fprintln(c.w, "start_us,end_us,kind,slave,down_type,down_flow,down_bytes,up_type,up_flow,up_bytes,lost"); err != nil {
+			c.err = err
+			return
+		}
+	}
+	_, err := fmt.Fprintf(c.w, "%d,%d,%s,%d,%s,%d,%d,%s,%d,%d,%t\n",
+		e.Start.Microseconds(), e.End.Microseconds(), e.Kind, e.Slave,
+		e.DownType, e.DownFlow, e.DownBytes,
+		e.UpType, e.UpFlow, e.UpBytes, e.Lost)
+	if err != nil {
+		c.err = err
+	}
+}

@@ -1,0 +1,164 @@
+package piconet_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+	"bluegs/internal/sim"
+)
+
+func TestRingTracerCapturesExchanges(t *testing.T) {
+	s := sim.New()
+	ring := piconet.NewRingTracer(1000)
+	p := piconet.New(s, piconet.WithTracer(ring))
+	if err := p.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []piconet.FlowConfig{
+		{ID: 1, Slave: 1, Dir: piconet.Down, Class: piconet.BestEffort, Allowed: baseband.PaperTypes},
+		{ID: 2, Slave: 1, Dir: piconet.Up, Class: piconet.BestEffort, Allowed: baseband.PaperTypes},
+	} {
+		if err := p.AddFlow(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched := &rrScheduler{slaves: []piconet.SlaveID{1}}
+	p.SetScheduler(sched)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnqueuePacket(1, 176); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	entries := ring.Entries()
+	if len(entries) != len(sched.outcomes) {
+		t.Fatalf("traced %d entries, %d outcomes", len(entries), len(sched.outcomes))
+	}
+	first := entries[0]
+	if first.Kind != piconet.TraceBE || first.DownBytes != 176 || first.DownFlow != 1 {
+		t.Fatalf("first entry = %+v", first)
+	}
+	if !strings.Contains(first.String(), "DH3:176(f1)") {
+		t.Fatalf("String() = %q", first.String())
+	}
+	// Chronological order.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Start < entries[i-1].Start {
+			t.Fatalf("entries out of order at %d", i)
+		}
+	}
+}
+
+func TestRingTracerWrapsAround(t *testing.T) {
+	ring := piconet.NewRingTracer(3)
+	for i := 0; i < 7; i++ {
+		ring.Trace(piconet.TraceEntry{Start: sim.Time(i) * time.Millisecond})
+	}
+	entries := ring.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("len = %d, want 3", len(entries))
+	}
+	for i, want := range []sim.Time{4 * time.Millisecond, 5 * time.Millisecond, 6 * time.Millisecond} {
+		if entries[i].Start != want {
+			t.Fatalf("entries[%d].Start = %v, want %v", i, entries[i].Start, want)
+		}
+	}
+	// Degenerate capacity normalised to one.
+	tiny := piconet.NewRingTracer(0)
+	tiny.Trace(piconet.TraceEntry{})
+	if len(tiny.Entries()) != 1 {
+		t.Fatal("tiny ring should hold one entry")
+	}
+}
+
+func TestCSVTracer(t *testing.T) {
+	var sb strings.Builder
+	csv := piconet.NewCSVTracer(&sb)
+	csv.Trace(piconet.TraceEntry{
+		Start: 1250 * time.Microsecond, End: 2500 * time.Microsecond,
+		Kind: piconet.TraceGS, Slave: 2,
+		DownType: baseband.TypePOLL, UpType: baseband.TypeDH3,
+		UpFlow: 3, UpBytes: 150,
+	})
+	csv.Trace(piconet.TraceEntry{
+		Start: 5 * time.Millisecond, End: 6250 * time.Microsecond,
+		Kind: piconet.TraceSCO, Slave: 1,
+		DownType: baseband.TypeHV3, UpType: baseband.TypeHV3, Lost: true,
+	})
+	if err := csv.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "start_us,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "GS,2,POLL,0,0,DH3,3,150,false") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "SCO,1,HV3") || !strings.HasSuffix(lines[2], "true") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestCSVTracerWriteError(t *testing.T) {
+	csv := piconet.NewCSVTracer(failingWriter{})
+	csv.Trace(piconet.TraceEntry{})
+	if csv.Err() == nil {
+		t.Fatal("expected a retained write error")
+	}
+	// Further traces are no-ops.
+	csv.Trace(piconet.TraceEntry{})
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+func TestSCOTraceEntries(t *testing.T) {
+	s := sim.New()
+	ring := piconet.NewRingTracer(100)
+	p := piconet.New(s, piconet.WithTracer(ring))
+	if err := p.AddSlave(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatal(err)
+	}
+	p.SetScheduler(&fixedActionScheduler{action: piconet.Idle(0)})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	entries := ring.Entries()
+	if len(entries) == 0 {
+		t.Fatal("no SCO trace entries")
+	}
+	for _, e := range entries {
+		if e.Kind != piconet.TraceSCO || e.DownBytes != 30 || e.UpBytes != 30 {
+			t.Fatalf("entry = %+v", e)
+		}
+		if (e.Start/baseband.SlotDuration)%6 != 0 {
+			t.Fatalf("SCO exchange at %v not on the reservation grid", e.Start)
+		}
+	}
+}

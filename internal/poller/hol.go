@@ -1,0 +1,86 @@
+package poller
+
+import (
+	"bluegs/internal/piconet"
+	"bluegs/internal/sim"
+)
+
+// HOL is a head-of-line priority poller in the spirit of Kalia, Bansal &
+// Shorey (MoMuC '99): slaves are assigned static priorities, and among the
+// slaves believed to have traffic the highest-priority one is polled.
+// Believed-active means a master-visible downlink backlog, a set more-data
+// flag, or a recent data-carrying poll. Slaves believed idle are probed in
+// low-priority round robin so their state stays fresh. Create with NewHOL.
+type HOL struct {
+	// priority maps slave to priority; lower value is higher priority.
+	// Slaves absent from the map share the lowest priority.
+	priority map[piconet.SlaveID]int
+	believed map[piconet.SlaveID]bool
+	inited   bool
+	probeRR  piconet.SlaveID
+	pending  piconet.SlaveID
+}
+
+var _ Poller = (*HOL)(nil)
+
+// NewHOL returns a head-of-line priority poller. priorities maps slaves to
+// priority values (lower is more urgent); nil means all-equal, which
+// degenerates to activity-gated round robin.
+func NewHOL(priorities map[piconet.SlaveID]int) *HOL {
+	p := make(map[piconet.SlaveID]int, len(priorities))
+	for k, v := range priorities {
+		p[k] = v
+	}
+	return &HOL{priority: p, believed: make(map[piconet.SlaveID]bool)}
+}
+
+// Name implements Poller.
+func (*HOL) Name() string { return "hol-priority" }
+
+// Next implements Poller.
+func (h *HOL) Next(_ sim.Time, v View) (piconet.SlaveID, bool) {
+	slaves := v.Slaves()
+	if len(slaves) == 0 {
+		return 0, false
+	}
+	if !h.inited {
+		for _, s := range slaves {
+			h.believed[s] = true // optimistic start
+		}
+		h.inited = true
+	}
+	var best piconet.SlaveID
+	bestPrio := 0
+	for _, s := range slaves {
+		active := h.believed[s] || v.DownBacklog(s) > 0
+		if !active {
+			continue
+		}
+		prio := h.prio(s)
+		if best == 0 || prio < bestPrio {
+			best, bestPrio = s, prio
+		}
+	}
+	if best == 0 {
+		// Everyone believed idle: probe round-robin.
+		h.probeRR = nextInRing(slaves, h.probeRR)
+		best = h.probeRR
+	}
+	h.pending = best
+	return best, true
+}
+
+// Observe implements Poller.
+func (h *HOL) Observe(o Outcome) {
+	if !h.inited {
+		return
+	}
+	h.believed[o.Slave] = o.Carried() || o.UpMoreData
+}
+
+func (h *HOL) prio(s piconet.SlaveID) int {
+	if p, ok := h.priority[s]; ok {
+		return p
+	}
+	return int(^uint(0) >> 1) // lowest priority
+}

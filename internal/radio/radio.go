@@ -1,0 +1,132 @@
+// Package radio models the Bluetooth radio channel. The paper's evaluation
+// assumes an ideal channel (§3: "we restrict ourselves to an ideal radio
+// environment where no transmission errors occur"); the lossy models here
+// exercise the paper's future-work direction, in which the bandwidth saved
+// by the variable-interval poller absorbs retransmissions.
+package radio
+
+import (
+	"math"
+	"math/rand"
+
+	"bluegs/internal/baseband"
+)
+
+// Model decides the fate of individual baseband packets on air. Models may
+// be stateful (bursty channels); all randomness is drawn from the supplied
+// generator so runs remain reproducible.
+type Model interface {
+	// Deliver reports whether a packet of the given type is received
+	// intact.
+	Deliver(rng *rand.Rand, t baseband.PacketType) bool
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Ideal is the paper's default: every packet is delivered. The zero value
+// is ready to use.
+type Ideal struct{}
+
+var _ Model = Ideal{}
+
+// Deliver implements Model.
+func (Ideal) Deliver(*rand.Rand, baseband.PacketType) bool { return true }
+
+// Name implements Model.
+func (Ideal) Name() string { return "ideal" }
+
+// BER is an independent bit-error channel: a packet survives with
+// probability (1-ber)^AirBits. FEC-protected packet types are given a
+// simple coding-gain approximation: their effective bit error rate is
+// reduced by the FEC factor.
+type BER struct {
+	// BitErrorRate is the per-bit error probability on air.
+	BitErrorRate float64
+	// FECGain divides the bit error rate for FEC-protected types
+	// (defaults to 10 when zero).
+	FECGain float64
+}
+
+var _ Model = BER{}
+
+// Deliver implements Model.
+func (m BER) Deliver(rng *rand.Rand, t baseband.PacketType) bool {
+	if m.BitErrorRate <= 0 {
+		return true
+	}
+	ber := m.BitErrorRate
+	if t.HasFEC() {
+		gain := m.FECGain
+		if gain <= 0 {
+			gain = 10
+		}
+		ber /= gain
+	}
+	if ber >= 1 {
+		return false
+	}
+	pSurvive := math.Pow(1-ber, float64(t.AirBits()))
+	return rng.Float64() < pSurvive
+}
+
+// Name implements Model.
+func (BER) Name() string { return "ber" }
+
+// GilbertElliott is a two-state bursty loss channel. In the Good state
+// packets are lost with probability GoodLoss, in the Bad state with
+// probability BadLoss; the state flips between packets with the given
+// transition probabilities. Create with NewGilbertElliott.
+type GilbertElliott struct {
+	pGoodToBad float64
+	pBadToGood float64
+	goodLoss   float64
+	badLoss    float64
+	bad        bool
+}
+
+var _ Model = (*GilbertElliott)(nil)
+
+// NewGilbertElliott returns a Gilbert–Elliott channel starting in the Good
+// state. Probabilities are clamped into [0, 1].
+func NewGilbertElliott(pGoodToBad, pBadToGood, goodLoss, badLoss float64) *GilbertElliott {
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return &GilbertElliott{
+		pGoodToBad: clamp(pGoodToBad),
+		pBadToGood: clamp(pBadToGood),
+		goodLoss:   clamp(goodLoss),
+		badLoss:    clamp(badLoss),
+	}
+}
+
+// Deliver implements Model.
+func (m *GilbertElliott) Deliver(rng *rand.Rand, _ baseband.PacketType) bool {
+	if m.bad {
+		if rng.Float64() < m.pBadToGood {
+			m.bad = false
+		}
+	} else {
+		if rng.Float64() < m.pGoodToBad {
+			m.bad = true
+		}
+	}
+	loss := m.goodLoss
+	if m.bad {
+		loss = m.badLoss
+	}
+	return rng.Float64() >= loss
+}
+
+// Name implements Model.
+func (*GilbertElliott) Name() string { return "gilbert-elliott" }
+
+// InBadState reports whether the channel is currently in the Bad state
+// (exposed for tests).
+func (m *GilbertElliott) InBadState() bool { return m.bad }

@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/radio"
+)
+
+// FileSpec is the JSON on-disk form of a scenario, used by `btsim -config`.
+// Durations are expressed in the units their field names state so that the
+// files stay plain numbers.
+type FileSpec struct {
+	Name                string       `json:"name"`
+	DelayTargetMs       float64      `json:"delay_target_ms"`
+	DurationS           float64      `json:"duration_s"`
+	Seed                int64        `json:"seed"`
+	Mode                string       `json:"mode"` // "fixed" or "variable"
+	BEPoller            string       `json:"be_poller"`
+	AllowedTypes        []string     `json:"allowed_types"` // e.g. ["DH1","DH3"]
+	DirectionAware      bool         `json:"direction_aware"`
+	WithoutPiggybacking bool         `json:"without_piggybacking"`
+	BER                 float64      `json:"ber"`
+	ARQ                 bool         `json:"arq"`
+	LossRecovery        bool         `json:"loss_recovery"`
+	GSFlows             []FileGSFlow `json:"gs_flows"`
+	BEFlows             []FileBEFlow `json:"be_flows"`
+	SCOLinks            []FileSCO    `json:"sco_links"`
+}
+
+// FileGSFlow is the JSON form of a Guaranteed Service flow.
+type FileGSFlow struct {
+	ID         int      `json:"id"`
+	Slave      int      `json:"slave"`
+	Dir        string   `json:"dir"` // "up" or "down"
+	IntervalMs float64  `json:"interval_ms"`
+	MinSize    int      `json:"min_size"`
+	MaxSize    int      `json:"max_size"`
+	PhaseMs    float64  `json:"phase_ms"`
+	Allowed    []string `json:"allowed_types"`
+}
+
+// FileBEFlow is the JSON form of a best-effort flow.
+type FileBEFlow struct {
+	ID         int      `json:"id"`
+	Slave      int      `json:"slave"`
+	Dir        string   `json:"dir"`
+	RateKbps   float64  `json:"rate_kbps"`
+	PacketSize int      `json:"packet_size"`
+	PhaseMs    float64  `json:"phase_ms"`
+	Allowed    []string `json:"allowed_types"`
+}
+
+// FileSCO is the JSON form of an SCO link.
+type FileSCO struct {
+	Slave int    `json:"slave"`
+	Type  string `json:"type"` // "HV1", "HV2" or "HV3"
+}
+
+// packetTypesByName resolves spec names like "DH3".
+var packetTypesByName = map[string]baseband.PacketType{
+	"DM1": baseband.TypeDM1, "DH1": baseband.TypeDH1,
+	"DM3": baseband.TypeDM3, "DH3": baseband.TypeDH3,
+	"DM5": baseband.TypeDM5, "DH5": baseband.TypeDH5,
+	"HV1": baseband.TypeHV1, "HV2": baseband.TypeHV2, "HV3": baseband.TypeHV3,
+}
+
+func parseTypeSet(names []string) (baseband.TypeSet, error) {
+	var set baseband.TypeSet
+	for _, n := range names {
+		t, ok := packetTypesByName[strings.ToUpper(strings.TrimSpace(n))]
+		if !ok {
+			return 0, fmt.Errorf("%w: unknown packet type %q", ErrBadSpec, n)
+		}
+		set = set.Add(t)
+	}
+	return set, nil
+}
+
+func parseDir(s string) (piconet.Direction, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "up":
+		return piconet.Up, nil
+	case "down":
+		return piconet.Down, nil
+	default:
+		return 0, fmt.Errorf("%w: direction %q (want up or down)", ErrBadSpec, s)
+	}
+}
+
+// ParseSpec converts JSON bytes into a runnable Spec.
+func ParseSpec(data []byte) (Spec, error) {
+	var fs FileSpec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fs); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	spec := Spec{
+		Name:                fs.Name,
+		DelayTarget:         time.Duration(fs.DelayTargetMs * float64(time.Millisecond)),
+		Duration:            time.Duration(fs.DurationS * float64(time.Second)),
+		Seed:                fs.Seed,
+		BEPoller:            BEPollerKind(fs.BEPoller),
+		DirectionAware:      fs.DirectionAware,
+		WithoutPiggybacking: fs.WithoutPiggybacking,
+		ARQ:                 fs.ARQ,
+		LossRecovery:        fs.LossRecovery,
+	}
+	switch strings.ToLower(fs.Mode) {
+	case "", "variable":
+		spec.Mode = core.VariableInterval
+	case "fixed":
+		spec.Mode = core.FixedInterval
+	default:
+		return Spec{}, fmt.Errorf("%w: mode %q", ErrBadSpec, fs.Mode)
+	}
+	if len(fs.AllowedTypes) > 0 {
+		set, err := parseTypeSet(fs.AllowedTypes)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Allowed = set
+	}
+	if fs.BER > 0 {
+		spec.Radio = radio.BER{BitErrorRate: fs.BER}
+	}
+	for _, g := range fs.GSFlows {
+		dir, err := parseDir(g.Dir)
+		if err != nil {
+			return Spec{}, fmt.Errorf("gs flow %d: %w", g.ID, err)
+		}
+		allowed, err := parseTypeSet(g.Allowed)
+		if err != nil {
+			return Spec{}, fmt.Errorf("gs flow %d: %w", g.ID, err)
+		}
+		spec.GS = append(spec.GS, GSFlow{
+			ID:       piconet.FlowID(g.ID),
+			Slave:    piconet.SlaveID(g.Slave),
+			Dir:      dir,
+			Interval: time.Duration(g.IntervalMs * float64(time.Millisecond)),
+			MinSize:  g.MinSize,
+			MaxSize:  g.MaxSize,
+			Phase:    time.Duration(g.PhaseMs * float64(time.Millisecond)),
+			Allowed:  allowed,
+		})
+	}
+	for _, b := range fs.BEFlows {
+		dir, err := parseDir(b.Dir)
+		if err != nil {
+			return Spec{}, fmt.Errorf("be flow %d: %w", b.ID, err)
+		}
+		allowed, err := parseTypeSet(b.Allowed)
+		if err != nil {
+			return Spec{}, fmt.Errorf("be flow %d: %w", b.ID, err)
+		}
+		spec.BE = append(spec.BE, BEFlow{
+			ID:         piconet.FlowID(b.ID),
+			Slave:      piconet.SlaveID(b.Slave),
+			Dir:        dir,
+			RateKbps:   b.RateKbps,
+			PacketSize: b.PacketSize,
+			Phase:      time.Duration(b.PhaseMs * float64(time.Millisecond)),
+			Allowed:    allowed,
+		})
+	}
+	for _, l := range fs.SCOLinks {
+		t, ok := packetTypesByName[strings.ToUpper(strings.TrimSpace(l.Type))]
+		if !ok || !t.IsSCO() {
+			return Spec{}, fmt.Errorf("%w: SCO type %q", ErrBadSpec, l.Type)
+		}
+		spec.SCO = append(spec.SCO, SCOLinkSpec{Slave: piconet.SlaveID(l.Slave), Type: t})
+	}
+	return spec, nil
+}
+
+// LoadSpec reads and parses a JSON scenario file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return ParseSpec(data)
+}

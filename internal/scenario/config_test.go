@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+)
+
+const sampleJSON = `{
+  "name": "custom",
+  "delay_target_ms": 42,
+  "duration_s": 5,
+  "seed": 9,
+  "mode": "fixed",
+  "be_poller": "fep",
+  "allowed_types": ["DH1", "DH3"],
+  "direction_aware": true,
+  "ber": 0.0001,
+  "arq": true,
+  "loss_recovery": true,
+  "gs_flows": [
+    {"id": 1, "slave": 1, "dir": "up", "interval_ms": 20, "min_size": 144, "max_size": 176, "phase_ms": 2}
+  ],
+  "be_flows": [
+    {"id": 2, "slave": 2, "dir": "down", "rate_kbps": 40, "packet_size": 27, "allowed_types": ["DH1"]}
+  ],
+  "sco_links": [
+    {"slave": 3, "type": "HV3"}
+  ]
+}`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec([]byte(sampleJSON))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Name != "custom" || spec.Seed != 9 {
+		t.Fatalf("header: %+v", spec)
+	}
+	if spec.DelayTarget != 42*time.Millisecond || spec.Duration != 5*time.Second {
+		t.Fatalf("durations: %v %v", spec.DelayTarget, spec.Duration)
+	}
+	if spec.Mode != core.FixedInterval {
+		t.Fatalf("mode = %v", spec.Mode)
+	}
+	if spec.BEPoller != BEFEP {
+		t.Fatalf("poller = %v", spec.BEPoller)
+	}
+	if !spec.DirectionAware || !spec.ARQ || !spec.LossRecovery {
+		t.Fatal("boolean knobs not parsed")
+	}
+	if spec.Radio == nil || spec.Radio.Name() != "ber" {
+		t.Fatalf("radio = %v", spec.Radio)
+	}
+	if len(spec.GS) != 1 || spec.GS[0].Dir != piconet.Up || spec.GS[0].Phase != 2*time.Millisecond {
+		t.Fatalf("GS = %+v", spec.GS)
+	}
+	if len(spec.BE) != 1 || !spec.BE[0].Allowed.Contains(baseband.TypeDH1) ||
+		spec.BE[0].Allowed.Contains(baseband.TypeDH3) {
+		t.Fatalf("BE = %+v", spec.BE)
+	}
+	if len(spec.SCO) != 1 || spec.SCO[0].Type != baseband.TypeHV3 || spec.SCO[0].Slave != 3 {
+		t.Fatalf("SCO = %+v", spec.SCO)
+	}
+	if !spec.Allowed.Contains(baseband.TypeDH3) {
+		t.Fatalf("allowed = %v", spec.Allowed)
+	}
+}
+
+func TestParsedSpecRuns(t *testing.T) {
+	spec, err := ParseSpec([]byte(sampleJSON))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	spec.Duration = 3 * time.Second
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v := res.BoundViolations(); len(v) != 0 {
+		t.Fatalf("violations: %+v", v)
+	}
+	if res.SCOKbps[3] < 120 {
+		t.Fatalf("SCO throughput = %.1f, want ~128", res.SCOKbps[3])
+	}
+	gsFlow, _ := res.FlowByID(1)
+	if gsFlow.Kbps < 60 {
+		t.Fatalf("GS throughput = %.1f", gsFlow.Kbps)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		json string
+	}{
+		{"invalid json", `{`},
+		{"unknown field", `{"bogus": 1}`},
+		{"bad mode", `{"mode": "warp"}`},
+		{"bad direction", `{"gs_flows": [{"id":1,"slave":1,"dir":"sideways","interval_ms":20,"min_size":10,"max_size":20}]}`},
+		{"bad packet type", `{"allowed_types": ["DH9"]}`},
+		{"acl as sco", `{"sco_links": [{"slave":1,"type":"DH1"}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseSpec([]byte(tt.json)); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpec(path)
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if spec.Name != "custom" {
+		t.Fatalf("Name = %q", spec.Name)
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

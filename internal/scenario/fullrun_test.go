@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"bluegs/internal/piconet"
+)
+
+// TestPaperFullHorizon runs the paper's exact evaluation horizon: 530
+// simulated seconds of the Fig. 4 piconet (§4.2: "Simulation runs, each of
+// a simulation time of 530 seconds (25000 samples of each GS flow), showed
+// that the requested delay bound is not exceeded"). Skipped under -short.
+func TestPaperFullHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("530 s horizon")
+	}
+	spec := Paper(38 * time.Millisecond)
+	spec.Duration = 530 * time.Second
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v := res.BoundViolations(); len(v) != 0 {
+		t.Fatalf("bound violations over 530s: %+v", v)
+	}
+	for _, id := range []piconet.FlowID{1, 2, 3, 4} {
+		f, ok := res.FlowByID(id)
+		if !ok {
+			t.Fatalf("flow %d missing", id)
+		}
+		// The paper reports 25000 samples per flow; one packet per
+		// 20 ms over 530 s delivers ~26500.
+		if f.Delivered < 25000 {
+			t.Fatalf("flow %d: %d samples, want >= 25000", id, f.Delivered)
+		}
+		if f.Kbps < 63.5 || f.Kbps > 64.5 {
+			t.Fatalf("flow %d: %.2f kbps, want 64", id, f.Kbps)
+		}
+	}
+	// §4.2 capacity at this mid-sweep requirement: GS exactly 256 kbps.
+	if gs := res.TotalKbps(piconet.Guaranteed); gs < 255 || gs > 257 {
+		t.Fatalf("GS total = %.1f kbps", gs)
+	}
+}

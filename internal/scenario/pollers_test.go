@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"bluegs/internal/piconet"
+)
+
+// TestGSBoundsHoldUnderEveryBEPoller: the Guaranteed Service guarantee must
+// be independent of which best-effort discipline spends the leftover
+// capacity — GS polls always preempt at decision points and any BE
+// exchange is covered by the Xi term.
+func TestGSBoundsHoldUnderEveryBEPoller(t *testing.T) {
+	kinds := []BEPollerKind{
+		BEPFP, BERoundRobin, BEExhaustive, BEFEP, BEEDC, BEDemand, BEHOL,
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			spec := Paper(36 * time.Millisecond)
+			spec.Duration = 10 * time.Second
+			spec.BEPoller = kind
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if v := res.BoundViolations(); len(v) != 0 {
+				t.Fatalf("poller %s: %d bound violations: %+v", kind, len(v), v)
+			}
+			// GS throughput must be untouched by the BE discipline.
+			if gs := res.TotalKbps(piconet.Guaranteed); gs < 250 {
+				t.Fatalf("poller %s: GS total %.1f kbps", kind, gs)
+			}
+			// Every discipline moves at least some best-effort data.
+			if be := res.TotalKbps(piconet.BestEffort); be < 100 {
+				t.Fatalf("poller %s: BE total %.1f kbps", kind, be)
+			}
+		})
+	}
+}
+
+// TestBEPollerChoiceAffectsOnlyBE: GS per-flow results are identical across
+// BE disciplines up to the scheduling interleaving — specifically, the
+// delay bound and admission plan must not depend on the BE poller at all.
+func TestBEPollerChoiceAffectsOnlyBE(t *testing.T) {
+	plan := func(kind BEPollerKind) []time.Duration {
+		spec := Paper(40 * time.Millisecond)
+		spec.Duration = 2 * time.Second
+		spec.BEPoller = kind
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", kind, err)
+		}
+		var bounds []time.Duration
+		for _, pf := range res.Admitted {
+			bounds = append(bounds, pf.Bound)
+		}
+		return bounds
+	}
+	ref := plan(BEPFP)
+	for _, kind := range []BEPollerKind{BERoundRobin, BEFEP} {
+		got := plan(kind)
+		if len(got) != len(ref) {
+			t.Fatalf("plan size differs for %s", kind)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("bound %d differs under %s: %v vs %v", i, kind, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,563 @@
+// Package scenario wires complete simulation scenarios: flow sets, traffic
+// sources, admission, scheduler and measurement. It provides the paper's
+// §4.1 evaluation setup (Fig. 4) as a preset and a generic runner used by
+// the experiment harness, the command-line tools and the examples.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/poller"
+	"bluegs/internal/radio"
+	"bluegs/internal/sco"
+	"bluegs/internal/sim"
+	"bluegs/internal/stats"
+	"bluegs/internal/traffic"
+	"bluegs/internal/tspec"
+)
+
+// Errors returned by the runner.
+var (
+	ErrBadSpec = errors.New("scenario: invalid specification")
+)
+
+// GSFlow describes one Guaranteed Service flow and its CBR source.
+type GSFlow struct {
+	ID    piconet.FlowID
+	Slave piconet.SlaveID
+	Dir   piconet.Direction
+	// Interval is the source's packet spacing; MinSize/MaxSize its
+	// uniform packet size support. The TSpec is derived per §4.1.
+	Interval time.Duration
+	MinSize  int
+	MaxSize  int
+	// Phase offsets the source start.
+	Phase time.Duration
+	// Allowed overrides the spec-wide baseband type set when non-empty.
+	Allowed baseband.TypeSet
+}
+
+// Spec returns the flow's token bucket specification.
+func (g GSFlow) Spec() tspec.TSpec {
+	return tspec.CBR(g.Interval, g.MinSize, g.MaxSize)
+}
+
+// BEFlow describes one best-effort flow and its CBR source.
+type BEFlow struct {
+	ID    piconet.FlowID
+	Slave piconet.SlaveID
+	Dir   piconet.Direction
+	// RateKbps is the offered load; PacketSize the fixed packet size.
+	RateKbps   float64
+	PacketSize int
+	Phase      time.Duration
+	// Allowed overrides the spec-wide baseband type set when non-empty
+	// (e.g. DH1-only flows that fit between SCO reservations).
+	Allowed baseband.TypeSet
+}
+
+// SCOLinkSpec reserves a synchronous voice channel to a slave.
+type SCOLinkSpec struct {
+	Slave piconet.SlaveID
+	Type  baseband.PacketType
+}
+
+// BEPollerKind names a best-effort poller for specs.
+type BEPollerKind string
+
+// Best-effort poller kinds.
+const (
+	BEPFP        BEPollerKind = "pfp"
+	BERoundRobin BEPollerKind = "round-robin"
+	BEExhaustive BEPollerKind = "exhaustive-rr"
+	BEFEP        BEPollerKind = "fep"
+	BEEDC        BEPollerKind = "edc"
+	BEDemand     BEPollerKind = "demand"
+	BEHOL        BEPollerKind = "hol-priority"
+)
+
+// NewBEPoller constructs a poller by kind (empty kind means PFP).
+func NewBEPoller(kind BEPollerKind) (poller.Poller, error) {
+	switch kind {
+	case "", BEPFP:
+		return poller.NewPFP(nil), nil
+	case BERoundRobin:
+		return &poller.RoundRobin{}, nil
+	case BEExhaustive:
+		return &poller.Exhaustive{}, nil
+	case BEFEP:
+		return &poller.FEP{}, nil
+	case BEEDC:
+		return poller.NewEDC(0, 0), nil
+	case BEDemand:
+		return poller.NewDemand(0), nil
+	case BEHOL:
+		return poller.NewHOL(nil), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown BE poller %q", ErrBadSpec, kind)
+	}
+}
+
+// Spec is a complete scenario specification.
+type Spec struct {
+	// Name labels reports.
+	Name string
+	// GS and BE are the flow sets.
+	GS []GSFlow
+	BE []BEFlow
+	// DelayTarget is the delay bound requested for every GS flow.
+	// Targets below the supportable minimum are clamped to the tightest
+	// achievable bound (see admission.PlanForDelayBestEffort).
+	DelayTarget time.Duration
+	// Mode is the planner mode (default VariableInterval).
+	Mode core.Mode
+	// Rules are the active §3.2 improvements (default AllImprovements;
+	// meaningful in VariableInterval mode). Set RulesSet to use a zero
+	// value.
+	Rules    core.Improvements
+	RulesSet bool
+	// BEPoller selects the best-effort discipline (default PFP).
+	BEPoller BEPollerKind
+	// PFPThreshold overrides the PFP active-prediction threshold when
+	// positive (only meaningful with the PFP poller).
+	PFPThreshold float64
+	// Allowed is the baseband type set for all flows (default DH1+DH3).
+	Allowed baseband.TypeSet
+	// Duration is the simulated time (default 30 s).
+	Duration time.Duration
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Radio is the channel model (default ideal); ARQ enables
+	// retransmissions; LossRecovery additionally grants lost GS segments
+	// recovery polls from the saved bandwidth (paper future work).
+	Radio        radio.Model
+	ARQ          bool
+	LossRecovery bool
+	// WithoutPiggybacking disables pair detection in admission.
+	WithoutPiggybacking bool
+	// SCO lists reserved synchronous links. With SCO present,
+	// direction-aware admission is usually required so single-direction
+	// GS exchanges fit between reservations.
+	SCO []SCOLinkSpec
+	// Tracer, when set, receives every completed exchange (see
+	// piconet.RingTracer and piconet.NewCSVTracer).
+	Tracer piconet.Tracer
+	// DirectionAware switches admission to direction-specific worst
+	// exchange times (see admission.Config.DirectionAware).
+	DirectionAware bool
+}
+
+// Paper returns the paper's Fig. 4 setup: a seven-slave piconet with four
+// 64 kbps GS flows (flow 1 at S1, flows 2+3 oppositely directed at S2,
+// flow 4 at S3) and eight BE flows (pairs at S4..S7 offering 41.6, 47.2,
+// 52.8 and 58.4 kbps per direction), all using DH1+DH3 with best-fit
+// segmentation. delayTarget is the delay bound requested for the GS flows
+// (the paper's Fig. 5 sweeps 28..46 ms).
+func Paper(delayTarget time.Duration) Spec {
+	// Oppositely-directed pair sources share a phase so their packets can
+	// ride one exchange (the premise of the paper's piggybacking).
+	gs := []GSFlow{
+		{ID: 1, Slave: 1, Dir: piconet.Up, Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176},
+		{ID: 2, Slave: 2, Dir: piconet.Down, Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176, Phase: 5 * time.Millisecond},
+		{ID: 3, Slave: 2, Dir: piconet.Up, Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176, Phase: 5 * time.Millisecond},
+		{ID: 4, Slave: 3, Dir: piconet.Up, Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176, Phase: 10 * time.Millisecond},
+	}
+	rates := []float64{41.6, 47.2, 52.8, 58.4}
+	var be []BEFlow
+	id := piconet.FlowID(5)
+	for i, rate := range rates {
+		slave := piconet.SlaveID(4 + i)
+		phase := time.Duration(i) * 5 * time.Millisecond
+		be = append(be,
+			BEFlow{ID: id, Slave: slave, Dir: piconet.Down, RateKbps: rate, PacketSize: 176, Phase: phase},
+			BEFlow{ID: id + 1, Slave: slave, Dir: piconet.Up, RateKbps: rate, PacketSize: 176, Phase: phase},
+		)
+		id += 2
+	}
+	return Spec{
+		Name:        "paper-fig4",
+		GS:          gs,
+		BE:          be,
+		DelayTarget: delayTarget,
+		Allowed:     baseband.PaperTypes,
+		Duration:    30 * time.Second,
+		Seed:        1,
+	}
+}
+
+// FlowResult summarises one flow after a run.
+type FlowResult struct {
+	ID        piconet.FlowID
+	Slave     piconet.SlaveID
+	Dir       piconet.Direction
+	Class     piconet.Class
+	Offered   uint64 // packets generated
+	Delivered uint64 // packets fully delivered
+	Lost      uint64 // packets corrupted on air (lossy radio, no ARQ)
+	Kbps      float64
+	DelayMax  time.Duration
+	DelayMean time.Duration
+	DelayP99  time.Duration
+	// DelayJitter is the standard deviation of the packet delay (voice
+	// and video sources care about it as much as the bound).
+	DelayJitter time.Duration
+	// Bound and Rate are set for GS flows only.
+	Bound time.Duration
+	Rate  float64
+	// Delay exposes the flow's full delay statistics (quantiles,
+	// histogram filling). Read-only after the run.
+	Delay *stats.DurationStats
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Spec    Spec
+	Elapsed time.Duration
+	Flows   []FlowResult
+	// SlaveKbps is the per-slave delivered ACL throughput, both
+	// directions; SCOKbps the per-slave SCO voice throughput.
+	SlaveKbps map[piconet.SlaveID]float64
+	SCOKbps   map[piconet.SlaveID]float64
+	Slots     piconet.SlotAccount
+	GSPolls   uint64
+	BEPolls   uint64
+	Skipped   uint64
+	// Admitted is the admission plan the run used.
+	Admitted []*admission.PlannedFlow
+}
+
+// FlowByID returns the result row of a flow.
+func (r *Result) FlowByID(id piconet.FlowID) (FlowResult, bool) {
+	for _, f := range r.Flows {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return FlowResult{}, false
+}
+
+// TotalKbps returns the delivered throughput of all flows of a class.
+func (r *Result) TotalKbps(class piconet.Class) float64 {
+	total := 0.0
+	for _, f := range r.Flows {
+		if f.Class == class {
+			total += f.Kbps
+		}
+	}
+	return total
+}
+
+// BoundViolations returns GS flows whose measured maximum delay exceeded
+// the exported bound (must be empty for a correct scheduler).
+func (r *Result) BoundViolations() []FlowResult {
+	var out []FlowResult
+	for _, f := range r.Flows {
+		if f.Class == piconet.Guaranteed && f.DelayMax > f.Bound {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Run executes a scenario.
+func Run(spec Spec) (*Result, error) {
+	if len(spec.GS) == 0 && len(spec.BE) == 0 {
+		return nil, fmt.Errorf("%w: no flows", ErrBadSpec)
+	}
+	if spec.Duration <= 0 {
+		spec.Duration = 30 * time.Second
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Allowed.Empty() {
+		spec.Allowed = baseband.PaperTypes
+	}
+	if spec.Mode == 0 {
+		spec.Mode = core.VariableInterval
+	}
+	if spec.DelayTarget <= 0 {
+		spec.DelayTarget = 40 * time.Millisecond
+	}
+
+	// Admission: the piconet-wide worst exchange must cover BE traffic.
+	admCfg := admission.Config{MaxExchange: maxExchange(spec), DirectionAware: spec.DirectionAware}
+	for _, l := range spec.SCO {
+		ch, err := sco.NewChannel(l.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		admCfg.SCOLinks = append(admCfg.SCOLinks, ch)
+	}
+	var admOpts []admission.ControllerOption
+	if spec.WithoutPiggybacking {
+		admOpts = append(admOpts, admission.WithoutPiggybacking())
+	}
+	allowedFor := func(override baseband.TypeSet) baseband.TypeSet {
+		if !override.Empty() {
+			return override
+		}
+		return spec.Allowed
+	}
+	var delayReqs []admission.DelayRequest
+	for _, g := range spec.GS {
+		delayReqs = append(delayReqs, admission.DelayRequest{
+			Request: admission.Request{
+				ID:      g.ID,
+				Slave:   g.Slave,
+				Dir:     g.Dir,
+				Spec:    g.Spec(),
+				Allowed: allowedFor(g.Allowed),
+			},
+			Target: spec.DelayTarget,
+		})
+	}
+	ctrl, err := admission.PlanForDelayBestEffort(delayReqs, admCfg, admOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: admission: %w", err)
+	}
+
+	// Piconet construction.
+	s := sim.New(sim.WithSeed(spec.Seed))
+	var pnOpts []piconet.Option
+	if spec.Radio != nil {
+		pnOpts = append(pnOpts, piconet.WithRadio(spec.Radio))
+	}
+	if spec.ARQ {
+		pnOpts = append(pnOpts, piconet.WithARQ(true))
+	}
+	if spec.Tracer != nil {
+		pnOpts = append(pnOpts, piconet.WithTracer(spec.Tracer))
+	}
+	pn := piconet.New(s, pnOpts...)
+	slaves := map[piconet.SlaveID]bool{}
+	addSlave := func(id piconet.SlaveID) error {
+		if slaves[id] {
+			return nil
+		}
+		slaves[id] = true
+		return pn.AddSlave(id)
+	}
+	for _, g := range spec.GS {
+		if err := addSlave(g.Slave); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := pn.AddFlow(piconet.FlowConfig{
+			ID: g.ID, Slave: g.Slave, Dir: g.Dir,
+			Class: piconet.Guaranteed, Allowed: allowedFor(g.Allowed),
+		}); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for _, b := range spec.BE {
+		if err := addSlave(b.Slave); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := pn.AddFlow(piconet.FlowConfig{
+			ID: b.ID, Slave: b.Slave, Dir: b.Dir,
+			Class: piconet.BestEffort, Allowed: allowedFor(b.Allowed),
+		}); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for _, l := range spec.SCO {
+		if err := addSlave(l.Slave); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := pn.AddSCOLink(l.Slave, l.Type); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+
+	// Scheduler.
+	var bePoller poller.Poller
+	if (spec.BEPoller == "" || spec.BEPoller == BEPFP) && spec.PFPThreshold > 0 {
+		bePoller = poller.NewPFP(nil, poller.WithActiveThreshold(spec.PFPThreshold))
+	} else if bePoller, err = NewBEPoller(spec.BEPoller); err != nil {
+		return nil, err
+	}
+	coreOpts := []core.Option{
+		core.WithMode(spec.Mode),
+		core.WithBEPoller(bePoller),
+		core.WithLossRecovery(spec.LossRecovery),
+	}
+	if spec.RulesSet {
+		coreOpts = append(coreOpts, core.WithImprovements(spec.Rules))
+	}
+	sched, err := core.New(pn, ctrl.Flows(), coreOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	pn.SetScheduler(sched)
+
+	// Traffic sources.
+	for _, g := range spec.GS {
+		attachSource(s, pn, g.ID, traffic.CBR{Interval: g.Interval},
+			traffic.UniformSize{Min: g.MinSize, Max: g.MaxSize}, g.Phase)
+	}
+	for _, b := range spec.BE {
+		gen := traffic.CBRForRate(b.RateKbps*1000, b.PacketSize)
+		attachSource(s, pn, b.ID, gen, traffic.FixedSize(b.PacketSize), b.Phase)
+	}
+
+	if err := pn.Start(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Run(spec.Duration); err != nil {
+		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
+	if err := pn.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: engine: %w", err)
+	}
+
+	return collect(spec, s, pn, sched, ctrl), nil
+}
+
+// maxExchange derives the piconet-wide worst ongoing ACL exchange Xi from
+// the actual flow layout: per slave, the largest downlink leg plus the
+// largest uplink leg (POLL/NULL legs count one slot). With DirectionAware
+// disabled the paper's conservative assumption applies: any flow's exchange
+// may carry maximal segments both ways.
+func maxExchange(spec Spec) time.Duration {
+	allowedFor := func(override baseband.TypeSet) baseband.TypeSet {
+		if !override.Empty() {
+			return override
+		}
+		return spec.Allowed
+	}
+	type legs struct{ down, up int }
+	perSlave := map[piconet.SlaveID]*legs{}
+	visit := func(slave piconet.SlaveID, dir piconet.Direction, allowed baseband.TypeSet, conservative bool) {
+		l := perSlave[slave]
+		if l == nil {
+			l = &legs{down: 1, up: 1}
+			perSlave[slave] = l
+		}
+		slots := allowed.MaxSlots()
+		if conservative {
+			// Both legs may carry maximal segments (paper default).
+			if slots > l.down {
+				l.down = slots
+			}
+			if slots > l.up {
+				l.up = slots
+			}
+			return
+		}
+		if dir == piconet.Down && slots > l.down {
+			l.down = slots
+		}
+		if dir == piconet.Up && slots > l.up {
+			l.up = slots
+		}
+	}
+	for _, g := range spec.GS {
+		visit(g.Slave, g.Dir, allowedFor(g.Allowed), !spec.DirectionAware)
+	}
+	for _, b := range spec.BE {
+		// Best-effort exchanges serve whatever is queued each way, so
+		// the legs are direction-specific regardless of the admission
+		// mode.
+		visit(b.Slave, b.Dir, allowedFor(b.Allowed), false)
+	}
+	maxSlots := 2
+	for _, l := range perSlave {
+		if s := l.down + l.up; s > maxSlots {
+			maxSlots = s
+		}
+	}
+	return baseband.SlotsToDuration(maxSlots)
+}
+
+// attachSource schedules a self-rescheduling traffic source.
+func attachSource(s *sim.Simulator, pn *piconet.Piconet, flow piconet.FlowID,
+	gen traffic.Generator, sizes traffic.SizeDist, phase time.Duration) {
+	var tick func()
+	tick = func() {
+		_ = pn.EnqueuePacket(flow, sizes.Draw(s.Rand()))
+		s.After(gen.NextInterval(s.Rand()), tick)
+	}
+	s.Schedule(phase, tick)
+}
+
+// collect assembles the result.
+func collect(spec Spec, s *sim.Simulator, pn *piconet.Piconet, sched *core.Scheduler,
+	ctrl *admission.Controller) *Result {
+	elapsed := s.Now()
+	res := &Result{
+		Spec:      spec,
+		Elapsed:   elapsed,
+		SlaveKbps: make(map[piconet.SlaveID]float64),
+		SCOKbps:   make(map[piconet.SlaveID]float64),
+		Slots:     pn.SlotAccount(elapsed),
+		GSPolls:   sched.GSPolls(),
+		BEPolls:   sched.BEPolls(),
+		Skipped:   sched.SkippedPolls(),
+		Admitted:  ctrl.Flows(),
+	}
+	for _, id := range pn.Flows() {
+		cfg, _ := pn.FlowConfig(id)
+		delay, _ := pn.FlowDelayStats(id)
+		delivered, _ := pn.FlowDelivered(id)
+		offered, _ := pn.FlowOffered(id)
+		lost, _ := pn.FlowLost(id)
+		fr := FlowResult{
+			ID:          id,
+			Slave:       cfg.Slave,
+			Dir:         cfg.Dir,
+			Class:       cfg.Class,
+			Offered:     offered.Packets(),
+			Delivered:   delivered.Packets(),
+			Lost:        lost.Packets(),
+			Kbps:        delivered.Kbps(elapsed),
+			DelayMax:    delay.Max(),
+			DelayMean:   delay.Mean(),
+			DelayP99:    delay.Quantile(0.99),
+			DelayJitter: delay.StdDev(),
+			Delay:       delay,
+		}
+		if pf, ok := ctrl.Find(id); ok {
+			fr.Bound = pf.Bound
+			fr.Rate = pf.Request.Rate
+		}
+		res.Flows = append(res.Flows, fr)
+	}
+	for _, slave := range pn.Slaves() {
+		res.SlaveKbps[slave] = pn.SlaveThroughputKbps(slave, elapsed)
+		if down, up, ok := pn.SCOMeters(slave); ok {
+			res.SCOKbps[slave] = down.Kbps(elapsed) + up.Kbps(elapsed)
+		}
+	}
+	return res
+}
+
+// Report renders a run as a table.
+func (r *Result) Report() *stats.Table {
+	tbl := stats.NewTable(
+		fmt.Sprintf("%s: %v over %v (GS polls %d, BE polls %d, skipped %d)",
+			r.Spec.Name, r.Spec.Mode, r.Elapsed, r.GSPolls, r.BEPolls, r.Skipped),
+		"flow", "slave", "dir", "class", "kbps", "delay_mean", "jitter", "delay_p99", "delay_max", "bound", "ok")
+	for _, f := range r.Flows {
+		ok := ""
+		bound := ""
+		if f.Class == piconet.Guaranteed {
+			bound = f.Bound.String()
+			if f.DelayMax <= f.Bound {
+				ok = "yes"
+			} else {
+				ok = "VIOLATED"
+			}
+		}
+		tbl.AddRow(f.ID, f.Slave, f.Dir, f.Class, stats.FormatKbps(f.Kbps),
+			f.DelayMean.Round(time.Microsecond), f.DelayJitter.Round(time.Microsecond),
+			f.DelayP99.Round(time.Microsecond),
+			f.DelayMax.Round(time.Microsecond), bound, ok)
+	}
+	return tbl
+}

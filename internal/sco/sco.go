@@ -1,0 +1,87 @@
+// Package sco models Bluetooth Synchronous Connection-Oriented (SCO) voice
+// channels for the paper's §5 comparison: an SCO link reserves slot pairs at
+// a fixed cadence regardless of traffic, achieving a very tight delay bound
+// at the cost of a hard, unreclaimable slot reservation. The paper's point
+// is that the PFP/variable-interval poller approaches SCO's delay bounds
+// while the slots it saves remain usable for best-effort traffic or
+// retransmissions.
+package sco
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bluegs/internal/baseband"
+)
+
+// ErrNotSCO reports a non-SCO packet type.
+var ErrNotSCO = errors.New("sco: packet type is not an SCO type")
+
+// Channel describes one SCO link using a given HV packet type.
+type Channel struct {
+	// Type is the SCO packet type (HV1, HV2 or HV3).
+	Type baseband.PacketType
+}
+
+// NewChannel validates and returns an SCO channel.
+func NewChannel(t baseband.PacketType) (Channel, error) {
+	if !t.IsSCO() {
+		return Channel{}, fmt.Errorf("%w: %v", ErrNotSCO, t)
+	}
+	return Channel{Type: t}, nil
+}
+
+// IntervalSlots returns T_SCO in slots: the spacing of the channel's
+// reserved master transmission slots (HV1: 2, HV2: 4, HV3: 6). Each
+// reservation occupies a slot pair (master HV + slave HV).
+func (c Channel) IntervalSlots() int {
+	switch c.Type {
+	case baseband.TypeHV1:
+		return 2
+	case baseband.TypeHV2:
+		return 4
+	default:
+		return 6
+	}
+}
+
+// Interval returns T_SCO as a duration.
+func (c Channel) Interval() time.Duration {
+	return baseband.SlotsToDuration(c.IntervalSlots())
+}
+
+// ReservedSlotFraction returns the fraction of piconet slots the channel
+// consumes permanently: 2 slots (both directions) every T_SCO.
+func (c Channel) ReservedSlotFraction() float64 {
+	return 2.0 / float64(c.IntervalSlots())
+}
+
+// ReservedSlotsPerSecond returns the absolute reserved slot rate.
+func (c Channel) ReservedSlotsPerSecond() float64 {
+	return c.ReservedSlotFraction() * baseband.SlotsPerSecond
+}
+
+// ThroughputBps returns the user data rate the channel sustains in each
+// direction (bits per second). All three HV types carry 64 kbps, the
+// Bluetooth voice rate; they differ in FEC strength and cadence.
+func (c Channel) ThroughputBps() float64 {
+	perInterval := float64(c.Type.Payload() * 8)
+	return perInterval / c.Interval().Seconds()
+}
+
+// DelayBound returns the worst-case delay of a voice byte on the channel:
+// the packetisation time (filling one HV payload at the voice rate equals
+// T_SCO) plus the wait for the next reserved pair plus the packet air time.
+func (c Channel) DelayBound() time.Duration {
+	fill := c.Interval()
+	wait := c.Interval()
+	air := c.Type.Duration()
+	return fill + wait + air
+}
+
+// String renders e.g. "SCO/HV3 (64 kbps, 1/3 slots)".
+func (c Channel) String() string {
+	return fmt.Sprintf("SCO/%v (%.0f kbps, %.2f slots reserved)",
+		c.Type, c.ThroughputBps()/1000, c.ReservedSlotFraction())
+}

@@ -1,0 +1,83 @@
+package sco
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+)
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(baseband.TypeDH3); !errors.Is(err, ErrNotSCO) {
+		t.Fatalf("DH3: err = %v, want ErrNotSCO", err)
+	}
+	for _, typ := range []baseband.PacketType{baseband.TypeHV1, baseband.TypeHV2, baseband.TypeHV3} {
+		if _, err := NewChannel(typ); err != nil {
+			t.Fatalf("NewChannel(%v): %v", typ, err)
+		}
+	}
+}
+
+func TestAllHVTypesCarry64Kbps(t *testing.T) {
+	// HV1/HV2/HV3 all sustain the 64 kbps Bluetooth voice rate.
+	for _, typ := range []baseband.PacketType{baseband.TypeHV1, baseband.TypeHV2, baseband.TypeHV3} {
+		c, err := NewChannel(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.ThroughputBps(); math.Abs(got-64000) > 1 {
+			t.Fatalf("%v throughput = %v, want 64000", typ, got)
+		}
+	}
+}
+
+func TestReservedFractions(t *testing.T) {
+	tests := []struct {
+		typ      baseband.PacketType
+		interval int
+		fraction float64
+	}{
+		{baseband.TypeHV1, 2, 1.0},
+		{baseband.TypeHV2, 4, 0.5},
+		{baseband.TypeHV3, 6, 1.0 / 3.0},
+	}
+	for _, tt := range tests {
+		c, err := NewChannel(tt.typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.IntervalSlots(); got != tt.interval {
+			t.Fatalf("%v interval = %d slots, want %d", tt.typ, got, tt.interval)
+		}
+		if got := c.ReservedSlotFraction(); math.Abs(got-tt.fraction) > 1e-12 {
+			t.Fatalf("%v fraction = %v, want %v", tt.typ, got, tt.fraction)
+		}
+	}
+	hv3, _ := NewChannel(baseband.TypeHV3)
+	if got := hv3.ReservedSlotsPerSecond(); math.Abs(got-1600.0/3) > 1e-9 {
+		t.Fatalf("HV3 reserved slots/s = %v", got)
+	}
+}
+
+func TestHV3DelayBound(t *testing.T) {
+	c, _ := NewChannel(baseband.TypeHV3)
+	// fill (3.75ms) + wait (3.75ms) + air (0.625ms) = 8.125 ms.
+	want := 8125 * time.Microsecond
+	if got := c.DelayBound(); got != want {
+		t.Fatalf("DelayBound = %v, want %v", got, want)
+	}
+	// SCO delay bounds are far below the GS poller's ~36-48 ms bounds;
+	// the paper's §5 comparison rests on this ordering.
+	if c.DelayBound() > 20*time.Millisecond {
+		t.Fatal("HV3 bound should be far below GS poller bounds")
+	}
+}
+
+func TestString(t *testing.T) {
+	c, _ := NewChannel(baseband.TypeHV3)
+	if got := c.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,229 @@
+// Package segmentation implements the policies that break higher-layer
+// packets into baseband packets, and the derived quantities the paper's
+// analysis needs: the number of segments n of a packet, the minimum poll
+// efficiency eta_min over a flow's packet-size range (paper eq. 4), and the
+// worst-case segment air time.
+//
+// The paper's evaluation uses the best-fit policy: "the largest available
+// baseband packet is used, unless the remainder of the higher layer packet
+// fits in a smaller baseband packet."
+package segmentation
+
+import (
+	"errors"
+	"fmt"
+
+	"bluegs/internal/baseband"
+)
+
+// Errors returned by segmentation.
+var (
+	ErrNoACLTypes = errors.New("segmentation: allowed set contains no ACL packet types")
+	ErrBadSize    = errors.New("segmentation: packet size must be positive")
+	ErrBadRange   = errors.New("segmentation: need 0 < min <= max packet size")
+	ErrNilPolicy  = errors.New("segmentation: nil policy")
+	ErrEmptySeg   = errors.New("segmentation: policy produced an empty plan")
+	ErrShortPlan  = errors.New("segmentation: plan does not cover the packet")
+)
+
+// Segment is one baseband packet of a segmentation plan: the chosen type and
+// the number of payload bytes it actually carries.
+type Segment struct {
+	Type  baseband.PacketType
+	Bytes int
+}
+
+// Plan is an ordered segmentation of one higher-layer packet.
+type Plan []Segment
+
+// TotalBytes returns the payload bytes carried by the plan.
+func (p Plan) TotalBytes() int {
+	total := 0
+	for _, s := range p {
+		total += s.Bytes
+	}
+	return total
+}
+
+// Slots returns the air slots consumed by the plan's packets (one direction
+// only; responses are accounted separately by the piconet).
+func (p Plan) Slots() int {
+	slots := 0
+	for _, s := range p {
+		slots += s.Type.Slots()
+	}
+	return slots
+}
+
+// String renders e.g. "[DH3:183 DH1:17]".
+func (p Plan) String() string {
+	out := "["
+	for i, s := range p {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%v:%d", s.Type, s.Bytes)
+	}
+	return out + "]"
+}
+
+// Policy decides how a higher-layer packet of a given size is segmented into
+// baseband packets drawn from an allowed type set.
+type Policy interface {
+	// Segment returns the ordered plan for a packet of size bytes.
+	Segment(size int, allowed baseband.TypeSet) (Plan, error)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// BestFit is the paper's policy: each segment uses the largest allowed
+// packet, unless the remaining bytes fit into a smaller allowed packet, in
+// which case the smallest fitting packet is used. The zero value is ready to
+// use.
+type BestFit struct{}
+
+var _ Policy = BestFit{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Segment implements Policy.
+func (BestFit) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	largest, ok := allowed.LargestACL()
+	if !ok {
+		return nil, ErrNoACLTypes
+	}
+	var plan Plan
+	remaining := size
+	for remaining > 0 {
+		if t, fits := allowed.SmallestFitting(remaining); fits {
+			plan = append(plan, Segment{Type: t, Bytes: remaining})
+			remaining = 0
+			break
+		}
+		plan = append(plan, Segment{Type: largest, Bytes: largest.Payload()})
+		remaining -= largest.Payload()
+	}
+	return plan, nil
+}
+
+// GreedyLargest always uses the largest allowed packet for every segment,
+// including the last. It is a deliberately naive contrast policy for the
+// ablation benches (it wastes multi-slot packets on small remainders).
+type GreedyLargest struct{}
+
+var _ Policy = GreedyLargest{}
+
+// Name implements Policy.
+func (GreedyLargest) Name() string { return "greedy-largest" }
+
+// Segment implements Policy.
+func (GreedyLargest) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	largest, ok := allowed.LargestACL()
+	if !ok {
+		return nil, ErrNoACLTypes
+	}
+	var plan Plan
+	remaining := size
+	for remaining > 0 {
+		carry := largest.Payload()
+		if carry > remaining {
+			carry = remaining
+		}
+		plan = append(plan, Segment{Type: largest, Bytes: carry})
+		remaining -= carry
+	}
+	return plan, nil
+}
+
+// Count returns the number of segments the policy produces for a packet of
+// the given size.
+func Count(p Policy, size int, allowed baseband.TypeSet) (int, error) {
+	if p == nil {
+		return 0, ErrNilPolicy
+	}
+	plan, err := p.Segment(size, allowed)
+	if err != nil {
+		return 0, err
+	}
+	if len(plan) == 0 {
+		return 0, ErrEmptySeg
+	}
+	if plan.TotalBytes() != size {
+		return 0, fmt.Errorf("%w: plan carries %d of %d bytes", ErrShortPlan, plan.TotalBytes(), size)
+	}
+	return len(plan), nil
+}
+
+// Efficiency is a poll-efficiency sample: the packet size achieving it and
+// the resulting bytes-per-poll value.
+type Efficiency struct {
+	// Size is the higher-layer packet size in bytes.
+	Size int
+	// Segments is the number of polls (segments) the packet needs.
+	Segments int
+	// BytesPerPoll is Size/Segments, the paper's eta.
+	BytesPerPoll float64
+}
+
+// MinPollEfficiency computes eta_min over all packet sizes in [minSize,
+// maxSize] (paper eq. 4): the minimum, over the flow's possible packet
+// sizes, of useful bytes per poll. The worst case pins the poll interval
+// t = eta_min / R.
+func MinPollEfficiency(p Policy, minSize, maxSize int, allowed baseband.TypeSet) (Efficiency, error) {
+	if p == nil {
+		return Efficiency{}, ErrNilPolicy
+	}
+	if minSize <= 0 || minSize > maxSize {
+		return Efficiency{}, ErrBadRange
+	}
+	best := Efficiency{}
+	found := false
+	for size := minSize; size <= maxSize; size++ {
+		n, err := Count(p, size, allowed)
+		if err != nil {
+			return Efficiency{}, err
+		}
+		eta := float64(size) / float64(n)
+		if !found || eta < best.BytesPerPoll {
+			best = Efficiency{Size: size, Segments: n, BytesPerPoll: eta}
+			found = true
+		}
+	}
+	return best, nil
+}
+
+// MaxSegmentSlots returns the largest slot occupancy of any segment the
+// policy can emit for packet sizes in [minSize, maxSize]. This is the
+// one-direction component of the paper's per-flow worst segment
+// transmission time xi_i.
+func MaxSegmentSlots(p Policy, minSize, maxSize int, allowed baseband.TypeSet) (int, error) {
+	if p == nil {
+		return 0, ErrNilPolicy
+	}
+	if minSize <= 0 || minSize > maxSize {
+		return 0, ErrBadRange
+	}
+	maxSlots := 0
+	for size := minSize; size <= maxSize; size++ {
+		plan, err := p.Segment(size, allowed)
+		if err != nil {
+			return 0, err
+		}
+		for _, s := range plan {
+			if s.Type.Slots() > maxSlots {
+				maxSlots = s.Type.Slots()
+			}
+		}
+	}
+	if maxSlots == 0 {
+		return 0, ErrEmptySeg
+	}
+	return maxSlots, nil
+}

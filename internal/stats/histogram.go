@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a fixed-bin histogram over a bounded range with overflow and
+// underflow buckets. Create with NewHistogram.
+type Histogram struct {
+	lo, hi    float64
+	binWidth  float64
+	bins      []uint64
+	underflow uint64
+	overflow  uint64
+	count     uint64
+}
+
+// NewHistogram returns a histogram of n equal-width bins covering [lo, hi).
+// Invalid shapes (n <= 0, hi <= lo) are normalised to a single bin.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{
+		lo:       lo,
+		hi:       hi,
+		binWidth: (hi - lo) / float64(n),
+		bins:     make([]uint64, n),
+	}
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		idx := int((x - h.lo) / h.binWidth)
+		if idx >= len(h.bins) { // float edge
+			idx = len(h.bins) - 1
+		}
+		h.bins[idx]++
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Overflow returns the count of observations at or above the upper bound.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Underflow returns the count of observations below the lower bound.
+func (h *Histogram) Underflow() uint64 { return h.underflow }
+
+// Bin returns the [lower, upper) edges and count of bin i.
+func (h *Histogram) Bin(i int) (lower, upper float64, count uint64) {
+	if i < 0 || i >= len(h.bins) {
+		return 0, 0, 0
+	}
+	lower = h.lo + float64(i)*h.binWidth
+	return lower, lower + h.binWidth, h.bins[i]
+}
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// CumulativeAt returns the fraction of observations strictly below x
+// (an empirical CDF evaluated at bin granularity).
+func (h *Histogram) CumulativeAt(x float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	below := h.underflow
+	for i := range h.bins {
+		lower, upper, c := h.Bin(i)
+		if upper <= x {
+			below += c
+			continue
+		}
+		if lower < x {
+			// Linear interpolation within the bin.
+			frac := (x - lower) / h.binWidth
+			below += uint64(float64(c) * frac)
+		}
+		break
+	}
+	return float64(below) / float64(h.count)
+}
+
+// WriteASCII renders the histogram as a bar chart. labeler converts bin
+// edges to strings (nil uses %.3g); width is the maximum bar width in
+// characters.
+func (h *Histogram) WriteASCII(w io.Writer, labeler func(float64) string, width int) error {
+	if labeler == nil {
+		labeler = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	if width <= 0 {
+		width = 50
+	}
+	var maxCount uint64
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if h.underflow > 0 {
+		if _, err := fmt.Fprintf(w, "%12s  %d\n", "< "+labeler(h.lo), h.underflow); err != nil {
+			return err
+		}
+	}
+	for i := range h.bins {
+		lower, _, c := h.Bin(i)
+		bar := ""
+		if maxCount > 0 {
+			n := int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+			bar = strings.Repeat("#", n)
+		}
+		if _, err := fmt.Fprintf(w, "%12s  %-*s %d\n", labeler(lower), width, bar, c); err != nil {
+			return err
+		}
+	}
+	if h.overflow > 0 {
+		if _, err := fmt.Fprintf(w, "%12s  %d\n", ">= "+labeler(h.hi), h.overflow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DurationHistogram wraps Histogram for time.Duration observations.
+type DurationHistogram struct {
+	h *Histogram
+}
+
+// NewDurationHistogram covers [0, max) with n bins.
+func NewDurationHistogram(max time.Duration, n int) *DurationHistogram {
+	return &DurationHistogram{h: NewHistogram(0, float64(max), n)}
+}
+
+// Add incorporates one duration.
+func (d *DurationHistogram) Add(v time.Duration) { d.h.Add(float64(v)) }
+
+// Count returns the number of observations.
+func (d *DurationHistogram) Count() uint64 { return d.h.Count() }
+
+// Overflow returns observations at or beyond the range.
+func (d *DurationHistogram) Overflow() uint64 { return d.h.Overflow() }
+
+// CumulativeAt returns the empirical CDF at the given duration.
+func (d *DurationHistogram) CumulativeAt(v time.Duration) float64 {
+	return d.h.CumulativeAt(float64(v))
+}
+
+// WriteASCII renders the histogram with millisecond labels.
+func (d *DurationHistogram) WriteASCII(w io.Writer, width int) error {
+	return d.h.WriteASCII(w, func(v float64) string {
+		return time.Duration(v).Round(10 * time.Microsecond).String()
+	}, width)
+}

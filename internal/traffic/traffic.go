@@ -1,0 +1,201 @@
+// Package traffic provides the source models that drive the simulated
+// piconet: packet size distributions and arrival processes. The paper's
+// §4.1 sources are CBR with either uniform (GS flows: 144–176 bytes every
+// 20 ms) or fixed (BE flows: 176 bytes) packet sizes.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// SizeDist draws higher-layer packet sizes in bytes.
+type SizeDist interface {
+	// Draw returns one packet size (always >= 1).
+	Draw(rng *rand.Rand) int
+	// Bounds returns the inclusive [min, max] support of the
+	// distribution, which feeds the flow's TSpec (m, M).
+	Bounds() (minSize, maxSize int)
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// FixedSize always draws the same size.
+type FixedSize int
+
+var _ SizeDist = FixedSize(0)
+
+// Draw implements SizeDist.
+func (f FixedSize) Draw(*rand.Rand) int {
+	if f < 1 {
+		return 1
+	}
+	return int(f)
+}
+
+// Bounds implements SizeDist.
+func (f FixedSize) Bounds() (int, int) {
+	n := int(f)
+	if n < 1 {
+		n = 1
+	}
+	return n, n
+}
+
+// Name implements SizeDist.
+func (f FixedSize) Name() string { return fmt.Sprintf("fixed(%d)", int(f)) }
+
+// UniformSize draws sizes uniformly from [Min, Max] inclusive, the paper's
+// GS packet size distribution.
+type UniformSize struct {
+	Min, Max int
+}
+
+var _ SizeDist = UniformSize{}
+
+// Draw implements SizeDist.
+func (u UniformSize) Draw(rng *rand.Rand) int {
+	lo, hi := u.Bounds()
+	if lo == hi {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// Bounds implements SizeDist.
+func (u UniformSize) Bounds() (int, int) {
+	lo, hi := u.Min, u.Max
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Name implements SizeDist.
+func (u UniformSize) Name() string { return fmt.Sprintf("uniform(%d,%d)", u.Min, u.Max) }
+
+// Generator produces the inter-arrival time to the next packet. Generators
+// may be stateful; all randomness comes from the supplied rng.
+type Generator interface {
+	// NextInterval returns the time between the previous packet and the
+	// next one (> 0).
+	NextInterval(rng *rand.Rand) time.Duration
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// CBR emits one packet every Interval, the paper's arrival process for both
+// GS and BE sources.
+type CBR struct {
+	Interval time.Duration
+}
+
+var _ Generator = CBR{}
+
+// NextInterval implements Generator.
+func (c CBR) NextInterval(*rand.Rand) time.Duration {
+	if c.Interval <= 0 {
+		return time.Millisecond
+	}
+	return c.Interval
+}
+
+// Name implements Generator.
+func (c CBR) Name() string { return fmt.Sprintf("cbr(%v)", c.Interval) }
+
+// CBRForRate returns the CBR process that carries rate bits per second with
+// packets of the given mean size in bytes. This mirrors the paper's BE
+// sources, e.g. 176-byte packets at 41.6 kbps.
+func CBRForRate(bitsPerSecond float64, meanPacketBytes int) CBR {
+	if bitsPerSecond <= 0 || meanPacketBytes <= 0 {
+		return CBR{Interval: time.Millisecond}
+	}
+	sec := float64(meanPacketBytes) * 8 / bitsPerSecond
+	return CBR{Interval: time.Duration(sec * float64(time.Second))}
+}
+
+// Poisson emits packets with exponential inter-arrival times at the given
+// mean rate (packets per second).
+type Poisson struct {
+	PacketsPerSecond float64
+}
+
+var _ Generator = Poisson{}
+
+// NextInterval implements Generator.
+func (p Poisson) NextInterval(rng *rand.Rand) time.Duration {
+	if p.PacketsPerSecond <= 0 {
+		return time.Millisecond
+	}
+	sec := rng.ExpFloat64() / p.PacketsPerSecond
+	d := time.Duration(sec * float64(time.Second))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// Name implements Generator.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(%.1f/s)", p.PacketsPerSecond) }
+
+// OnOff alternates exponential ON periods, during which it emits CBR
+// traffic, with exponential OFF silences. Create with NewOnOff.
+type OnOff struct {
+	meanOn, meanOff time.Duration
+	interval        time.Duration
+	remainingOn     time.Duration
+	started         bool
+}
+
+var _ Generator = (*OnOff)(nil)
+
+// NewOnOff returns an ON/OFF source with the given mean ON and OFF period
+// lengths emitting one packet per interval while ON.
+func NewOnOff(meanOn, meanOff, interval time.Duration) *OnOff {
+	if meanOn <= 0 {
+		meanOn = time.Second
+	}
+	if meanOff <= 0 {
+		meanOff = time.Second
+	}
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &OnOff{meanOn: meanOn, meanOff: meanOff, interval: interval}
+}
+
+// NextInterval implements Generator.
+func (o *OnOff) NextInterval(rng *rand.Rand) time.Duration {
+	expDur := func(mean time.Duration) time.Duration {
+		d := time.Duration(rng.ExpFloat64() * float64(mean))
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		return d
+	}
+	if !o.started {
+		o.started = true
+		o.remainingOn = expDur(o.meanOn)
+	}
+	if o.remainingOn >= o.interval {
+		o.remainingOn -= o.interval
+		return o.interval
+	}
+	// The ON period ends; sleep through the OFF period and start a new
+	// ON burst.
+	gap := o.remainingOn + expDur(o.meanOff)
+	o.remainingOn = expDur(o.meanOn)
+	if gap < time.Nanosecond {
+		gap = time.Nanosecond
+	}
+	return gap
+}
+
+// Name implements Generator.
+func (o *OnOff) Name() string {
+	return fmt.Sprintf("onoff(on=%v,off=%v,ival=%v)", o.meanOn, o.meanOff, o.interval)
+}

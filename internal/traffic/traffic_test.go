@@ -1,0 +1,181 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFixedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := FixedSize(176)
+	for i := 0; i < 10; i++ {
+		if got := f.Draw(rng); got != 176 {
+			t.Fatalf("Draw = %d, want 176", got)
+		}
+	}
+	lo, hi := f.Bounds()
+	if lo != 176 || hi != 176 {
+		t.Fatalf("Bounds = %d,%d", lo, hi)
+	}
+	if got := FixedSize(0).Draw(rng); got != 1 {
+		t.Fatalf("FixedSize(0).Draw = %d, want clamp to 1", got)
+	}
+}
+
+func TestUniformSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := UniformSize{Min: 144, Max: 176}
+	seen := map[int]bool{}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := u.Draw(rng)
+		if v < 144 || v > 176 {
+			t.Fatalf("Draw = %d outside [144,176]", v)
+		}
+		seen[v] = true
+		sum += float64(v)
+	}
+	if len(seen) != 33 {
+		t.Fatalf("saw %d distinct sizes, want 33", len(seen))
+	}
+	if mean := sum / n; math.Abs(mean-160) > 1 {
+		t.Fatalf("mean size = %v, want ~160", mean)
+	}
+}
+
+func TestUniformSizeDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := UniformSize{Min: 0, Max: -5}
+	lo, hi := u.Bounds()
+	if lo != 1 || hi != 1 {
+		t.Fatalf("Bounds = %d,%d, want clamped 1,1", lo, hi)
+	}
+	if got := u.Draw(rng); got != 1 {
+		t.Fatalf("Draw = %d", got)
+	}
+}
+
+func TestCBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := CBR{Interval: 20 * time.Millisecond}
+	for i := 0; i < 5; i++ {
+		if got := c.NextInterval(rng); got != 20*time.Millisecond {
+			t.Fatalf("NextInterval = %v", got)
+		}
+	}
+	if got := (CBR{}).NextInterval(rng); got <= 0 {
+		t.Fatalf("zero CBR interval should clamp, got %v", got)
+	}
+}
+
+func TestCBRForRatePaperSources(t *testing.T) {
+	// Paper BE flows: 176-byte packets at 41.6 kbps ->
+	// interval = 176*8/41600 s ~= 33.846 ms.
+	c := CBRForRate(41600, 176)
+	sec := 176.0 * 8 / 41600
+	want := time.Duration(sec * float64(time.Second))
+	if diff := c.Interval - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("Interval = %v, want %v", c.Interval, want)
+	}
+	// Rate sanity: bytes per second back out to the requested rate.
+	rate := float64(176*8) / c.Interval.Seconds()
+	if math.Abs(rate-41600) > 1 {
+		t.Fatalf("achieved rate %v, want 41600", rate)
+	}
+	if got := CBRForRate(0, 176).Interval; got <= 0 {
+		t.Fatal("degenerate rate should clamp to positive interval")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Poisson{PacketsPerSecond: 50}
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		iv := p.NextInterval(rng)
+		if iv <= 0 {
+			t.Fatal("non-positive interval")
+		}
+		total += iv
+	}
+	gotRate := float64(n) / total.Seconds()
+	if math.Abs(gotRate-50) > 2 {
+		t.Fatalf("Poisson rate = %v, want ~50", gotRate)
+	}
+}
+
+func TestOnOffAlternates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	o := NewOnOff(100*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond)
+	var gaps, regular int
+	for i := 0; i < 5000; i++ {
+		iv := o.NextInterval(rng)
+		if iv <= 0 {
+			t.Fatal("non-positive interval")
+		}
+		if iv == 10*time.Millisecond {
+			regular++
+		} else if iv > 10*time.Millisecond {
+			gaps++
+		}
+	}
+	if regular == 0 || gaps == 0 {
+		t.Fatalf("ON/OFF degenerate: %d regular, %d gaps", regular, gaps)
+	}
+	// ON bursts should dominate: mean ON 100ms at 10ms spacing is ~10
+	// packets per burst.
+	if regular < gaps {
+		t.Fatalf("expected more in-burst packets than gaps: %d vs %d", regular, gaps)
+	}
+}
+
+func TestOnOffDefaults(t *testing.T) {
+	o := NewOnOff(0, 0, 0)
+	rng := rand.New(rand.NewSource(7))
+	if iv := o.NextInterval(rng); iv <= 0 {
+		t.Fatal("defaulted ON/OFF must produce positive intervals")
+	}
+}
+
+// TestPropertySizeDistsRespectBounds: all draws fall inside Bounds.
+func TestPropertySizeDistsRespectBounds(t *testing.T) {
+	f := func(minRaw, maxRaw uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := UniformSize{Min: int(minRaw), Max: int(maxRaw)}
+		lo, hi := u.Bounds()
+		if lo < 1 || hi < lo {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			v := u.Draw(rng)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	names := []string{
+		CBR{Interval: time.Millisecond}.Name(),
+		Poisson{PacketsPerSecond: 10}.Name(),
+		NewOnOff(time.Second, time.Second, time.Millisecond).Name(),
+		FixedSize(176).Name(),
+		UniformSize{Min: 144, Max: 176}.Name(),
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("empty name")
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package tspec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validSpec() TSpec {
+	return TSpec{
+		PeakRate:        16000,
+		TokenRate:       8800,
+		BucketSize:      352,
+		MinPolicedUnit:  144,
+		MaxTransferUnit: 176,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*TSpec)
+		wantErr error
+	}{
+		{"valid", func(*TSpec) {}, nil},
+		{"zero token rate", func(s *TSpec) { s.TokenRate = 0 }, ErrNonPositiveRate},
+		{"negative peak", func(s *TSpec) { s.PeakRate = -1 }, ErrNonPositiveRate},
+		{"peak below token", func(s *TSpec) { s.PeakRate = s.TokenRate / 2 }, ErrPeakBelowToken},
+		{"bucket below MTU", func(s *TSpec) { s.BucketSize = 100 }, ErrBucketTooSmall},
+		{"zero m", func(s *TSpec) { s.MinPolicedUnit = 0 }, ErrBadUnits},
+		{"m above M", func(s *TSpec) { s.MinPolicedUnit = 200 }, ErrBadUnits},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := validSpec()
+			tt.mutate(&s)
+			err := s.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCBRPaperSpec(t *testing.T) {
+	// Paper §4.1: GS sources send one uniformly distributed packet of
+	// 144..176 bytes every 20 ms: p = r = 8.8 kB/s, b = M = 176, m = 144.
+	s := CBR(20*time.Millisecond, 144, 176)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got, want := s.TokenRate, 8800.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TokenRate = %v, want %v", got, want)
+	}
+	if s.PeakRate != s.TokenRate {
+		t.Fatalf("CBR peak %v != token %v", s.PeakRate, s.TokenRate)
+	}
+	if s.BucketSize != 176 || s.MaxTransferUnit != 176 || s.MinPolicedUnit != 144 {
+		t.Fatalf("unexpected CBR spec: %v", s)
+	}
+}
+
+func TestArrivalBound(t *testing.T) {
+	s := validSpec()
+	if got := s.ArrivalBound(0); got != 176 {
+		t.Fatalf("ArrivalBound(0) = %v, want M", got)
+	}
+	if got := s.ArrivalBound(-time.Second); got != 176 {
+		t.Fatalf("ArrivalBound(<0) = %v, want M", got)
+	}
+	// At small t the peak branch dominates: M + p*t.
+	small := 10 * time.Millisecond
+	wantPeak := 176 + 16000*small.Seconds()
+	if got := s.ArrivalBound(small); math.Abs(got-wantPeak) > 1e-6 {
+		t.Fatalf("ArrivalBound(%v) = %v, want peak branch %v", small, got, wantPeak)
+	}
+	// At large t the sustained branch dominates: b + r*t.
+	large := 10 * time.Second
+	wantSustained := 352 + 8800*large.Seconds()
+	if got := s.ArrivalBound(large); math.Abs(got-wantSustained) > 1e-6 {
+		t.Fatalf("ArrivalBound(%v) = %v, want sustained branch %v", large, got, wantSustained)
+	}
+}
+
+func TestBusyPeriod(t *testing.T) {
+	s := validSpec()
+	// M + p*t = b + r*t  =>  t = (b-M)/(p-r) = (352-176)/(16000-8800).
+	sec := (352.0 - 176.0) / (16000.0 - 8800.0)
+	want := time.Duration(sec * float64(time.Second))
+	if got := s.BusyPeriod(); got != want {
+		t.Fatalf("BusyPeriod() = %v, want %v", got, want)
+	}
+	cbr := CBR(20*time.Millisecond, 144, 176)
+	if got := cbr.BusyPeriod(); got != 0 {
+		t.Fatalf("CBR BusyPeriod() = %v, want 0", got)
+	}
+}
+
+func TestBucketCBRConformance(t *testing.T) {
+	// A CBR flow sending exactly per its spec must always conform.
+	s := CBR(20*time.Millisecond, 144, 176)
+	b := NewBucket(s)
+	for i := 0; i < 1000; i++ {
+		now := time.Duration(i) * 20 * time.Millisecond
+		if !b.Take(now, 176) {
+			t.Fatalf("conformant CBR packet %d rejected", i)
+		}
+	}
+}
+
+func TestBucketRejectsBurst(t *testing.T) {
+	s := CBR(20*time.Millisecond, 144, 176)
+	b := NewBucket(s)
+	if !b.Take(0, 176) {
+		t.Fatal("first packet should conform")
+	}
+	// A second max-size packet at the same instant exceeds the bucket.
+	if b.Take(0, 176) {
+		t.Fatal("second simultaneous packet should not conform")
+	}
+	// And conforms again after a full refill interval.
+	if !b.Take(20*time.Millisecond, 176) {
+		t.Fatal("packet after refill interval should conform")
+	}
+}
+
+func TestBucketOversizePacket(t *testing.T) {
+	b := NewBucket(validSpec())
+	if b.Conforms(0, 177) {
+		t.Fatal("packet above MTU must never conform")
+	}
+	if _, ok := b.NextConformance(0, 177); ok {
+		t.Fatal("NextConformance should report impossible for oversize packets")
+	}
+}
+
+func TestBucketMinPolicedUnit(t *testing.T) {
+	// Tiny packets are charged m bytes each, so only b/m of them fit in a burst.
+	s := TSpec{PeakRate: 1000, TokenRate: 1000, BucketSize: 300, MinPolicedUnit: 100, MaxTransferUnit: 300}
+	b := NewBucket(s)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if b.Take(0, 1) {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("granted %d one-byte packets in a burst, want 3 (b/m)", granted)
+	}
+}
+
+func TestBucketNonConformantConsumesNothing(t *testing.T) {
+	s := CBR(20*time.Millisecond, 144, 176)
+	b := NewBucket(s)
+	if !b.Take(0, 176) {
+		t.Fatal("first packet should conform")
+	}
+	before := b.Tokens(0)
+	if b.Take(0, 176) {
+		t.Fatal("second packet should not conform")
+	}
+	if after := b.Tokens(0); after != before {
+		t.Fatalf("non-conformant packet consumed tokens: %v -> %v", before, after)
+	}
+}
+
+func TestNextConformance(t *testing.T) {
+	s := CBR(20*time.Millisecond, 144, 176)
+	b := NewBucket(s)
+	if !b.Take(0, 176) {
+		t.Fatal("first packet should conform")
+	}
+	at, ok := b.NextConformance(0, 176)
+	if !ok {
+		t.Fatal("NextConformance should be possible")
+	}
+	if at <= 0 || at > 20*time.Millisecond+time.Microsecond {
+		t.Fatalf("NextConformance = %v, want ~20ms", at)
+	}
+	if !b.Conforms(at+time.Microsecond, 176) {
+		t.Fatal("packet at NextConformance(+eps) should conform")
+	}
+}
+
+func TestBucketClockBackwardsIgnored(t *testing.T) {
+	b := NewBucket(CBR(20*time.Millisecond, 144, 176))
+	if !b.Take(time.Second, 176) {
+		t.Fatal("packet should conform")
+	}
+	// An earlier timestamp must not refill or panic.
+	if b.Take(0, 176) {
+		t.Fatal("backwards-clock packet should not conform (no refill)")
+	}
+}
+
+// TestPropertyBucketNeverExceedsArrivalBound: for random conformant-ish
+// arrival attempts, the accepted bytes over the whole run never exceed the
+// arrival-curve bound for the elapsed interval.
+func TestPropertyBucketNeverExceedsArrivalBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := TSpec{
+			PeakRate:        float64(1000 + rng.Intn(50000)),
+			TokenRate:       float64(500 + rng.Intn(20000)),
+			BucketSize:      float64(200 + rng.Intn(2000)),
+			MinPolicedUnit:  1 + rng.Intn(100),
+			MaxTransferUnit: 0,
+		}
+		if s.PeakRate < s.TokenRate {
+			s.PeakRate, s.TokenRate = s.TokenRate, s.PeakRate
+		}
+		s.MaxTransferUnit = s.MinPolicedUnit + rng.Intn(100)
+		if s.BucketSize < float64(s.MaxTransferUnit) {
+			s.BucketSize = float64(s.MaxTransferUnit)
+		}
+		if err := s.Validate(); err != nil {
+			return true // skip degenerate draws
+		}
+		b := NewBucket(s)
+		var now time.Duration
+		accepted := 0.0
+		for i := 0; i < 300; i++ {
+			now += time.Duration(rng.Intn(5000)) * time.Microsecond
+			size := 1 + rng.Intn(s.MaxTransferUnit)
+			if b.Take(now, size) {
+				polic := size
+				if polic < s.MinPolicedUnit {
+					polic = s.MinPolicedUnit
+				}
+				accepted += float64(polic)
+			}
+			// Slack of one policed unit for float rounding.
+			if accepted > s.ArrivalBound(now)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNextConformanceIsTight: after waiting until NextConformance,
+// the packet conforms; one millisecond before (when strictly positive), it
+// does not.
+func TestPropertyNextConformanceIsTight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := CBR(time.Duration(1+rng.Intn(50))*time.Millisecond, 50, 50+rng.Intn(300))
+		b := NewBucket(s)
+		var now time.Duration
+		for i := 0; i < 50; i++ {
+			size := s.MinPolicedUnit + rng.Intn(s.MaxTransferUnit-s.MinPolicedUnit+1)
+			at, ok := b.NextConformance(now, size)
+			if !ok {
+				return false
+			}
+			if at > now+time.Millisecond && b.Conforms(at-time.Millisecond, size) {
+				return false
+			}
+			if !b.Take(at+time.Microsecond, size) {
+				return false
+			}
+			now = at + time.Microsecond
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBucketTake(b *testing.B) {
+	s := CBR(20*time.Millisecond, 144, 176)
+	bkt := NewBucket(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bkt.Take(time.Duration(i)*20*time.Millisecond, 176)
+	}
+}
