@@ -3,6 +3,10 @@
 // corresponding experiment end to end and reports its headline quantities
 // as benchmark metrics; the rendered table is printed once per benchmark.
 //
+// Experiments execute through internal/harness, so each benchmark's sweep
+// already fans out across GOMAXPROCS workers with bit-identical results;
+// BenchmarkFigure5SweepWorkers measures that scaling directly.
+//
 // The per-iteration simulation horizon is kept short so `go test -bench=.`
 // completes quickly; the cmd tools run the paper's full 530 s horizon
 // (their outputs are recorded in EXPERIMENTS.md).
@@ -10,6 +14,7 @@ package bluegs_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -20,7 +25,8 @@ import (
 	"bluegs/internal/stats"
 )
 
-// benchCfg is the per-iteration experiment configuration.
+// benchCfg is the per-iteration experiment configuration (Workers 0: the
+// harness uses GOMAXPROCS).
 var benchCfg = experiments.Config{Duration: 5 * time.Second, Seed: 1}
 
 // printOnce prints each experiment table a single time across benchmark
@@ -229,6 +235,44 @@ func BenchmarkDelayDistribution(b *testing.B) {
 		printTable("e7", tbl)
 	}
 	b.ReportMetric(worstCDF, "worst_cdf_at_bound")
+}
+
+// BenchmarkFigure5SweepWorkers measures the harness's parallel scaling on
+// a replicated Figure 5 sweep: the same grid at one worker versus all
+// cores. Rows are bit-identical either way (the determinism tests enforce
+// it); only the wall clock changes.
+func BenchmarkFigure5SweepWorkers(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Config{
+				Duration:     2 * time.Second,
+				Seed:         1,
+				Replications: 3,
+				Workers:      workers,
+			}
+			simulated := float64(len(experiments.DefaultFig5Targets())) *
+				float64(cfg.Replications) * cfg.Duration.Seconds()
+			for i := 0; i < b.N; i++ {
+				rows, _, err := experiments.Figure5(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if r.Violations > 0 {
+						b.Fatalf("bound violated at %v", r.Target)
+					}
+				}
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if perOp > 0 {
+				b.ReportMetric(simulated/perOp.Seconds(), "sim_s/wall_s")
+			}
+		})
+	}
 }
 
 // BenchmarkPaperScenarioSimulation measures raw simulation throughput of

@@ -11,6 +11,12 @@
 //	btsim -target 40ms -duration 530s            # the paper's Fig. 4 setup
 //	btsim -mode fixed -target 36ms               # the §3.1 fixed-interval poller
 //	btsim -poller round-robin -target 46ms -csv  # RR for best effort, CSV output
+//	btsim -target 40ms -reps 8                   # 8 seeds in parallel, mean±95% CI
+//
+// With -reps > 1 the scenario replicates under independently derived
+// seeds across a parallel worker pool (the detailed report shows
+// replication 0; a summary table aggregates all of them). An exchange
+// trace, when requested, records replication 0 only.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"bluegs/internal/core"
+	"bluegs/internal/harness"
 	"bluegs/internal/piconet"
 	"bluegs/internal/scenario"
 	"bluegs/internal/stats"
@@ -37,13 +44,15 @@ func run() error {
 		target   = flag.Duration("target", 40*time.Millisecond, "GS delay requirement")
 		duration = flag.Duration("duration", 60*time.Second, "simulated time")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "independently seeded replications (adds a summary with 95% CIs)")
+		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		mode     = flag.String("mode", "variable", "planner mode: fixed or variable")
 		pollerK  = flag.String("poller", "pfp", "best-effort poller: pfp, round-robin, exhaustive-rr, fep, edc, demand, hol-priority")
 		noPiggy  = flag.Bool("no-piggyback", false, "disable piggybacking in admission")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
 		config   = flag.String("config", "", "JSON scenario file (overrides the Fig. 4 preset; see internal/scenario.FileSpec)")
 		hist     = flag.Bool("hist", false, "print per-GS-flow delay histograms")
-		traceOut = flag.String("trace", "", "write an exchange trace CSV to this file")
+		traceOut = flag.String("trace", "", "write an exchange trace CSV to this file (replication 0)")
 	)
 	flag.Parse()
 
@@ -57,10 +66,12 @@ func run() error {
 		if spec.Duration <= 0 {
 			spec.Duration = *duration
 		}
+		if spec.Seed != 0 {
+			*seed = spec.Seed
+		}
 	} else {
 		spec = scenario.Paper(*target)
 		spec.Duration = *duration
-		spec.Seed = *seed
 		spec.BEPoller = scenario.BEPollerKind(*pollerK)
 		spec.WithoutPiggybacking = *noPiggy
 		switch *mode {
@@ -84,10 +95,24 @@ func run() error {
 		spec.Tracer = csvTracer
 	}
 
-	res, err := scenario.Run(spec)
+	sweepCfg := harness.SweepConfig{
+		Duration:     spec.Duration,
+		Seed:         *seed,
+		Replications: *reps,
+	}
+	sw := harness.GridSweep(spec.Name, sweepCfg, []string{spec.Name},
+		func(string) scenario.Spec { return spec })
+	// The tracer is a single shared sink; only replication 0 records.
+	for i := range sw.Runs {
+		if sw.Runs[i].Rep != 0 {
+			sw.Runs[i].Spec.Tracer = nil
+		}
+	}
+	results, err := harness.Execute(sw.Runs, harness.Options{Workers: *workers})
 	if err != nil {
 		return err
 	}
+	res := results[0].Result
 	if csvTracer != nil {
 		if err := csvTracer.Err(); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -124,8 +149,49 @@ func run() error {
 			}
 		}
 	}
-	if v := res.BoundViolations(); len(v) > 0 {
-		return fmt.Errorf("%d GS flows violated their delay bound", len(v))
+	if *reps > 1 {
+		// In CSV mode stdout must stay machine-readable; the summary
+		// goes to stderr instead.
+		dst := os.Stdout
+		if *csv {
+			dst = os.Stderr
+		}
+		if err := writeReplicationSummary(dst, results); err != nil {
+			return err
+		}
+	}
+	var violations int
+	for _, r := range results {
+		violations += len(r.Result.BoundViolations())
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d GS flow runs violated their delay bound", violations)
 	}
 	return nil
+}
+
+// writeReplicationSummary aggregates all replications into mean±95% CI
+// rows plus the worst GS delay seen across any seed.
+func writeReplicationSummary(w *os.File, results []harness.RunResult) error {
+	tbl := stats.NewTable(
+		fmt.Sprintf("\nreplication summary (%d independently seeded runs, mean±95%% CI)", len(results)),
+		"quantity", "value")
+	gs := harness.Aggregate(results, func(r *scenario.Result) float64 {
+		return r.TotalKbps(piconet.Guaranteed)
+	})
+	be := harness.Aggregate(results, func(r *scenario.Result) float64 {
+		return r.TotalKbps(piconet.BestEffort)
+	})
+	tbl.AddRow("GS kbps", gs.FormatMeanCI())
+	tbl.AddRow("BE kbps", be.FormatMeanCI())
+	var worst time.Duration
+	for _, r := range results {
+		for _, f := range r.Result.Flows {
+			if f.Class == piconet.Guaranteed && f.DelayMax > worst {
+				worst = f.DelayMax
+			}
+		}
+	}
+	tbl.AddRow("worst GS delay (all seeds)", worst.Round(time.Microsecond))
+	return tbl.WriteText(w)
 }

@@ -7,9 +7,12 @@
 //
 //	fig5 [flags]
 //
-// Example (the paper's full 530 s runs):
+// Example (the paper's full 530 s runs, five seeds per point, all cores):
 //
-//	fig5 -duration 530s
+//	fig5 -duration 530s -reps 5
+//
+// Runs fan out across a worker pool (one isolated simulator per run);
+// results are bit-identical at any -workers value.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"bluegs/internal/experiments"
+	"bluegs/internal/harness"
 )
 
 func main() {
@@ -32,6 +36,9 @@ func run() error {
 	var (
 		duration = flag.Duration("duration", 60*time.Second, "simulated time per point")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "independently seeded replications per point (adds 95% CIs)")
+		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report sweep progress on stderr")
 		from     = flag.Duration("from", 28*time.Millisecond, "first delay requirement")
 		to       = flag.Duration("to", 46*time.Millisecond, "last delay requirement")
 		step     = flag.Duration("step", 2*time.Millisecond, "sweep step")
@@ -45,7 +52,15 @@ func run() error {
 	for t := *from; t <= *to; t += *step {
 		targets = append(targets, t)
 	}
-	cfg := experiments.Config{Duration: *duration, Seed: *seed}
+	cfg := experiments.Config{
+		Duration:     *duration,
+		Seed:         *seed,
+		Replications: *reps,
+		Workers:      *workers,
+	}
+	if *progress {
+		cfg.Progress = harness.StderrProgress("fig5")
+	}
 	rows, tbl, err := experiments.Figure5(cfg, targets)
 	if err != nil {
 		return err

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	report [-duration 530s] [-seed 1]
+//	report [-duration 530s] [-seed 1] [-reps 1] [-workers 0]
 //
-// The default duration matches the paper's 530 s simulation runs.
+// The default duration matches the paper's 530 s simulation runs. With
+// -reps > 1 every experiment replicates each sweep cell under
+// independently derived seeds and reports mean±95% CI throughput; the
+// runs of each experiment fan out across -workers simulators with
+// bit-identical results at any worker count.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"bluegs/internal/experiments"
+	"bluegs/internal/harness"
 	"bluegs/internal/stats"
 )
 
@@ -30,9 +35,20 @@ func run() error {
 	var (
 		duration = flag.Duration("duration", 530*time.Second, "simulated time per run")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "independently seeded replications per sweep cell")
+		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-experiment progress on stderr")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Duration: *duration, Seed: *seed}
+	cfg := experiments.Config{
+		Duration:     *duration,
+		Seed:         *seed,
+		Replications: *reps,
+		Workers:      *workers,
+	}
+	if *progress {
+		cfg.Progress = harness.StderrProgress("report")
+	}
 
 	print := func(tbl *stats.Table, err error) error {
 		if err != nil {

@@ -19,7 +19,12 @@
 //   - internal/gs, internal/tspec, internal/segmentation — RFC 2212 delay
 //     bound math, token buckets, and segmentation policies;
 //   - internal/scenario, internal/experiments — the paper's Fig. 4
-//     evaluation setup and one entry point per paper table/figure.
+//     evaluation setup and one entry point per paper table/figure;
+//   - internal/harness — the parallel experiment runner: sweep grids
+//     (delay target × poller × seed replication) fan out across a bounded
+//     worker pool with per-replication seed derivation, so every cmd tool
+//     reproduces the paper's sweeps bit-identically at any worker count
+//     and reports multi-seed 95% confidence intervals.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-versus-measured results.

@@ -1,0 +1,3 @@
+module bluegs
+
+go 1.24

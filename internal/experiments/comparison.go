@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
+	"bluegs/internal/harness"
 	"bluegs/internal/piconet"
 	"bluegs/internal/scenario"
 	"bluegs/internal/sco"
@@ -17,18 +19,27 @@ import (
 type T4Row struct {
 	Scheme string
 	// Bound is the scheme's delay bound; MaxSeen the measured maximum
-	// (zero for the analytic SCO row).
+	// over all replications (zero for the analytic SCO row).
 	Bound   time.Duration
 	MaxSeen time.Duration
 	// BusySlots is the slot consumption per second while the source is
-	// active; IdleSlots while the source is silent. SCO reserves its
-	// slots unconditionally; the GS poller's consumption shrinks when
-	// idle and the difference is reclaimable for BE or retransmissions.
+	// active; IdleSlots while the source is silent (means across
+	// replications). SCO reserves its slots unconditionally; the GS
+	// poller's consumption shrinks when idle and the difference is
+	// reclaimable for BE or retransmissions.
 	BusySlots float64
 	IdleSlots float64
 	// Reclaimable reports whether unused capacity can serve other
 	// traffic.
 	Reclaimable bool
+}
+
+// t4Cell names one (target, phase) grid point of the T4 sweep.
+func t4Cell(target time.Duration, busy bool) string {
+	if busy {
+		return target.String() + "/busy"
+	}
+	return target.String() + "/idle"
 }
 
 // TableT4 reproduces the §5 SCO comparison: the GS/PFP poller approaches
@@ -48,34 +59,57 @@ func TableT4(cfg Config) ([]T4Row, *stats.Table, error) {
 		Reclaimable: false,
 	}}
 
-	for _, target := range []time.Duration{
+	targets := []time.Duration{
 		13 * time.Millisecond, 20 * time.Millisecond, 36 * time.Millisecond, 47 * time.Millisecond,
-	} {
-		busy, err := runVoice(cfg, target, true)
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: T4 busy at %v: %w", target, err)
+	}
+	var cells []string
+	type point struct {
+		target time.Duration
+		busy   bool
+	}
+	byCell := make(map[string]point)
+	for _, target := range targets {
+		for _, busy := range []bool{true, false} {
+			cell := t4Cell(target, busy)
+			cells = append(cells, cell)
+			byCell[cell] = point{target, busy}
 		}
-		idle, err := runVoice(cfg, target, false)
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: T4 idle at %v: %w", target, err)
-		}
-		f, _ := busy.FlowByID(1)
-		perSec := func(r *scenario.Result) float64 {
-			gsSlots := r.Slots.GSData + r.Slots.GSOverhead
-			return float64(gsSlots) / r.Elapsed.Seconds()
-		}
-		rows = append(rows, T4Row{
+	}
+	sw := harness.GridSweep("t4", cfg.sweep(), cells, func(cell string) scenario.Spec {
+		p := byCell[cell]
+		return voiceSpec(cfg, p.target, p.busy)
+	})
+	results, err := harness.Execute(sw.Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: T4: %w", err)
+	}
+	_, cellsOut := harness.Cells(results)
+
+	gsSlotsPerSec := func(r *scenario.Result) float64 {
+		return float64(r.Slots.GSData+r.Slots.GSOverhead) / r.Elapsed.Seconds()
+	}
+	for _, target := range targets {
+		busy := cellsOut[t4Cell(target, true)]
+		idle := cellsOut[t4Cell(target, false)]
+		f, _ := busy[0].Result.FlowByID(1)
+		row := T4Row{
 			Scheme:      fmt.Sprintf("GS/PFP target %v", target),
 			Bound:       f.Bound,
-			MaxSeen:     f.DelayMax,
-			BusySlots:   perSec(busy),
-			IdleSlots:   perSec(idle),
+			BusySlots:   harness.Aggregate(busy, gsSlotsPerSec).Mean,
+			IdleSlots:   harness.Aggregate(idle, gsSlotsPerSec).Mean,
 			Reclaimable: true,
-		})
+		}
+		for _, r := range busy {
+			if rf, ok := r.Result.FlowByID(1); ok && rf.DelayMax > row.MaxSeen {
+				row.MaxSeen = rf.DelayMax
+			}
+		}
+		rows = append(rows, row)
 	}
 
 	tbl := stats.NewTable(
-		fmt.Sprintf("T4: SCO vs GS/PFP for one 64 kbps voice flow (%v per run)", cfg.Duration),
+		fmt.Sprintf("T4: SCO vs GS/PFP for one 64 kbps voice flow (%v per run%s)",
+			cfg.Duration, cfg.repNote()),
 		"scheme", "bound", "max_seen", "slots/s busy", "slots/s idle", "reclaimable")
 	for _, r := range rows {
 		maxSeen := ""
@@ -89,8 +123,8 @@ func TableT4(cfg Config) ([]T4Row, *stats.Table, error) {
 	return rows, tbl, nil
 }
 
-// runVoice runs the single voice flow scenario, with or without traffic.
-func runVoice(cfg Config, target time.Duration, withTraffic bool) (*scenario.Result, error) {
+// voiceSpec is the single voice flow scenario, with or without traffic.
+func voiceSpec(cfg Config, target time.Duration, withTraffic bool) scenario.Spec {
 	g := scenario.GSFlow{
 		ID: 1, Slave: 1, Dir: piconet.Up,
 		Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176,
@@ -99,16 +133,15 @@ func runVoice(cfg Config, target time.Duration, withTraffic bool) (*scenario.Res
 		Name:        "voice-vs-sco",
 		GS:          []scenario.GSFlow{g},
 		DelayTarget: target,
-		Duration:    cfg.Duration,
-		Seed:        cfg.Seed,
 	}
 	if !withTraffic {
 		spec.GS[0].Phase = cfg.Duration + time.Second // source never fires
 	}
-	return scenario.Run(spec)
+	return spec
 }
 
 // AblationRow reports one improvement-rule configuration (experiment A1).
+// Slot and skip counts are means across replications, rounded.
 type AblationRow struct {
 	Label      string
 	GSSlots    int64
@@ -139,43 +172,64 @@ func AblationImprovements(cfg Config) ([]AblationRow, *stats.Table, error) {
 		{"rules a+b", core.VariableInterval, core.PostponeAfterPacket | core.PostponeAfterEmpty},
 		{"all rules (§3.2)", core.VariableInterval, core.AllImprovements},
 	}
-	tbl := stats.NewTable(
-		fmt.Sprintf("A1: §3.2 improvement-rule ablation, Fig. 4 scenario at 46 ms, no piggybacking (%v per run)", cfg.Duration),
-		"configuration", "gs_slots", "gs_overhead", "skipped_polls", "be_kbps", "bound_ok")
-	var rows []AblationRow
-	for _, c := range configs {
+	var cells []string
+	byCell := make(map[string]int)
+	for i, c := range configs {
+		cells = append(cells, c.label)
+		byCell[c.label] = i
+	}
+	sw := harness.GridSweep("a1", cfg.sweep(), cells, func(cell string) scenario.Spec {
+		c := configs[byCell[cell]]
 		spec := scenario.Paper(46 * time.Millisecond)
-		spec.Duration = cfg.Duration
-		spec.Seed = cfg.Seed
 		spec.Mode = c.mode
 		spec.Rules = c.rules
 		spec.RulesSet = c.mode == core.VariableInterval
 		spec.WithoutPiggybacking = true
-		res, err := scenario.Run(spec)
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: ablation %q: %w", c.label, err)
-		}
+		return spec
+	})
+	results, err := harness.Execute(sw.Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: ablation: %w", err)
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("A1: §3.2 improvement-rule ablation, Fig. 4 scenario at 46 ms, no piggybacking (%v per run%s)",
+			cfg.Duration, cfg.repNote()),
+		"configuration", "gs_slots", "gs_overhead", "skipped_polls", "be_kbps", "bound_ok")
+	order, cellRuns := harness.Cells(results)
+	var rows []AblationRow
+	for _, cell := range order {
+		rs := cellRuns[cell]
+		gsSlots := harness.Aggregate(rs, func(r *scenario.Result) float64 {
+			return float64(r.Slots.GSData + r.Slots.GSOverhead)
+		})
+		overhead := harness.Aggregate(rs, func(r *scenario.Result) float64 {
+			return float64(r.Slots.GSOverhead)
+		})
+		skipped := harness.Aggregate(rs, func(r *scenario.Result) float64 {
+			return float64(r.Skipped)
+		})
 		row := AblationRow{
-			Label:      c.label,
-			GSSlots:    res.Slots.GSData + res.Slots.GSOverhead,
-			GSOverhead: res.Slots.GSOverhead,
-			Skipped:    res.Skipped,
-			BEKbps:     res.TotalKbps(piconet.BestEffort),
-			Violations: len(res.BoundViolations()),
+			Label:      cell,
+			GSSlots:    int64(math.Round(gsSlots.Mean)),
+			GSOverhead: int64(math.Round(overhead.Mean)),
+			Skipped:    uint64(math.Round(skipped.Mean)),
+			BEKbps:     classKbps(rs, piconet.BestEffort).Mean,
+			Violations: cellViolations(rs),
 		}
 		rows = append(rows, row)
 		ok := "yes"
 		if row.Violations > 0 {
 			ok = "VIOLATED"
 		}
-		tbl.AddRow(c.label, row.GSSlots, row.GSOverhead, row.Skipped,
+		tbl.AddRow(cell, row.GSSlots, row.GSOverhead, row.Skipped,
 			stats.FormatKbps(row.BEKbps), ok)
 	}
 	return rows, tbl, nil
 }
 
 // BaselineRow reports one best-effort poller on the baseline comparison
-// (experiment A2).
+// (experiment A2), aggregated over replications: throughput, mean delay
+// and fairness are means; p99 and max delay take the worst replication.
 type BaselineRow struct {
 	Poller    string
 	TotalKbps float64
@@ -196,54 +250,41 @@ func BaselinePollers(cfg Config) ([]BaselineRow, *stats.Table, error) {
 		scenario.BERoundRobin, scenario.BEExhaustive, scenario.BEFEP,
 		scenario.BEEDC, scenario.BEDemand, scenario.BEHOL, scenario.BEPFP,
 	}
+	results, err := harness.Execute(harness.ComparisonSweep(cfg.sweep(), kinds).Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: baseline: %w", err)
+	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("A2: best-effort pollers on a saturated piconet (%v per run)", cfg.Duration),
+		fmt.Sprintf("A2: best-effort pollers on a saturated piconet (%v per run%s)",
+			cfg.Duration, cfg.repNote()),
 		"poller", "total_kbps", "delay_mean", "delay_p99", "delay_max", "fairness")
+	order, cellRuns := harness.Cells(results)
 	var rows []BaselineRow
-	for _, kind := range kinds {
-		spec := baselineSpec(cfg, kind)
-		res, err := scenario.Run(spec)
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: baseline %q: %w", kind, err)
+	for _, cell := range order {
+		rs := cellRuns[cell]
+		var kbps, mean, fairness stats.Welford
+		row := BaselineRow{Poller: cell}
+		for _, r := range rs {
+			rep := summarizeBaseline(cell, r.Run.Spec, r.Result)
+			kbps.Add(rep.TotalKbps)
+			mean.Add(float64(rep.MeanDelay))
+			fairness.Add(rep.Fairness)
+			if rep.MaxDelay > row.MaxDelay {
+				row.MaxDelay = rep.MaxDelay
+			}
+			if rep.P99Delay > row.P99Delay {
+				row.P99Delay = rep.P99Delay
+			}
 		}
-		row := summarizeBaseline(string(kind), spec, res)
+		row.TotalKbps = kbps.Mean()
+		row.MeanDelay = time.Duration(mean.Mean())
+		row.Fairness = fairness.Mean()
 		rows = append(rows, row)
 		tbl.AddRow(row.Poller, stats.FormatKbps(row.TotalKbps),
 			row.MeanDelay.Round(time.Microsecond), row.P99Delay.Round(time.Microsecond),
 			row.MaxDelay.Round(time.Microsecond), fmt.Sprintf("%.3f", row.Fairness))
 	}
 	return rows, tbl, nil
-}
-
-// baselineSpec is a BE-only piconet: four loaded slaves (60..90 kbps per
-// direction, overloading the channel together) and three idle slaves that
-// penalise non-adaptive pollers.
-func baselineSpec(cfg Config, kind scenario.BEPollerKind) scenario.Spec {
-	var be []scenario.BEFlow
-	id := piconet.FlowID(1)
-	for i, rate := range []float64{60, 70, 80, 90} {
-		slave := piconet.SlaveID(4 + i)
-		be = append(be,
-			scenario.BEFlow{ID: id, Slave: slave, Dir: piconet.Down, RateKbps: rate, PacketSize: 176},
-			scenario.BEFlow{ID: id + 1, Slave: slave, Dir: piconet.Up, RateKbps: rate, PacketSize: 176},
-		)
-		id += 2
-	}
-	// Idle slaves: registered with negligible-rate flows so the pollers
-	// must discover they are uninteresting.
-	for s := piconet.SlaveID(1); s <= 3; s++ {
-		be = append(be, scenario.BEFlow{
-			ID: id, Slave: s, Dir: piconet.Up, RateKbps: 0.5, PacketSize: 176,
-		})
-		id++
-	}
-	return scenario.Spec{
-		Name:     fmt.Sprintf("baseline-%s", kind),
-		BE:       be,
-		BEPoller: kind,
-		Duration: cfg.Duration,
-		Seed:     cfg.Seed,
-	}
 }
 
 func summarizeBaseline(name string, spec scenario.Spec, res *scenario.Result) BaselineRow {

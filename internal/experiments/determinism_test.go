@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFigure5DeterministicAcrossWorkers is the acceptance criterion of the
+// harness rewiring: a replicated Fig. 5 sweep produces bit-identical rows
+// — rendered table text and per-slave kbps — at every worker count.
+func TestFigure5DeterministicAcrossWorkers(t *testing.T) {
+	targets := []time.Duration{30 * time.Millisecond, 38 * time.Millisecond, 46 * time.Millisecond}
+	type snapshot struct {
+		rows  []Fig5Row
+		table string
+	}
+	var base *snapshot
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := Config{
+			Duration:     3 * time.Second,
+			Seed:         1,
+			Replications: 3,
+			Workers:      workers,
+		}
+		rows, tbl, err := Figure5(cfg, targets)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := &snapshot{rows: rows, table: tbl.String()}
+		if base == nil {
+			base = got
+			continue
+		}
+		if got.table != base.table {
+			t.Fatalf("workers=%d: table text diverged\n--- got ---\n%s--- want ---\n%s",
+				workers, got.table, base.table)
+		}
+		if !reflect.DeepEqual(got.rows, base.rows) {
+			t.Fatalf("workers=%d: rows diverged\n got %+v\nwant %+v", workers, got.rows, base.rows)
+		}
+	}
+}
+
+// TestFigure5ReplicationsAggregate checks the multi-seed plumbing: more
+// than one replication yields confidence intervals and keeps the
+// per-point means plausible.
+func TestFigure5ReplicationsAggregate(t *testing.T) {
+	cfg := Config{Duration: 3 * time.Second, Seed: 1, Replications: 4}
+	rows, tbl, err := Figure5(cfg, []time.Duration{40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.Reps != 4 {
+		t.Fatalf("reps = %d, want 4", row.Reps)
+	}
+	if row.GS.N != 4 || row.BE.N != 4 {
+		t.Fatalf("summaries aggregated %d/%d values", row.GS.N, row.BE.N)
+	}
+	// Independent seeds: the replications must not be carbon copies.
+	if row.BE.Min == row.BE.Max {
+		t.Fatal("replications produced identical BE throughput; seeds not independent")
+	}
+	if row.GS.Mean < 200 || row.GS.Mean > 300 {
+		t.Fatalf("GS mean = %v, want ~256", row.GS.Mean)
+	}
+	if row.GS.CI95 <= 0 || row.BE.CI95 <= 0 {
+		t.Fatalf("missing confidence intervals: %+v %+v", row.GS, row.BE)
+	}
+	if row.Violations != 0 {
+		t.Fatal("bound violated")
+	}
+	// The table advertises the replication count and shows intervals.
+	for _, want := range []string{"4 reps", "±"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}
+
+// TestFigure5DuplicateTargets: duplicate delay targets collapse into one
+// correctly-labeled row instead of misaligning the sweep cells.
+func TestFigure5DuplicateTargets(t *testing.T) {
+	cfg := Config{Duration: time.Second, Seed: 1}
+	rows, _, err := Figure5(cfg, []time.Duration{
+		30 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (deduplicated)", len(rows))
+	}
+	if rows[0].Target != 30*time.Millisecond || rows[1].Target != 40*time.Millisecond {
+		t.Fatalf("row targets = %v, %v", rows[0].Target, rows[1].Target)
+	}
+	if rows[0].Reps != 1 || rows[1].Reps != 1 {
+		t.Fatalf("reps = %d/%d, want 1/1", rows[0].Reps, rows[1].Reps)
+	}
+}
+
+// TestProgressCallback checks the Config.Progress plumbing into the
+// harness.
+func TestProgressCallback(t *testing.T) {
+	calls := 0
+	total := 0
+	cfg := Config{
+		Duration: time.Second, Seed: 1, Replications: 2, Workers: 2,
+		Progress: func(done, n int) {
+			calls++
+			total = n
+		},
+	}
+	_, _, err := Figure5(cfg, []time.Duration{40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || total != 2 {
+		t.Fatalf("progress calls = %d (total %d), want 2", calls, total)
+	}
+}

@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"time"
 
+	"bluegs/internal/harness"
 	"bluegs/internal/piconet"
-	"bluegs/internal/scenario"
 	"bluegs/internal/stats"
 )
 
-// E7Row summarises the delay distribution of one GS flow.
+// E7Row summarises the delay distribution of one GS flow. With
+// replications the distributions pool every replication's samples.
 type E7Row struct {
 	Flow       piconet.FlowID
 	Samples    uint64
@@ -32,33 +33,39 @@ func DelayDistribution(cfg Config, target time.Duration) ([]E7Row, *stats.Table,
 	if target <= 0 {
 		target = 38 * time.Millisecond
 	}
-	spec := scenario.Paper(target)
-	spec.Duration = cfg.Duration
-	spec.Seed = cfg.Seed
-	res, err := scenario.Run(spec)
+	sw := harness.Fig5Sweep(cfg.sweep(), []time.Duration{target})
+	results, err := harness.Execute(sw.Runs, cfg.options())
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("experiments: E7: %w", err)
 	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("E7: GS delay distributions at a %v requirement (%v)", target, cfg.Duration),
+		fmt.Sprintf("E7: GS delay distributions at a %v requirement (%v%s)",
+			target, cfg.Duration, cfg.repNote()),
 		"flow", "samples", "p50", "p90", "p99", "p99.9", "max", "bound", "cdf_at_bound")
 	var rows []E7Row
 	hists := make(map[piconet.FlowID]*stats.DurationHistogram)
-	for _, f := range res.Flows {
+	for _, f := range results[0].Result.Flows {
 		if f.Class != piconet.Guaranteed || f.Delay == nil {
 			continue
 		}
+		// Pool the delay samples of every replication of this flow.
+		pooled := &stats.DurationStats{}
+		for _, r := range results {
+			if rf, ok := r.Result.FlowByID(f.ID); ok && rf.Delay != nil {
+				pooled.Merge(rf.Delay)
+			}
+		}
 		h := stats.NewDurationHistogram(f.Bound+f.Bound/4, 25)
-		f.Delay.FillHistogram(h)
+		pooled.FillHistogram(h)
 		hists[f.ID] = h
 		row := E7Row{
 			Flow:       f.ID,
-			Samples:    f.Delay.Count(),
-			P50:        f.Delay.Quantile(0.5),
-			P90:        f.Delay.Quantile(0.9),
-			P99:        f.Delay.Quantile(0.99),
-			P999:       f.Delay.Quantile(0.999),
-			Max:        f.Delay.Max(),
+			Samples:    pooled.Count(),
+			P50:        pooled.Quantile(0.5),
+			P90:        pooled.Quantile(0.9),
+			P99:        pooled.Quantile(0.99),
+			P999:       pooled.Quantile(0.999),
+			Max:        pooled.Max(),
 			Bound:      f.Bound,
 			CDFAtBound: h.CumulativeAt(f.Bound),
 		}

@@ -2,6 +2,13 @@
 // evaluation (see DESIGN.md §4 for the experiment index). Each experiment
 // returns structured rows plus a rendered table; the cmd tools, the
 // top-level benchmarks and the tests all share these entry points.
+//
+// Every experiment executes its runs through internal/harness: the grid of
+// (sweep cell × seed replication) fans out across a bounded worker pool,
+// and per-cell replications aggregate into mean/min/max/95%-confidence
+// summaries. With the default single replication each experiment
+// reproduces the historical serial output bit for bit (the golden-table
+// tests enforce this).
 package experiments
 
 import (
@@ -11,19 +18,33 @@ import (
 	"bluegs/internal/admission"
 	"bluegs/internal/baseband"
 	"bluegs/internal/gs"
+	"bluegs/internal/harness"
 	"bluegs/internal/piconet"
 	"bluegs/internal/scenario"
 	"bluegs/internal/stats"
 	"bluegs/internal/tspec"
 )
 
-// Config tunes experiment runs. The zero value uses a 60 s horizon and
-// seed 1; the paper's full runs use 530 s (cmd tools pass that).
+// Config tunes experiment runs. The zero value uses a 60 s horizon, seed 1
+// and a single replication; the paper's full runs use 530 s (cmd tools
+// pass that).
 type Config struct {
 	// Duration is the simulated time per run.
 	Duration time.Duration
-	// Seed drives all randomness.
+	// Seed drives all randomness. With replications, each replication's
+	// seed is derived from (Seed, rep) — see harness.ReplicationSeed.
 	Seed int64
+	// Replications is the number of independently seeded runs per sweep
+	// cell (default 1, the paper's single-run evaluation). With more
+	// than one, rows aggregate across replications and throughput cells
+	// gain 95% confidence intervals.
+	Replications int
+	// Workers bounds the harness worker pool (default GOMAXPROCS).
+	// Results are bit-identical at any worker count.
+	Workers int
+	// Progress, when set, receives (completed, total) run counts while
+	// a sweep executes.
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -33,7 +54,88 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Replications <= 0 {
+		c.Replications = 1
+	}
 	return c
+}
+
+// sweep converts the experiment configuration for the harness builders.
+func (c Config) sweep() harness.SweepConfig {
+	return harness.SweepConfig{
+		Duration:     c.Duration,
+		Seed:         c.Seed,
+		Replications: c.Replications,
+	}
+}
+
+// options converts the execution half of the configuration.
+func (c Config) options() harness.Options {
+	opts := harness.Options{Workers: c.Workers}
+	if c.Progress != nil {
+		p := c.Progress
+		opts.OnProgress = func(done, total int, _ harness.RunResult) { p(done, total) }
+	}
+	return opts
+}
+
+// repNote annotates table titles when an experiment replicates.
+func (c Config) repNote() string {
+	if c.Replications <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(", %d reps, mean±95%% CI", c.Replications)
+}
+
+// kbpsCell renders a throughput summary: the bare mean for single-run
+// sweeps (preserving the historical table text), mean±CI with
+// replication.
+func kbpsCell(s stats.Summary) string {
+	if s.N <= 1 {
+		return stats.FormatKbps(s.Mean)
+	}
+	return s.FormatMeanCI()
+}
+
+// slaveKbps aggregates one slave's delivered throughput across a cell's
+// replications.
+func slaveKbps(rs []harness.RunResult, slave piconet.SlaveID) stats.Summary {
+	return harness.Aggregate(rs, func(r *scenario.Result) float64 {
+		return r.SlaveKbps[slave]
+	})
+}
+
+// classKbps aggregates a traffic class's total throughput across a cell's
+// replications.
+func classKbps(rs []harness.RunResult, class piconet.Class) stats.Summary {
+	return harness.Aggregate(rs, func(r *scenario.Result) float64 {
+		return r.TotalKbps(class)
+	})
+}
+
+// cellViolations sums the GS bound violations across a cell's
+// replications (must stay zero).
+func cellViolations(rs []harness.RunResult) int {
+	n := 0
+	for _, r := range rs {
+		n += len(r.Result.BoundViolations())
+	}
+	return n
+}
+
+// uniqueTargets drops duplicate delay targets, preserving order: sweep
+// cells are keyed by the target's rendering, so a duplicate would merge
+// with its first occurrence and misalign the row labels.
+func uniqueTargets(targets []time.Duration) []time.Duration {
+	seen := make(map[time.Duration]bool, len(targets))
+	out := targets[:0:0]
+	for _, t := range targets {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // DefaultFig5Targets is the paper's Fig. 5 x-axis: delay requirements from
@@ -47,14 +149,19 @@ func DefaultFig5Targets() []time.Duration {
 }
 
 // Fig5Row is one point of the Figure 5 series: per-slave throughput at one
-// GS delay requirement.
+// GS delay requirement, aggregated over the configured replications.
 type Fig5Row struct {
-	Target    time.Duration
+	Target time.Duration
+	// SlaveKbps holds per-slave means across replications.
 	SlaveKbps map[piconet.SlaveID]float64
 	GSKbps    float64
 	BEKbps    float64
+	// GS and BE carry the full replication summaries (CI95 etc.).
+	GS, BE stats.Summary
+	// Reps is the number of replications aggregated into the row.
+	Reps int
 	// Violations counts GS flows whose measured max delay exceeded the
-	// exported bound (must be zero).
+	// exported bound across all replications (must be zero).
 	Violations int
 }
 
@@ -66,37 +173,43 @@ func Figure5(cfg Config, targets []time.Duration) ([]Fig5Row, *stats.Table, erro
 	if len(targets) == 0 {
 		targets = DefaultFig5Targets()
 	}
+	targets = uniqueTargets(targets)
+	results, err := harness.Execute(harness.Fig5Sweep(cfg.sweep(), targets).Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: figure 5: %w", err)
+	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("Figure 5: throughput vs GS delay requirement (%v per point)", cfg.Duration),
+		fmt.Sprintf("Figure 5: throughput vs GS delay requirement (%v per point%s)",
+			cfg.Duration, cfg.repNote()),
 		"delay_req", "S1_kbps", "S2_kbps", "S3_kbps", "S4_kbps", "S5_kbps", "S6_kbps", "S7_kbps",
 		"GS_total", "BE_total", "bound_ok")
+	order, byCell := harness.Cells(results)
 	var rows []Fig5Row
-	for _, target := range targets {
-		spec := scenario.Paper(target)
-		spec.Duration = cfg.Duration
-		spec.Seed = cfg.Seed
-		res, err := scenario.Run(spec)
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: figure 5 at %v: %w", target, err)
-		}
+	for i, cell := range order {
+		rs := byCell[cell]
 		row := Fig5Row{
-			Target:     target,
-			SlaveKbps:  res.SlaveKbps,
-			GSKbps:     res.TotalKbps(piconet.Guaranteed),
-			BEKbps:     res.TotalKbps(piconet.BestEffort),
-			Violations: len(res.BoundViolations()),
+			Target:     targets[i],
+			SlaveKbps:  make(map[piconet.SlaveID]float64),
+			GS:         classKbps(rs, piconet.Guaranteed),
+			BE:         classKbps(rs, piconet.BestEffort),
+			Reps:       len(rs),
+			Violations: cellViolations(rs),
+		}
+		row.GSKbps, row.BEKbps = row.GS.Mean, row.BE.Mean
+		for slave := piconet.SlaveID(1); slave <= 7; slave++ {
+			row.SlaveKbps[slave] = slaveKbps(rs, slave).Mean
 		}
 		rows = append(rows, row)
 		ok := "yes"
 		if row.Violations > 0 {
 			ok = "VIOLATED"
 		}
-		tbl.AddRow(target,
+		tbl.AddRow(row.Target,
 			stats.FormatKbps(row.SlaveKbps[1]), stats.FormatKbps(row.SlaveKbps[2]),
 			stats.FormatKbps(row.SlaveKbps[3]), stats.FormatKbps(row.SlaveKbps[4]),
 			stats.FormatKbps(row.SlaveKbps[5]), stats.FormatKbps(row.SlaveKbps[6]),
 			stats.FormatKbps(row.SlaveKbps[7]),
-			stats.FormatKbps(row.GSKbps), stats.FormatKbps(row.BEKbps), ok)
+			kbpsCell(row.GS), kbpsCell(row.BE), ok)
 	}
 	return rows, tbl, nil
 }
@@ -171,7 +284,8 @@ func TableT1() (T1, *stats.Table, error) {
 	return t1, tbl, nil
 }
 
-// T2Row is one delay-compliance measurement.
+// T2Row is one delay-compliance measurement. With replications, Samples
+// sums across the cell and MaxSeen/P99 take the worst replication.
 type T2Row struct {
 	Target  time.Duration
 	Flow    piconet.FlowID
@@ -189,37 +303,44 @@ func TableT2(cfg Config, targets []time.Duration) ([]T2Row, *stats.Table, error)
 	if len(targets) == 0 {
 		targets = []time.Duration{29 * time.Millisecond, 38 * time.Millisecond, 46 * time.Millisecond}
 	}
+	targets = uniqueTargets(targets)
+	results, err := harness.Execute(harness.Fig5Sweep(cfg.sweep(), targets).Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: T2: %w", err)
+	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("T2: delay-bound compliance (%v per run; paper: 530 s, 25000 samples/flow)", cfg.Duration),
+		fmt.Sprintf("T2: delay-bound compliance (%v per run%s; paper: 530 s, 25000 samples/flow)",
+			cfg.Duration, cfg.repNote()),
 		"delay_req", "flow", "samples", "p99", "max_delay", "bound", "ok")
+	order, byCell := harness.Cells(results)
 	var rows []T2Row
-	for _, target := range targets {
-		spec := scenario.Paper(target)
-		spec.Duration = cfg.Duration
-		spec.Seed = cfg.Seed
-		res, err := scenario.Run(spec)
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: T2 at %v: %w", target, err)
-		}
-		for _, f := range res.Flows {
+	for i, cell := range order {
+		rs := byCell[cell]
+		for _, f := range rs[0].Result.Flows {
 			if f.Class != piconet.Guaranteed {
 				continue
 			}
-			row := T2Row{
-				Target:  target,
-				Flow:    f.ID,
-				Bound:   f.Bound,
-				MaxSeen: f.DelayMax,
-				P99:     f.DelayP99,
-				Samples: f.Delivered,
-				OK:      f.DelayMax <= f.Bound,
+			row := T2Row{Target: targets[i], Flow: f.ID, Bound: f.Bound}
+			for _, r := range rs {
+				rf, ok := r.Result.FlowByID(f.ID)
+				if !ok {
+					continue
+				}
+				row.Samples += rf.Delivered
+				if rf.DelayMax > row.MaxSeen {
+					row.MaxSeen = rf.DelayMax
+				}
+				if rf.DelayP99 > row.P99 {
+					row.P99 = rf.DelayP99
+				}
 			}
+			row.OK = row.MaxSeen <= row.Bound
 			rows = append(rows, row)
 			ok := "yes"
 			if !row.OK {
 				ok = "VIOLATED"
 			}
-			tbl.AddRow(target, f.ID, row.Samples,
+			tbl.AddRow(row.Target, row.Flow, row.Samples,
 				row.P99.Round(time.Microsecond), row.MaxSeen.Round(time.Microsecond),
 				row.Bound.Round(time.Microsecond), ok)
 		}
@@ -227,15 +348,18 @@ func TableT2(cfg Config, targets []time.Duration) ([]T2Row, *stats.Table, error)
 	return rows, tbl, nil
 }
 
-// T3 bundles the §4.2 capacity result.
+// T3 bundles the §4.2 capacity result, aggregated over replications.
 type T3 struct {
 	GSKbps    float64
 	BEKbps    float64
 	TotalKbps float64
-	// PerSlave is the per-slave throughput at the loose requirement.
+	// GS, BE and Total carry the full replication summaries.
+	GS, BE, Total stats.Summary
+	// PerSlave is the per-slave throughput (mean across replications) at
+	// the loose requirement.
 	PerSlave map[piconet.SlaveID]float64
 	// AllBEAtMax reports whether every BE slave reached its offered load
-	// (within 2%).
+	// (within 2%) in every replication.
 	AllBEAtMax bool
 }
 
@@ -244,32 +368,39 @@ type T3 struct {
 // with every BE flow at its offered maximum.
 func TableT3(cfg Config) (T3, *stats.Table, error) {
 	cfg = cfg.withDefaults()
-	spec := scenario.Paper(46 * time.Millisecond)
-	spec.Duration = cfg.Duration
-	spec.Seed = cfg.Seed
-	res, err := scenario.Run(spec)
+	sw := harness.Fig5Sweep(cfg.sweep(), []time.Duration{46 * time.Millisecond})
+	results, err := harness.Execute(sw.Runs, cfg.options())
 	if err != nil {
 		return T3{}, nil, fmt.Errorf("experiments: T3: %w", err)
 	}
 	t3 := T3{
-		GSKbps:     res.TotalKbps(piconet.Guaranteed),
-		BEKbps:     res.TotalKbps(piconet.BestEffort),
-		PerSlave:   res.SlaveKbps,
+		GS:         classKbps(results, piconet.Guaranteed),
+		BE:         classKbps(results, piconet.BestEffort),
+		PerSlave:   make(map[piconet.SlaveID]float64),
 		AllBEAtMax: true,
 	}
-	t3.TotalKbps = t3.GSKbps + t3.BEKbps
-	for _, b := range spec.BE {
-		f, _ := res.FlowByID(b.ID)
-		if f.Kbps < b.RateKbps*0.98 {
-			t3.AllBEAtMax = false
+	t3.Total = harness.Aggregate(results, func(r *scenario.Result) float64 {
+		return r.TotalKbps(piconet.Guaranteed) + r.TotalKbps(piconet.BestEffort)
+	})
+	t3.GSKbps, t3.BEKbps, t3.TotalKbps = t3.GS.Mean, t3.BE.Mean, t3.Total.Mean
+	for slave := piconet.SlaveID(1); slave <= 7; slave++ {
+		t3.PerSlave[slave] = slaveKbps(results, slave).Mean
+	}
+	for _, r := range results {
+		for _, b := range r.Run.Spec.BE {
+			f, _ := r.Result.FlowByID(b.ID)
+			if f.Kbps < b.RateKbps*0.98 {
+				t3.AllBEAtMax = false
+			}
 		}
 	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("T3: carried throughput at a loose (46 ms) requirement (%v; paper: 656 kbps total)", cfg.Duration),
+		fmt.Sprintf("T3: carried throughput at a loose (46 ms) requirement (%v%s; paper: 656 kbps total)",
+			cfg.Duration, cfg.repNote()),
 		"quantity", "kbps")
-	tbl.AddRow("GS total (paper: 256)", stats.FormatKbps(t3.GSKbps))
-	tbl.AddRow("BE total (paper: 400)", stats.FormatKbps(t3.BEKbps))
-	tbl.AddRow("total (paper: 656)", stats.FormatKbps(t3.TotalKbps))
+	tbl.AddRow("GS total (paper: 256)", kbpsCell(t3.GS))
+	tbl.AddRow("BE total (paper: 400)", kbpsCell(t3.BE))
+	tbl.AddRow("total (paper: 656)", kbpsCell(t3.Total))
 	for slave := piconet.SlaveID(1); slave <= 7; slave++ {
 		tbl.AddRow(fmt.Sprintf("slave S%d", slave), stats.FormatKbps(t3.PerSlave[slave]))
 	}

@@ -5,13 +5,15 @@ import (
 	"time"
 
 	"bluegs/internal/baseband"
+	"bluegs/internal/harness"
 	"bluegs/internal/piconet"
-	"bluegs/internal/radio"
 	"bluegs/internal/scenario"
 	"bluegs/internal/stats"
 )
 
-// E5Row reports one bit-error-rate point of the retransmission experiment.
+// E5Row reports one bit-error-rate point of the retransmission experiment,
+// aggregated over replications (delivery pools packet counts, the worst
+// delay takes the worst replication, rates are means).
 type E5Row struct {
 	BER float64
 	// Recovery reports whether the saved-bandwidth retransmission policy
@@ -41,49 +43,48 @@ func RetransmissionStudy(cfg Config, bers []float64) ([]E5Row, *stats.Table, err
 	if len(bers) == 0 {
 		bers = []float64{0, 1e-5, 5e-5, 1e-4, 5e-4}
 	}
+	results, err := harness.Execute(harness.ExtensionSweep(cfg.sweep(), bers).Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: E5: %w", err)
+	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("E5 (future work): GS flows over a lossy radio with ARQ (%v per run)", cfg.Duration),
+		fmt.Sprintf("E5 (future work): GS flows over a lossy radio with ARQ (%v per run%s)",
+			cfg.Duration, cfg.repNote()),
 		"BER", "recovery", "gs_delivery", "gs_max_delay", "worst_bound", "be_kbps", "rtx_slots/s")
+	_, cellRuns := harness.Cells(results)
 	var rows []E5Row
 	for _, ber := range bers {
 		for _, recovery := range []bool{false, true} {
 			if ber == 0 && recovery {
 				continue // identical to the lossless baseline
 			}
-			spec := scenario.Paper(40 * time.Millisecond)
-			spec.Duration = cfg.Duration
-			spec.Seed = cfg.Seed
-			if ber > 0 {
-				spec.Radio = radio.BER{BitErrorRate: ber}
-				spec.ARQ = true
-				spec.LossRecovery = recovery
-			}
-			res, err := scenario.Run(spec)
-			if err != nil {
-				return nil, nil, fmt.Errorf("experiments: E5 at BER %v: %w", ber, err)
-			}
+			rs := cellRuns[harness.ExtensionCell(ber, recovery)]
 			var offered, delivered uint64
 			var maxDelay, worstBound time.Duration
-			for _, f := range res.Flows {
-				if f.Class != piconet.Guaranteed {
-					continue
-				}
-				offered += f.Offered
-				delivered += f.Delivered
-				if f.DelayMax > maxDelay {
-					maxDelay = f.DelayMax
-				}
-				if f.Bound > worstBound {
-					worstBound = f.Bound
+			for _, r := range rs {
+				for _, f := range r.Result.Flows {
+					if f.Class != piconet.Guaranteed {
+						continue
+					}
+					offered += f.Offered
+					delivered += f.Delivered
+					if f.DelayMax > maxDelay {
+						maxDelay = f.DelayMax
+					}
+					if f.Bound > worstBound {
+						worstBound = f.Bound
+					}
 				}
 			}
 			row := E5Row{
-				BER:           ber,
-				Recovery:      recovery,
-				GSMaxDelay:    maxDelay,
-				WorstBound:    worstBound,
-				BEKbps:        res.TotalKbps(piconet.BestEffort),
-				RetransSlotsS: float64(res.Slots.Retransmit) / res.Elapsed.Seconds(),
+				BER:        ber,
+				Recovery:   recovery,
+				GSMaxDelay: maxDelay,
+				WorstBound: worstBound,
+				BEKbps:     classKbps(rs, piconet.BestEffort).Mean,
+				RetransSlotsS: harness.Aggregate(rs, func(r *scenario.Result) float64 {
+					return float64(r.Slots.Retransmit) / r.Elapsed.Seconds()
+				}).Mean,
 			}
 			if offered > 0 {
 				// In-flight packets at the horizon are not failures.
@@ -99,7 +100,8 @@ func RetransmissionStudy(cfg Config, bers []float64) ([]E5Row, *stats.Table, err
 	return rows, tbl, nil
 }
 
-// E6Row reports one configuration of the SCO coexistence experiment.
+// E6Row reports one configuration of the SCO coexistence experiment,
+// aggregated over replications.
 type E6Row struct {
 	Label      string
 	Bound      time.Duration
@@ -110,6 +112,9 @@ type E6Row struct {
 	SCOSlotsS  float64
 	Violations int
 }
+
+// e6Labels are the sweep cells, in grid order.
+var e6Labels = []string{"no SCO link", "HV3 SCO link at S3"}
 
 // SCOCoexistence runs a Guaranteed Service voice flow and best-effort
 // traffic with and without a reserved HV3 SCO link in the same piconet —
@@ -135,37 +140,45 @@ func SCOCoexistence(cfg Config) ([]E6Row, *stats.Table, error) {
 			},
 			DelayTarget:    52 * time.Millisecond,
 			DirectionAware: true,
-			Duration:       cfg.Duration,
-			Seed:           cfg.Seed,
 		}
 		if withSCO {
 			spec.SCO = []scenario.SCOLinkSpec{{Slave: 3, Type: baseband.TypeHV3}}
 		}
 		return spec
 	}
+	sw := harness.GridSweep("e6", cfg.sweep(), e6Labels, func(cell string) scenario.Spec {
+		return build(cell == e6Labels[1])
+	})
+	results, err := harness.Execute(sw.Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: E6: %w", err)
+	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("E6: GS + BE with and without an HV3 SCO link (%v per run)", cfg.Duration),
+		fmt.Sprintf("E6: GS + BE with and without an HV3 SCO link (%v per run%s)",
+			cfg.Duration, cfg.repNote()),
 		"configuration", "gs_bound", "gs_max_delay", "gs_kbps", "be_kbps", "sco_kbps", "sco_slots/s", "bound_ok")
+	order, cellRuns := harness.Cells(results)
 	var rows []E6Row
-	for _, withSCO := range []bool{false, true} {
-		label := "no SCO link"
-		if withSCO {
-			label = "HV3 SCO link at S3"
-		}
-		res, err := scenario.Run(build(withSCO))
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: E6 %q: %w", label, err)
-		}
-		gsFlow, _ := res.FlowByID(1)
+	for _, label := range order {
+		rs := cellRuns[label]
+		gsFlow, _ := rs[0].Result.FlowByID(1)
 		row := E6Row{
 			Label:      label,
 			Bound:      gsFlow.Bound,
-			GSMaxDelay: gsFlow.DelayMax,
-			GSKbps:     res.TotalKbps(piconet.Guaranteed),
-			BEKbps:     res.TotalKbps(piconet.BestEffort),
-			SCOKbps:    res.SCOKbps[3],
-			SCOSlotsS:  float64(res.Slots.SCO) / res.Elapsed.Seconds(),
-			Violations: len(res.BoundViolations()),
+			GSKbps:     classKbps(rs, piconet.Guaranteed).Mean,
+			BEKbps:     classKbps(rs, piconet.BestEffort).Mean,
+			SCOKbps: harness.Aggregate(rs, func(r *scenario.Result) float64 {
+				return r.SCOKbps[3]
+			}).Mean,
+			SCOSlotsS: harness.Aggregate(rs, func(r *scenario.Result) float64 {
+				return float64(r.Slots.SCO) / r.Elapsed.Seconds()
+			}).Mean,
+			Violations: cellViolations(rs),
+		}
+		for _, r := range rs {
+			if rf, ok := r.Result.FlowByID(1); ok && rf.DelayMax > row.GSMaxDelay {
+				row.GSMaxDelay = rf.DelayMax
+			}
 		}
 		rows = append(rows, row)
 		ok := "yes"

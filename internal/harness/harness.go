@@ -1,0 +1,214 @@
+// Package harness is the parallel experiment runner: it fans a grid of
+// simulation runs (sweep cell × seed replication) out across a bounded
+// worker pool and collects the results in grid order.
+//
+// Determinism is the design constraint. Every run owns an isolated
+// sim.Simulator whose RNG seed is a pure function of the sweep's base seed
+// and the run's replication index (see ReplicationSeed), and results are
+// stored by run index, so a sweep produces bit-identical rows whether it
+// executes on one worker or sixteen, and regardless of completion order.
+// Replication 0 reuses the base seed itself, which makes a
+// single-replication sweep reproduce the historical serial experiment
+// loops exactly — the golden-table tests in internal/experiments rely on
+// this.
+//
+// On top of the runner, Sweep builders (Fig5Sweep, ComparisonSweep,
+// ExtensionSweep, GridSweep) assemble the paper's evaluation grids, and
+// the aggregation helpers reduce per-cell replications to
+// mean/min/max/95%-confidence summaries via internal/stats.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bluegs/internal/scenario"
+	"bluegs/internal/stats"
+)
+
+// ErrTimeout is wrapped into a RunResult's Err when a run exceeds the
+// per-run timeout.
+var ErrTimeout = errors.New("harness: run timed out")
+
+// Run is one point of a sweep grid: a complete scenario specification plus
+// its position (cell and replication) for aggregation.
+type Run struct {
+	// Index is the run's position in the sweep; results are returned in
+	// index order regardless of completion order.
+	Index int
+	// Cell groups replications of the same grid point (e.g. one Fig. 5
+	// delay target). Aggregation happens per cell.
+	Cell string
+	// Rep is the replication number within the cell (0-based). The
+	// run's Spec.Seed must already be derived for this replication; the
+	// Sweep builders do that via ReplicationSeed.
+	Rep int
+	// Spec is the scenario to simulate.
+	Spec scenario.Spec
+}
+
+// RunResult is the outcome of one executed run.
+type RunResult struct {
+	Run Run
+	// Result is the completed simulation (nil when Err is set).
+	Result *scenario.Result
+	// Err is the run's failure, if any (simulation error or ErrTimeout).
+	Err error
+	// Wall is the wall-clock time the run took.
+	Wall time.Duration
+}
+
+// Options tunes Execute.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout aborts any single run that exceeds it (0 means no limit).
+	// A timed-out run's goroutine cannot be killed — its result is
+	// discarded and its RunResult.Err wraps ErrTimeout.
+	Timeout time.Duration
+	// OnProgress, when set, is called after every completed run with the
+	// number of finished runs, the total, and the run's result. Calls
+	// are serialized but completion order is scheduling-dependent; do
+	// not derive results from it.
+	OnProgress func(done, total int, r RunResult)
+}
+
+// workers resolves the pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Execute runs every Run across the worker pool and returns the results
+// in run-index order. The returned error is the first failure in grid
+// order (deterministic), with all results still returned so callers can
+// inspect partial output.
+func Execute(runs []Run, opts Options) ([]RunResult, error) {
+	results := make([]RunResult, len(runs))
+	if len(runs) == 0 {
+		return results, nil
+	}
+	workers := opts.workers()
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = execute(runs[i], opts.Timeout)
+				if opts.OnProgress != nil {
+					progressMu.Lock()
+					done++
+					opts.OnProgress(done, len(runs), results[i])
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("harness: run %d (cell %q rep %d): %w",
+				runs[i].Index, runs[i].Cell, runs[i].Rep, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// execute runs one scenario, enforcing the per-run timeout when set.
+func execute(run Run, timeout time.Duration) RunResult {
+	start := time.Now()
+	if timeout <= 0 {
+		res, err := scenario.Run(run.Spec)
+		return RunResult{Run: run, Result: res, Err: err, Wall: time.Since(start)}
+	}
+	type outcome struct {
+		res *scenario.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := scenario.Run(run.Spec)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return RunResult{Run: run, Result: o.res, Err: o.err, Wall: time.Since(start)}
+	case <-time.After(timeout):
+		return RunResult{
+			Run:  run,
+			Err:  fmt.Errorf("%w after %v", ErrTimeout, timeout),
+			Wall: time.Since(start),
+		}
+	}
+}
+
+// ReplicationSeed derives the RNG seed of replication rep from a sweep's
+// base seed. Replication 0 uses the base seed itself, so a
+// single-replication sweep is bit-identical to the historical serial runs;
+// higher replications pass (base, rep) through a splitmix64-style mix so
+// their streams are decorrelated. The derivation depends only on the
+// run's identity — never on scheduling — which is what makes sweeps
+// reproducible at any worker count.
+func ReplicationSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(rep)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	seed := int64(z)
+	if seed == 0 {
+		// scenario treats seed 0 as "use the default"; avoid it.
+		seed = 1
+	}
+	return seed
+}
+
+// Cells groups results by cell, preserving first-appearance (grid) order.
+// Within a cell, results keep grid order too, so replications are ordered
+// by Rep.
+func Cells(results []RunResult) ([]string, map[string][]RunResult) {
+	var order []string
+	byCell := make(map[string][]RunResult)
+	for _, r := range results {
+		if _, ok := byCell[r.Run.Cell]; !ok {
+			order = append(order, r.Run.Cell)
+		}
+		byCell[r.Run.Cell] = append(byCell[r.Run.Cell], r)
+	}
+	return order, byCell
+}
+
+// Aggregate reduces one cell's replications to a Summary of the metric,
+// skipping failed runs.
+func Aggregate(rs []RunResult, metric func(*scenario.Result) float64) stats.Summary {
+	var w stats.Welford
+	for _, r := range rs {
+		if r.Err != nil || r.Result == nil {
+			continue
+		}
+		w.Add(metric(r.Result))
+	}
+	return w.Summary()
+}

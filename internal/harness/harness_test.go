@@ -1,0 +1,253 @@
+package harness_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"bluegs/internal/harness"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+)
+
+// shortSweep is a small but non-trivial grid: two Fig. 5 cells, two
+// replications each.
+func shortSweep(t *testing.T) harness.Sweep {
+	t.Helper()
+	cfg := harness.SweepConfig{Duration: 2 * time.Second, Seed: 1, Replications: 2}
+	sw := harness.Fig5Sweep(cfg, []time.Duration{30 * time.Millisecond, 40 * time.Millisecond})
+	if len(sw.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(sw.Runs))
+	}
+	return sw
+}
+
+// fingerprint reduces a result set to comparable strings: per-run flow
+// throughputs, exact delay maxima and per-slave kbps.
+func fingerprint(t *testing.T, results []harness.RunResult) []string {
+	t.Helper()
+	out := make([]string, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %d failed: %v", i, r.Err)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "cell=%s rep=%d seed=%d", r.Run.Cell, r.Run.Rep, r.Run.Spec.Seed)
+		for _, f := range r.Result.Flows {
+			fmt.Fprintf(&sb, " f%d=%.9f/%d", f.ID, f.Kbps, f.DelayMax)
+		}
+		for s := piconet.SlaveID(1); s <= 7; s++ {
+			fmt.Fprintf(&sb, " s%d=%.9f", s, r.Result.SlaveKbps[s])
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// TestExecuteDeterministicAcrossWorkers is the harness's core guarantee:
+// the same sweep yields bit-identical results at every worker count.
+func TestExecuteDeterministicAcrossWorkers(t *testing.T) {
+	sw := shortSweep(t)
+	var want []string
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		results, err := harness.Execute(sw.Runs, harness.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := fingerprint(t, results)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged:\n got %v\nwant %v", workers, got, want)
+		}
+	}
+}
+
+func TestReplicationSeed(t *testing.T) {
+	if got := harness.ReplicationSeed(7, 0); got != 7 {
+		t.Fatalf("rep 0 seed = %d, want the base seed", got)
+	}
+	seen := map[int64]bool{}
+	for rep := 0; rep < 100; rep++ {
+		s := harness.ReplicationSeed(7, rep)
+		if s == 0 {
+			t.Fatalf("rep %d derived the reserved seed 0", rep)
+		}
+		if seen[s] {
+			t.Fatalf("rep %d repeated seed %d", rep, s)
+		}
+		seen[s] = true
+		if s != harness.ReplicationSeed(7, rep) {
+			t.Fatalf("rep %d seed not deterministic", rep)
+		}
+	}
+	if harness.ReplicationSeed(7, 1) == harness.ReplicationSeed(8, 1) {
+		t.Fatal("different base seeds collided at rep 1")
+	}
+}
+
+func TestExecuteTimeout(t *testing.T) {
+	spec := scenario.Paper(40 * time.Millisecond)
+	spec.Duration = 530 * time.Second
+	runs := []harness.Run{{Index: 0, Cell: "slow", Spec: spec}}
+	results, err := harness.Execute(runs, harness.Options{Workers: 1, Timeout: time.Millisecond})
+	if err == nil || !errors.Is(err, harness.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), `cell "slow"`) {
+		t.Fatalf("error %q does not name the cell", err)
+	}
+	if results[0].Result != nil {
+		t.Fatal("timed-out run must not carry a result")
+	}
+}
+
+func TestExecuteProgress(t *testing.T) {
+	sw := shortSweep(t)
+	var dones []int
+	total := 0
+	results, err := harness.Execute(sw.Runs, harness.Options{
+		Workers: 4,
+		OnProgress: func(done, n int, r harness.RunResult) {
+			dones = append(dones, done)
+			total = n
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(sw.Runs) || len(dones) != len(sw.Runs) {
+		t.Fatalf("progress calls = %d (total %d), want %d", len(dones), total, len(sw.Runs))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence %v not monotone", dones)
+		}
+	}
+	for _, r := range results {
+		if r.Wall <= 0 {
+			t.Fatal("missing wall-clock measurement")
+		}
+	}
+}
+
+// TestExecuteErrorDeterministic: the reported error is the first failing
+// run in grid order, not completion order.
+func TestExecuteErrorDeterministic(t *testing.T) {
+	good := scenario.Paper(40 * time.Millisecond)
+	good.Duration = time.Second
+	var runs []harness.Run
+	for i := 0; i < 6; i++ {
+		spec := good
+		cell := fmt.Sprintf("cell%d", i)
+		if i == 2 || i == 4 {
+			spec = scenario.Spec{Name: "empty"} // no flows: scenario.Run fails
+		}
+		runs = append(runs, harness.Run{Index: i, Cell: cell, Spec: spec})
+	}
+	for _, workers := range []int{1, 3} {
+		_, err := harness.Execute(runs, harness.Options{Workers: workers})
+		if err == nil || !strings.Contains(err.Error(), `run 2 (cell "cell2"`) {
+			t.Fatalf("workers=%d: err = %v, want first grid-order failure (run 2)", workers, err)
+		}
+	}
+}
+
+func TestGridSweepStructure(t *testing.T) {
+	cfg := harness.SweepConfig{Duration: time.Second, Seed: 42, Replications: 3}
+	sw := harness.GridSweep("g", cfg, []string{"a", "b"}, func(cell string) scenario.Spec {
+		return scenario.Paper(40 * time.Millisecond)
+	})
+	if len(sw.Runs) != 6 {
+		t.Fatalf("runs = %d, want 6", len(sw.Runs))
+	}
+	for i, r := range sw.Runs {
+		if r.Index != i {
+			t.Fatalf("run %d has index %d", i, r.Index)
+		}
+		wantCell := "a"
+		if i >= 3 {
+			wantCell = "b"
+		}
+		if r.Cell != wantCell || r.Rep != i%3 {
+			t.Fatalf("run %d = cell %q rep %d", i, r.Cell, r.Rep)
+		}
+		if r.Spec.Seed != harness.ReplicationSeed(42, r.Rep) {
+			t.Fatalf("run %d seed %d not derived from (42, %d)", i, r.Spec.Seed, r.Rep)
+		}
+		if r.Spec.Duration != time.Second {
+			t.Fatalf("run %d duration %v", i, r.Spec.Duration)
+		}
+	}
+	// Same rep in different cells shares the seed; different reps differ.
+	if sw.Runs[0].Spec.Seed != sw.Runs[3].Spec.Seed {
+		t.Fatal("rep 0 seeds differ across cells")
+	}
+	if sw.Runs[0].Spec.Seed == sw.Runs[1].Spec.Seed {
+		t.Fatal("rep 0 and rep 1 share a seed")
+	}
+}
+
+func TestCellsAndAggregate(t *testing.T) {
+	sw := shortSweep(t)
+	results, err := harness.Execute(sw.Runs, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, byCell := harness.Cells(results)
+	if !reflect.DeepEqual(order, []string{"30ms", "40ms"}) {
+		t.Fatalf("cell order = %v", order)
+	}
+	for _, cell := range order {
+		rs := byCell[cell]
+		if len(rs) != 2 {
+			t.Fatalf("cell %s has %d reps", cell, len(rs))
+		}
+		if rs[0].Run.Rep != 0 || rs[1].Run.Rep != 1 {
+			t.Fatalf("cell %s reps out of order", cell)
+		}
+		sum := harness.Aggregate(rs, func(r *scenario.Result) float64 {
+			return r.TotalKbps(piconet.Guaranteed)
+		})
+		if sum.N != 2 {
+			t.Fatalf("cell %s aggregated %d values", cell, sum.N)
+		}
+		if sum.Mean < 200 || sum.Mean > 300 {
+			t.Fatalf("cell %s GS mean = %v, want ~256", cell, sum.Mean)
+		}
+		if sum.Min > sum.Mean || sum.Max < sum.Mean {
+			t.Fatalf("cell %s summary inconsistent: %+v", cell, sum)
+		}
+	}
+}
+
+func TestComparisonAndExtensionSweeps(t *testing.T) {
+	cfg := harness.SweepConfig{Duration: time.Second, Seed: 1}
+	cmp := harness.ComparisonSweep(cfg, []scenario.BEPollerKind{scenario.BERoundRobin, scenario.BEPFP})
+	if len(cmp.Runs) != 2 {
+		t.Fatalf("comparison runs = %d", len(cmp.Runs))
+	}
+	if cmp.Runs[0].Spec.BEPoller != scenario.BERoundRobin {
+		t.Fatalf("cell 0 poller = %q", cmp.Runs[0].Spec.BEPoller)
+	}
+	ext := harness.ExtensionSweep(cfg, []float64{0, 1e-4})
+	// Lossless runs once; the lossy point runs with and without recovery.
+	if len(ext.Runs) != 3 {
+		t.Fatalf("extension runs = %d, want 3", len(ext.Runs))
+	}
+	if ext.Runs[0].Spec.ARQ {
+		t.Fatal("lossless run must not enable ARQ")
+	}
+	if !ext.Runs[1].Spec.ARQ || ext.Runs[1].Spec.LossRecovery {
+		t.Fatalf("run 1 = %+v, want ARQ without recovery", ext.Runs[1].Spec)
+	}
+	if !ext.Runs[2].Spec.LossRecovery {
+		t.Fatal("run 2 must enable recovery")
+	}
+}

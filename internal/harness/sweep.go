@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"bluegs/internal/radio"
+	"bluegs/internal/scenario"
+)
+
+// SweepConfig tunes sweep construction: the per-run horizon, the base
+// seed, and how many independently seeded replications each cell runs.
+// The zero value uses a 60 s horizon, seed 1 and one replication.
+type SweepConfig struct {
+	Duration     time.Duration
+	Seed         int64
+	Replications int
+}
+
+// WithDefaults fills the zero fields.
+func (c SweepConfig) WithDefaults() SweepConfig {
+	if c.Duration <= 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Replications <= 0 {
+		c.Replications = 1
+	}
+	return c
+}
+
+// Sweep is an ordered grid of runs ready for Execute.
+type Sweep struct {
+	Name string
+	Runs []Run
+}
+
+// GridSweep builds a sweep from a list of cells and a spec factory: every
+// cell is replicated cfg.Replications times, each replication with its
+// derived seed already applied (the factory's Seed and Duration fields
+// are overwritten). This is the generic builder the typed sweeps share;
+// experiments with bespoke grids (ablations, coexistence pairs) use it
+// directly.
+//
+// The factory is called once per run, but interface-valued Spec fields
+// (Radio, Tracer) shared across those returns are shared across
+// concurrently executing runs: they must be stateless (like radio.BER)
+// or distinct per call, or the bit-identical guarantee — and the race
+// detector — breaks. Cells must be unique: duplicates merge under one
+// Cells key.
+func GridSweep(name string, cfg SweepConfig, cells []string,
+	build func(cell string) scenario.Spec) Sweep {
+	cfg = cfg.WithDefaults()
+	sw := Sweep{Name: name}
+	for _, cell := range cells {
+		for rep := 0; rep < cfg.Replications; rep++ {
+			spec := build(cell)
+			spec.Duration = cfg.Duration
+			spec.Seed = ReplicationSeed(cfg.Seed, rep)
+			sw.Runs = append(sw.Runs, Run{
+				Index: len(sw.Runs),
+				Cell:  cell,
+				Rep:   rep,
+				Spec:  spec,
+			})
+		}
+	}
+	return sw
+}
+
+// Fig5Sweep builds the paper's Figure 5 grid: the Fig. 4 piconet at every
+// delay target, replicated per SweepConfig. Cells are the target
+// durations rendered with time.Duration.String.
+func Fig5Sweep(cfg SweepConfig, targets []time.Duration) Sweep {
+	cells := make([]string, len(targets))
+	byCell := make(map[string]time.Duration, len(targets))
+	for i, t := range targets {
+		cells[i] = t.String()
+		byCell[cells[i]] = t
+	}
+	return GridSweep("fig5", cfg, cells, func(cell string) scenario.Spec {
+		return scenario.Paper(byCell[cell])
+	})
+}
+
+// ComparisonSweep builds the best-effort poller comparison grid
+// (experiment A2): the saturated baseline piconet under every given
+// poller kind. Cells are the poller kind names.
+func ComparisonSweep(cfg SweepConfig, kinds []scenario.BEPollerKind) Sweep {
+	cells := make([]string, len(kinds))
+	for i, k := range kinds {
+		cells[i] = string(k)
+	}
+	return GridSweep("comparison", cfg, cells, func(cell string) scenario.Spec {
+		return scenario.Baseline(scenario.BEPollerKind(cell))
+	})
+}
+
+// ExtensionCell names one (bit error rate, recovery) grid point of the
+// retransmission extension sweep. The BER is rendered losslessly so that
+// nearby rates (e.g. 1e-5 and 1.4e-5) never collapse into one cell.
+func ExtensionCell(ber float64, recovery bool) string {
+	cell := "ber=" + strconv.FormatFloat(ber, 'g', -1, 64)
+	if recovery {
+		cell += "/recovery"
+	}
+	return cell
+}
+
+// StderrProgress returns a progress callback that rewrites a
+// "label: done/total runs" line on stderr, finishing it with a newline —
+// the shared implementation behind the cmd tools' -progress flags.
+func StderrProgress(label string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", label, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// ExtensionSweep builds the retransmission-study grid (experiment E5, the
+// paper's stated future work): the Fig. 4 piconet at a 40 ms requirement
+// across a bit-error-rate sweep, without and with the saved-bandwidth
+// recovery policy. The lossless point runs only once (recovery is
+// meaningless without losses).
+func ExtensionSweep(cfg SweepConfig, bers []float64) Sweep {
+	type point struct {
+		ber      float64
+		recovery bool
+	}
+	var cells []string
+	byCell := make(map[string]point)
+	for _, ber := range bers {
+		for _, recovery := range []bool{false, true} {
+			if ber == 0 && recovery {
+				continue // identical to the lossless baseline
+			}
+			cell := ExtensionCell(ber, recovery)
+			if _, dup := byCell[cell]; dup {
+				continue // duplicate BER in the input
+			}
+			cells = append(cells, cell)
+			byCell[cell] = point{ber, recovery}
+		}
+	}
+	return GridSweep("extensions", cfg, cells, func(cell string) scenario.Spec {
+		p := byCell[cell]
+		spec := scenario.Paper(40 * time.Millisecond)
+		if p.ber > 0 {
+			spec.Radio = radio.BER{BitErrorRate: p.ber}
+			spec.ARQ = true
+			spec.LossRecovery = p.recovery
+		}
+		return spec
+	})
+}

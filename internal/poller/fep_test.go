@@ -1,0 +1,131 @@
+package poller
+
+import (
+	"testing"
+	"time"
+
+	"bluegs/internal/piconet"
+	"bluegs/internal/sim"
+)
+
+// Dedicated FEP behavior: active/inactive set maintenance and the probe
+// budget. The shared poller_test.go covers demotion and backlog
+// promotion; these tests pin the starvation bounds of both sets.
+
+// TestFEPInactiveNotStarvedByActives: with one permanently loaded slave
+// holding the active set, inactive slaves still receive one probe every
+// probeEvery polls.
+func TestFEPInactiveNotStarvedByActives(t *testing.T) {
+	v := newMockView(1, 2, 3)
+	var f FEP
+	// Demote 2 and 3 with empty polls; keep 1 active forever.
+	now := sim.Time(0)
+	step := func() piconet.SlaveID {
+		s, ok := f.Next(now, v)
+		if !ok {
+			t.Fatal("no slave")
+		}
+		now += 2500 * time.Microsecond
+		up := 0
+		if s == 1 {
+			up = 176
+		}
+		f.Observe(outcomeAt(s, now, up, up > 0))
+		return s
+	}
+	for len(f.inactive) < 2 {
+		step()
+	}
+	polls := map[piconet.SlaveID]int{}
+	const n = 9 * probeEvery
+	for i := 0; i < n; i++ {
+		polls[step()]++
+	}
+	probes := polls[2] + polls[3]
+	// One probe per probeEvery active polls, split across the inactives.
+	if probes == 0 {
+		t.Fatal("inactive slaves starved")
+	}
+	if probes < n/probeEvery-2 || probes > n/probeEvery+2 {
+		t.Fatalf("probes = %d over %d polls, want ~%d", probes, n, n/probeEvery)
+	}
+	if polls[2] == 0 || polls[3] == 0 {
+		t.Fatalf("probe rotation skipped a slave: %v", polls)
+	}
+}
+
+// TestFEPActivesNotStarvedByProbes: the probe budget is bounded — the
+// loaded slave keeps at least (probeEvery-1)/probeEvery of the polls.
+func TestFEPActivesNotStarvedByProbes(t *testing.T) {
+	v := newMockView(1, 2)
+	var f FEP
+	now := sim.Time(0)
+	polls := map[piconet.SlaveID]int{}
+	for i := 0; i < 200; i++ {
+		s, _ := f.Next(now, v)
+		polls[s]++
+		now += 2500 * time.Microsecond
+		up := 0
+		if s == 1 {
+			up = 176
+		}
+		f.Observe(outcomeAt(s, now, up, up > 0))
+	}
+	if polls[1] < 200*(probeEvery-1)/probeEvery-2 {
+		t.Fatalf("active slave got %d of 200 polls; probes overran their budget", polls[1])
+	}
+}
+
+// TestFEPMoreDataPromotes: a poll carrying no payload but a set more-data
+// flag counts as productive and promotes.
+func TestFEPMoreDataPromotes(t *testing.T) {
+	v := newMockView(1, 2)
+	var f FEP
+	// Demote both.
+	for i := 0; i < 2; i++ {
+		s, _ := f.Next(0, v)
+		f.Observe(outcomeAt(s, sim.Time(i+1)*time.Millisecond, 0, false))
+	}
+	if len(f.inactive) != 2 {
+		t.Fatalf("inactive = %v, want both", f.inactive)
+	}
+	// Probe comes back empty-handed but flags more data.
+	s, _ := f.Next(5*time.Millisecond, v)
+	f.Observe(Outcome{Slave: s, End: 6 * time.Millisecond, UpMoreData: true, Slots: 2})
+	if len(f.active) != 1 || f.active[0] != s {
+		t.Fatalf("active = %v, want [%d]", f.active, s)
+	}
+}
+
+// TestFEPIgnoresUnsolicitedOutcome: an Observe for a slave the poller did
+// not just pick (e.g. a GS exchange) must not disturb the sets.
+func TestFEPIgnoresUnsolicitedOutcome(t *testing.T) {
+	v := newMockView(1, 2)
+	var f FEP
+	s, _ := f.Next(0, v)
+	other := piconet.SlaveID(1)
+	if s == 1 {
+		other = 2
+	}
+	// Empty outcome for the slave that was NOT pending.
+	f.Observe(outcomeAt(other, time.Millisecond, 0, false))
+	for _, in := range f.inactive {
+		if in == other {
+			t.Fatalf("unsolicited outcome demoted slave %d", other)
+		}
+	}
+}
+
+// TestFEPZeroValueReady: the zero value initialises itself from the first
+// view it sees.
+func TestFEPZeroValueReady(t *testing.T) {
+	var f FEP
+	v := newMockView(4, 5)
+	s, ok := f.Next(0, v)
+	if !ok || (s != 4 && s != 5) {
+		t.Fatalf("Next = %d (%v)", s, ok)
+	}
+	if len(f.active) != 2 {
+		t.Fatalf("active = %v, want both slaves", f.active)
+	}
+}

@@ -191,6 +191,36 @@ func Paper(delayTarget time.Duration) Spec {
 	}
 }
 
+// Baseline returns the best-effort poller comparison setup (experiment
+// A2): a BE-only piconet with four loaded slaves (60..90 kbps per
+// direction, overloading the channel together) and three idle slaves that
+// penalise non-adaptive pollers. kind selects the poller under test.
+func Baseline(kind BEPollerKind) Spec {
+	var be []BEFlow
+	id := piconet.FlowID(1)
+	for i, rate := range []float64{60, 70, 80, 90} {
+		slave := piconet.SlaveID(4 + i)
+		be = append(be,
+			BEFlow{ID: id, Slave: slave, Dir: piconet.Down, RateKbps: rate, PacketSize: 176},
+			BEFlow{ID: id + 1, Slave: slave, Dir: piconet.Up, RateKbps: rate, PacketSize: 176},
+		)
+		id += 2
+	}
+	// Idle slaves: registered with negligible-rate flows so the pollers
+	// must discover they are uninteresting.
+	for s := piconet.SlaveID(1); s <= 3; s++ {
+		be = append(be, BEFlow{
+			ID: id, Slave: s, Dir: piconet.Up, RateKbps: 0.5, PacketSize: 176,
+		})
+		id++
+	}
+	return Spec{
+		Name:     fmt.Sprintf("baseline-%s", kind),
+		BE:       be,
+		BEPoller: kind,
+	}
+}
+
 // FlowResult summarises one flow after a run.
 type FlowResult struct {
 	ID        piconet.FlowID

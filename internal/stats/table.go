@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned table for experiment reports. It renders
@@ -50,12 +51,12 @@ func (t *Table) Rows() [][]string {
 func (t *Table) WriteText(w io.Writer) error {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if w := utf8.RuneCountInString(cell); w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -110,11 +111,14 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// pad right-pads to width in runes (cells may hold multi-byte characters
+// such as ±).
 func pad(s string, width int) string {
-	if len(s) >= width {
+	n := utf8.RuneCountInString(s)
+	if n >= width {
 		return s
 	}
-	return s + strings.Repeat(" ", width-len(s))
+	return s + strings.Repeat(" ", width-n)
 }
 
 func escapeCSV(cells []string) []string {
