@@ -43,6 +43,7 @@ func printTable(name string, tbl *stats.Table) {
 // BenchmarkFigure5ThroughputVsDelayReq regenerates Figure 5: per-slave
 // throughput versus the Guaranteed Service delay requirement.
 func BenchmarkFigure5ThroughputVsDelayReq(b *testing.B) {
+	b.ReportAllocs()
 	var lastBE, lastGS float64
 	for i := 0; i < b.N; i++ {
 		rows, tbl, err := experiments.Figure5(benchCfg, nil)
@@ -276,10 +277,16 @@ func BenchmarkFigure5SweepWorkers(b *testing.B) {
 }
 
 // BenchmarkPaperScenarioSimulation measures raw simulation throughput of
-// the full Fig. 4 piconet (simulated seconds per wall second).
+// the full Fig. 4 piconet: simulated seconds per wall second, kernel
+// events per wall second, and heap allocations per kernel event (the
+// allocation-free-kernel trajectory metric; steady state is pooled, so
+// the residual is per-run setup).
 func BenchmarkPaperScenarioSimulation(b *testing.B) {
 	b.ReportAllocs()
 	simulated := 10 * time.Second
+	var events uint64
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	for i := 0; i < b.N; i++ {
 		spec := scenario.Paper(38 * time.Millisecond)
 		spec.Duration = simulated
@@ -290,9 +297,15 @@ func BenchmarkPaperScenarioSimulation(b *testing.B) {
 		if res.TotalKbps(piconet.Guaranteed) < 200 {
 			b.Fatal("implausible result")
 		}
+		events += res.Events
 	}
+	runtime.ReadMemStats(&ms1)
 	perOp := b.Elapsed() / time.Duration(b.N)
 	if perOp > 0 {
 		b.ReportMetric(simulated.Seconds()/perOp.Seconds(), "sim_s/wall_s")
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 && events > 0 {
+		b.ReportMetric(float64(events)/sec, "events/s")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(events), "allocs/event")
 	}
 }

@@ -1,0 +1,143 @@
+// Command bench measures the simulation kernel's performance envelope and
+// writes it to a JSON baseline (BENCH_kernel.json at the repo root), so the
+// perf trajectory is tracked in-tree from PR to PR. It runs the same
+// workloads as the internal/sim BenchmarkKernel* microbenchmarks plus the
+// full paper scenario, via testing.Benchmark, and reports ns/op, allocs/op
+// and events/s for each.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out BENCH_kernel.json]
+//
+// The committed baseline is produced by CI hardware (see the bench job in
+// .github/workflows/ci.yml); numbers from other machines are comparable
+// only against their own history.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+	"bluegs/internal/sim"
+	"bluegs/internal/sim/benchwork"
+)
+
+// Result is one workload's measurement in the JSON baseline.
+type Result struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// SimSecPerWallSec is set for scenario workloads only: simulated
+	// seconds per wall-clock second.
+	SimSecPerWallSec float64 `json:"sim_s_per_wall_s,omitempty"`
+}
+
+// Baseline is the file schema.
+type Baseline struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// measure converts a testing.BenchmarkResult into a Result row, treating
+// one op as one fired event.
+func measure(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	out := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.T > 0 {
+		out.EventsPerSec = float64(r.N) / r.T.Seconds()
+	}
+	return out
+}
+
+// measureScenario runs the full Fig. 4 paper piconet and reports simulation
+// throughput per wall second.
+func measureScenario(simulated time.Duration) Result {
+	var events uint64
+	var ops int
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		events, ops = 0, b.N
+		for i := 0; i < b.N; i++ {
+			spec := scenario.Paper(38 * time.Millisecond)
+			spec.Duration = simulated
+			res, err := scenario.Run(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.TotalKbps(piconet.Guaranteed) < 200 {
+				b.Fatal("implausible result")
+			}
+			events += res.Events
+		}
+	})
+	out := Result{
+		Name:        fmt.Sprintf("paper_scenario_%ds", int(simulated.Seconds())),
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.T > 0 && ops > 0 {
+		out.EventsPerSec = float64(events) / r.T.Seconds()
+		out.SimSecPerWallSec = simulated.Seconds() * float64(ops) / r.T.Seconds()
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernel.json", "baseline output path (- for stdout)")
+	flag.Parse()
+
+	base := Baseline{
+		Schema:    "bluegs/bench-kernel/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	base.Benchmarks = append(base.Benchmarks,
+		measure("kernel_slot_churn", benchwork.Churn(sim.SlotGrain)),
+		measure("kernel_offgrid_churn", benchwork.Churn(benchwork.OffGridInterval)),
+		measure("kernel_schedule_cancel", benchwork.ScheduleCancel),
+		measure("kernel_deep_heap", benchwork.DeepHeap),
+		measure("kernel_same_slot_batch", benchwork.SameSlotBatch),
+		measureScenario(10*time.Second),
+	)
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	for _, r := range base.Benchmarks {
+		fmt.Printf("%-24s %12.1f ns/op %8d allocs/op %14.0f events/s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -175,21 +175,31 @@ func (s TypeSet) Contains(t PacketType) bool {
 // Empty reports whether the set contains no types.
 func (s TypeSet) Empty() bool { return s == 0 }
 
+// payloadOrder lists every valid packet type in ascending payload order
+// (ties broken by enum order), computed once at init. Set queries on the
+// segmentation hot path walk this fixed order instead of materialising a
+// per-call slice.
+var payloadOrder = func() [numPacketTypes]PacketType {
+	var out [numPacketTypes]PacketType
+	for i := range out {
+		out[i] = PacketType(i + 1)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Payload() < out[j-1].Payload(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}()
+
 // Types returns the members of the set in ascending payload order (ties
 // broken by enum order). ACL sets ordered this way are convenient for
 // best-fit searches.
 func (s TypeSet) Types() []PacketType {
 	var out []PacketType
-	for i := 1; i <= numPacketTypes; i++ {
-		t := PacketType(i)
+	for _, t := range payloadOrder {
 		if s.Contains(t) {
 			out = append(out, t)
-		}
-	}
-	// Insertion sort by payload; the set has at most 11 members.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Payload() < out[j-1].Payload(); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
 	return out
@@ -208,8 +218,8 @@ func (s TypeSet) String() string {
 // members, or zero if the set has no ACL members.
 func (s TypeSet) MaxPayload() int {
 	maxP := 0
-	for _, t := range s.Types() {
-		if t.IsACL() && t.Payload() > maxP {
+	for _, t := range payloadOrder {
+		if s.Contains(t) && t.IsACL() && t.Payload() > maxP {
 			maxP = t.Payload()
 		}
 	}
@@ -220,8 +230,8 @@ func (s TypeSet) MaxPayload() int {
 // zero for an empty set.
 func (s TypeSet) MaxSlots() int {
 	maxS := 0
-	for _, t := range s.Types() {
-		if t.Slots() > maxS {
+	for _, t := range payloadOrder {
+		if s.Contains(t) && t.Slots() > maxS {
 			maxS = t.Slots()
 		}
 	}
@@ -233,8 +243,8 @@ func (s TypeSet) MaxSlots() int {
 // (callers should then send the largest member and carry the remainder in
 // further packets).
 func (s TypeSet) SmallestFitting(n int) (PacketType, bool) {
-	for _, t := range s.Types() { // ascending payload order
-		if t.IsACL() && t.Payload() >= n {
+	for _, t := range payloadOrder { // ascending payload order
+		if s.Contains(t) && t.IsACL() && t.Payload() >= n {
 			return t, true
 		}
 	}
@@ -246,8 +256,8 @@ func (s TypeSet) SmallestFitting(n int) (PacketType, bool) {
 func (s TypeSet) LargestACL() (PacketType, bool) {
 	var best PacketType
 	ok := false
-	for _, t := range s.Types() {
-		if t.IsACL() && (!ok || t.Payload() > best.Payload()) {
+	for _, t := range payloadOrder {
+		if s.Contains(t) && t.IsACL() && (!ok || t.Payload() > best.Payload()) {
 			best, ok = t, true
 		}
 	}

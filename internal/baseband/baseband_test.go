@@ -5,11 +5,23 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"bluegs/internal/sim"
 )
 
 func TestSlotTiming(t *testing.T) {
 	if got := SlotDuration * SlotsPerSecond; got != time.Second {
 		t.Fatalf("SlotDuration*SlotsPerSecond = %v, want 1s", got)
+	}
+}
+
+// TestSlotGrainMatchesKernel pins the timer-wheel fast path's assumption:
+// the kernel's wheel granularity is exactly the baseband slot, so every
+// slot-aligned model event takes the O(1) wheel route.
+func TestSlotGrainMatchesKernel(t *testing.T) {
+	if sim.SlotGrain != SlotDuration {
+		t.Fatalf("sim.SlotGrain = %v, baseband.SlotDuration = %v; the kernel wheel must match the slot grid",
+			sim.SlotGrain, SlotDuration)
 	}
 }
 

@@ -163,10 +163,10 @@ func SCOCoexistence(cfg Config) ([]E6Row, *stats.Table, error) {
 		rs := cellRuns[label]
 		gsFlow, _ := rs[0].Result.FlowByID(1)
 		row := E6Row{
-			Label:      label,
-			Bound:      gsFlow.Bound,
-			GSKbps:     classKbps(rs, piconet.Guaranteed).Mean,
-			BEKbps:     classKbps(rs, piconet.BestEffort).Mean,
+			Label:  label,
+			Bound:  gsFlow.Bound,
+			GSKbps: classKbps(rs, piconet.Guaranteed).Mean,
+			BEKbps: classKbps(rs, piconet.BestEffort).Mean,
 			SCOKbps: harness.Aggregate(rs, func(r *scenario.Result) float64 {
 				return r.SCOKbps[3]
 			}).Mean,

@@ -29,13 +29,13 @@ func (p *Piconet) alignUp(t sim.Time) sim.Time {
 // or after the given time, superseding any pending idle wake-up.
 func (p *Piconet) scheduleDecision(at sim.Time) {
 	at = p.alignUp(at)
-	if p.wake != nil && !p.wake.Cancelled() {
+	if p.wake.Pending() {
 		if p.wake.At() <= at {
 			return
 		}
 		p.simulator.Cancel(p.wake)
 	}
-	p.wake = p.simulator.Schedule(at, p.decide)
+	p.wake = p.simulator.Schedule(at, p.decideFn)
 }
 
 // wakeIfIdle pulls the next decision forward to the next transmit
@@ -46,18 +46,18 @@ func (p *Piconet) wakeIfIdle() {
 		return // mid-exchange: a decision is already scheduled at its end
 	}
 	next := p.alignUp(now)
-	if p.wake != nil && !p.wake.Cancelled() {
+	if p.wake.Pending() {
 		if p.wake.At() <= next {
 			return
 		}
 		p.simulator.Cancel(p.wake)
 	}
-	p.wake = p.simulator.Schedule(next, p.decide)
+	p.wake = p.simulator.Schedule(next, p.decideFn)
 }
 
 // decide runs one master decision opportunity.
 func (p *Piconet) decide() {
-	p.wake = nil
+	p.wake = sim.Event{}
 	if p.err != nil {
 		return
 	}
@@ -247,22 +247,44 @@ func (p *Piconet) executePoll(now sim.Time, a Action, window int64) error {
 	if a.Kind == ActionPollBE {
 		kind = TraceBE
 	}
-	entry := TraceEntry{
-		Start: now, End: end, Kind: kind, Slave: a.Slave,
-		DownType: down.Type, UpType: up.Type,
-		DownFlow: down.Flow, UpFlow: up.Flow,
-		DownBytes: down.Bytes, UpBytes: up.Bytes,
-		Lost: down.Lost || up.Lost,
+	p.pendingPoll = pendingExchange{
+		kind: a.Kind,
+		down: down, downOK: downOK,
+		up: up, upOK: upOK,
+		outcome: outcome,
+		entry: TraceEntry{
+			Start: now, End: end, Kind: kind, Slave: a.Slave,
+			DownType: down.Type, UpType: up.Type,
+			DownFlow: down.Flow, UpFlow: up.Flow,
+			DownBytes: down.Bytes, UpBytes: up.Bytes,
+			Lost: down.Lost || up.Lost,
+		},
 	}
-	p.simulator.Schedule(end, func() {
-		// Slots are booked at exchange end so that a SlotAccount
-		// snapshot never counts slots beyond the measurement horizon.
-		p.account(a.Kind, down, downOK, up, upOK)
-		p.trace(entry)
-		p.scheduler.OnOutcome(outcome)
-		p.decide()
-	})
+	p.simulator.Schedule(end, p.finishPollFn)
 	return nil
+}
+
+// pendingExchange carries the one in-flight ACL exchange to its completion
+// event, replacing a per-poll closure environment. busyUntil guarantees at
+// most one exchange is outstanding, so a single slot on the Piconet
+// suffices.
+type pendingExchange struct {
+	kind         ActionKind
+	down, up     LegOutcome
+	downOK, upOK bool
+	outcome      Outcome
+	entry        TraceEntry
+}
+
+// finishPoll runs at an ACL exchange's end. Slots are booked at exchange end
+// so that a SlotAccount snapshot never counts slots beyond the measurement
+// horizon.
+func (p *Piconet) finishPoll() {
+	pe := &p.pendingPoll
+	p.account(pe.kind, pe.down, pe.downOK, pe.up, pe.upOK)
+	p.trace(pe.entry)
+	p.scheduler.OnOutcome(pe.outcome)
+	p.decide()
 }
 
 // pickBEUp selects the slave's best-effort uplink flow for a BE poll,
@@ -286,7 +308,7 @@ func (p *Piconet) pickBEUp(sl *slaveState, cutoff sim.Time) *flowState {
 // advanceHead consumes the head segment of pkt at the given delivery time,
 // recording completion in the leg outcome and the flow statistics.
 func (fs *flowState) advanceHead(pkt *hlPacket, deliveredAt sim.Time, leg *LegOutcome) {
-	pkt.nextSeg++
+	pkt.consumeSegment()
 	if pkt.done() {
 		leg.CompletedPacketSize = pkt.size
 		if !pkt.corrupt {
@@ -307,7 +329,7 @@ func (p *Piconet) handleLoss(fs *flowState, pkt *hlPacket) {
 		return // segment remains pending; the next poll retries it
 	}
 	pkt.corrupt = true
-	pkt.nextSeg++
+	pkt.consumeSegment()
 	if pkt.done() {
 		fs.lost.Add(pkt.size)
 		fs.popCompleted()

@@ -280,7 +280,23 @@ type Piconet struct {
 	busyUntil sim.Time
 	// wake is the pending idle-decision event, cancelled when an arrival
 	// warrants an earlier decision.
-	wake *sim.Event
+	wake sim.Event
+
+	// decideFn, finishPollFn and finishSCOFn are the pre-bound event
+	// handlers scheduled on the hot path; binding them once avoids a
+	// closure allocation per decision and per exchange. At most one
+	// exchange is ever in flight (busyUntil gates the next decision), so
+	// its completion payload lives in pendingPoll/pendingSCO rather than
+	// in a captured closure environment.
+	decideFn     func()
+	finishPollFn func()
+	finishSCOFn  func()
+	pendingPoll  pendingExchange
+	pendingSCO   TraceEntry
+
+	// pktFree recycles hlPacket structs (and their segmentation-plan
+	// backing arrays) between arrivals.
+	pktFree []*hlPacket
 
 	acct   SlotAccount
 	nextID uint64
@@ -311,6 +327,9 @@ func New(s *sim.Simulator, opts ...Option) *Piconet {
 	for _, opt := range opts {
 		opt(p)
 	}
+	p.decideFn = p.decide
+	p.finishPollFn = p.finishPoll
+	p.finishSCOFn = p.finishSCO
 	return p
 }
 
@@ -356,7 +375,7 @@ func (p *Piconet) AddFlow(cfg FlowConfig) error {
 	if cfg.Policy == nil {
 		cfg.Policy = segmentation.BestFit{}
 	}
-	p.flows[cfg.ID] = newFlowState(cfg)
+	p.flows[cfg.ID] = newFlowState(p, cfg)
 	p.flowOrder = append(p.flowOrder, cfg.ID)
 	sl.flows = append(sl.flows, cfg.ID)
 	return nil
@@ -420,7 +439,7 @@ func (p *Piconet) DownQueueLen(flow FlowID) int {
 	if !ok || fs.cfg.Dir != Down {
 		return 0
 	}
-	return len(fs.queue)
+	return fs.qlen()
 }
 
 // DownQueueBytes returns the remaining payload bytes queued for a
@@ -451,7 +470,7 @@ func (p *Piconet) OracleUpQueueLen(flow FlowID) int {
 	if !ok || fs.cfg.Dir != Up {
 		return 0
 	}
-	return len(fs.queue)
+	return fs.qlen()
 }
 
 // FlowDelayStats returns the higher-layer packet delay statistics of a flow

@@ -9,7 +9,9 @@ import (
 )
 
 // hlPacket is a higher-layer packet in a flow queue, carrying its
-// segmentation plan and transmission progress.
+// segmentation plan and transmission progress. Packets are recycled through
+// the piconet's pktFree pool between arrivals, reusing the plan's backing
+// array.
 type hlPacket struct {
 	id      uint64
 	size    int
@@ -17,28 +19,58 @@ type hlPacket struct {
 	plan    segmentation.Plan
 	// nextSeg indexes the first not-yet-delivered segment.
 	nextSeg int
+	// remaining counts the payload bytes of segments plan[nextSeg:],
+	// maintained incrementally so remainingBytes is O(1).
+	remaining int
 	// corrupt marks a packet that lost a segment on air with ARQ
 	// disabled; it completes its plan but is not counted as delivered.
 	corrupt bool
 }
 
-func (pkt *hlPacket) remainingBytes() int {
-	total := 0
-	for i := pkt.nextSeg; i < len(pkt.plan); i++ {
-		total += pkt.plan[i].Bytes
-	}
-	return total
+func (pkt *hlPacket) remainingBytes() int { return pkt.remaining }
+
+// consumeSegment advances past the current head segment, keeping the
+// remaining-byte counter in step with nextSeg.
+func (pkt *hlPacket) consumeSegment() {
+	pkt.remaining -= pkt.plan[pkt.nextSeg].Bytes
+	pkt.nextSeg++
 }
 
 func (pkt *hlPacket) done() bool { return pkt.nextSeg >= len(pkt.plan) }
+
+// allocPacket pops a recycled packet off the pool, or makes a fresh one.
+func (p *Piconet) allocPacket() *hlPacket {
+	if n := len(p.pktFree); n > 0 {
+		pkt := p.pktFree[n-1]
+		p.pktFree = p.pktFree[:n-1]
+		return pkt
+	}
+	return &hlPacket{}
+}
+
+// freePacket returns a completed packet to the pool. The plan slice keeps
+// its backing array for the next arrival's segmentation.
+func (p *Piconet) freePacket(pkt *hlPacket) {
+	pkt.plan = pkt.plan[:0]
+	pkt.nextSeg = 0
+	pkt.remaining = 0
+	pkt.corrupt = false
+	p.pktFree = append(p.pktFree, pkt)
+}
 
 // flowState is the runtime state of one flow: its queue (held at the master
 // for down flows, at the slave for up flows) and its measurement hooks.
 type flowState struct {
 	cfg FlowConfig
-	// queue holds pending packets in arrival order; the head may be
-	// partially transmitted.
+	// pn is the owning piconet (for the packet pool).
+	pn *Piconet
+	// queue[qhead:] holds pending packets in arrival order; the head may
+	// be partially transmitted. Pops advance qhead and compact lazily
+	// (once the dead prefix reaches half the slice), so head removal is
+	// amortized O(1) and the backing array is reused, even under
+	// sustained overload with deep backlogs.
 	queue []*hlPacket
+	qhead int
 
 	delay     *stats.DurationStats
 	delivered *stats.Meter
@@ -46,9 +78,10 @@ type flowState struct {
 	lost      *stats.Meter
 }
 
-func newFlowState(cfg FlowConfig) *flowState {
+func newFlowState(pn *Piconet, cfg FlowConfig) *flowState {
 	return &flowState{
 		cfg:       cfg,
+		pn:        pn,
 		delay:     stats.NewDurationStats(0),
 		delivered: &stats.Meter{},
 		offered:   &stats.Meter{},
@@ -56,10 +89,38 @@ func newFlowState(cfg FlowConfig) *flowState {
 	}
 }
 
+// qlen returns the number of pending packets.
+func (fs *flowState) qlen() int { return len(fs.queue) - fs.qhead }
+
+// qat returns the i-th pending packet (0 is the head).
+func (fs *flowState) qat(i int) *hlPacket { return fs.queue[fs.qhead+i] }
+
+// qpush appends a packet to the tail.
+func (fs *flowState) qpush(pkt *hlPacket) { fs.queue = append(fs.queue, pkt) }
+
+// qpop removes and returns the head packet.
+func (fs *flowState) qpop() *hlPacket {
+	pkt := fs.queue[fs.qhead]
+	fs.queue[fs.qhead] = nil
+	fs.qhead++
+	if fs.qhead*2 >= len(fs.queue) {
+		// The dead prefix reached half the slice: compact. Each
+		// compaction moves at most as many elements as the pops that
+		// earned it, so pops stay amortized O(1).
+		n := copy(fs.queue, fs.queue[fs.qhead:])
+		for i := n; i < len(fs.queue); i++ {
+			fs.queue[i] = nil
+		}
+		fs.queue = fs.queue[:n]
+		fs.qhead = 0
+	}
+	return pkt
+}
+
 func (fs *flowState) queuedBytes() int {
 	total := 0
-	for _, pkt := range fs.queue {
-		total += pkt.remainingBytes()
+	for i := 0; i < fs.qlen(); i++ {
+		total += fs.qat(i).remainingBytes()
 	}
 	return total
 }
@@ -68,7 +129,7 @@ func (fs *flowState) queuedBytes() int {
 // before the cutoff (the paper requires data to be available when the master
 // starts its transmission).
 func (fs *flowState) headAvailable(cutoff sim.Time) bool {
-	return len(fs.queue) > 0 && fs.queue[0].arrival <= cutoff
+	return fs.qlen() > 0 && fs.qat(0).arrival <= cutoff
 }
 
 // headPacket returns the available head packet, or nil.
@@ -76,7 +137,7 @@ func (fs *flowState) headPacket(cutoff sim.Time) *hlPacket {
 	if !fs.headAvailable(cutoff) {
 		return nil
 	}
-	return fs.queue[0]
+	return fs.qat(0)
 }
 
 // moreAfterHeadSegment reports whether, after the head's next segment is
@@ -86,20 +147,20 @@ func (fs *flowState) moreAfterHeadSegment(cutoff sim.Time) bool {
 	if !fs.headAvailable(cutoff) {
 		return false
 	}
-	head := fs.queue[0]
+	head := fs.qat(0)
 	if head.nextSeg+1 < len(head.plan) {
 		return true
 	}
 	// Head would complete; is another packet available?
-	return len(fs.queue) > 1 && fs.queue[1].arrival <= cutoff
+	return fs.qlen() > 1 && fs.qat(1).arrival <= cutoff
 }
 
-// popCompleted removes the head if fully delivered.
+// popCompleted removes the head if fully delivered and recycles it.
 func (fs *flowState) popCompleted() {
-	if len(fs.queue) > 0 && fs.queue[0].done() {
-		fs.queue[0] = nil
-		fs.queue = fs.queue[1:]
+	if fs.qlen() == 0 || !fs.qat(0).done() {
+		return
 	}
+	fs.pn.freePacket(fs.qpop())
 }
 
 // EnqueuePacket inserts a higher-layer packet of the given size into the
@@ -114,18 +175,26 @@ func (p *Piconet) EnqueuePacket(flow FlowID, size int) error {
 	if size <= 0 {
 		return ErrPacketTooSmall
 	}
-	plan, err := fs.cfg.Policy.Segment(size, fs.cfg.Allowed)
+	pkt := p.allocPacket()
+	var err error
+	if ap, ok := fs.cfg.Policy.(segmentation.Appender); ok {
+		pkt.plan, err = ap.SegmentAppend(pkt.plan[:0], size, fs.cfg.Allowed)
+	} else {
+		pkt.plan, err = fs.cfg.Policy.Segment(size, fs.cfg.Allowed)
+	}
 	if err != nil {
+		p.freePacket(pkt)
 		return fmt.Errorf("%w: %v", ErrSegmentFailure, err)
 	}
 	now := p.simulator.Now()
 	p.nextID++
-	fs.queue = append(fs.queue, &hlPacket{
-		id:      p.nextID,
-		size:    size,
-		arrival: now,
-		plan:    plan,
-	})
+	pkt.id = p.nextID
+	pkt.size = size
+	pkt.arrival = now
+	pkt.nextSeg = 0
+	pkt.remaining = pkt.plan.TotalBytes()
+	pkt.corrupt = false
+	fs.qpush(pkt)
 	fs.offered.Add(size)
 	if fs.cfg.Dir == Down && p.started {
 		p.scheduler.OnDownArrival(flow, now)

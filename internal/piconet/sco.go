@@ -166,9 +166,15 @@ func (p *Piconet) executeSCO(now sim.Time, l *scoLink) {
 		entry.Lost = true
 	}
 	p.busyUntil = end
-	p.simulator.Schedule(end, func() {
-		p.acct.SCO += 2
-		p.trace(entry)
-		p.decide()
-	})
+	p.pendingSCO = entry
+	p.simulator.Schedule(end, p.finishSCOFn)
+}
+
+// finishSCO runs at an SCO reservation's end, booking its slot pair and
+// resuming the decision loop. Like finishPoll, it is pre-bound once so the
+// per-reservation completion schedules without allocating.
+func (p *Piconet) finishSCO() {
+	p.acct.SCO += 2
+	p.trace(p.pendingSCO)
+	p.decide()
 }

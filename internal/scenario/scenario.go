@@ -249,7 +249,11 @@ type FlowResult struct {
 type Result struct {
 	Spec    Spec
 	Elapsed time.Duration
-	Flows   []FlowResult
+	// Events is the number of kernel events the run executed (decision
+	// wake-ups, exchange completions, traffic arrivals); with Elapsed it
+	// yields the simulator's events-per-second throughput.
+	Events uint64
+	Flows  []FlowResult
 	// SlaveKbps is the per-slave delivered ACL throughput, both
 	// directions; SCOKbps the per-slave SCO voice throughput.
 	SlaveKbps map[piconet.SlaveID]float64
@@ -523,6 +527,7 @@ func collect(spec Spec, s *sim.Simulator, pn *piconet.Piconet, sched *core.Sched
 	res := &Result{
 		Spec:      spec,
 		Elapsed:   elapsed,
+		Events:    s.Executed(),
 		SlaveKbps: make(map[piconet.SlaveID]float64),
 		SCOKbps:   make(map[piconet.SlaveID]float64),
 		Slots:     pn.SlotAccount(elapsed),

@@ -76,19 +76,36 @@ type Policy interface {
 	Name() string
 }
 
+// Appender is the allocation-free fast path a Policy may additionally
+// implement: SegmentAppend writes the plan into dst's backing array
+// (extending it only when capacity runs out) instead of allocating a fresh
+// Plan per packet. The piconet's packet pool uses it to recycle plan storage
+// across arrivals. Both built-in policies implement it.
+type Appender interface {
+	SegmentAppend(dst Plan, size int, allowed baseband.TypeSet) (Plan, error)
+}
+
 // BestFit is the paper's policy: each segment uses the largest allowed
 // packet, unless the remaining bytes fit into a smaller allowed packet, in
 // which case the smallest fitting packet is used. The zero value is ready to
 // use.
 type BestFit struct{}
 
-var _ Policy = BestFit{}
+var (
+	_ Policy   = BestFit{}
+	_ Appender = BestFit{}
+)
 
 // Name implements Policy.
 func (BestFit) Name() string { return "best-fit" }
 
 // Segment implements Policy.
-func (BestFit) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
+func (p BestFit) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
+	return p.SegmentAppend(nil, size, allowed)
+}
+
+// SegmentAppend implements Appender.
+func (BestFit) SegmentAppend(dst Plan, size int, allowed baseband.TypeSet) (Plan, error) {
 	if size <= 0 {
 		return nil, ErrBadSize
 	}
@@ -96,7 +113,7 @@ func (BestFit) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
 	if !ok {
 		return nil, ErrNoACLTypes
 	}
-	var plan Plan
+	plan := dst
 	remaining := size
 	for remaining > 0 {
 		if t, fits := allowed.SmallestFitting(remaining); fits {
@@ -115,13 +132,21 @@ func (BestFit) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
 // ablation benches (it wastes multi-slot packets on small remainders).
 type GreedyLargest struct{}
 
-var _ Policy = GreedyLargest{}
+var (
+	_ Policy   = GreedyLargest{}
+	_ Appender = GreedyLargest{}
+)
 
 // Name implements Policy.
 func (GreedyLargest) Name() string { return "greedy-largest" }
 
 // Segment implements Policy.
-func (GreedyLargest) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
+func (p GreedyLargest) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
+	return p.SegmentAppend(nil, size, allowed)
+}
+
+// SegmentAppend implements Appender.
+func (GreedyLargest) SegmentAppend(dst Plan, size int, allowed baseband.TypeSet) (Plan, error) {
 	if size <= 0 {
 		return nil, ErrBadSize
 	}
@@ -129,7 +154,7 @@ func (GreedyLargest) Segment(size int, allowed baseband.TypeSet) (Plan, error) {
 	if !ok {
 		return nil, ErrNoACLTypes
 	}
-	var plan Plan
+	plan := dst
 	remaining := size
 	for remaining > 0 {
 		carry := largest.Payload()

@@ -1,0 +1,74 @@
+package sim
+
+// 4-ary min-heap of event-slot indices, keyed on (at, seq). A 4-ary layout
+// halves the tree depth of a binary heap, trading slightly wider sift-down
+// comparisons for fewer cache lines touched per operation; with concrete
+// int32 elements there is no interface dispatch and no boxing, unlike
+// container/heap.
+
+// heapLess orders two pooled events by (at, seq).
+func (s *Simulator) heapLess(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// heapPush inserts the slot index and restores the heap invariant.
+func (s *Simulator) heapPush(idx int32) {
+	s.heap = append(s.heap, idx)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.heapLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+// heapPeek returns the heap's earliest live event, discarding and recycling
+// cancelled events encountered at the top.
+func (s *Simulator) heapPeek() (int32, bool) {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if !s.events[top].cancelled {
+			return top, true
+		}
+		s.heapPop()
+		s.recycle(top)
+	}
+	return noSlot, false
+}
+
+// heapPop removes the heap's root and restores the invariant by sifting the
+// last element down, choosing the smallest of up to four children per level.
+func (s *Simulator) heapPop() {
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.heapLess(s.heap[c], s.heap[min]) {
+				min = c
+			}
+		}
+		if !s.heapLess(s.heap[min], s.heap[i]) {
+			break
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestDifferentialRandomWorkload replays a randomized schedule / cancel /
+// in-handler-reschedule workload through the kernel and checks the firing
+// order against the trivially-correct reference: all non-cancelled events
+// sorted by (at, schedule order). This exercises both routing paths (wheel
+// for on-grid times, heap for off-grid and far-future times) and their
+// same-instant interleaving.
+func TestDifferentialRandomWorkload(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+
+		type rec struct {
+			at        Time
+			cancelled bool
+			fired     bool
+		}
+		var recs []rec
+		var fired []int // record ids in firing order
+		var live []int  // scheduled, not cancelled, not fired
+		victims := map[int]Event{}
+
+		randomAt := func() Time {
+			base := s.Now()
+			switch rng.Intn(4) {
+			case 0: // on-grid, near: wheel path
+				return base + Time(rng.Intn(64)+1)*SlotGrain - base%SlotGrain
+			case 1: // on-grid, beyond the wheel window: heap path
+				return base - base%SlotGrain + Time(wheelSlots+rng.Intn(500))*SlotGrain
+			case 2: // off-grid, near
+				return base + Time(rng.Intn(40_000)+1)*time.Microsecond
+			default: // exactly now (same-instant FIFO)
+				return base
+			}
+		}
+
+		var schedule func(at Time)
+		schedule = func(at Time) {
+			id := len(recs)
+			recs = append(recs, rec{at: at})
+			live = append(live, id)
+			ev := s.Schedule(at, func() {
+				recs[id].fired = true
+				fired = append(fired, id)
+				for i, l := range live {
+					if l == id {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+				// Handlers keep the churn going: schedule a few more
+				// while the population is small, sometimes cancel a
+				// random live event (a reschedule is cancel+schedule).
+				if len(recs) < 400 {
+					for n := rng.Intn(3); n > 0; n-- {
+						schedule(randomAt())
+					}
+				}
+				if len(live) > 0 && rng.Intn(3) == 0 {
+					victim := live[rng.Intn(len(live))]
+					s.Cancel(victims[victim])
+					recs[victim].cancelled = true
+					for i, l := range live {
+						if l == victim {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+					if rng.Intn(2) == 0 {
+						schedule(randomAt()) // the "reschedule" half
+					}
+				}
+			})
+			victims[id] = ev
+		}
+
+		for i := 0; i < 30; i++ {
+			schedule(randomAt())
+		}
+		if err := s.RunAll(); err != nil {
+			t.Fatalf("seed %d: RunAll: %v", seed, err)
+		}
+
+		// Reference order: every non-cancelled event, sorted by
+		// (at, schedule order). The kernel's seq is assigned per
+		// Schedule call, so record ids are a faithful proxy.
+		var want []int
+		for id, r := range recs {
+			if !r.cancelled {
+				want = append(want, id)
+			}
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			return recs[want[i]].at < recs[want[j]].at
+		})
+		if len(fired) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference says %d", seed, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("seed %d: firing order diverges from reference at position %d: got id %d (at %v), want id %d (at %v)",
+					seed, i, fired[i], recs[fired[i]].at, want[i], recs[want[i]].at)
+			}
+		}
+		for id, r := range recs {
+			if r.cancelled && r.fired {
+				t.Fatalf("seed %d: cancelled event %d fired", seed, id)
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("seed %d: Pending() = %d after RunAll, want 0", seed, s.Pending())
+		}
+	}
+}
+
+// TestEventPoolReuse checks that serial schedule→fire churn recycles pool
+// slots instead of growing the slab: thousands of sequential events must fit
+// in a handful of slots.
+func TestEventPoolReuse(t *testing.T) {
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10_000 {
+			s.After(SlotGrain, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if n != 10_000 {
+		t.Fatalf("fired %d events, want 10000", n)
+	}
+	if got := len(s.events); got > 4 {
+		t.Fatalf("event slab grew to %d slots for serial churn, want <= 4 (slots not recycled)", got)
+	}
+}
+
+// TestStaleHandleCancelSafety checks that a handle to a fired event whose
+// pool slot was recycled for a new event is inert: Pending/Cancelled report
+// false, and Cancel must not touch the slot's new occupant.
+func TestStaleHandleCancelSafety(t *testing.T) {
+	s := New()
+	stale := s.Schedule(SlotGrain, func() {})
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if stale.Pending() || stale.Cancelled() {
+		t.Fatal("handle to a fired event reports Pending or Cancelled")
+	}
+	s.Cancel(stale) // must be a no-op
+
+	// The next event recycles the fired event's slot (serial churn keeps
+	// the slab at one slot); the stale handle must not be able to cancel
+	// it even though both handles share the slot index.
+	fired := false
+	fresh := s.Schedule(2*SlotGrain, func() { fired = true })
+	if !fresh.Pending() {
+		t.Fatal("fresh event not pending")
+	}
+	s.Cancel(stale)
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel hit the slot's new occupant")
+	}
+	if stale.At() != 0 {
+		t.Fatalf("stale At() = %v, want 0", stale.At())
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !fired {
+		t.Fatal("fresh event never fired after stale Cancel attempts")
+	}
+	s.Cancel(stale) // post-run: still a no-op
+}
+
+// TestPendingExcludesCancelled pins the documented Pending semantics: the
+// count tracks scheduled, non-cancelled events exactly, even though
+// cancelled events are discarded lazily.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := New()
+	a := s.Schedule(SlotGrain, func() {})
+	b := s.Schedule(3*time.Millisecond, func() {}) // off-grid: heap side
+	c := s.Schedule(2*SlotGrain, func() {})
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d, want 3", got)
+	}
+	s.Cancel(a)
+	s.Cancel(b)
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after two cancels, want 1 (cancelled events must not count)", got)
+	}
+	s.Cancel(a) // double cancel must not double-decrement
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after double cancel, want 1", got)
+	}
+	_ = c
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after RunAll, want 0", got)
+	}
+}
+
+// TestWheelHeapSameInstantFIFO schedules events for the same instant into
+// both structures — one far ahead (heap, beyond the wheel window) and two
+// near (wheel) — and checks the global FIFO tiebreak across them.
+func TestWheelHeapSameInstantFIFO(t *testing.T) {
+	s := New()
+	far := Time(wheelSlots+10) * SlotGrain
+	var order []int
+	s.Schedule(far, func() { order = append(order, 0) }) // heap: beyond window
+	s.Schedule(far-5*SlotGrain, func() {
+		// Within the window now: these land on the wheel, same instant.
+		s.Schedule(far, func() { order = append(order, 1) })
+		s.Schedule(far, func() { order = append(order, 2) })
+	})
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("same-instant wheel/heap interleave fired %v, want [0 1 2] (schedule order)", order)
+	}
+}
+
+// TestSteadyStateZeroAllocs asserts the headline property: steady-state
+// schedule→fire of slot-aligned events allocates nothing.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	s := New()
+	var tick func()
+	tick = func() { s.After(SlotGrain, tick) }
+	s.Schedule(0, tick)
+	for i := 0; i < 100; i++ { // warm the pool
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state slot churn allocates %.1f objects per event, want 0", allocs)
+	}
+}

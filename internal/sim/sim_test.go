@@ -93,11 +93,11 @@ func TestSchedulePastReturnsNil(t *testing.T) {
 	if err := s.RunAll(); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
-	if ev := s.Schedule(5*time.Millisecond, func() {}); ev != nil {
-		t.Fatal("scheduling in the past should return nil")
+	if ev := s.Schedule(5*time.Millisecond, func() {}); ev.Pending() {
+		t.Fatal("scheduling in the past should return the zero Event")
 	}
-	if ev := s.Schedule(s.Now(), nil); ev != nil {
-		t.Fatal("scheduling a nil handler should return nil")
+	if ev := s.Schedule(s.Now(), nil); ev.Pending() {
+		t.Fatal("scheduling a nil handler should return the zero Event")
 	}
 }
 
@@ -115,8 +115,8 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Cancelling nil must not panic.
-	s.Cancel(nil)
+	// Cancelling the zero Event must not panic.
+	s.Cancel(Event{})
 }
 
 func TestRunHorizon(t *testing.T) {
@@ -283,7 +283,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	f := func(raw []uint16, mask []bool) bool {
 		s := New()
 		fired := make(map[int]bool)
-		events := make([]*Event, len(raw))
+		events := make([]Event, len(raw))
 		for i, r := range raw {
 			i := i
 			events[i] = s.Schedule(Time(r)*time.Microsecond, func() { fired[i] = true })

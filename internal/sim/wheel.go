@@ -1,0 +1,101 @@
+package sim
+
+// Slot-granularity timer wheel: the fast path for events on the 625 µs
+// Bluetooth slot grid. The wheel is a ring of wheelSlots buckets, one per
+// grid slot; bucket b chains (via eventSlot.next) the events whose absolute
+// slot index S satisfies S % wheelSlots == b. Only events with S inside the
+// window [cursor, cursor+wheelSlots) at scheduling time are admitted — later
+// ones go to the heap — so at any moment every live wheel event is within
+// one window of the clock and a bounded forward scan finds the earliest.
+//
+// Invariants:
+//   - Bucket chains are appended in Schedule order, so per-slot FIFO (seq)
+//     order is the chain order, and absolute slot indices are
+//     non-decreasing from head to tail (the cursor never moves backwards,
+//     so a wrapped future slot can only be appended after all earlier-lap
+//     events have fired or been cancelled).
+//   - wheelNext is a lower bound on the earliest occupied slot: Schedule
+//     lowers it on insert, wheelPeek raises it past verified-empty slots.
+//   - wheelCount includes cancelled-but-undiscarded events; it reaches zero
+//     only when the wheel is truly empty.
+
+// wheelSlots is the wheel window: 1024 slots = 640 ms of simulated time,
+// far beyond any poll interval or SCO cadence the models schedule.
+const wheelSlots = 1024
+
+// cursor returns the smallest grid slot index not yet in the past.
+func (s *Simulator) cursor() int64 {
+	return int64((s.now + SlotGrain - 1) / SlotGrain)
+}
+
+// wheelPush appends the event (already validated on-grid and in-window) to
+// its bucket's FIFO chain.
+func (s *Simulator) wheelPush(slot int64, idx int32) {
+	b := int(slot % wheelSlots)
+	if s.wheelHead[b] == noSlot {
+		s.wheelHead[b] = idx
+	} else {
+		s.events[s.wheelTail[b]].next = idx
+	}
+	s.wheelTail[b] = idx
+	if s.wheelCount == 0 || slot < s.wheelNext {
+		s.wheelNext = slot
+	}
+	s.wheelCount++
+}
+
+// wheelPeek returns the earliest live wheel event, scanning buckets forward
+// from wheelNext and discarding cancelled events whose slot has been
+// reached. The scan is amortised O(1): wheelNext only moves forward past
+// slots verified empty, and every live event lies within one window.
+func (s *Simulator) wheelPeek() (int32, bool) {
+	if s.wheelCount == 0 {
+		return noSlot, false
+	}
+	if c := s.cursor(); s.wheelNext < c {
+		s.wheelNext = c
+	}
+	for scanned := 0; scanned <= wheelSlots; scanned++ {
+		slot := s.wheelNext
+		b := int(slot % wheelSlots)
+		at := Time(slot) * SlotGrain
+		for s.wheelHead[b] != noSlot {
+			h := s.wheelHead[b]
+			sl := &s.events[h]
+			if sl.cancelled && sl.at <= at {
+				// Dead remnant of this slot (or an earlier lap):
+				// discard and recycle.
+				s.wheelHead[b] = sl.next
+				if s.wheelHead[b] == noSlot {
+					s.wheelTail[b] = noSlot
+				}
+				s.wheelCount--
+				s.recycle(h)
+				continue
+			}
+			break
+		}
+		if h := s.wheelHead[b]; h != noSlot && s.events[h].at == at {
+			return h, true
+		}
+		if s.wheelCount == 0 {
+			return noSlot, false
+		}
+		s.wheelNext++
+	}
+	// Unreachable while the window invariant holds: every live wheel event
+	// is within wheelSlots of the cursor.
+	panic("sim: timer wheel scan exhausted the window")
+}
+
+// wheelPopHead unlinks the event returned by wheelPeek (necessarily the
+// head of its bucket) from the wheel.
+func (s *Simulator) wheelPopHead(idx int32) {
+	sl := &s.events[idx]
+	b := int(int64(sl.at/SlotGrain) % wheelSlots)
+	s.wheelHead[b] = sl.next
+	if s.wheelHead[b] == noSlot {
+		s.wheelTail[b] = noSlot
+	}
+	s.wheelCount--
+}

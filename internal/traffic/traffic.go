@@ -168,18 +168,22 @@ func NewOnOff(meanOn, meanOff, interval time.Duration) *OnOff {
 	return &OnOff{meanOn: meanOn, meanOff: meanOff, interval: interval}
 }
 
+// expDur draws an exponential duration with the given mean, clamped to at
+// least one nanosecond. Hoisted out of NextInterval so the hot path builds
+// no per-call closure.
+func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
 // NextInterval implements Generator.
 func (o *OnOff) NextInterval(rng *rand.Rand) time.Duration {
-	expDur := func(mean time.Duration) time.Duration {
-		d := time.Duration(rng.ExpFloat64() * float64(mean))
-		if d <= 0 {
-			d = time.Nanosecond
-		}
-		return d
-	}
 	if !o.started {
 		o.started = true
-		o.remainingOn = expDur(o.meanOn)
+		o.remainingOn = expDur(rng, o.meanOn)
 	}
 	if o.remainingOn >= o.interval {
 		o.remainingOn -= o.interval
@@ -187,8 +191,8 @@ func (o *OnOff) NextInterval(rng *rand.Rand) time.Duration {
 	}
 	// The ON period ends; sleep through the OFF period and start a new
 	// ON burst.
-	gap := o.remainingOn + expDur(o.meanOff)
-	o.remainingOn = expDur(o.meanOn)
+	gap := o.remainingOn + expDur(rng, o.meanOff)
+	o.remainingOn = expDur(rng, o.meanOn)
 	if gap < time.Nanosecond {
 		gap = time.Nanosecond
 	}
