@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out BENCH_kernel.json]
+//	go run ./cmd/bench [-out BENCH_kernel.json] [-cache-dir DIR]
+//
+// Besides the kernel workloads it measures the experiment harness with
+// its content-addressed run cache cold and warm (harness_sweep_cold /
+// harness_sweep_warm), so the cache-replay speedup is tracked alongside
+// the simulator itself. -cache-dir points the measurement at a specific
+// directory (default: a temp dir); a fresh salt keeps the cold pass cold
+// either way.
 //
 // The committed baseline is produced by CI hardware (see the bench job in
 // .github/workflows/ci.yml); numbers from other machines are comparable
@@ -23,6 +30,7 @@ import (
 	"testing"
 	"time"
 
+	"bluegs/internal/harness"
 	"bluegs/internal/piconet"
 	"bluegs/internal/scenario"
 	"bluegs/internal/sim"
@@ -101,8 +109,59 @@ func measureScenario(simulated time.Duration) Result {
 	return out
 }
 
+// measureSweep runs a small Fig. 5 sweep through the harness twice
+// against one run cache and reports the cold (simulating and storing)
+// and warm (pure cache replay) passes. The salt is unique per invocation
+// so the first pass is genuinely cold even on a reused directory.
+func measureSweep(cacheDir string) (cold, warm Result, err error) {
+	dir := cacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "bluegs-bench-cache-*")
+		if err != nil {
+			return cold, warm, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	cache, err := harness.NewRunCache(harness.CacheConfig{
+		Dir:  dir,
+		Salt: fmt.Sprintf("bench-%d", time.Now().UnixNano()),
+	})
+	if err != nil {
+		return cold, warm, err
+	}
+	const simulated = 5 * time.Second
+	sw := harness.Fig5Sweep(
+		harness.SweepConfig{Duration: simulated, Seed: 1, Replications: 2},
+		[]time.Duration{30 * time.Millisecond, 38 * time.Millisecond, 46 * time.Millisecond})
+	pass := func(name string) (Result, error) {
+		start := time.Now()
+		results, err := harness.Execute(sw.Runs, harness.Options{Cache: cache})
+		if err != nil {
+			return Result{}, err
+		}
+		wall := time.Since(start)
+		var events uint64
+		for _, r := range results {
+			events += r.Result.Events
+		}
+		out := Result{Name: name, NsPerOp: float64(wall.Nanoseconds())}
+		if wall > 0 {
+			out.EventsPerSec = float64(events) / wall.Seconds()
+			out.SimSecPerWallSec = simulated.Seconds() * float64(len(results)) / wall.Seconds()
+		}
+		return out, nil
+	}
+	if cold, err = pass("harness_sweep_cold"); err != nil {
+		return cold, warm, err
+	}
+	warm, err = pass("harness_sweep_warm")
+	return cold, warm, err
+}
+
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "baseline output path (- for stdout)")
+	cacheDir := flag.String("cache-dir", "", "run-cache directory for the harness sweep workloads (default: a temp dir)")
 	flag.Parse()
 
 	base := Baseline{
@@ -120,6 +179,12 @@ func main() {
 		measure("kernel_same_slot_batch", benchwork.SameSlotBatch),
 		measureScenario(10*time.Second),
 	)
+	cold, warm, err := measureSweep(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	base.Benchmarks = append(base.Benchmarks, cold, warm)
 
 	buf, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {

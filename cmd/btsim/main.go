@@ -12,11 +12,17 @@
 //	btsim -mode fixed -target 36ms               # the §3.1 fixed-interval poller
 //	btsim -poller round-robin -target 46ms -csv  # RR for best effort, CSV output
 //	btsim -target 40ms -reps 8                   # 8 seeds in parallel, mean±95% CI
+//	btsim -target 40ms -ci-target 0.05           # replicate until the CI is tight
+//	btsim -target 40ms -cache-dir .runcache      # replay unchanged runs instantly
 //
 // With -reps > 1 the scenario replicates under independently derived
 // seeds across a parallel worker pool (the detailed report shows
-// replication 0; a summary table aggregates all of them). An exchange
-// trace, when requested, records replication 0 only.
+// replication 0; a summary table aggregates all of them). With
+// -ci-target the replication count is chosen adaptively: replications
+// keep running until the 95% CI half-width of -ci-metric meets the
+// target or -max-reps is hit. An exchange trace, when requested, records
+// replication 0 only and is incompatible with both -ci-target and
+// -cache-dir (traced runs cannot be replayed).
 package main
 
 import (
@@ -53,8 +59,15 @@ func run() error {
 		config   = flag.String("config", "", "JSON scenario file (overrides the Fig. 4 preset; see internal/scenario.FileSpec)")
 		hist     = flag.Bool("hist", false, "print per-GS-flow delay histograms")
 		traceOut = flag.String("trace", "", "write an exchange trace CSV to this file (replication 0)")
+		ciTarget = flag.Float64("ci-target", 0, "adaptive replication: replicate until the 95% CI half-width of -ci-metric is below this fraction of its mean (0 = fixed -reps)")
+		ciMetric = flag.String("ci-metric", "gs-delay", "adaptive stopping metric: gs-delay, violations, gs-kbps or be-kbps")
+		maxReps  = flag.Int("max-reps", 0, "adaptive replication cap (default 32)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory: unchanged runs replay instantly across invocations")
 	)
 	flag.Parse()
+	if *traceOut != "" && (*ciTarget > 0 || *cacheDir != "") {
+		return fmt.Errorf("-trace records live exchanges and cannot be combined with -ci-target or -cache-dir")
+	}
 
 	var spec scenario.Spec
 	if *config != "" {
@@ -95,22 +108,61 @@ func run() error {
 		spec.Tracer = csvTracer
 	}
 
+	var cache *harness.RunCache
+	if *cacheDir != "" {
+		c, err := harness.NewRunCache(harness.CacheConfig{Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+		cache = c
+		defer func() {
+			fmt.Fprintf(os.Stderr, "btsim: cache: %s\n", cache.Stats())
+		}()
+	}
 	sweepCfg := harness.SweepConfig{
 		Duration:     spec.Duration,
 		Seed:         *seed,
 		Replications: *reps,
 	}
-	sw := harness.GridSweep(spec.Name, sweepCfg, []string{spec.Name},
-		func(string) scenario.Spec { return spec })
-	// The tracer is a single shared sink; only replication 0 records.
-	for i := range sw.Runs {
-		if sw.Runs[i].Rep != 0 {
-			sw.Runs[i].Spec.Tracer = nil
+	grid := harness.Grid{Name: spec.Name, Cells: []string{spec.Name},
+		Build: func(string) scenario.Spec { return spec }}
+	var results []harness.RunResult
+	adaptive := *ciTarget > 0
+	if adaptive {
+		metric, err := harness.MetricByName(*ciMetric)
+		if err != nil {
+			return err
 		}
-	}
-	results, err := harness.Execute(sw.Runs, harness.Options{Workers: *workers})
-	if err != nil {
-		return err
+		outcomes, err := harness.ExecuteAdaptive(grid, sweepCfg, harness.AdaptiveOptions{
+			Options: harness.Options{Workers: *workers, Cache: cache},
+			Metric:  metric,
+			RelTol:  *ciTarget,
+			MaxReps: *maxReps,
+		})
+		if err != nil {
+			return err
+		}
+		o := outcomes[0]
+		results = o.Runs
+		note := "converged"
+		if !o.Converged {
+			note = "stopped at the rep cap"
+		}
+		fmt.Fprintf(os.Stderr, "btsim: %s after %d reps (%s CI half-width %.3g, mean %.3g)\n",
+			note, o.Reps(), metric.Name, o.Metric.CI95, o.Metric.Mean)
+	} else {
+		sw := grid.Sweep(sweepCfg)
+		// The tracer is a single shared sink; only replication 0 records.
+		for i := range sw.Runs {
+			if sw.Runs[i].Rep != 0 {
+				sw.Runs[i].Spec.Tracer = nil
+			}
+		}
+		rs, err := harness.Execute(sw.Runs, harness.Options{Workers: *workers, Cache: cache})
+		if err != nil {
+			return err
+		}
+		results = rs
 	}
 	res := results[0].Result
 	if csvTracer != nil {
@@ -149,7 +201,7 @@ func run() error {
 			}
 		}
 	}
-	if *reps > 1 {
+	if len(results) > 1 {
 		// In CSV mode stdout must stay machine-readable; the summary
 		// goes to stderr instead.
 		dst := os.Stdout

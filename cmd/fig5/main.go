@@ -11,8 +11,15 @@
 //
 //	fig5 -duration 530s -reps 5
 //
+// Adaptive replication runs each point until its 95% confidence interval
+// is tight instead of a fixed -reps, and a run cache replays unchanged
+// points instantly on the next sweep:
+//
+//	fig5 -duration 530s -ci-target 0.05 -max-reps 64 -cache-dir .runcache
+//
 // Runs fan out across a worker pool (one isolated simulator per run);
-// results are bit-identical at any -workers value.
+// results are bit-identical at any -workers value, with or without a
+// warm cache.
 package main
 
 import (
@@ -43,6 +50,10 @@ func run() error {
 		to       = flag.Duration("to", 46*time.Millisecond, "last delay requirement")
 		step     = flag.Duration("step", 2*time.Millisecond, "sweep step")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
+		ciTarget = flag.Float64("ci-target", 0, "adaptive replication: replicate each point until the 95% CI half-width of -ci-metric is below this fraction of its mean (0 = fixed -reps)")
+		ciMetric = flag.String("ci-metric", "", "adaptive stopping metric: gs-delay, violations, gs-kbps or be-kbps (default gs-delay)")
+		maxReps  = flag.Int("max-reps", 0, "adaptive replication cap per point (default 32)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory: unchanged points replay instantly across invocations")
 	)
 	flag.Parse()
 	if *step <= 0 || *to < *from {
@@ -57,9 +68,20 @@ func run() error {
 		Seed:         *seed,
 		Replications: *reps,
 		Workers:      *workers,
+		CITarget:     *ciTarget,
+		CIMetric:     *ciMetric,
+		MaxReps:      *maxReps,
 	}
 	if *progress {
 		cfg.Progress = harness.StderrProgress("fig5")
+	}
+	if *cacheDir != "" {
+		cache, err := harness.NewRunCache(harness.CacheConfig{Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+		cfg.Cache = cache
+		defer func() { reportCache("fig5", cache) }()
 	}
 	rows, tbl, err := experiments.Figure5(cfg, targets)
 	if err != nil {
@@ -78,4 +100,10 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// reportCache prints the cache effectiveness line the CI smoke step (and
+// anyone iterating on a sweep) checks: hits out of total lookups.
+func reportCache(label string, cache *harness.RunCache) {
+	fmt.Fprintf(os.Stderr, "%s: cache: %s\n", label, cache.Stats())
 }

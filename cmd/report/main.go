@@ -5,12 +5,21 @@
 // Usage:
 //
 //	report [-duration 530s] [-seed 1] [-reps 1] [-workers 0]
+//	       [-ci-target 0.05] [-max-reps 32] [-cache-dir DIR]
 //
 // The default duration matches the paper's 530 s simulation runs. With
 // -reps > 1 every experiment replicates each sweep cell under
 // independently derived seeds and reports mean±95% CI throughput; the
 // runs of each experiment fan out across -workers simulators with
 // bit-identical results at any worker count.
+//
+// -ci-target switches the Monte-Carlo experiments (Fig. 5 and the A2
+// poller comparison) to adaptive replication: each cell replicates until
+// the 95% CI half-width of -ci-metric meets the target, up to -max-reps.
+// -cache-dir backs every experiment with a content-addressed run cache,
+// so re-rendering the report — or iterating on a single experiment —
+// replays unchanged cells instantly; Fig. 5, T2 and T3 share grid cells
+// and hit each other's entries even within one invocation.
 package main
 
 import (
@@ -38,6 +47,10 @@ func run() error {
 		reps     = flag.Int("reps", 1, "independently seeded replications per sweep cell")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "report per-experiment progress on stderr")
+		ciTarget = flag.Float64("ci-target", 0, "adaptive replication for Fig. 5 and A2: replicate each cell until the 95% CI half-width of -ci-metric is below this fraction of its mean (0 = fixed -reps)")
+		ciMetric = flag.String("ci-metric", "", "adaptive stopping metric: gs-delay, violations, gs-kbps or be-kbps (default: per experiment)")
+		maxReps  = flag.Int("max-reps", 0, "adaptive replication cap per cell (default 32)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory shared by all experiments")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -45,9 +58,22 @@ func run() error {
 		Seed:         *seed,
 		Replications: *reps,
 		Workers:      *workers,
+		CITarget:     *ciTarget,
+		CIMetric:     *ciMetric,
+		MaxReps:      *maxReps,
 	}
 	if *progress {
 		cfg.Progress = harness.StderrProgress("report")
+	}
+	if *cacheDir != "" {
+		cache, err := harness.NewRunCache(harness.CacheConfig{Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+		cfg.Cache = cache
+		defer func() {
+			fmt.Fprintf(os.Stderr, "report: cache: %s\n", cache.Stats())
+		}()
 	}
 
 	print := func(tbl *stats.Table, err error) error {

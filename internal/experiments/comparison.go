@@ -239,31 +239,43 @@ type BaselineRow struct {
 	// Fairness is Jain's index over the loaded slaves'
 	// achieved/offered ratios.
 	Fairness float64
+	// Reps is the number of replications aggregated into the row;
+	// Metric, Converged and CacheHits are set in adaptive mode (see
+	// Fig5Row).
+	Reps      int
+	Metric    stats.Summary
+	Converged bool
+	CacheHits int
 }
 
 // BaselinePollers compares the related-work pollers on a saturated
 // best-effort piconet with idle slaves present (experiment A2): none of
-// them bounds delay, which motivates the paper's GS mechanism.
+// them bounds delay, which motivates the paper's GS mechanism. With
+// Config.CITarget set each poller replicates adaptively (default metric:
+// total BE throughput) and the table gains "reps" and "ci_half" columns.
 func BaselinePollers(cfg Config) ([]BaselineRow, *stats.Table, error) {
 	cfg = cfg.withDefaults()
 	kinds := []scenario.BEPollerKind{
 		scenario.BERoundRobin, scenario.BEExhaustive, scenario.BEFEP,
 		scenario.BEEDC, scenario.BEDemand, scenario.BEHOL, scenario.BEPFP,
 	}
-	results, err := harness.Execute(harness.ComparisonSweep(cfg.sweep(), kinds).Runs, cfg.options())
+	order, cellRuns, outcomes, err := cfg.runGrid(harness.ComparisonGrid(kinds), harness.BEThroughput)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: baseline: %w", err)
+	}
+	columns := []string{"poller", "total_kbps", "delay_mean", "delay_p99", "delay_max", "fairness"}
+	if cfg.adaptive() {
+		columns = append(columns, "reps", "ci_half")
 	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("A2: best-effort pollers on a saturated piconet (%v per run%s)",
 			cfg.Duration, cfg.repNote()),
-		"poller", "total_kbps", "delay_mean", "delay_p99", "delay_max", "fairness")
-	order, cellRuns := harness.Cells(results)
+		columns...)
 	var rows []BaselineRow
 	for _, cell := range order {
 		rs := cellRuns[cell]
 		var kbps, mean, fairness stats.Welford
-		row := BaselineRow{Poller: cell}
+		row := BaselineRow{Poller: cell, Reps: len(rs)}
 		for _, r := range rs {
 			rep := summarizeBaseline(cell, r.Run.Spec, r.Result)
 			kbps.Add(rep.TotalKbps)
@@ -279,10 +291,17 @@ func BaselinePollers(cfg Config) ([]BaselineRow, *stats.Table, error) {
 		row.TotalKbps = kbps.Mean()
 		row.MeanDelay = time.Duration(mean.Mean())
 		row.Fairness = fairness.Mean()
-		rows = append(rows, row)
-		tbl.AddRow(row.Poller, stats.FormatKbps(row.TotalKbps),
+		cells := []any{row.Poller, stats.FormatKbps(row.TotalKbps),
 			row.MeanDelay.Round(time.Microsecond), row.P99Delay.Round(time.Microsecond),
-			row.MaxDelay.Round(time.Microsecond), fmt.Sprintf("%.3f", row.Fairness))
+			row.MaxDelay.Round(time.Microsecond), fmt.Sprintf("%.3f", row.Fairness)}
+		if o, isAdaptive := outcomes[cell]; isAdaptive {
+			row.Metric = o.Metric
+			row.Converged = o.Converged
+			row.CacheHits = o.CacheHits
+			cells = append(cells, convergedReps(o), fmt.Sprintf("%.3g", o.Metric.CI95))
+		}
+		rows = append(rows, row)
+		tbl.AddRow(cells...)
 	}
 	return rows, tbl, nil
 }

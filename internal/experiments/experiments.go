@@ -45,6 +45,27 @@ type Config struct {
 	// Progress, when set, receives (completed, total) run counts while
 	// a sweep executes.
 	Progress func(done, total int)
+	// CITarget, when positive, switches the experiments that support it
+	// (Figure5, BaselinePollers) to adaptive replication: each sweep
+	// cell keeps receiving further independently seeded replications
+	// until the 95% CI half-width of the stopping metric drops below
+	// CITarget×|mean| (CIAbsTol is the absolute variant; either
+	// suffices), overriding Replications. Results stay bit-identical at
+	// any worker count.
+	CITarget float64
+	// CIAbsTol is the absolute CI half-width target, in the units of the
+	// stopping metric.
+	CIAbsTol float64
+	// CIMetric names the stopping metric (see harness.MetricByName;
+	// empty uses the experiment's natural metric: GS delay for Figure5,
+	// BE throughput for BaselinePollers).
+	CIMetric string
+	// MaxReps caps adaptive replications per cell (default 32).
+	MaxReps int
+	// Cache, when set, replays runs whose content fingerprint it already
+	// holds instead of executing the simulator — across experiments too,
+	// since Figure5, T2 and T3 share grid cells.
+	Cache *harness.RunCache
 }
 
 func (c Config) withDefaults() Config {
@@ -71,7 +92,7 @@ func (c Config) sweep() harness.SweepConfig {
 
 // options converts the execution half of the configuration.
 func (c Config) options() harness.Options {
-	opts := harness.Options{Workers: c.Workers}
+	opts := harness.Options{Workers: c.Workers, Cache: c.Cache}
 	if c.Progress != nil {
 		p := c.Progress
 		opts.OnProgress = func(done, total int, _ harness.RunResult) { p(done, total) }
@@ -79,8 +100,74 @@ func (c Config) options() harness.Options {
 	return opts
 }
 
+// adaptive reports whether confidence-driven replication is requested.
+func (c Config) adaptive() bool { return c.CITarget > 0 || c.CIAbsTol > 0 }
+
+// adaptiveOptions assembles the harness stopping rule, resolving the
+// metric name against the experiment's natural default.
+func (c Config) adaptiveOptions(def harness.Metric) (harness.AdaptiveOptions, error) {
+	metric := def
+	if c.CIMetric != "" {
+		m, err := harness.MetricByName(c.CIMetric)
+		if err != nil {
+			return harness.AdaptiveOptions{}, err
+		}
+		metric = m
+	}
+	return harness.AdaptiveOptions{
+		Options: c.options(),
+		Metric:  metric,
+		RelTol:  c.CITarget,
+		AbsTol:  c.CIAbsTol,
+		MaxReps: c.MaxReps,
+	}, nil
+}
+
+// runGrid executes a grid either with the fixed replication count or, in
+// adaptive mode, under the CI stopping rule. It returns the cells in grid
+// order, the per-cell replications, and — in adaptive mode — the per-cell
+// outcomes keyed by cell.
+func (c Config) runGrid(g harness.Grid, def harness.Metric) (
+	[]string, map[string][]harness.RunResult, map[string]harness.CellOutcome, error) {
+	if !c.adaptive() {
+		results, err := harness.Execute(g.Sweep(c.sweep()).Runs, c.options())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		order, byCell := harness.Cells(results)
+		return order, byCell, nil, nil
+	}
+	opts, err := c.adaptiveOptions(def)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	outcomes, err := harness.ExecuteAdaptive(g, c.sweep(), opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	order := make([]string, 0, len(outcomes))
+	byCell := make(map[string][]harness.RunResult, len(outcomes))
+	byOutcome := make(map[string]harness.CellOutcome, len(outcomes))
+	for _, o := range outcomes {
+		order = append(order, o.Cell)
+		byCell[o.Cell] = o.Runs
+		byOutcome[o.Cell] = o
+	}
+	return order, byCell, byOutcome, nil
+}
+
 // repNote annotates table titles when an experiment replicates.
 func (c Config) repNote() string {
+	if c.adaptive() {
+		cap := c.MaxReps
+		if cap <= 0 {
+			cap = harness.DefaultMaxReps
+		}
+		if c.CITarget > 0 {
+			return fmt.Sprintf(", adaptive reps ≤%d to CI≤%.3g·mean", cap, c.CITarget)
+		}
+		return fmt.Sprintf(", adaptive reps ≤%d to CI≤%.3g", cap, c.CIAbsTol)
+	}
 	if c.Replications <= 1 {
 		return ""
 	}
@@ -163,27 +250,41 @@ type Fig5Row struct {
 	// Violations counts GS flows whose measured max delay exceeded the
 	// exported bound across all replications (must be zero).
 	Violations int
+	// Metric, Converged and CacheHits are set in adaptive mode: the
+	// stopping-metric summary (Metric.CI95 is the final half-width the
+	// rule compared against the tolerance), whether the tolerance was
+	// met within the rep cap, and how many replications the run cache
+	// replayed.
+	Metric    stats.Summary
+	Converged bool
+	CacheHits int
 }
 
 // Figure5 regenerates the paper's Fig. 5: per-slave throughput versus the
 // GS delay requirement on the Fig. 4 piconet under the PFP implementation
-// of the variable-interval poller.
+// of the variable-interval poller. With Config.CITarget set the sweep
+// replicates adaptively (default metric: mean GS delay) and the table
+// gains per-point "reps" and "ci_half" columns.
 func Figure5(cfg Config, targets []time.Duration) ([]Fig5Row, *stats.Table, error) {
 	cfg = cfg.withDefaults()
 	if len(targets) == 0 {
 		targets = DefaultFig5Targets()
 	}
 	targets = uniqueTargets(targets)
-	results, err := harness.Execute(harness.Fig5Sweep(cfg.sweep(), targets).Runs, cfg.options())
+	order, byCell, outcomes, err := cfg.runGrid(harness.Fig5Grid(targets), harness.MeanGSDelay)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: figure 5: %w", err)
+	}
+	columns := []string{
+		"delay_req", "S1_kbps", "S2_kbps", "S3_kbps", "S4_kbps", "S5_kbps", "S6_kbps", "S7_kbps",
+		"GS_total", "BE_total", "bound_ok"}
+	if cfg.adaptive() {
+		columns = append(columns, "reps", "ci_half")
 	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("Figure 5: throughput vs GS delay requirement (%v per point%s)",
 			cfg.Duration, cfg.repNote()),
-		"delay_req", "S1_kbps", "S2_kbps", "S3_kbps", "S4_kbps", "S5_kbps", "S6_kbps", "S7_kbps",
-		"GS_total", "BE_total", "bound_ok")
-	order, byCell := harness.Cells(results)
+		columns...)
 	var rows []Fig5Row
 	for i, cell := range order {
 		rs := byCell[cell]
@@ -199,19 +300,35 @@ func Figure5(cfg Config, targets []time.Duration) ([]Fig5Row, *stats.Table, erro
 		for slave := piconet.SlaveID(1); slave <= 7; slave++ {
 			row.SlaveKbps[slave] = slaveKbps(rs, slave).Mean
 		}
-		rows = append(rows, row)
 		ok := "yes"
 		if row.Violations > 0 {
 			ok = "VIOLATED"
 		}
-		tbl.AddRow(row.Target,
+		cells := []any{row.Target,
 			stats.FormatKbps(row.SlaveKbps[1]), stats.FormatKbps(row.SlaveKbps[2]),
 			stats.FormatKbps(row.SlaveKbps[3]), stats.FormatKbps(row.SlaveKbps[4]),
 			stats.FormatKbps(row.SlaveKbps[5]), stats.FormatKbps(row.SlaveKbps[6]),
 			stats.FormatKbps(row.SlaveKbps[7]),
-			kbpsCell(row.GS), kbpsCell(row.BE), ok)
+			kbpsCell(row.GS), kbpsCell(row.BE), ok}
+		if o, isAdaptive := outcomes[cell]; isAdaptive {
+			row.Metric = o.Metric
+			row.Converged = o.Converged
+			row.CacheHits = o.CacheHits
+			cells = append(cells, convergedReps(o), fmt.Sprintf("%.3g", o.Metric.CI95))
+		}
+		rows = append(rows, row)
+		tbl.AddRow(cells...)
 	}
 	return rows, tbl, nil
+}
+
+// convergedReps renders an adaptive cell's replication count, flagging
+// cells that hit the cap without meeting the tolerance.
+func convergedReps(o harness.CellOutcome) string {
+	if o.Converged {
+		return fmt.Sprintf("%d", o.Reps())
+	}
+	return fmt.Sprintf("%d (cap)", o.Reps())
 }
 
 // T1 bundles the §4.1 analytical parameters (the paper's implicit table

@@ -1,0 +1,307 @@
+package harness
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+	"bluegs/internal/segmentation"
+)
+
+// DefaultCacheSalt is the code-version salt folded into every run
+// fingerprint. Bump it in any PR that changes simulation semantics (the
+// kernel, the scheduler, admission, traffic timing, …): the new salt
+// invalidates every previously cached result at once, so a stale disk
+// cache can never replay results the current code would not produce.
+const DefaultCacheSalt = "sim-v3"
+
+// CacheConfig tunes a RunCache.
+type CacheConfig struct {
+	// Dir, when non-empty, backs the cache with one gob file per run
+	// under this directory (created if missing). Entries evicted from
+	// the in-memory LRU remain readable from disk.
+	Dir string
+	// MaxEntries bounds the in-memory LRU (default 4096 results).
+	MaxEntries int
+	// Salt is the code-version salt (default DefaultCacheSalt). Sweeps
+	// that want isolated namespaces in a shared directory may extend it.
+	Salt string
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+// Its String rendering is the one line the cmd tools print on stderr and
+// the CI cache smoke step greps.
+type CacheStats struct {
+	// Hits counts Get calls served (memory or disk); DiskHits the subset
+	// that had to be read back from the directory.
+	Hits     uint64
+	DiskHits uint64
+	// Misses counts Get calls that found nothing.
+	Misses uint64
+	// Stores counts Put calls accepted.
+	Stores uint64
+}
+
+// String renders the counters as "H/T runs served from cache (D from
+// disk, S stored)".
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d/%d runs served from cache (%d from disk, %d stored)",
+		s.Hits, s.Hits+s.Misses, s.DiskHits, s.Stores)
+}
+
+// RunCache is a content-addressed store of completed simulation results,
+// keyed by the SHA-256 fingerprint of (scenario spec incl. seed and
+// horizon, code-version salt). A fixed-size in-memory LRU fronts an
+// optional on-disk gob store, so re-running a sweep after changing one
+// cell — or re-rendering reports — replays the unchanged cells instantly,
+// across processes when a directory is configured.
+//
+// Cached results are shared: callers must treat them as read-only, which
+// matches the contract scenario.Result already states for its delay
+// statistics. Runs that carry a Tracer are never served from or written
+// to the cache (their side effects cannot be replayed).
+type RunCache struct {
+	cfg CacheConfig
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	res *scenario.Result
+}
+
+// cacheRecord is the on-disk form of a result: everything scenario.Result
+// carries except the Spec, which the cache re-attaches from the request
+// on every hit (the spec contains interface-valued fields and is, by
+// construction of the key, already known to the caller).
+type cacheRecord struct {
+	Key     string
+	Elapsed time.Duration
+	Events  uint64
+	Flows   []scenario.FlowResult
+	Slaves  map[piconet.SlaveID]float64
+	SCO     map[piconet.SlaveID]float64
+	Slots   piconet.SlotAccount
+	GSPolls uint64
+	BEPolls uint64
+	Skipped uint64
+	Admit   []*admission.PlannedFlow
+}
+
+func init() {
+	// Concrete segmentation policies may travel inside
+	// admission.Request.Policy interface fields.
+	gob.Register(segmentation.BestFit{})
+	gob.Register(segmentation.GreedyLargest{})
+}
+
+// NewRunCache creates a cache; when cfg.Dir is set the directory is
+// created eagerly so configuration errors surface before a sweep starts.
+func NewRunCache(cfg CacheConfig) (*RunCache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.Salt == "" {
+		cfg.Salt = DefaultCacheSalt
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: cache dir: %w", err)
+		}
+	}
+	return &RunCache{
+		cfg:     cfg,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}, nil
+}
+
+// Key returns the content address of a run: the SHA-256 over the cache
+// salt and the spec's canonical rendering, hex encoded.
+func (c *RunCache) Key(spec scenario.Spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "bluegs/run\n%s\n%s", c.cfg.Salt, spec.Canonical())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Get returns the cached result of the spec, if present, with the spec
+// re-attached. The in-memory LRU is consulted first, then the directory.
+func (c *RunCache) Get(spec scenario.Spec) (*scenario.Result, bool) {
+	return c.getByKey(c.Key(spec), spec)
+}
+
+// getByKey is Get with a precomputed key: the executor hashes the spec
+// once, before the simulation runs, so a stateful Radio model mutated by
+// the run cannot skew the store key away from the lookup key.
+func (c *RunCache) getByKey(key string, spec scenario.Spec) (*scenario.Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.stats.Hits++
+		c.mu.Unlock()
+		return withSpec(res, spec), true
+	}
+	c.mu.Unlock()
+
+	if c.cfg.Dir == "" {
+		c.miss()
+		return nil, false
+	}
+	res, err := c.readDisk(key)
+	if err != nil {
+		c.miss()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.insertLocked(key, res)
+	c.stats.Hits++
+	c.stats.DiskHits++
+	c.mu.Unlock()
+	return withSpec(res, spec), true
+}
+
+// Put stores a completed result under the spec's key, in memory and — when
+// a directory is configured — on disk (written atomically via a temp file).
+func (c *RunCache) Put(spec scenario.Spec, res *scenario.Result) error {
+	return c.putByKey(c.Key(spec), res)
+}
+
+// putByKey is Put with a precomputed key (see getByKey).
+func (c *RunCache) putByKey(key string, res *scenario.Result) error {
+	if res == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.insertLocked(key, res)
+	c.stats.Stores++
+	c.mu.Unlock()
+	if c.cfg.Dir == "" {
+		return nil
+	}
+	return c.writeDisk(key, res)
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *RunCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of in-memory entries.
+func (c *RunCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *RunCache) miss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+}
+
+func (c *RunCache) insertLocked(key string, res *scenario.Result) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.lru.Len() > c.cfg.MaxEntries {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *RunCache) path(key string) string {
+	return filepath.Join(c.cfg.Dir, key+".run.gob")
+}
+
+func (c *RunCache) readDisk(key string) (*scenario.Result, error) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, err
+	}
+	var rec cacheRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("harness: cache decode %s: %w", key, err)
+	}
+	if rec.Key != key {
+		return nil, fmt.Errorf("harness: cache file %s holds key %s", key, rec.Key)
+	}
+	return &scenario.Result{
+		Elapsed:   rec.Elapsed,
+		Events:    rec.Events,
+		Flows:     rec.Flows,
+		SlaveKbps: rec.Slaves,
+		SCOKbps:   rec.SCO,
+		Slots:     rec.Slots,
+		GSPolls:   rec.GSPolls,
+		BEPolls:   rec.BEPolls,
+		Skipped:   rec.Skipped,
+		Admitted:  rec.Admit,
+	}, nil
+}
+
+func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
+	rec := cacheRecord{
+		Key:     key,
+		Elapsed: res.Elapsed,
+		Events:  res.Events,
+		Flows:   res.Flows,
+		Slaves:  res.SlaveKbps,
+		SCO:     res.SCOKbps,
+		Slots:   res.Slots,
+		GSPolls: res.GSPolls,
+		BEPolls: res.BEPolls,
+		Skipped: res.Skipped,
+		Admit:   res.Admitted,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("harness: cache encode %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(c.cfg.Dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	return nil
+}
+
+// withSpec returns a shallow copy of the cached result carrying the
+// caller's spec, so reports label cached replays exactly like fresh runs.
+func withSpec(res *scenario.Result, spec scenario.Spec) *scenario.Result {
+	out := *res
+	out.Spec = spec
+	return &out
+}

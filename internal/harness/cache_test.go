@@ -1,0 +1,207 @@
+package harness_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bluegs/internal/harness"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+)
+
+func newCache(t *testing.T, cfg harness.CacheConfig) *harness.RunCache {
+	t.Helper()
+	c, err := harness.NewRunCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRunCacheMemoryRoundTrip: a second pass over the same sweep is served
+// entirely from memory and reproduces the results bit for bit.
+func TestRunCacheMemoryRoundTrip(t *testing.T) {
+	sw := shortSweep(t)
+	cache := newCache(t, harness.CacheConfig{})
+	cold, err := harness.Execute(sw.Runs, harness.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cold {
+		if r.CacheHit {
+			t.Fatal("cold run reported a cache hit")
+		}
+	}
+	warm, err := harness.Execute(sw.Runs, harness.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range warm {
+		if !r.CacheHit {
+			t.Fatalf("warm run %d executed the simulator", i)
+		}
+	}
+	if got, want := fingerprint(t, warm), fingerprint(t, cold); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached results drifted:\n got %v\nwant %v", got, want)
+	}
+	st := cache.Stats()
+	if st.Hits != uint64(len(sw.Runs)) || st.Stores != uint64(len(sw.Runs)) {
+		t.Fatalf("stats = %+v, want %d hits and stores", st, len(sw.Runs))
+	}
+}
+
+// TestRunCacheDiskRoundTrip: a fresh cache over the same directory (a new
+// process, in effect) replays the sweep from disk with every statistic —
+// including delay quantiles backed by the gob-serialized samples — exact.
+func TestRunCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sw := shortSweep(t)
+	cold, err := harness.Execute(sw.Runs, harness.Options{
+		Cache: newCache(t, harness.CacheConfig{Dir: dir}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newCache(t, harness.CacheConfig{Dir: dir})
+	warm, err := harness.Execute(sw.Runs, harness.Options{Cache: fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(t, warm), fingerprint(t, cold); !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk round trip drifted:\n got %v\nwant %v", got, want)
+	}
+	st := fresh.Stats()
+	if st.DiskHits != uint64(len(sw.Runs)) {
+		t.Fatalf("stats = %+v, want %d disk hits", st, len(sw.Runs))
+	}
+	for i := range warm {
+		a, b := cold[i].Result, warm[i].Result
+		if a.Events != b.Events || a.GSPolls != b.GSPolls || a.BEPolls != b.BEPolls ||
+			a.Slots != b.Slots || a.Elapsed != b.Elapsed {
+			t.Fatalf("run %d counters drifted through disk", i)
+		}
+		for j, f := range a.Flows {
+			g := b.Flows[j]
+			if f.Delay == nil || g.Delay == nil {
+				t.Fatalf("run %d flow %d lost its delay statistics", i, f.ID)
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+				if f.Delay.Quantile(q) != g.Delay.Quantile(q) {
+					t.Fatalf("run %d flow %d quantile %v drifted", i, f.ID, q)
+				}
+			}
+		}
+		if len(a.Admitted) != len(b.Admitted) {
+			t.Fatalf("run %d admission plan lost", i)
+		}
+		for j := range a.Admitted {
+			if *a.Admitted[j] != *b.Admitted[j] {
+				t.Fatalf("run %d admitted flow %d drifted: %+v vs %+v",
+					i, j, a.Admitted[j], b.Admitted[j])
+			}
+		}
+	}
+}
+
+// TestRunCacheTracerBypass: traced runs execute every time and are never
+// stored — their side effects cannot be replayed from a cache.
+func TestRunCacheTracerBypass(t *testing.T) {
+	spec := scenario.Paper(40 * time.Millisecond)
+	spec.Duration = time.Second
+	tracer := piconet.NewRingTracer(16)
+	spec.Tracer = tracer
+	runs := []harness.Run{{Index: 0, Cell: "traced", Spec: spec}}
+	cache := newCache(t, harness.CacheConfig{})
+	for pass := 0; pass < 2; pass++ {
+		results, err := harness.Execute(runs, harness.Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].CacheHit {
+			t.Fatalf("pass %d: traced run served from cache", pass)
+		}
+	}
+	st := cache.Stats()
+	if st.Stores != 0 || st.Hits != 0 {
+		t.Fatalf("traced runs touched the cache: %+v", st)
+	}
+}
+
+// TestRunCacheSaltInvalidates: changing the code-version salt must miss on
+// a directory full of old results.
+func TestRunCacheSaltInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	spec := scenario.Paper(40 * time.Millisecond)
+	spec.Duration = time.Second
+	runs := []harness.Run{{Index: 0, Cell: "c", Spec: spec}}
+	if _, err := harness.Execute(runs, harness.Options{
+		Cache: newCache(t, harness.CacheConfig{Dir: dir, Salt: "sim-vA"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stale := newCache(t, harness.CacheConfig{Dir: dir, Salt: "sim-vB"})
+	results, err := harness.Execute(runs, harness.Options{Cache: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].CacheHit {
+		t.Fatal("salted-out result was replayed")
+	}
+	if st := stale.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+// TestRunCacheEviction: the in-memory LRU stays bounded and evicts the
+// least recently used entry first.
+func TestRunCacheEviction(t *testing.T) {
+	cache := newCache(t, harness.CacheConfig{MaxEntries: 2})
+	specs := make([]scenario.Spec, 3)
+	for i := range specs {
+		specs[i] = scenario.Paper(time.Duration(30+2*i) * time.Millisecond)
+		specs[i].Duration = time.Second
+		res, err := scenario.Run(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cache.Put(specs[i], res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("Len = %d, want bound 2", cache.Len())
+	}
+	if _, ok := cache.Get(specs[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := cache.Get(specs[i]); !ok {
+			t.Fatalf("recent entry %d evicted", i)
+		}
+	}
+}
+
+// TestExecuteTimedRunsReleaseTimers is the time.After leak regression: a
+// large sweep under a generous timeout must not leave per-run timeout
+// timers alive once it completes.
+func TestExecuteTimedRunsReleaseTimers(t *testing.T) {
+	spec := scenario.Spec{
+		BE:       []scenario.BEFlow{{ID: 1, Slave: 1, Dir: piconet.Up, RateKbps: 10, PacketSize: 27}},
+		Duration: time.Millisecond,
+	}
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	runs := make([]harness.Run, n)
+	for i := range runs {
+		runs[i] = harness.Run{Index: i, Cell: "tiny", Rep: i, Spec: spec}
+	}
+	if _, err := harness.Execute(runs, harness.Options{Workers: 4, Timeout: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if got := harness.LiveRunTimers(); got != 0 {
+		t.Fatalf("%d per-run timeout timers still alive after the sweep", got)
+	}
+}

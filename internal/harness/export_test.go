@@ -1,0 +1,5 @@
+package harness
+
+// LiveRunTimers exposes the per-run timeout timer counter for the
+// time.After leak regression test.
+func LiveRunTimers() int64 { return liveRunTimers.Load() }

@@ -12,10 +12,37 @@
 // loops exactly — the golden-table tests in internal/experiments rely on
 // this.
 //
-// On top of the runner, Sweep builders (Fig5Sweep, ComparisonSweep,
-// ExtensionSweep, GridSweep) assemble the paper's evaluation grids, and
-// the aggregation helpers reduce per-cell replications to
-// mean/min/max/95%-confidence summaries via internal/stats.
+// On top of the runner, Grid builders (Fig5Grid, ComparisonGrid,
+// ExtensionGrid and the fixed Sweep forms) assemble the paper's
+// evaluation grids, and the aggregation helpers reduce per-cell
+// replications to mean/min/max/95%-confidence summaries via
+// internal/stats.
+//
+// # Adaptive replication
+//
+// ExecuteAdaptive replaces the fixed replication count with a
+// statistical stopping rule: every cell keeps receiving further
+// independently seeded replications — scheduled in deterministic
+// replication order, in worker-independent batches — until the 95%
+// confidence half-width of its stopping Metric (mean GS delay, the
+// bound-violation fraction, or a throughput) drops below a relative
+// (RelTol×|mean|) or absolute (AbsTol) tolerance, or the MaxReps cap is
+// reached. Because the batch composition depends only on simulation
+// results, adaptive sweeps keep the runner's core guarantee: per-cell
+// replication counts and every table rendered from them are
+// bit-identical at any worker count.
+//
+// # The run cache
+//
+// Options.Cache plugs in a RunCache: a content-addressed result store
+// keyed by the SHA-256 fingerprint of (scenario.Spec canonical rendering
+// — which includes seed and horizon — plus a code-version salt, see
+// DefaultCacheSalt). An in-memory LRU fronts an optional on-disk gob
+// directory, so re-running a sweep after changing one cell, re-anchoring
+// goldens, or re-rendering reports replays every unchanged run without
+// executing the simulator — across processes, with results that are
+// bit-identical to the original execution. Runs carrying a Tracer bypass
+// the cache entirely.
 package harness
 
 import (
@@ -23,6 +50,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bluegs/internal/scenario"
@@ -59,6 +87,9 @@ type RunResult struct {
 	Err error
 	// Wall is the wall-clock time the run took.
 	Wall time.Duration
+	// CacheHit reports that Result was replayed from Options.Cache
+	// instead of executing the simulator.
+	CacheHit bool
 }
 
 // Options tunes Execute.
@@ -74,6 +105,13 @@ type Options struct {
 	// are serialized but completion order is scheduling-dependent; do
 	// not derive results from it.
 	OnProgress func(done, total int, r RunResult)
+	// Cache, when set, serves runs whose fingerprint it already holds
+	// without executing the simulator, and stores every fresh result.
+	// Runs carrying a Tracer always execute (their side effects cannot
+	// be replayed) and are never stored. Because cached results are the
+	// stored bytes of an identical earlier run, sweeps remain
+	// bit-identical whether the cache is cold, warm or partially warm.
+	Cache *RunCache
 }
 
 // workers resolves the pool size.
@@ -107,7 +145,7 @@ func Execute(runs []Run, opts Options) ([]RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = execute(runs[i], opts.Timeout)
+				results[i] = execute(runs[i], opts)
 				if opts.OnProgress != nil {
 					progressMu.Lock()
 					done++
@@ -132,8 +170,36 @@ func Execute(runs []Run, opts Options) ([]RunResult, error) {
 	return results, nil
 }
 
-// execute runs one scenario, enforcing the per-run timeout when set.
-func execute(run Run, timeout time.Duration) RunResult {
+// execute resolves one run: from the cache when possible, otherwise by
+// running the scenario (and storing the fresh result).
+func execute(run Run, opts Options) RunResult {
+	cacheable := opts.Cache != nil && run.Spec.Tracer == nil
+	var key string
+	if cacheable {
+		// Hash once, before simulating: a stateful Radio model mutated
+		// by the run must not skew the store key away from the lookup.
+		key = opts.Cache.Key(run.Spec)
+		start := time.Now()
+		if res, ok := opts.Cache.getByKey(key, run.Spec); ok {
+			return RunResult{Run: run, Result: res, Wall: time.Since(start), CacheHit: true}
+		}
+	}
+	rr := simulate(run, opts.Timeout)
+	if cacheable && rr.Err == nil {
+		// A store failure (full disk, bad permissions) must not fail
+		// the sweep; the run simply stays uncached.
+		_ = opts.Cache.putByKey(key, rr.Result)
+	}
+	return rr
+}
+
+// liveRunTimers counts per-run timeout timers currently alive. The
+// regression test for the time.After leak (every timed run used to pin a
+// timer until it fired) asserts this returns to zero after a sweep.
+var liveRunTimers atomic.Int64
+
+// simulate runs one scenario, enforcing the per-run timeout when set.
+func simulate(run Run, timeout time.Duration) RunResult {
 	start := time.Now()
 	if timeout <= 0 {
 		res, err := scenario.Run(run.Spec)
@@ -148,10 +214,16 @@ func execute(run Run, timeout time.Duration) RunResult {
 		res, err := scenario.Run(run.Spec)
 		ch <- outcome{res, err}
 	}()
+	timer := time.NewTimer(timeout)
+	liveRunTimers.Add(1)
+	defer func() {
+		timer.Stop()
+		liveRunTimers.Add(-1)
+	}()
 	select {
 	case o := <-ch:
 		return RunResult{Run: run, Result: o.res, Err: o.err, Wall: time.Since(start)}
-	case <-time.After(timeout):
+	case <-timer.C:
 		return RunResult{
 			Run:  run,
 			Err:  fmt.Errorf("%w after %v", ErrTimeout, timeout),

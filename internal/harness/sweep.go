@@ -39,65 +39,92 @@ type Sweep struct {
 	Runs []Run
 }
 
-// GridSweep builds a sweep from a list of cells and a spec factory: every
-// cell is replicated cfg.Replications times, each replication with its
-// derived seed already applied (the factory's Seed and Duration fields
-// are overwritten). This is the generic builder the typed sweeps share;
-// experiments with bespoke grids (ablations, coexistence pairs) use it
-// directly.
+// Grid is the generative form of a sweep: the cells plus the spec
+// factory, before any replication count is fixed. Execute-style fixed
+// sweeps derive from it via Sweep; ExecuteAdaptive keeps the Grid around
+// so it can keep scheduling further replications per cell until the
+// confidence target is met.
 //
-// The factory is called once per run, but interface-valued Spec fields
-// (Radio, Tracer) shared across those returns are shared across
-// concurrently executing runs: they must be stateless (like radio.BER)
-// or distinct per call, or the bit-identical guarantee — and the race
-// detector — breaks. Cells must be unique: duplicates merge under one
-// Cells key.
-func GridSweep(name string, cfg SweepConfig, cells []string,
-	build func(cell string) scenario.Spec) Sweep {
+// Build is called once per run, but interface-valued Spec fields (Radio,
+// Tracer) shared across those returns are shared across concurrently
+// executing runs: they must be stateless (like radio.BER) or distinct
+// per call, or the bit-identical guarantee — and the race detector —
+// breaks. Cells must be unique: duplicates merge under one Cells key.
+type Grid struct {
+	Name  string
+	Cells []string
+	Build func(cell string) scenario.Spec
+}
+
+// Run materialises one (cell, replication) point of the grid: the
+// factory's Seed and Duration fields are overwritten with the sweep
+// horizon and the seed derived from (cfg.Seed, rep).
+func (g Grid) Run(cfg SweepConfig, index int, cell string, rep int) Run {
+	spec := g.Build(cell)
+	spec.Duration = cfg.Duration
+	spec.Seed = ReplicationSeed(cfg.Seed, rep)
+	return Run{Index: index, Cell: cell, Rep: rep, Spec: spec}
+}
+
+// Sweep expands the grid into the fixed (cell × replication) run list.
+func (g Grid) Sweep(cfg SweepConfig) Sweep {
 	cfg = cfg.WithDefaults()
-	sw := Sweep{Name: name}
-	for _, cell := range cells {
+	sw := Sweep{Name: g.Name}
+	for _, cell := range g.Cells {
 		for rep := 0; rep < cfg.Replications; rep++ {
-			spec := build(cell)
-			spec.Duration = cfg.Duration
-			spec.Seed = ReplicationSeed(cfg.Seed, rep)
-			sw.Runs = append(sw.Runs, Run{
-				Index: len(sw.Runs),
-				Cell:  cell,
-				Rep:   rep,
-				Spec:  spec,
-			})
+			sw.Runs = append(sw.Runs, g.Run(cfg, len(sw.Runs), cell, rep))
 		}
 	}
 	return sw
 }
 
-// Fig5Sweep builds the paper's Figure 5 grid: the Fig. 4 piconet at every
-// delay target, replicated per SweepConfig. Cells are the target
-// durations rendered with time.Duration.String.
-func Fig5Sweep(cfg SweepConfig, targets []time.Duration) Sweep {
+// GridSweep builds a fixed sweep from a list of cells and a spec factory
+// (see Grid for the sharing caveats). This is the generic builder the
+// typed sweeps share; experiments with bespoke grids (ablations,
+// coexistence pairs) use it directly.
+func GridSweep(name string, cfg SweepConfig, cells []string,
+	build func(cell string) scenario.Spec) Sweep {
+	return Grid{Name: name, Cells: cells, Build: build}.Sweep(cfg)
+}
+
+// Fig5Grid is the paper's Figure 5 grid: the Fig. 4 piconet at every
+// delay target. Cells are the target durations rendered with
+// time.Duration.String.
+func Fig5Grid(targets []time.Duration) Grid {
 	cells := make([]string, len(targets))
 	byCell := make(map[string]time.Duration, len(targets))
 	for i, t := range targets {
 		cells[i] = t.String()
 		byCell[cells[i]] = t
 	}
-	return GridSweep("fig5", cfg, cells, func(cell string) scenario.Spec {
+	return Grid{Name: "fig5", Cells: cells, Build: func(cell string) scenario.Spec {
 		return scenario.Paper(byCell[cell])
-	})
+	}}
 }
 
-// ComparisonSweep builds the best-effort poller comparison grid
-// (experiment A2): the saturated baseline piconet under every given
-// poller kind. Cells are the poller kind names.
-func ComparisonSweep(cfg SweepConfig, kinds []scenario.BEPollerKind) Sweep {
+// Fig5Sweep builds the paper's Figure 5 grid at a fixed replication
+// count per SweepConfig.
+func Fig5Sweep(cfg SweepConfig, targets []time.Duration) Sweep {
+	return Fig5Grid(targets).Sweep(cfg)
+}
+
+// ComparisonGrid is the best-effort poller comparison grid (experiment
+// A2): the saturated baseline piconet under every given poller kind.
+// Cells are the poller kind names.
+func ComparisonGrid(kinds []scenario.BEPollerKind) Grid {
 	cells := make([]string, len(kinds))
 	for i, k := range kinds {
 		cells[i] = string(k)
 	}
-	return GridSweep("comparison", cfg, cells, func(cell string) scenario.Spec {
+	return Grid{Name: "comparison", Cells: cells, Build: func(cell string) scenario.Spec {
 		return scenario.Baseline(scenario.BEPollerKind(cell))
-	})
+	}}
+}
+
+// ComparisonSweep builds the poller comparison grid at a fixed
+// replication count.
+func ComparisonSweep(cfg SweepConfig, kinds []scenario.BEPollerKind) Sweep {
+	return ComparisonGrid(kinds).Sweep(cfg)
 }
 
 // ExtensionCell names one (bit error rate, recovery) grid point of the
@@ -123,12 +150,12 @@ func StderrProgress(label string) func(done, total int) {
 	}
 }
 
-// ExtensionSweep builds the retransmission-study grid (experiment E5, the
+// ExtensionGrid is the retransmission-study grid (experiment E5, the
 // paper's stated future work): the Fig. 4 piconet at a 40 ms requirement
 // across a bit-error-rate sweep, without and with the saved-bandwidth
 // recovery policy. The lossless point runs only once (recovery is
 // meaningless without losses).
-func ExtensionSweep(cfg SweepConfig, bers []float64) Sweep {
+func ExtensionGrid(bers []float64) Grid {
 	type point struct {
 		ber      float64
 		recovery bool
@@ -148,7 +175,7 @@ func ExtensionSweep(cfg SweepConfig, bers []float64) Sweep {
 			byCell[cell] = point{ber, recovery}
 		}
 	}
-	return GridSweep("extensions", cfg, cells, func(cell string) scenario.Spec {
+	return Grid{Name: "extensions", Cells: cells, Build: func(cell string) scenario.Spec {
 		p := byCell[cell]
 		spec := scenario.Paper(40 * time.Millisecond)
 		if p.ber > 0 {
@@ -157,5 +184,11 @@ func ExtensionSweep(cfg SweepConfig, bers []float64) Sweep {
 			spec.LossRecovery = p.recovery
 		}
 		return spec
-	})
+	}}
+}
+
+// ExtensionSweep builds the retransmission-study grid at a fixed
+// replication count.
+func ExtensionSweep(cfg SweepConfig, bers []float64) Sweep {
+	return ExtensionGrid(bers).Sweep(cfg)
 }

@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+)
+
+// canonicalVersion tags the canonical rendering format. Bump it whenever
+// the rendering below changes shape, so stale on-disk caches keyed on old
+// fingerprints can never alias new ones.
+const canonicalVersion = "spec-canon/v1"
+
+// WithDefaults returns the spec with every zero field replaced by the
+// default scenario.Run would apply. Run itself uses it, so a spec and its
+// defaulted twin are guaranteed to describe the same simulation — which is
+// what lets Canonical (and the run cache built on it) treat them as one.
+func (s Spec) WithDefaults() Spec {
+	if s.Duration <= 0 {
+		s.Duration = 30 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Allowed.Empty() {
+		s.Allowed = baseband.PaperTypes
+	}
+	if s.Mode == 0 {
+		s.Mode = core.VariableInterval
+	}
+	if s.DelayTarget <= 0 {
+		s.DelayTarget = 40 * time.Millisecond
+	}
+	return s
+}
+
+// Canonical renders every semantically relevant field of the spec into a
+// deterministic text form: two specs produce the same string exactly when
+// they describe the same simulation (after defaulting). The rendering is
+// the input of Fingerprint and therefore of the harness run cache.
+//
+// Excluded on purpose: Name (a report label) and Tracer (an observer —
+// the harness never serves traced runs from the cache anyway). The Radio
+// model is rendered through %#v, which captures the concrete type and its
+// parameters; stateful models must start each run from identical state
+// for the fingerprint to be meaningful.
+func (s Spec) Canonical() string {
+	s = s.WithDefaults()
+	var b strings.Builder
+	fmt.Fprintln(&b, canonicalVersion)
+	fmt.Fprintf(&b, "target=%d mode=%d rules=%d/%t poller=%q pfp=%g\n",
+		int64(s.DelayTarget), int(s.Mode), uint64(s.Rules), s.RulesSet,
+		string(s.BEPoller), s.PFPThreshold)
+	fmt.Fprintf(&b, "allowed=%d dur=%d seed=%d arq=%t recovery=%t nopiggy=%t diraware=%t\n",
+		uint64(s.Allowed), int64(s.Duration), s.Seed,
+		s.ARQ, s.LossRecovery, s.WithoutPiggybacking, s.DirectionAware)
+	if s.Radio == nil {
+		fmt.Fprintln(&b, "radio=ideal")
+	} else {
+		fmt.Fprintf(&b, "radio=%#v\n", s.Radio)
+	}
+	for _, g := range s.GS {
+		fmt.Fprintf(&b, "gs id=%d slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d\n",
+			uint64(g.ID), uint64(g.Slave), int(g.Dir), int64(g.Interval),
+			g.MinSize, g.MaxSize, int64(g.Phase), uint64(g.Allowed))
+	}
+	for _, f := range s.BE {
+		fmt.Fprintf(&b, "be id=%d slave=%d dir=%d rate=%g size=%d phase=%d allowed=%d\n",
+			uint64(f.ID), uint64(f.Slave), int(f.Dir), f.RateKbps,
+			f.PacketSize, int64(f.Phase), uint64(f.Allowed))
+	}
+	for _, l := range s.SCO {
+		fmt.Fprintf(&b, "sco slave=%d type=%d\n", uint64(l.Slave), int(l.Type))
+	}
+	return b.String()
+}
+
+// Fingerprint is the SHA-256 of the canonical rendering, hex encoded: a
+// content address for the complete run specification (spec plus seed plus
+// horizon). The harness cache keys on it, combined with a code-version
+// salt.
+func (s Spec) Fingerprint() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bluegs/internal/radio"
+)
+
+func TestCanonicalDefaultsInvariant(t *testing.T) {
+	// A spec and its explicitly defaulted twin describe the same
+	// simulation, so they must share a canonical form.
+	bare := Paper(40 * time.Millisecond)
+	bare.Duration, bare.Seed = 0, 0
+	full := bare
+	full.Duration, full.Seed = 30*time.Second, 1
+	if bare.Canonical() != full.Canonical() {
+		t.Fatalf("defaulted specs diverge:\n%s\nvs\n%s", bare.Canonical(), full.Canonical())
+	}
+	if bare.Fingerprint() != full.Fingerprint() {
+		t.Fatal("defaulted specs fingerprint differently")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Paper(40 * time.Millisecond)
+	base.Duration = 10 * time.Second
+	fp := base.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+	}
+
+	mutate := map[string]func(*Spec){
+		"seed":      func(s *Spec) { s.Seed = 2 },
+		"duration":  func(s *Spec) { s.Duration = 11 * time.Second },
+		"target":    func(s *Spec) { s.DelayTarget = 42 * time.Millisecond },
+		"poller":    func(s *Spec) { s.BEPoller = BERoundRobin },
+		"radio":     func(s *Spec) { s.Radio = radio.BER{BitErrorRate: 1e-5} },
+		"ber-rate":  func(s *Spec) { s.Radio = radio.BER{BitErrorRate: 2e-5} },
+		"arq":       func(s *Spec) { s.ARQ = true },
+		"gs-flow":   func(s *Spec) { s.GS[0].MaxSize = 180 },
+		"be-flow":   func(s *Spec) { s.BE[0].RateKbps = 42 },
+		"gs-phase":  func(s *Spec) { s.GS[1].Phase = 6 * time.Millisecond },
+		"dir-aware": func(s *Spec) { s.DirectionAware = true },
+	}
+	seen := map[string]string{fp: "base"}
+	for name, f := range mutate {
+		spec := base
+		spec.GS = append([]GSFlow(nil), base.GS...)
+		spec.BE = append([]BEFlow(nil), base.BE...)
+		f(&spec)
+		got := spec.Fingerprint()
+		if prev, dup := seen[got]; dup {
+			t.Fatalf("mutation %q collided with %q", name, prev)
+		}
+		seen[got] = name
+	}
+}
+
+func TestFingerprintIgnoresLabels(t *testing.T) {
+	a := Paper(40 * time.Millisecond)
+	b := a
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("Name must not enter the fingerprint")
+	}
+}
+
+func TestCanonicalMentionsRadioParameters(t *testing.T) {
+	s := Paper(40 * time.Millisecond)
+	s.Radio = radio.BER{BitErrorRate: 1e-5}
+	if c := s.Canonical(); !strings.Contains(c, "1e-05") {
+		t.Fatalf("canonical form loses the BER parameter:\n%s", c)
+	}
+}

@@ -304,21 +304,7 @@ func Run(spec Spec) (*Result, error) {
 	if len(spec.GS) == 0 && len(spec.BE) == 0 {
 		return nil, fmt.Errorf("%w: no flows", ErrBadSpec)
 	}
-	if spec.Duration <= 0 {
-		spec.Duration = 30 * time.Second
-	}
-	if spec.Seed == 0 {
-		spec.Seed = 1
-	}
-	if spec.Allowed.Empty() {
-		spec.Allowed = baseband.PaperTypes
-	}
-	if spec.Mode == 0 {
-		spec.Mode = core.VariableInterval
-	}
-	if spec.DelayTarget <= 0 {
-		spec.DelayTarget = 40 * time.Millisecond
-	}
+	spec = spec.WithDefaults()
 
 	// Admission: the piconet-wide worst exchange must cover BE traffic.
 	admCfg := admission.Config{MaxExchange: maxExchange(spec), DirectionAware: spec.DirectionAware}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Gob support for the accumulator types, so completed measurements can be
+// persisted (the harness run cache stores scenario results on disk). The
+// encodings capture the complete internal state — including the reservoir
+// RNG state of Sample — so a decoded accumulator behaves bit-identically
+// to the original under further Adds, and round-tripping preserves every
+// statistic exactly (float64 bit patterns survive gob unchanged).
+
+// welfordWire mirrors Welford's unexported state.
+type welfordWire struct {
+	N        uint64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (w Welford) GobEncode() ([]byte, error) {
+	return encodeWire(welfordWire{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (w *Welford) GobDecode(data []byte) error {
+	var wire welfordWire
+	if err := decodeWire(data, &wire); err != nil {
+		return fmt.Errorf("stats: welford: %w", err)
+	}
+	*w = Welford{n: wire.N, mean: wire.Mean, m2: wire.M2, min: wire.Min, max: wire.Max}
+	return nil
+}
+
+// sampleWire mirrors Sample's unexported state.
+type sampleWire struct {
+	Values []float64
+	Sorted bool
+	Cap    int
+	Seen   uint64
+	Rnd    uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s Sample) GobEncode() ([]byte, error) {
+	return encodeWire(sampleWire{Values: s.values, Sorted: s.sorted, Cap: s.cap, Seen: s.seen, Rnd: s.rnd})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Sample) GobDecode(data []byte) error {
+	var wire sampleWire
+	if err := decodeWire(data, &wire); err != nil {
+		return fmt.Errorf("stats: sample: %w", err)
+	}
+	*s = Sample{values: wire.Values, sorted: wire.Sorted, cap: wire.Cap, seen: wire.Seen, rnd: wire.Rnd}
+	return nil
+}
+
+// durationStatsWire mirrors DurationStats' unexported state.
+type durationStatsWire struct {
+	W Welford
+	S Sample
+}
+
+// GobEncode implements gob.GobEncoder.
+func (d DurationStats) GobEncode() ([]byte, error) {
+	return encodeWire(durationStatsWire{W: d.w, S: d.s})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (d *DurationStats) GobDecode(data []byte) error {
+	var wire durationStatsWire
+	if err := decodeWire(data, &wire); err != nil {
+		return fmt.Errorf("stats: duration stats: %w", err)
+	}
+	*d = DurationStats{w: wire.W, s: wire.S}
+	return nil
+}
+
+func encodeWire(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWire(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

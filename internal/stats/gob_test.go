@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func roundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestWelfordGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	for i := 0; i < 1000; i++ {
+		w.Add(rng.NormFloat64() * 3.7)
+	}
+	var got Welford
+	roundTrip(t, &w, &got)
+	if got != w {
+		t.Fatalf("round trip changed state: %+v vs %+v", got, w)
+	}
+	// Decoded accumulators must keep accumulating identically.
+	w.Add(1.25)
+	got.Add(1.25)
+	if got != w {
+		t.Fatal("post-decode Add diverged")
+	}
+}
+
+func TestSampleGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSample(64)
+	for i := 0; i < 500; i++ {
+		s.Add(rng.Float64())
+	}
+	var got Sample
+	roundTrip(t, s, &got)
+	if got.Count() != s.Count() || got.Retained() != s.Retained() {
+		t.Fatalf("counts drifted: %d/%d vs %d/%d", got.Count(), got.Retained(), s.Count(), s.Retained())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got.Quantile(q) != s.Quantile(q) {
+			t.Fatalf("quantile %v drifted", q)
+		}
+	}
+	// The reservoir RNG state travels too: identical future replacement
+	// decisions on both copies.
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()
+		s.Add(x)
+		got.Add(x)
+	}
+	a, b := s.Values(), got.Values()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir diverged at %d after decode", i)
+		}
+	}
+}
+
+func TestDurationStatsGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDurationStats(128)
+	for i := 0; i < 1000; i++ {
+		d.Add(time.Duration(rng.Int63n(int64(50 * time.Millisecond))))
+	}
+	var got DurationStats
+	roundTrip(t, d, &got)
+	if got.Count() != d.Count() || got.Mean() != d.Mean() || got.Max() != d.Max() ||
+		got.Min() != d.Min() || got.StdDev() != d.StdDev() {
+		t.Fatal("moments drifted through gob")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got.Quantile(q) != d.Quantile(q) {
+			t.Fatalf("quantile %v drifted", q)
+		}
+	}
+}

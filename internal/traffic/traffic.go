@@ -6,6 +6,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -43,8 +44,12 @@ func (f FixedSize) Bounds() (int, int) {
 	return n, n
 }
 
-// Name implements SizeDist.
-func (f FixedSize) Name() string { return fmt.Sprintf("fixed(%d)", int(f)) }
+// Name implements SizeDist. It reports the effective (clamped) size, so a
+// report never labels a distribution the simulation did not actually run.
+func (f FixedSize) Name() string {
+	n, _ := f.Bounds()
+	return fmt.Sprintf("fixed(%d)", n)
+}
 
 // UniformSize draws sizes uniformly from [Min, Max] inclusive, the paper's
 // GS packet size distribution.
@@ -75,8 +80,12 @@ func (u UniformSize) Bounds() (int, int) {
 	return lo, hi
 }
 
-// Name implements SizeDist.
-func (u UniformSize) Name() string { return fmt.Sprintf("uniform(%d,%d)", u.Min, u.Max) }
+// Name implements SizeDist. Like Draw and Bounds it reflects the effective
+// (clamped) support rather than the raw parameters.
+func (u UniformSize) Name() string {
+	lo, hi := u.Bounds()
+	return fmt.Sprintf("uniform(%d,%d)", lo, hi)
+}
 
 // Generator produces the inter-arrival time to the next packet. Generators
 // may be stateful; all randomness comes from the supplied rng.
@@ -114,8 +123,11 @@ func CBRForRate(bitsPerSecond float64, meanPacketBytes int) CBR {
 	if bitsPerSecond <= 0 || meanPacketBytes <= 0 {
 		return CBR{Interval: time.Millisecond}
 	}
+	// Round to the nearest nanosecond: truncation would bias every
+	// interval short, so the emitted rate would systematically overshoot
+	// the requested one (e.g. the paper's 41.6 kbps BE sources).
 	sec := float64(meanPacketBytes) * 8 / bitsPerSecond
-	return CBR{Interval: time.Duration(sec * float64(time.Second))}
+	return CBR{Interval: time.Duration(math.Round(sec * float64(time.Second)))}
 }
 
 // Poisson emits packets with exponential inter-arrival times at the given
@@ -144,6 +156,15 @@ func (p Poisson) Name() string { return fmt.Sprintf("poisson(%.1f/s)", p.Packets
 
 // OnOff alternates exponential ON periods, during which it emits CBR
 // traffic, with exponential OFF silences. Create with NewOnOff.
+//
+// Accounting: every emitted packet consumes exactly one interval of ON
+// time, and the unused tail of an ON period (shorter than one interval)
+// carries over into the next ON period's budget, so the long-run packet
+// rate is exactly dutyCycle/interval with
+// dutyCycle = meanOn/(meanOn+meanOff) — no burst gets a free packet and
+// no ON time is silently discarded. The source starts in the stationary
+// phase: with probability meanOff/(meanOn+meanOff) the first packet is
+// preceded by a residual OFF silence.
 type OnOff struct {
 	meanOn, meanOff time.Duration
 	interval        time.Duration
@@ -180,23 +201,37 @@ func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
 }
 
 // NextInterval implements Generator.
+//
+// RNG draw order (fixed, for reproducible replay): on the first call one
+// Float64 selects the stationary starting phase, followed by one
+// ExpFloat64 for the residual OFF silence when the source starts silent,
+// then one ExpFloat64 for the first ON length. Afterwards, every time an
+// ON period is exhausted, one ExpFloat64 draws the OFF gap and one
+// ExpFloat64 draws the next ON length, in that order.
 func (o *OnOff) NextInterval(rng *rand.Rand) time.Duration {
+	var gap time.Duration
 	if !o.started {
 		o.started = true
+		if rng.Float64()*float64(o.meanOn+o.meanOff) < float64(o.meanOff) {
+			// Start inside an OFF period; the residual of an
+			// exponential silence is exponential again.
+			gap = expDur(rng, o.meanOff)
+		}
 		o.remainingOn = expDur(rng, o.meanOn)
 	}
-	if o.remainingOn >= o.interval {
-		o.remainingOn -= o.interval
-		return o.interval
+	for o.remainingOn < o.interval {
+		// The ON period ends before the next emission: an OFF silence
+		// rides into the gap and a fresh ON period tops up the budget.
+		// The sub-interval tail stays in remainingOn rather than being
+		// discarded — dropping it would bias the long-run rate low by
+		// E[on mod interval] per burst — and no burst is ever credited
+		// a free first packet; periods too short to accumulate one
+		// interval emit nothing.
+		gap += expDur(rng, o.meanOff)
+		o.remainingOn += expDur(rng, o.meanOn)
 	}
-	// The ON period ends; sleep through the OFF period and start a new
-	// ON burst.
-	gap := o.remainingOn + expDur(rng, o.meanOff)
-	o.remainingOn = expDur(rng, o.meanOn)
-	if gap < time.Nanosecond {
-		gap = time.Nanosecond
-	}
-	return gap
+	o.remainingOn -= o.interval
+	return gap + o.interval
 }
 
 // Name implements Generator.

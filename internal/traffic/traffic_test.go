@@ -74,20 +74,39 @@ func TestCBR(t *testing.T) {
 
 func TestCBRForRatePaperSources(t *testing.T) {
 	// Paper BE flows: 176-byte packets at 41.6 kbps ->
-	// interval = 176*8/41600 s ~= 33.846 ms.
+	// interval = 176*8/41600 s ~= 33.846154 ms. The exact interval is
+	// 33846153.846... ns: truncation would keep 33846153 ns and push the
+	// emitted rate above the requested one; rounding must pick 33846154.
 	c := CBRForRate(41600, 176)
-	sec := 176.0 * 8 / 41600
-	want := time.Duration(sec * float64(time.Second))
-	if diff := c.Interval - want; diff < -time.Microsecond || diff > time.Microsecond {
-		t.Fatalf("Interval = %v, want %v", c.Interval, want)
-	}
-	// Rate sanity: bytes per second back out to the requested rate.
-	rate := float64(176*8) / c.Interval.Seconds()
-	if math.Abs(rate-41600) > 1 {
-		t.Fatalf("achieved rate %v, want 41600", rate)
+	if want := 33846154 * time.Nanosecond; c.Interval != want {
+		t.Fatalf("Interval = %v, want rounded %v", c.Interval, want)
 	}
 	if got := CBRForRate(0, 176).Interval; got <= 0 {
 		t.Fatal("degenerate rate should clamp to positive interval")
+	}
+}
+
+// TestCBRForRateAchievedRate pins the achieved rate: over the paper's BE
+// rates (plus awkward ones), the emitted bits/s must match the request to
+// within the half-nanosecond-per-interval rounding granularity — and in
+// particular must no longer systematically overshoot.
+func TestCBRForRateAchievedRate(t *testing.T) {
+	rates := []float64{41600, 47200, 52800, 58400, 60000, 70000, 90000, 123457}
+	var bias float64
+	for _, rate := range rates {
+		c := CBRForRate(rate, 176)
+		achieved := float64(176*8) / c.Interval.Seconds()
+		// Half a nanosecond of interval error translates to at most
+		// rate^2/(2*bits*1e9) bits/s of rate error.
+		tol := rate * rate / (2 * 176 * 8 * 1e9)
+		if diff := math.Abs(achieved - rate); diff > tol+1e-9 {
+			t.Fatalf("rate %v: achieved %v (err %v, tol %v)", rate, achieved, diff, tol)
+		}
+		bias += achieved - rate
+	}
+	// Truncation erred high on every non-exact rate; rounding must not.
+	if bias > 0.05*float64(len(rates)) {
+		t.Fatalf("achieved rates still biased high: mean bias %v bits/s", bias/float64(len(rates)))
 	}
 }
 
@@ -134,6 +153,56 @@ func TestOnOffAlternates(t *testing.T) {
 	}
 }
 
+// TestOnOffDutyCycle is the burst-accounting regression test: with every
+// packet consuming exactly one interval of ON time and unused ON tails
+// carried into the next period, the measured duty cycle
+// n*interval/elapsed must converge to meanOn/(meanOn+meanOff) at every
+// seed. The old accounting handed each burst a free first packet (bias
+// high); discarding the sub-interval tails instead would bias it low by
+// E[on mod interval] per burst (≈0.238 here instead of 0.25).
+func TestOnOffDutyCycle(t *testing.T) {
+	meanOn, meanOff := 50*time.Millisecond, 150*time.Millisecond
+	interval := 5 * time.Millisecond
+	want := float64(meanOn) / float64(meanOn+meanOff)
+	for _, seed := range []int64{1, 2, 8, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		o := NewOnOff(meanOn, meanOff, interval)
+		var elapsed time.Duration
+		const n = 200000
+		for i := 0; i < n; i++ {
+			elapsed += o.NextInterval(rng)
+		}
+		got := float64(n) * interval.Seconds() / elapsed.Seconds()
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("seed %d: duty cycle = %.4f, want %.4f ± 0.01", seed, got, want)
+		}
+	}
+}
+
+// TestOnOffStationaryStart: the source must be able to begin inside an OFF
+// period, with the stationary probability meanOff/(meanOn+meanOff).
+func TestOnOffStationaryStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	meanOn, meanOff := 100*time.Millisecond, 300*time.Millisecond
+	interval := time.Millisecond
+	const trials = 4000
+	silentStarts := 0
+	for i := 0; i < trials; i++ {
+		o := NewOnOff(meanOn, meanOff, interval)
+		// A first interval well above the CBR spacing means the source
+		// started silent (mean ON of 100 intervals makes a sub-interval
+		// first burst negligible).
+		if o.NextInterval(rng) > 10*interval {
+			silentStarts++
+		}
+	}
+	got := float64(silentStarts) / trials
+	want := float64(meanOff) / float64(meanOn+meanOff)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("silent-start fraction = %.3f, want %.3f ± 0.03", got, want)
+	}
+}
+
 func TestOnOffDefaults(t *testing.T) {
 	o := NewOnOff(0, 0, 0)
 	rng := rand.New(rand.NewSource(7))
@@ -162,6 +231,34 @@ func TestPropertySizeDistsRespectBounds(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(53))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestNamesReflectEffectiveBounds: Name must describe the clamped
+// distribution the simulation actually runs, not the raw parameters.
+func TestNamesReflectEffectiveBounds(t *testing.T) {
+	cases := []struct {
+		dist SizeDist
+		want string
+	}{
+		{FixedSize(176), "fixed(176)"},
+		{FixedSize(0), "fixed(1)"},
+		{FixedSize(-3), "fixed(1)"},
+		{UniformSize{Min: 144, Max: 176}, "uniform(144,176)"},
+		{UniformSize{Min: 0, Max: -5}, "uniform(1,1)"},
+		{UniformSize{Min: 200, Max: 100}, "uniform(200,200)"},
+	}
+	rng := rand.New(rand.NewSource(10))
+	for _, c := range cases {
+		if got := c.dist.Name(); got != c.want {
+			t.Fatalf("Name = %q, want %q", got, c.want)
+		}
+		lo, hi := c.dist.Bounds()
+		for i := 0; i < 20; i++ {
+			if v := c.dist.Draw(rng); v < lo || v > hi {
+				t.Fatalf("%s drew %d outside its advertised [%d,%d]", c.dist.Name(), v, lo, hi)
+			}
+		}
 	}
 }
 
