@@ -11,24 +11,32 @@
 //	btsim -target 40ms -duration 530s            # the paper's Fig. 4 setup
 //	btsim -mode fixed -target 36ms               # the §3.1 fixed-interval poller
 //	btsim -poller round-robin -target 46ms -csv  # RR for best effort, CSV output
+//	btsim -list                                  # registered scenario names
+//	btsim -scenario churn                        # a registered scenario by name
+//	btsim -scenario file.json                    # a scenario file (v2 or legacy)
+//	btsim -scenario churn -export churn.json     # write the resolved spec as v2 JSON
 //	btsim -target 40ms -reps 8                   # 8 seeds in parallel, mean±95% CI
 //	btsim -target 40ms -ci-target 0.05           # replicate until the CI is tight
 //	btsim -target 40ms -cache-dir .runcache      # replay unchanged runs instantly
 //
-// With -reps > 1 the scenario replicates under independently derived
-// seeds across a parallel worker pool (the detailed report shows
-// replication 0; a summary table aggregates all of them). With
-// -ci-target the replication count is chosen adaptively: replications
-// keep running until the 95% CI half-width of -ci-metric meets the
-// target or -max-reps is hit. An exchange trace, when requested, records
-// replication 0 only and is incompatible with both -ci-target and
-// -cache-dir (traced runs cannot be replayed).
+// -scenario accepts either a name from the registry (see -list) or a path
+// to a JSON scenario file; timeline scenarios additionally print the
+// online admission log with per-request admit/reject outcomes. With
+// -reps > 1 the scenario replicates under independently derived seeds
+// across a parallel worker pool (the detailed report shows replication 0;
+// a summary table aggregates all of them). With -ci-target the
+// replication count is chosen adaptively: replications keep running until
+// the 95% CI half-width of -ci-metric meets the target or -max-reps is
+// hit. An exchange trace, when requested, records replication 0 only and
+// is incompatible with both -ci-target and -cache-dir (traced runs cannot
+// be replayed).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bluegs/internal/core"
@@ -45,44 +53,79 @@ func main() {
 	}
 }
 
+// resolveScenario loads the -scenario argument: a registered name first,
+// then a file path.
+func resolveScenario(arg string) (scenario.Spec, error) {
+	if spec, ok := scenario.Lookup(arg); ok {
+		return spec, nil
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return scenario.LoadFile(arg)
+	}
+	return scenario.Spec{}, fmt.Errorf("unknown scenario %q (not registered — see -list — and not a file)", arg)
+}
+
 func run() error {
 	var (
-		target   = flag.Duration("target", 40*time.Millisecond, "GS delay requirement")
-		duration = flag.Duration("duration", 60*time.Second, "simulated time")
-		seed     = flag.Int64("seed", 1, "random seed")
-		reps     = flag.Int("reps", 1, "independently seeded replications (adds a summary with 95% CIs)")
-		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		mode     = flag.String("mode", "variable", "planner mode: fixed or variable")
-		pollerK  = flag.String("poller", "pfp", "best-effort poller: pfp, round-robin, exhaustive-rr, fep, edc, demand, hol-priority")
-		noPiggy  = flag.Bool("no-piggyback", false, "disable piggybacking in admission")
-		csv      = flag.Bool("csv", false, "emit CSV instead of a text table")
-		config   = flag.String("config", "", "JSON scenario file (overrides the Fig. 4 preset; see internal/scenario.FileSpec)")
-		hist     = flag.Bool("hist", false, "print per-GS-flow delay histograms")
-		traceOut = flag.String("trace", "", "write an exchange trace CSV to this file (replication 0)")
-		ciTarget = flag.Float64("ci-target", 0, "adaptive replication: replicate until the 95% CI half-width of -ci-metric is below this fraction of its mean (0 = fixed -reps)")
-		ciMetric = flag.String("ci-metric", "gs-delay", "adaptive stopping metric: gs-delay, violations, gs-kbps or be-kbps")
-		maxReps  = flag.Int("max-reps", 0, "adaptive replication cap (default 32)")
-		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory: unchanged runs replay instantly across invocations")
+		target    = flag.Duration("target", 40*time.Millisecond, "GS delay requirement")
+		duration  = flag.Duration("duration", 60*time.Second, "simulated time")
+		seed      = flag.Int64("seed", 1, "random seed")
+		reps      = flag.Int("reps", 1, "independently seeded replications (adds a summary with 95% CIs)")
+		workers   = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		mode      = flag.String("mode", "variable", "planner mode: fixed or variable")
+		pollerK   = flag.String("poller", "pfp", "best-effort poller: pfp, round-robin, exhaustive-rr, fep, edc, demand, hol-priority")
+		noPiggy   = flag.Bool("no-piggyback", false, "disable piggybacking in admission")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a text table")
+		scenarioF = flag.String("scenario", "", "scenario to run: a registered name (see -list) or a JSON file path")
+		list      = flag.Bool("list", false, "list registered scenario names and exit")
+		export    = flag.String("export", "", "write the resolved scenario as v2 JSON to this file before running")
+		config    = flag.String("config", "", "legacy alias for -scenario with a JSON file path")
+		hist      = flag.Bool("hist", false, "print per-GS-flow delay histograms")
+		traceOut  = flag.String("trace", "", "write an exchange trace CSV to this file (replication 0)")
+		ciTarget  = flag.Float64("ci-target", 0, "adaptive replication: replicate until the 95% CI half-width of -ci-metric is below this fraction of its mean (0 = fixed -reps)")
+		ciMetric  = flag.String("ci-metric", "gs-delay", "adaptive stopping metric: gs-delay, violations, gs-kbps or be-kbps")
+		maxReps   = flag.Int("max-reps", 0, "adaptive replication cap (default 32)")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed run cache directory: unchanged runs replay instantly across invocations")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(scenario.Names(), "\n"))
+		return nil
+	}
 	if *traceOut != "" && (*ciTarget > 0 || *cacheDir != "") {
 		return fmt.Errorf("-trace records live exchanges and cannot be combined with -ci-target or -cache-dir")
 	}
+	durationSet, seedSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "duration":
+			durationSet = true
+		case "seed":
+			seedSet = true
+		}
+	})
 
 	var spec scenario.Spec
-	if *config != "" {
-		loaded, err := scenario.LoadSpec(*config)
+	switch {
+	case *scenarioF != "" || *config != "":
+		arg := *scenarioF
+		if arg == "" {
+			arg = *config
+		}
+		loaded, err := resolveScenario(arg)
 		if err != nil {
 			return err
 		}
 		spec = loaded
-		if spec.Duration <= 0 {
+		if spec.Duration <= 0 || durationSet {
 			spec.Duration = *duration
 		}
-		if spec.Seed != 0 {
+		// A scenario's pinned seed is the default, but an explicit
+		// -seed always wins.
+		if spec.Seed != 0 && !seedSet {
 			*seed = spec.Seed
 		}
-	} else {
+	default:
 		spec = scenario.Paper(*target)
 		spec.Duration = *duration
 		spec.BEPoller = scenario.BEPollerKind(*pollerK)
@@ -96,7 +139,18 @@ func run() error {
 			return fmt.Errorf("unknown mode %q", *mode)
 		}
 	}
+	if *export != "" {
+		data, err := scenario.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*export, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "btsim: wrote %s\n", *export)
+	}
 
+	var hooks scenario.Hooks
 	var csvTracer *piconet.CSVTracer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -105,7 +159,7 @@ func run() error {
 		}
 		defer f.Close()
 		csvTracer = piconet.NewCSVTracer(f)
-		spec.Tracer = csvTracer
+		hooks.Tracer = csvTracer
 	}
 
 	var cache *harness.RunCache
@@ -153,9 +207,11 @@ func run() error {
 	} else {
 		sw := grid.Sweep(sweepCfg)
 		// The tracer is a single shared sink; only replication 0 records.
-		for i := range sw.Runs {
-			if sw.Runs[i].Rep != 0 {
-				sw.Runs[i].Spec.Tracer = nil
+		if hooks.Tracer != nil {
+			for i := range sw.Runs {
+				if sw.Runs[i].Rep == 0 {
+					sw.Runs[i].Hooks = hooks
+				}
 			}
 		}
 		rs, err := harness.Execute(sw.Runs, harness.Options{Workers: *workers, Cache: cache})
@@ -175,9 +231,20 @@ func run() error {
 		if err := tbl.WriteCSV(os.Stdout); err != nil {
 			return err
 		}
+		if adm := res.AdmissionReport(); adm != nil {
+			if err := adm.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		}
 	} else {
 		if err := tbl.WriteText(os.Stdout); err != nil {
 			return err
+		}
+		if adm := res.AdmissionReport(); adm != nil {
+			fmt.Println()
+			if err := adm.WriteText(os.Stdout); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("\nslot budget: %v\n", res.Slots)
 		fmt.Printf("admitted GS flows:\n")

@@ -127,5 +127,9 @@ func run() error {
 	if err := print(e7, err); err != nil {
 		return fmt.Errorf("E7: %w", err)
 	}
+	_, e8, err := experiments.ChurnStudy(cfg, nil)
+	if err := print(e8, err); err != nil {
+		return fmt.Errorf("E8: %w", err)
+	}
 	return nil
 }

@@ -18,8 +18,17 @@
 //     demand-based, HOL priority, and the Predictive Fair Poller;
 //   - internal/gs, internal/tspec, internal/segmentation — RFC 2212 delay
 //     bound math, token buckets, and segmentation policies;
-//   - internal/scenario, internal/experiments — the paper's Fig. 4
-//     evaluation setup and one entry point per paper table/figure;
+//   - internal/scenario — the declarative scenario API: a pure-data,
+//     JSON-serializable Spec (radio/poller/size distributions by name
+//     plus parameters) with a Timeline of mid-run changes — GS flows
+//     arrive through the paper's online admission test and may be
+//     rejected, flows and SCO voice links come and go — a scenario
+//     registry of named presets, and the runner threading online
+//     admission through piconet, core and admission (Result.Admissions
+//     logs every request's outcome);
+//   - internal/experiments — one entry point per paper table/figure,
+//     plus the churn study (accept ratio and bound compliance under
+//     Poisson GS flow arrivals and departures);
 //   - internal/harness — the parallel experiment runner: sweep grids
 //     (delay target × poller × seed replication) fan out across a bounded
 //     worker pool with per-replication seed derivation, so every cmd tool

@@ -20,7 +20,6 @@ import (
 	"time"
 
 	"bluegs/internal/piconet"
-	"bluegs/internal/radio"
 	"bluegs/internal/scenario"
 )
 
@@ -53,7 +52,7 @@ func run() error {
 			},
 			DelayTarget:  40 * time.Millisecond,
 			Duration:     120 * time.Second,
-			Radio:        radio.BER{BitErrorRate: ber},
+			Radio:        scenario.BERRadio(ber),
 			ARQ:          true,
 			LossRecovery: recovery,
 		}

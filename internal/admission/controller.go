@@ -7,6 +7,7 @@ import (
 
 	"bluegs/internal/gs"
 	"bluegs/internal/piconet"
+	"bluegs/internal/sco"
 )
 
 // PlannedFlow is an admitted flow together with its polling plan and
@@ -248,6 +249,104 @@ func (c *Controller) Admit(req Request) (*PlannedFlow, error) {
 	c.groups = ordered
 	admitted, _ := c.Find(req.ID)
 	return admitted, nil
+}
+
+// clone returns a deep copy of the controller: trial admissions against
+// the copy leave the original untouched.
+func (c *Controller) clone() *Controller {
+	n := &Controller{cfg: c.cfg, piggyback: c.piggyback}
+	for _, g := range c.groups {
+		cp := &group{}
+		p := *g.primary
+		cp.primary = &p
+		if g.secondary != nil {
+			s := *g.secondary
+			cp.secondary = &s
+		}
+		n.groups = append(n.groups, cp)
+	}
+	return n
+}
+
+// AdmitForDelay is the online form of the Guaranteed Service negotiation:
+// the request names a delay target instead of a rate, and the controller
+// picks the smallest rate R whose resulting bound meets the target against
+// the currently accepted flow set (the exported C/D terms shift as the
+// priority assignment changes, so the choice iterates). On success the
+// flow is installed exactly as Admit would install it; on rejection —
+// either infeasibility of the Fig. 3 routine at some trial rate or a
+// target no rate can meet — the controller is left unchanged and the
+// error wraps ErrRejected.
+func (c *Controller) AdmitForDelay(dr DelayRequest) (*PlannedFlow, error) {
+	if err := dr.Request.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dr.Target <= 0 {
+		return nil, fmt.Errorf("%w: non-positive delay target", ErrBadRequest)
+	}
+	rate := dr.Request.Spec.TokenRate
+	const maxIters = 60
+	for iter := 0; iter < maxIters; iter++ {
+		trial := c.clone()
+		req := dr.Request
+		req.Rate = rate
+		pf, err := trial.Admit(req)
+		if err != nil {
+			// Rates only grow across iterations, so an infeasible
+			// trial can never become feasible later.
+			return nil, err
+		}
+		if pf.Bound <= dr.Target {
+			c.groups = trial.groups
+			admitted, _ := c.Find(req.ID)
+			return admitted, nil
+		}
+		needed, err := gs.RequiredRate(dr.Request.Spec, dr.Target, pf.Terms)
+		if err != nil || needed <= rate {
+			// The target sits below the exported D (no rate closes
+			// the gap directly) or the formula stalled because x
+			// grew with the rate: nudge upward to make progress.
+			needed = rate * 1.05
+		}
+		rate = needed
+	}
+	return nil, fmt.Errorf("%w: no rate meets the %v target for flow %d",
+		ErrRejected, dr.Target, dr.Request.ID)
+}
+
+// SetSCOLinks replaces the configured synchronous links and recomputes the
+// accepted flows' x values, error terms and bounds under the new
+// reservation pattern, preserving their relative priority order. If the
+// accepted set is no longer schedulable with the new links — a newly
+// arriving voice call may not fit around the existing Guaranteed Service
+// contracts — the controller is left unchanged and the error wraps
+// ErrRejected.
+func (c *Controller) SetSCOLinks(links []sco.Channel) error {
+	oldLinks := c.cfg.SCOLinks
+	c.cfg.SCOLinks = links
+	var kept []*PlannedFlow
+	for _, f := range c.Flows() {
+		cp := *f
+		kept = append(kept, &cp)
+	}
+	groups, err := c.pairUp(kept)
+	if err == nil {
+		sort.SliceStable(groups, func(i, j int) bool {
+			return groups[i].primary.Priority < groups[j].primary.Priority
+		})
+		err = c.finalize(groups, c.maxExchange(groups))
+	}
+	if err != nil {
+		c.cfg.SCOLinks = oldLinks
+		return err
+	}
+	c.groups = groups
+	return nil
+}
+
+// SCOLinks returns the currently configured synchronous links.
+func (c *Controller) SCOLinks() []sco.Channel {
+	return append([]sco.Channel(nil), c.cfg.SCOLinks...)
 }
 
 // Remove drops a flow from the accepted set. Remaining flows keep their

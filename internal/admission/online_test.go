@@ -1,0 +1,118 @@
+package admission_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+	"bluegs/internal/sco"
+	"bluegs/internal/tspec"
+)
+
+func delayReq(id piconet.FlowID, slave piconet.SlaveID, dir piconet.Direction,
+	target time.Duration) admission.DelayRequest {
+	return admission.DelayRequest{
+		Request: admission.Request{
+			ID: id, Slave: slave, Dir: dir,
+			Spec:    tspec.CBR(20*time.Millisecond, 144, 176),
+			Allowed: baseband.PaperTypes,
+		},
+		Target: target,
+	}
+}
+
+// TestAdmitForDelayMeetsTarget: the online negotiation picks a rate whose
+// bound meets the target, flow by flow, re-planning priorities each time.
+func TestAdmitForDelayMeetsTarget(t *testing.T) {
+	ctrl := admission.NewController(admission.Config{
+		MaxExchange: baseband.SlotsToDuration(6),
+	})
+	target := 40 * time.Millisecond
+	for i, ep := range []struct {
+		slave piconet.SlaveID
+		dir   piconet.Direction
+	}{{1, piconet.Up}, {2, piconet.Down}, {2, piconet.Up}, {3, piconet.Up}} {
+		pf, err := ctrl.AdmitForDelay(delayReq(piconet.FlowID(i+1), ep.slave, ep.dir, target))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i+1, err)
+		}
+		if pf.Bound > target {
+			t.Fatalf("flow %d: bound %v exceeds target %v", i+1, pf.Bound, target)
+		}
+		if pf.Request.Rate < pf.Request.Spec.TokenRate {
+			t.Fatalf("flow %d: rate below token rate", i+1)
+		}
+	}
+	if got := len(ctrl.Flows()); got != 4 {
+		t.Fatalf("admitted %d flows, want 4", got)
+	}
+}
+
+// TestAdmitForDelayRejectsLeavingStateUnchanged: an unmeetable target is
+// refused and the accepted set is untouched.
+func TestAdmitForDelayRejectsLeavingStateUnchanged(t *testing.T) {
+	ctrl := admission.NewController(admission.Config{
+		MaxExchange: baseband.SlotsToDuration(6),
+	})
+	if _, err := ctrl.AdmitForDelay(delayReq(1, 1, piconet.Up, 40*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	before := ctrl.Flows()
+	// A 2 ms target sits below the exported D any priority could give.
+	_, err := ctrl.AdmitForDelay(delayReq(2, 2, piconet.Up, 2*time.Millisecond))
+	if !errors.Is(err, admission.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	after := ctrl.Flows()
+	if len(after) != len(before) || after[0].Request.ID != 1 || after[0].Priority != before[0].Priority {
+		t.Fatalf("rejection mutated the controller: %+v vs %+v", after, before)
+	}
+}
+
+// TestSetSCOLinksRecomputesAndRollsBack: adding reservations re-derives
+// every accepted flow's x and bound; an addition the flow set cannot
+// survive is refused atomically.
+func TestSetSCOLinksRecomputesAndRollsBack(t *testing.T) {
+	// Direction-aware keeps the GS exchange at 4 slots so it fits HV3
+	// windows.
+	ctrl := admission.NewController(admission.Config{
+		MaxExchange:    baseband.SlotsToDuration(4),
+		DirectionAware: true,
+	})
+	pf, err := ctrl.AdmitForDelay(delayReq(1, 1, piconet.Up, 52*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundBefore := pf.Bound
+	hv3, err := sco.NewChannel(baseband.TypeHV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.SetSCOLinks([]sco.Channel{hv3}); err != nil {
+		t.Fatalf("one HV3 link should fit: %v", err)
+	}
+	pf1, _ := ctrl.Find(1)
+	if pf1.Bound <= boundBefore {
+		t.Fatalf("SCO interference must loosen the bound: %v -> %v", boundBefore, pf1.Bound)
+	}
+	// Three HV3 links leave a 0-slot ACL window: nothing schedules.
+	three := []sco.Channel{hv3, hv3, hv3}
+	if err := ctrl.SetSCOLinks(three); !errors.Is(err, admission.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	pfAfter, _ := ctrl.Find(1)
+	if pfAfter.Bound != pf1.Bound || len(ctrl.SCOLinks()) != 1 {
+		t.Fatal("failed SetSCOLinks must leave the controller unchanged")
+	}
+	// Dropping the link restores the tighter bound.
+	if err := ctrl.SetSCOLinks(nil); err != nil {
+		t.Fatal(err)
+	}
+	pfDropped, _ := ctrl.Find(1)
+	if pfDropped.Bound != boundBefore {
+		t.Fatalf("bound after drop %v, want %v", pfDropped.Bound, boundBefore)
+	}
+}

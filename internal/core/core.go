@@ -165,6 +165,10 @@ type Scheduler struct {
 	// beOutcomes and gsOutcomes count exchanges for reports.
 	beOutcomes uint64
 	gsOutcomes uint64
+	// retiredSkipped and retiredRetries accumulate the per-stream
+	// counters of streams removed by Replan, so run totals survive churn.
+	retiredSkipped uint64
+	retiredRetries uint64
 }
 
 var _ piconet.Scheduler = (*Scheduler)(nil)
@@ -226,18 +230,43 @@ func New(pn *piconet.Piconet, plan []*admission.PlannedFlow, opts ...Option) (*S
 		s.rules = 0
 	}
 
+	streams, byFlow, err := buildStreams(pn, plan)
+	if err != nil {
+		return nil, err
+	}
+	s.streams = streams
+	s.byFlow = byFlow
+	s.beView = newBEView(pn, s.byFlow)
+	// All streams start planned at time zero (the piconet aligns the
+	// first decision); down-only streams with the skip rule go dormant
+	// at their first empty plan.
+	now := pn.Now()
+	for _, st := range s.streams {
+		st.nextPlan = now
+		st.planned = true
+	}
+	return s, nil
+}
+
+// buildStreams validates an admission plan against the piconet and
+// assembles the poll streams in priority order plus the flow index.
+func buildStreams(pn *piconet.Piconet, plan []*admission.PlannedFlow) (
+	[]*stream, map[piconet.FlowID]*stream, error) {
 	byPriority := make(map[int][]*admission.PlannedFlow)
 	var priorities []int
 	for _, pf := range plan {
 		if pf == nil {
-			return nil, fmt.Errorf("%w: nil planned flow", ErrBadPlan)
+			return nil, nil, fmt.Errorf("%w: nil planned flow", ErrBadPlan)
 		}
 		cfg, ok := pn.FlowConfig(pf.Request.ID)
 		if !ok {
-			return nil, fmt.Errorf("%w: flow %d not in piconet", ErrFlowMismatch, pf.Request.ID)
+			return nil, nil, fmt.Errorf("%w: flow %d not in piconet", ErrFlowMismatch, pf.Request.ID)
 		}
 		if cfg.Class != piconet.Guaranteed || cfg.Slave != pf.Request.Slave || cfg.Dir != pf.Request.Dir {
-			return nil, fmt.Errorf("%w: flow %d", ErrFlowMismatch, pf.Request.ID)
+			return nil, nil, fmt.Errorf("%w: flow %d", ErrFlowMismatch, pf.Request.ID)
+		}
+		if !pn.FlowActive(pf.Request.ID) {
+			return nil, nil, fmt.Errorf("%w: flow %d is retired", ErrFlowMismatch, pf.Request.ID)
 		}
 		if len(byPriority[pf.Priority]) == 0 {
 			priorities = append(priorities, pf.Priority)
@@ -250,27 +279,85 @@ func New(pn *piconet.Piconet, plan []*admission.PlannedFlow, opts ...Option) (*S
 			priorities[j], priorities[j-1] = priorities[j-1], priorities[j]
 		}
 	}
+	var streams []*stream
+	byFlow := make(map[piconet.FlowID]*stream)
 	for _, prio := range priorities {
 		members := byPriority[prio]
 		st, err := newStream(prio, members)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		s.streams = append(s.streams, st)
+		streams = append(streams, st)
 		for _, pf := range members {
-			s.byFlow[pf.Request.ID] = st
+			byFlow[pf.Request.ID] = st
 		}
 	}
-	s.beView = newBEView(pn, s.byFlow)
-	// All streams start planned at time zero (the piconet aligns the
-	// first decision); down-only streams with the skip rule go dormant
-	// at their first empty plan.
-	now := pn.Now()
-	for _, st := range s.streams {
-		st.nextPlan = now
-		st.planned = true
+	return streams, byFlow, nil
+}
+
+// primaryFlow returns the id of the stream's planning-driving flow.
+func (st *stream) primaryFlow() piconet.FlowID {
+	if st.primaryDir == piconet.Up {
+		return st.up
 	}
-	return s, nil
+	return st.down
+}
+
+// Replan swaps in a new admission plan mid-run: the scheduler rebuilds its
+// poll streams from the plan (which must cover exactly the piconet's
+// active Guaranteed class flows) and refreshes the best-effort view.
+//
+// Planning state carries over so the paper's analysis keeps holding for
+// surviving flows: a stream whose primary flow persists keeps its next
+// planned poll time, in-flight poll, packet-progress (rule a) and
+// loss-recovery state — only its interval, priority and pairing follow
+// the new plan, exactly as the Fig. 3 routine reassigns them. Streams for
+// newly admitted flows are planned immediately (their x analysis starts
+// at the first poll); streams whose flows left simply disappear, with
+// their skip/retry counters folded into the run totals.
+func (s *Scheduler) Replan(plan []*admission.PlannedFlow) error {
+	streams, byFlow, err := buildStreams(s.pn, plan)
+	if err != nil {
+		return err
+	}
+	now := s.pn.Now()
+	old := s.byFlow
+	claimed := make(map[*stream]bool, len(old))
+	for _, st := range streams {
+		prev, ok := old[st.primaryFlow()]
+		if !ok || claimed[prev] {
+			st.nextPlan = now
+			st.planned = true
+			continue
+		}
+		claimed[prev] = true
+		st.nextPlan, st.planned = prev.nextPlan, prev.planned
+		st.inFlight, st.inFlightPlan = prev.inFlight, prev.inFlightPlan
+		st.retryPending, st.retryInFlight = prev.retryPending, prev.retryInFlight
+		st.polls, st.skipped, st.retries = prev.polls, prev.skipped, prev.retries
+		if prev.primaryFlow() == st.primaryFlow() {
+			// Same driving flow: its packet-in-service progress is
+			// still meaningful under the new interval.
+			st.pktFirstPlan, st.pktInProgress = prev.pktFirstPlan, prev.pktInProgress
+		}
+	}
+	// Fold the counters of vanished streams into the run totals.
+	for _, prev := range s.streams {
+		if !claimed[prev] {
+			s.retiredSkipped += prev.skipped
+			s.retiredRetries += prev.retries
+		}
+	}
+	s.streams = streams
+	s.byFlow = byFlow
+	s.beView = newBEView(s.pn, s.byFlow)
+	return nil
+}
+
+// RefreshBE rebuilds the best-effort view after best-effort flows were
+// added or retired mid-run.
+func (s *Scheduler) RefreshBE() {
+	s.beView = newBEView(s.pn, s.byFlow)
 }
 
 // newStream validates and builds one poll stream from the flows sharing a
@@ -336,18 +423,20 @@ func (s *Scheduler) GSPolls() uint64 { return s.gsOutcomes }
 // BEPolls returns the number of best-effort polls executed.
 func (s *Scheduler) BEPolls() uint64 { return s.beOutcomes }
 
-// SkippedPolls returns the number of planned polls skipped by rule (c).
+// SkippedPolls returns the number of planned polls skipped by rule (c),
+// including by streams a Replan has since removed.
 func (s *Scheduler) SkippedPolls() uint64 {
-	var n uint64
+	n := s.retiredSkipped
 	for _, st := range s.streams {
 		n += st.skipped
 	}
 	return n
 }
 
-// RecoveryPolls returns the number of loss-recovery polls issued.
+// RecoveryPolls returns the number of loss-recovery polls issued,
+// including by streams a Replan has since removed.
 func (s *Scheduler) RecoveryPolls() uint64 {
-	var n uint64
+	n := s.retiredRetries
 	for _, st := range s.streams {
 		n += st.retries
 	}
@@ -602,7 +691,7 @@ func newBEView(pn *piconet.Piconet, gs map[piconet.FlowID]*stream) *beView {
 		hasBE := false
 		for _, id := range pn.FlowsAt(slave) {
 			cfg, ok := pn.FlowConfig(id)
-			if !ok || cfg.Class != piconet.BestEffort {
+			if !ok || cfg.Class != piconet.BestEffort || !pn.FlowActive(id) {
 				continue
 			}
 			hasBE = true

@@ -23,7 +23,9 @@ import (
 // kernel, the scheduler, admission, traffic timing, …): the new salt
 // invalidates every previously cached result at once, so a stale disk
 // cache can never replay results the current code would not produce.
-const DefaultCacheSalt = "sim-v3"
+// sim-v4: scenario API v2 (timeline semantics, canonical rendering v2,
+// cached admission logs).
+const DefaultCacheSalt = "sim-v4"
 
 // CacheConfig tunes a RunCache.
 type CacheConfig struct {
@@ -89,17 +91,18 @@ type cacheEntry struct {
 // on every hit (the spec contains interface-valued fields and is, by
 // construction of the key, already known to the caller).
 type cacheRecord struct {
-	Key     string
-	Elapsed time.Duration
-	Events  uint64
-	Flows   []scenario.FlowResult
-	Slaves  map[piconet.SlaveID]float64
-	SCO     map[piconet.SlaveID]float64
-	Slots   piconet.SlotAccount
-	GSPolls uint64
-	BEPolls uint64
-	Skipped uint64
-	Admit   []*admission.PlannedFlow
+	Key        string
+	Elapsed    time.Duration
+	Events     uint64
+	Flows      []scenario.FlowResult
+	Slaves     map[piconet.SlaveID]float64
+	SCO        map[piconet.SlaveID]float64
+	Slots      piconet.SlotAccount
+	GSPolls    uint64
+	BEPolls    uint64
+	Skipped    uint64
+	Admit      []*admission.PlannedFlow
+	Admissions []scenario.AdmissionRecord
 }
 
 func init() {
@@ -247,16 +250,17 @@ func (c *RunCache) readDisk(key string) (*scenario.Result, error) {
 		return nil, fmt.Errorf("harness: cache file %s holds key %s", key, rec.Key)
 	}
 	return &scenario.Result{
-		Elapsed:   rec.Elapsed,
-		Events:    rec.Events,
-		Flows:     rec.Flows,
-		SlaveKbps: rec.Slaves,
-		SCOKbps:   rec.SCO,
-		Slots:     rec.Slots,
-		GSPolls:   rec.GSPolls,
-		BEPolls:   rec.BEPolls,
-		Skipped:   rec.Skipped,
-		Admitted:  rec.Admit,
+		Elapsed:    rec.Elapsed,
+		Events:     rec.Events,
+		Flows:      rec.Flows,
+		SlaveKbps:  rec.Slaves,
+		SCOKbps:    rec.SCO,
+		Slots:      rec.Slots,
+		GSPolls:    rec.GSPolls,
+		BEPolls:    rec.BEPolls,
+		Skipped:    rec.Skipped,
+		Admitted:   rec.Admit,
+		Admissions: rec.Admissions,
 	}, nil
 }
 
@@ -273,6 +277,8 @@ func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
 		BEPolls: res.BEPolls,
 		Skipped: res.Skipped,
 		Admit:   res.Admitted,
+
+		Admissions: res.Admissions,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
@@ -299,9 +305,11 @@ func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
 }
 
 // withSpec returns a shallow copy of the cached result carrying the
-// caller's spec, so reports label cached replays exactly like fresh runs.
+// caller's spec — defaulted, because that is the spec a fresh run stores
+// (scenario.Run defaults before collecting), so reports label cached
+// replays byte-identically to fresh runs.
 func withSpec(res *scenario.Result, spec scenario.Spec) *scenario.Result {
 	out := *res
-	out.Spec = spec
+	out.Spec = spec.WithDefaults()
 	return &out
 }

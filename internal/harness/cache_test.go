@@ -76,6 +76,15 @@ func TestRunCacheDiskRoundTrip(t *testing.T) {
 		t.Fatalf("stats = %+v, want %d disk hits", st, len(sw.Runs))
 	}
 	for i := range warm {
+		// A fresh run stores the defaulted spec; a cache hit must
+		// re-attach the same defaulted form, or table headers (Mode,
+		// Duration) diverge between cold and warm renders.
+		if got, want := warm[i].Result.Spec, cold[i].Result.Spec; got.Mode != want.Mode ||
+			got.Duration != want.Duration || got.Seed != want.Seed {
+			t.Fatalf("run %d: replayed spec drifted: got %+v want %+v", i, got, want)
+		}
+	}
+	for i := range warm {
 		a, b := cold[i].Result, warm[i].Result
 		if a.Events != b.Events || a.GSPolls != b.GSPolls || a.BEPolls != b.BEPolls ||
 			a.Slots != b.Slots || a.Elapsed != b.Elapsed {
@@ -110,8 +119,8 @@ func TestRunCacheTracerBypass(t *testing.T) {
 	spec := scenario.Paper(40 * time.Millisecond)
 	spec.Duration = time.Second
 	tracer := piconet.NewRingTracer(16)
-	spec.Tracer = tracer
-	runs := []harness.Run{{Index: 0, Cell: "traced", Spec: spec}}
+	runs := []harness.Run{{Index: 0, Cell: "traced", Spec: spec,
+		Hooks: scenario.Hooks{Tracer: tracer}}}
 	cache := newCache(t, harness.CacheConfig{})
 	for pass := 0; pass < 2; pass++ {
 		results, err := harness.Execute(runs, harness.Options{Cache: cache})

@@ -41,8 +41,8 @@
 // directory, so re-running a sweep after changing one cell, re-anchoring
 // goldens, or re-rendering reports replays every unchanged run without
 // executing the simulator — across processes, with results that are
-// bit-identical to the original execution. Runs carrying a Tracer bypass
-// the cache entirely.
+// bit-identical to the original execution. Runs carrying runtime Hooks
+// (tracers, live radio instances) bypass the cache entirely.
 package harness
 
 import (
@@ -74,8 +74,12 @@ type Run struct {
 	// run's Spec.Seed must already be derived for this replication; the
 	// Sweep builders do that via ReplicationSeed.
 	Rep int
-	// Spec is the scenario to simulate.
+	// Spec is the scenario to simulate (pure data).
 	Spec scenario.Spec
+	// Hooks carries runtime-only attachments (a live tracer or radio
+	// model instance). Hooked runs always execute and are never cached:
+	// their side effects cannot be replayed.
+	Hooks scenario.Hooks
 }
 
 // RunResult is the outcome of one executed run.
@@ -107,7 +111,7 @@ type Options struct {
 	OnProgress func(done, total int, r RunResult)
 	// Cache, when set, serves runs whose fingerprint it already holds
 	// without executing the simulator, and stores every fresh result.
-	// Runs carrying a Tracer always execute (their side effects cannot
+	// Runs carrying Hooks always execute (their side effects cannot
 	// be replayed) and are never stored. Because cached results are the
 	// stored bytes of an identical earlier run, sweeps remain
 	// bit-identical whether the cache is cold, warm or partially warm.
@@ -173,7 +177,7 @@ func Execute(runs []Run, opts Options) ([]RunResult, error) {
 // execute resolves one run: from the cache when possible, otherwise by
 // running the scenario (and storing the fresh result).
 func execute(run Run, opts Options) RunResult {
-	cacheable := opts.Cache != nil && run.Spec.Tracer == nil
+	cacheable := opts.Cache != nil && run.Hooks.Zero()
 	var key string
 	if cacheable {
 		// Hash once, before simulating: a stateful Radio model mutated
@@ -202,7 +206,7 @@ var liveRunTimers atomic.Int64
 func simulate(run Run, timeout time.Duration) RunResult {
 	start := time.Now()
 	if timeout <= 0 {
-		res, err := scenario.Run(run.Spec)
+		res, err := scenario.RunWith(run.Spec, run.Hooks)
 		return RunResult{Run: run, Result: res, Err: err, Wall: time.Since(start)}
 	}
 	type outcome struct {
@@ -211,7 +215,7 @@ func simulate(run Run, timeout time.Duration) RunResult {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := scenario.Run(run.Spec)
+		res, err := scenario.RunWith(run.Spec, run.Hooks)
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(timeout)

@@ -6,7 +6,6 @@ import (
 	"strconv"
 	"time"
 
-	"bluegs/internal/radio"
 	"bluegs/internal/scenario"
 )
 
@@ -45,11 +44,11 @@ type Sweep struct {
 // so it can keep scheduling further replications per cell until the
 // confidence target is met.
 //
-// Build is called once per run, but interface-valued Spec fields (Radio,
-// Tracer) shared across those returns are shared across concurrently
-// executing runs: they must be stateless (like radio.BER) or distinct
-// per call, or the bit-identical guarantee — and the race detector —
-// breaks. Cells must be unique: duplicates merge under one Cells key.
+// Build is called once per run and returns pure data (Spec carries no
+// live model or observer instances — each run constructs its own radio
+// model from the declarative RadioSpec), so sharing across concurrently
+// executing runs is safe by construction. Cells must be unique:
+// duplicates merge under one Cells key.
 type Grid struct {
 	Name  string
 	Cells []string
@@ -179,7 +178,7 @@ func ExtensionGrid(bers []float64) Grid {
 		p := byCell[cell]
 		spec := scenario.Paper(40 * time.Millisecond)
 		if p.ber > 0 {
-			spec.Radio = radio.BER{BitErrorRate: p.ber}
+			spec.Radio = scenario.BERRadio(p.ber)
 			spec.ARQ = true
 			spec.LossRecovery = p.recovery
 		}

@@ -110,6 +110,9 @@ func (p *Piconet) resolveGSLeg(a Action, flow FlowID, dir Direction) (*flowState
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
 	}
+	if fs.retired {
+		return nil, fmt.Errorf("%w: %d", ErrFlowRetired, flow)
+	}
 	if fs.cfg.Slave != a.Slave {
 		return nil, fmt.Errorf("%w: flow %d is at slave %d, polled slave %d",
 			ErrSlaveNotOfFlow, flow, fs.cfg.Slave, a.Slave)
@@ -132,7 +135,7 @@ func (p *Piconet) pickBE(sl *slaveState, dir Direction, cutoff sim.Time) *flowSt
 	for i := 0; i < n; i++ {
 		id := sl.flows[(sl.beRR+i)%n]
 		fs := p.flows[id]
-		if fs.cfg.Class != BestEffort || fs.cfg.Dir != dir {
+		if fs.cfg.Class != BestEffort || fs.cfg.Dir != dir || fs.retired {
 			continue
 		}
 		if fs.headAvailable(cutoff) {
@@ -294,7 +297,7 @@ func (p *Piconet) pickBEUp(sl *slaveState, cutoff sim.Time) *flowState {
 	for i := 0; i < n; i++ {
 		id := sl.flows[(sl.beUpRR+i)%n]
 		fs := p.flows[id]
-		if fs.cfg.Class != BestEffort || fs.cfg.Dir != Up {
+		if fs.cfg.Class != BestEffort || fs.cfg.Dir != Up || fs.retired {
 			continue
 		}
 		if fs.headAvailable(cutoff) {

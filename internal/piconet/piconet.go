@@ -30,22 +30,22 @@ import (
 
 // Errors returned by piconet configuration and operation.
 var (
-	ErrTooManySlaves   = errors.New("piconet: more than 7 active slaves")
-	ErrDuplicateSlave  = errors.New("piconet: duplicate slave")
-	ErrUnknownSlave    = errors.New("piconet: unknown slave")
-	ErrUnknownFlow     = errors.New("piconet: unknown flow")
-	ErrDuplicateFlow   = errors.New("piconet: duplicate flow id")
-	ErrInvalidFlow     = errors.New("piconet: invalid flow configuration")
-	ErrNoScheduler     = errors.New("piconet: no scheduler installed")
-	ErrAlreadyStarted  = errors.New("piconet: already started")
-	ErrNotDownFlow     = errors.New("piconet: flow is not master-to-slave")
-	ErrQueueMismatch   = errors.New("piconet: flow/slave/direction mismatch in action")
-	ErrPacketTooSmall  = errors.New("piconet: packet size must be positive")
-	ErrSegmentFailure  = errors.New("piconet: segmentation failed")
-	ErrActionInvalid   = errors.New("piconet: invalid scheduler action")
-	ErrClassMismatch   = errors.New("piconet: action class does not match flow class")
-	ErrSlaveNotOfFlow  = errors.New("piconet: flow does not belong to addressed slave")
-	ErrStartBeforeFlow = errors.New("piconet: flows must be added before start")
+	ErrTooManySlaves  = errors.New("piconet: more than 7 active slaves")
+	ErrDuplicateSlave = errors.New("piconet: duplicate slave")
+	ErrUnknownSlave   = errors.New("piconet: unknown slave")
+	ErrUnknownFlow    = errors.New("piconet: unknown flow")
+	ErrDuplicateFlow  = errors.New("piconet: duplicate flow id")
+	ErrInvalidFlow    = errors.New("piconet: invalid flow configuration")
+	ErrNoScheduler    = errors.New("piconet: no scheduler installed")
+	ErrAlreadyStarted = errors.New("piconet: already started")
+	ErrNotDownFlow    = errors.New("piconet: flow is not master-to-slave")
+	ErrQueueMismatch  = errors.New("piconet: flow/slave/direction mismatch in action")
+	ErrPacketTooSmall = errors.New("piconet: packet size must be positive")
+	ErrSegmentFailure = errors.New("piconet: segmentation failed")
+	ErrActionInvalid  = errors.New("piconet: invalid scheduler action")
+	ErrClassMismatch  = errors.New("piconet: action class does not match flow class")
+	ErrSlaveNotOfFlow = errors.New("piconet: flow does not belong to addressed slave")
+	ErrFlowRetired    = errors.New("piconet: flow is retired")
 )
 
 // DecisionInterval is the spacing of master transmit opportunities: every
@@ -271,8 +271,10 @@ type Piconet struct {
 	flows  map[FlowID]*flowState
 	// flowOrder preserves AddFlow order for deterministic iteration.
 	flowOrder []FlowID
-	// scoLinks holds the reserved synchronous channels.
-	scoLinks []*scoLink
+	// scoLinks holds the reserved synchronous channels; retiredSCO keeps
+	// the meters of links dropped mid-run for reporting.
+	scoLinks   []*scoLink
+	retiredSCO []*scoLink
 
 	started   bool
 	startTime sim.Time
@@ -339,11 +341,10 @@ func (p *Piconet) Simulator() *sim.Simulator { return p.simulator }
 // Now returns the current virtual time.
 func (p *Piconet) Now() sim.Time { return p.simulator.Now() }
 
-// AddSlave registers an active slave.
+// AddSlave registers an active slave. Slaves may join mid-run (timeline
+// scenarios add flows — and therefore slaves — while the master is
+// polling).
 func (p *Piconet) AddSlave(id SlaveID) error {
-	if p.started {
-		return ErrAlreadyStarted
-	}
 	if id < 1 || int(id) > baseband.MaxActiveSlaves {
 		return fmt.Errorf("%w: slave id %d outside 1..%d", ErrInvalidFlow, id, baseband.MaxActiveSlaves)
 	}
@@ -357,11 +358,11 @@ func (p *Piconet) AddSlave(id SlaveID) error {
 	return nil
 }
 
-// AddFlow registers a flow. The slave must already exist.
+// AddFlow registers a flow. The slave must already exist. Flows may be
+// added after Start (online admission); callers that install flows mid-run
+// must refresh the scheduler's view themselves (see core.Scheduler.Replan
+// and RefreshBE).
 func (p *Piconet) AddFlow(cfg FlowConfig) error {
-	if p.started {
-		return ErrAlreadyStarted
-	}
 	if err := cfg.validate(); err != nil {
 		return err
 	}
@@ -379,6 +380,43 @@ func (p *Piconet) AddFlow(cfg FlowConfig) error {
 	p.flowOrder = append(p.flowOrder, cfg.ID)
 	sl.flows = append(sl.flows, cfg.ID)
 	return nil
+}
+
+// RetireFlow takes a flow out of service: queued packets are dropped, no
+// further packets may be enqueued and no poll may address it. The flow's
+// configuration and measurement state stay readable (Flows still lists it,
+// its meters and delay statistics keep their final values), so a run's
+// report covers flows that left mid-run. Retiring is permanent; re-adding
+// the same id is an error.
+func (p *Piconet) RetireFlow(id FlowID) error {
+	fs, ok := p.flows[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	if fs.retired {
+		return fmt.Errorf("%w: %d", ErrFlowRetired, id)
+	}
+	fs.retired = true
+	for fs.qlen() > 0 {
+		p.freePacket(fs.qpop())
+	}
+	return nil
+}
+
+// FlowActive reports whether the flow exists and has not been retired.
+func (p *Piconet) FlowActive(id FlowID) bool {
+	fs, ok := p.flows[id]
+	return ok && !fs.retired
+}
+
+// Kick pulls the master's next decision forward to the next transmit
+// opportunity. Callers that change the topology mid-run (adding a flow or
+// an SCO reservation) use it so an idling master reacts immediately
+// instead of sleeping through the change.
+func (p *Piconet) Kick() {
+	if p.started {
+		p.wakeIfIdle()
+	}
 }
 
 // SetScheduler installs the master's scheduler. Must be called before Start.

@@ -112,8 +112,15 @@ func TestConfigValidation(t *testing.T) {
 	if err := p.Start(); !errors.Is(err, piconet.ErrAlreadyStarted) {
 		t.Fatalf("double start: err = %v", err)
 	}
-	if err := p.AddSlave(1); !errors.Is(err, piconet.ErrAlreadyStarted) {
-		t.Fatalf("AddSlave after start: err = %v", err)
+	if err := p.AddSlave(1); !errors.Is(err, piconet.ErrDuplicateSlave) {
+		t.Fatalf("duplicate slave after start: err = %v", err)
+	}
+	// Topology stays mutable mid-run (timeline scenarios).
+	late := cfg
+	late.ID = 4
+	late.Dir = piconet.Up
+	if err := p.AddFlow(late); err != nil {
+		t.Fatalf("mid-run AddFlow: %v", err)
 	}
 }
 

@@ -72,6 +72,11 @@ type flowState struct {
 	queue []*hlPacket
 	qhead int
 
+	// retired marks a flow taken out of service mid-run (see
+	// Piconet.RetireFlow): it keeps its statistics but accepts no packets
+	// and no polls.
+	retired bool
+
 	delay     *stats.DurationStats
 	delivered *stats.Meter
 	offered   *stats.Meter
@@ -171,6 +176,9 @@ func (p *Piconet) EnqueuePacket(flow FlowID, size int) error {
 	fs, ok := p.flows[flow]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	if fs.retired {
+		return fmt.Errorf("%w: %d", ErrFlowRetired, flow)
 	}
 	if size <= 0 {
 		return ErrPacketTooSmall

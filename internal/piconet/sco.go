@@ -15,6 +15,7 @@ var (
 	ErrSCOMixedTypes  = errors.New("piconet: all SCO links must use the same HV type")
 	ErrSCOCapacity    = errors.New("piconet: SCO slot capacity exhausted")
 	ErrSCODuplicate   = errors.New("piconet: slave already has an SCO link")
+	ErrNoSCOLink      = errors.New("piconet: slave has no SCO link")
 	ErrWindowOverflow = errors.New("piconet: ACL exchange does not fit before the next SCO reservation")
 )
 
@@ -34,26 +35,61 @@ type scoLink struct {
 // recur unconditionally (HV1 every 2 slots, HV2 every 4, HV3 every 6), and
 // ACL exchanges are only started when they fit entirely before the next
 // reservation. All links in one piconet must use the same HV type; the
-// capacity is 1 HV1, 2 HV2 or 3 HV3 links.
+// capacity is 1 HV1, 2 HV2 or 3 HV3 links. Links may be added mid-run
+// (voice calls arriving in a timeline scenario); the master is woken so a
+// sleeping decision loop cannot overshoot the new reservation.
 func (p *Piconet) AddSCOLink(slave SlaveID, typ baseband.PacketType) error {
-	if p.started {
-		return ErrAlreadyStarted
-	}
-	if !typ.IsSCO() {
-		return fmt.Errorf("%w: %v", ErrNotSCOType, typ)
+	if err := p.CheckSCOLink(slave, typ); err != nil {
+		return err
 	}
 	if _, ok := p.slaves[slave]; !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSlave, slave)
 	}
-	var interval int64
+	interval := scoIntervalSlots(typ)
+	// Claim the lowest free reservation offset: with dynamic links the
+	// occupied offsets may have gaps (a dropped call frees its pair).
+	used := make(map[int64]bool, len(p.scoLinks))
+	for _, l := range p.scoLinks {
+		used[l.offsetSlots] = true
+	}
+	var offset int64
+	for used[offset] {
+		offset += 2
+	}
+	p.scoLinks = append(p.scoLinks, &scoLink{
+		slave:         slave,
+		typ:           typ,
+		offsetSlots:   offset,
+		intervalSlots: interval,
+		down:          &stats.Meter{},
+		up:            &stats.Meter{},
+	})
+	p.Kick()
+	return nil
+}
+
+// scoIntervalSlots returns the reservation cadence of an HV type.
+func scoIntervalSlots(typ baseband.PacketType) int64 {
 	switch typ {
 	case baseband.TypeHV1:
-		interval = 2
+		return 2
 	case baseband.TypeHV2:
-		interval = 4
+		return 4
 	default:
-		interval = 6
+		return 6
 	}
+}
+
+// CheckSCOLink validates a prospective SCO link against the link set —
+// type, same-HV-type rule, per-slave uniqueness and slot capacity —
+// without mutating anything (slave registration is checked by AddSCOLink
+// itself). Callers that must not leave partial state behind on rejection
+// (the timeline's add_sco) precheck with it before registering the slave.
+func (p *Piconet) CheckSCOLink(slave SlaveID, typ baseband.PacketType) error {
+	if !typ.IsSCO() {
+		return fmt.Errorf("%w: %v", ErrNotSCOType, typ)
+	}
+	interval := scoIntervalSlots(typ)
 	for _, l := range p.scoLinks {
 		if l.typ != typ {
 			return fmt.Errorf("%w: have %v, adding %v", ErrSCOMixedTypes, l.typ, typ)
@@ -65,22 +101,34 @@ func (p *Piconet) AddSCOLink(slave SlaveID, typ baseband.PacketType) error {
 	if int64(len(p.scoLinks)) >= interval/2 {
 		return fmt.Errorf("%w: %v supports %d links", ErrSCOCapacity, typ, interval/2)
 	}
-	p.scoLinks = append(p.scoLinks, &scoLink{
-		slave:         slave,
-		typ:           typ,
-		offsetSlots:   int64(2 * len(p.scoLinks)),
-		intervalSlots: interval,
-		down:          &stats.Meter{},
-		up:            &stats.Meter{},
-	})
 	return nil
 }
 
+// DropSCOLink releases the slave's SCO reservation. The link's meters stay
+// readable through SCOMeters so a run's report covers calls that ended
+// mid-run.
+func (p *Piconet) DropSCOLink(slave SlaveID) error {
+	for i, l := range p.scoLinks {
+		if l.slave == slave {
+			p.scoLinks = append(p.scoLinks[:i], p.scoLinks[i+1:]...)
+			p.retiredSCO = append(p.retiredSCO, l)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrNoSCOLink, slave)
+}
+
 // SCOMeters returns the delivered-byte meters (master-to-slave,
-// slave-to-master) of the slave's SCO link.
+// slave-to-master) of the slave's SCO link, including links dropped
+// mid-run (the most recent link wins if a slave had several).
 func (p *Piconet) SCOMeters(slave SlaveID) (down, up *stats.Meter, ok bool) {
 	for _, l := range p.scoLinks {
 		if l.slave == slave {
+			return l.down, l.up, true
+		}
+	}
+	for i := len(p.retiredSCO) - 1; i >= 0; i-- {
+		if l := p.retiredSCO[i]; l.slave == slave {
 			return l.down, l.up, true
 		}
 	}

@@ -208,15 +208,33 @@ func TestMaxACLWindowSlots(t *testing.T) {
 	}
 }
 
-func TestSCOAfterStartRejected(t *testing.T) {
+func TestSCODynamicAddDrop(t *testing.T) {
 	s := sim.New()
 	p := buildBE(t, s)
 	p.SetScheduler(&fixedActionScheduler{action: piconet.Idle(0)})
 	if err := p.Start(); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.AddSCOLink(1, baseband.TypeHV3); !errors.Is(err, piconet.ErrAlreadyStarted) {
-		t.Fatalf("after start: err = %v", err)
+	// Links come and go mid-run (timeline voice calls).
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatalf("mid-run AddSCOLink: %v", err)
+	}
+	if got := p.MaxACLWindowSlots(); got != 4 {
+		t.Fatalf("one HV3 link: window = %d, want 4", got)
+	}
+	if err := p.DropSCOLink(1); err != nil {
+		t.Fatalf("DropSCOLink: %v", err)
+	}
+	if err := p.DropSCOLink(1); !errors.Is(err, piconet.ErrNoSCOLink) {
+		t.Fatalf("double drop: err = %v", err)
+	}
+	if _, _, ok := p.SCOMeters(1); !ok {
+		t.Fatal("dropped link's meters must stay readable")
+	}
+	// A re-added link claims the freed offset (the duplicate check only
+	// covers live links).
+	if err := p.AddSCOLink(1, baseband.TypeHV3); err != nil {
+		t.Fatalf("re-add after drop: %v", err)
 	}
 }
 

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"bluegs/internal/piconet"
+)
+
+// ChurnConfig parameterises the churn workload generator. The zero value
+// gives the registered "churn" preset: Poisson GS arrivals every ~4 s
+// holding for ~10 s, over a 60 kbps-per-direction best-effort floor, for
+// 60 simulated seconds.
+type ChurnConfig struct {
+	// Seed drives the arrival process placement (default 1). It is
+	// independent of Spec.Seed: the generated timeline is fixed data,
+	// while Spec.Seed varies the packet-level randomness per replication.
+	Seed int64
+	// Duration is the simulated horizon (default 60 s).
+	Duration time.Duration
+	// MeanArrival is the mean GS inter-arrival time (default 4 s).
+	MeanArrival time.Duration
+	// MeanHold is the mean GS session length (default 10 s).
+	MeanHold time.Duration
+	// DelayTarget is the bound every arriving flow requests (default
+	// 40 ms).
+	DelayTarget time.Duration
+	// BEFloorKbps is the per-direction best-effort load at slaves 6 and
+	// 7 (default 60).
+	BEFloorKbps float64
+	// Slaves is how many slaves (1..Slaves) the GS arrivals cycle over
+	// (default 5, keeping 6 and 7 for the BE floor).
+	Slaves int
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.MeanArrival <= 0 {
+		c.MeanArrival = 4 * time.Second
+	}
+	if c.MeanHold <= 0 {
+		c.MeanHold = 10 * time.Second
+	}
+	if c.DelayTarget <= 0 {
+		c.DelayTarget = 40 * time.Millisecond
+	}
+	if c.BEFloorKbps <= 0 {
+		c.BEFloorKbps = 60
+	}
+	if c.Slaves < 1 || c.Slaves > 5 {
+		c.Slaves = 5
+	}
+	return c
+}
+
+// Churn generates the paper's evaluation under flow churn: Guaranteed
+// Service requests arrive over time (Poisson), hold for an exponential
+// session, and leave — each one passing the online admission test against
+// whatever is installed at that moment — over a static best-effort floor
+// that soaks up the leftover capacity. The generator draws the arrival
+// pattern once, from its own seed, so the returned Spec is pure data:
+// every replication of a sweep replays the identical request sequence
+// while Spec.Seed varies the packet-level randomness.
+func Churn(cfg ChurnConfig) Spec {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	expDur := func(mean time.Duration) time.Duration {
+		d := time.Duration(rng.ExpFloat64() * float64(mean))
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		return d
+	}
+
+	// The best-effort floor: both directions at the last two slaves.
+	var be []BEFlow
+	for i, slave := range []piconet.SlaveID{6, 7} {
+		id := piconet.FlowID(1 + 2*i)
+		be = append(be,
+			BEFlow{ID: id, Slave: slave, Dir: piconet.Down, RateKbps: cfg.BEFloorKbps, PacketSize: 176},
+			BEFlow{ID: id + 1, Slave: slave, Dir: piconet.Up, RateKbps: cfg.BEFloorKbps, PacketSize: 176},
+		)
+	}
+
+	// GS arrivals: walk the Poisson process chronologically, releasing
+	// (slave, direction) endpoints as their sessions end, and voice each
+	// new request at the first free endpoint. Requests that find every
+	// endpoint busy are dropped by the generator (the piconet could
+	// never host them: one GS flow per slave and direction).
+	type endpoint struct {
+		slave piconet.SlaveID
+		dir   piconet.Direction
+	}
+	type departure struct {
+		at time.Duration
+		ep endpoint
+	}
+	busy := make(map[endpoint]bool)
+	var pending []departure
+	var events []TimelineEvent
+	id := piconet.FlowID(100)
+	for at := expDur(cfg.MeanArrival); at < cfg.Duration; at += expDur(cfg.MeanArrival) {
+		// Free the endpoints of sessions that ended before this arrival.
+		kept := pending[:0]
+		for _, d := range pending {
+			if d.at <= at {
+				delete(busy, d.ep)
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		pending = kept
+		var ep endpoint
+		found := false
+		for s := piconet.SlaveID(1); !found && int(s) <= cfg.Slaves; s++ {
+			for _, dir := range []piconet.Direction{piconet.Up, piconet.Down} {
+				if !busy[endpoint{s, dir}] {
+					ep = endpoint{s, dir}
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		busy[ep] = true
+		events = append(events, AddGSAt(at, GSFlow{
+			ID:       id,
+			Slave:    ep.slave,
+			Dir:      ep.dir,
+			Interval: 20 * time.Millisecond,
+			MinSize:  144,
+			MaxSize:  176,
+		}))
+		if depart := at + expDur(cfg.MeanHold); depart < cfg.Duration {
+			events = append(events, RemoveAt(depart, id))
+			pending = append(pending, departure{at: depart, ep: ep})
+		}
+		id++
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	return Spec{
+		Name:        "churn",
+		BE:          be,
+		DelayTarget: cfg.DelayTarget,
+		Duration:    cfg.Duration,
+		Timeline:    events,
+		Seed:        1,
+	}
+}

@@ -1,0 +1,484 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+)
+
+// FormatV2 is the format tag of the v2 scenario file format: the complete
+// serializable Spec — flows, poller/radio/size distributions by name plus
+// parameters, SCO links and the timeline — with durations as Go duration
+// strings ("20ms"), so values round-trip exactly.
+const FormatV2 = "bluegs/scenario/v2"
+
+// specV2 is the v2 on-disk form of a Spec.
+type specV2 struct {
+	Format              string          `json:"format"`
+	Name                string          `json:"name,omitempty"`
+	DelayTarget         string          `json:"delay_target,omitempty"`
+	Duration            string          `json:"duration,omitempty"`
+	Seed                int64           `json:"seed,omitempty"`
+	Mode                string          `json:"mode,omitempty"`
+	Rules               *string         `json:"rules,omitempty"`
+	Poller              *pollerV2       `json:"poller,omitempty"`
+	Allowed             []string        `json:"allowed_types,omitempty"`
+	DirectionAware      bool            `json:"direction_aware,omitempty"`
+	WithoutPiggybacking bool            `json:"without_piggybacking,omitempty"`
+	ARQ                 bool            `json:"arq,omitempty"`
+	LossRecovery        bool            `json:"loss_recovery,omitempty"`
+	Radio               *RadioSpec      `json:"radio,omitempty"`
+	GS                  []gsV2          `json:"gs_flows,omitempty"`
+	BE                  []beV2          `json:"be_flows,omitempty"`
+	SCO                 []scoV2         `json:"sco_links,omitempty"`
+	Timeline            []timelineEvtV2 `json:"timeline,omitempty"`
+}
+
+// pollerV2 names the best-effort poller plus its parameters.
+type pollerV2 struct {
+	Kind string `json:"kind"`
+	PollerParams
+}
+
+// sizeV2 names a packet size distribution plus its parameters.
+type sizeV2 struct {
+	Kind  string `json:"kind"` // "uniform" or "fixed"
+	Min   int    `json:"min,omitempty"`
+	Max   int    `json:"max,omitempty"`
+	Bytes int    `json:"bytes,omitempty"`
+}
+
+type gsV2 struct {
+	ID       int      `json:"id"`
+	Slave    int      `json:"slave"`
+	Dir      string   `json:"dir"`
+	Interval string   `json:"interval"`
+	Size     sizeV2   `json:"size"`
+	Phase    string   `json:"phase,omitempty"`
+	Allowed  []string `json:"allowed_types,omitempty"`
+}
+
+type beV2 struct {
+	ID       int      `json:"id"`
+	Slave    int      `json:"slave"`
+	Dir      string   `json:"dir"`
+	RateKbps float64  `json:"rate_kbps"`
+	Size     sizeV2   `json:"size"`
+	Phase    string   `json:"phase,omitempty"`
+	Allowed  []string `json:"allowed_types,omitempty"`
+}
+
+type scoV2 struct {
+	Slave int    `json:"slave"`
+	Type  string `json:"type"`
+}
+
+type timelineEvtV2 struct {
+	At      string `json:"at"`
+	AddGS   *gsV2  `json:"add_gs,omitempty"`
+	AddBE   *beV2  `json:"add_be,omitempty"`
+	Remove  int    `json:"remove_flow,omitempty"`
+	AddSCO  *scoV2 `json:"add_sco,omitempty"`
+	DropSCO int    `json:"drop_sco,omitempty"`
+}
+
+// durString renders a duration for the file ("" for zero, so zero fields
+// stay out of the JSON).
+func durString(d time.Duration) string {
+	if d == 0 {
+		return ""
+	}
+	return d.String()
+}
+
+// parseDur parses a duration field ("" means zero).
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s: %v", ErrBadSpec, field, err)
+	}
+	return d, nil
+}
+
+// typeSetNames renders a type set as names in the canonical packet-type
+// order (nil for the empty set).
+func typeSetNames(set baseband.TypeSet) []string {
+	var out []string
+	for _, t := range set.Types() {
+		out = append(out, t.String())
+	}
+	return out
+}
+
+// marshalGS converts a GS flow to its file form.
+func marshalGS(g GSFlow) gsV2 {
+	return gsV2{
+		ID:       int(g.ID),
+		Slave:    int(g.Slave),
+		Dir:      g.Dir.String(),
+		Interval: durString(g.Interval),
+		Size:     sizeV2{Kind: "uniform", Min: g.MinSize, Max: g.MaxSize},
+		Phase:    durString(g.Phase),
+		Allowed:  typeSetNames(g.Allowed),
+	}
+}
+
+// marshalBE converts a BE flow to its file form.
+func marshalBE(b BEFlow) beV2 {
+	return beV2{
+		ID:       int(b.ID),
+		Slave:    int(b.Slave),
+		Dir:      b.Dir.String(),
+		RateKbps: b.RateKbps,
+		Size:     sizeV2{Kind: "fixed", Bytes: b.PacketSize},
+		Phase:    durString(b.Phase),
+		Allowed:  typeSetNames(b.Allowed),
+	}
+}
+
+// Marshal renders a Spec as indented v2 JSON. The output is deterministic
+// and round-trips: Unmarshal(Marshal(spec)) is fingerprint-identical to
+// spec.
+func Marshal(spec Spec) ([]byte, error) {
+	fs := specV2{
+		Format:              FormatV2,
+		Name:                spec.Name,
+		DelayTarget:         durString(spec.DelayTarget),
+		Duration:            durString(spec.Duration),
+		Seed:                spec.Seed,
+		Allowed:             typeSetNames(spec.Allowed),
+		DirectionAware:      spec.DirectionAware,
+		WithoutPiggybacking: spec.WithoutPiggybacking,
+		ARQ:                 spec.ARQ,
+		LossRecovery:        spec.LossRecovery,
+	}
+	switch spec.Mode {
+	case 0:
+	case core.FixedInterval:
+		fs.Mode = "fixed"
+	case core.VariableInterval:
+		fs.Mode = "variable"
+	default:
+		return nil, fmt.Errorf("%w: mode %v", ErrBadSpec, spec.Mode)
+	}
+	if spec.RulesSet {
+		rules := spec.Rules.String()
+		fs.Rules = &rules
+	}
+	if spec.BEPoller != "" || spec.PFPThreshold > 0 {
+		kind := string(spec.BEPoller)
+		if kind == "" {
+			kind = string(BEPFP)
+		}
+		fs.Poller = &pollerV2{Kind: kind, PollerParams: PollerParams{PFPThreshold: spec.PFPThreshold}}
+	}
+	if !spec.Radio.IsIdeal() {
+		radio := spec.Radio
+		fs.Radio = &radio
+	}
+	for _, g := range spec.GS {
+		fs.GS = append(fs.GS, marshalGS(g))
+	}
+	for _, b := range spec.BE {
+		fs.BE = append(fs.BE, marshalBE(b))
+	}
+	for _, l := range spec.SCO {
+		fs.SCO = append(fs.SCO, scoV2{Slave: int(l.Slave), Type: l.Type.String()})
+	}
+	for i, ev := range spec.Timeline {
+		if ev.ops() != 1 {
+			return nil, fmt.Errorf("%w: timeline[%d] sets %d operations", ErrBadSpec, i, ev.ops())
+		}
+		out := timelineEvtV2{At: ev.At.String()}
+		switch {
+		case ev.AddGS != nil:
+			g := marshalGS(*ev.AddGS)
+			out.AddGS = &g
+		case ev.AddBE != nil:
+			b := marshalBE(*ev.AddBE)
+			out.AddBE = &b
+		case ev.Remove != piconet.None:
+			out.Remove = int(ev.Remove)
+		case ev.AddSCO != nil:
+			out.AddSCO = &scoV2{Slave: int(ev.AddSCO.Slave), Type: ev.AddSCO.Type.String()}
+		case ev.DropSCO != 0:
+			out.DropSCO = int(ev.DropSCO)
+		}
+		fs.Timeline = append(fs.Timeline, out)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fs); err != nil {
+		return nil, fmt.Errorf("scenario: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// unmarshalSize resolves a size distribution into its [min, max] support.
+func unmarshalSize(s sizeV2) (minSize, maxSize int, err error) {
+	switch strings.ToLower(strings.TrimSpace(s.Kind)) {
+	case "uniform":
+		return s.Min, s.Max, nil
+	case "fixed":
+		return s.Bytes, s.Bytes, nil
+	default:
+		return 0, 0, fmt.Errorf("%w: unknown size distribution %q", ErrBadSpec, s.Kind)
+	}
+}
+
+// unmarshalGS converts a file GS flow back.
+func unmarshalGS(g gsV2) (GSFlow, error) {
+	dir, err := parseDir(g.Dir)
+	if err != nil {
+		return GSFlow{}, err
+	}
+	interval, err := parseDur("interval", g.Interval)
+	if err != nil {
+		return GSFlow{}, err
+	}
+	phase, err := parseDur("phase", g.Phase)
+	if err != nil {
+		return GSFlow{}, err
+	}
+	minSize, maxSize, err := unmarshalSize(g.Size)
+	if err != nil {
+		return GSFlow{}, err
+	}
+	allowed, err := parseTypeSet(g.Allowed)
+	if err != nil {
+		return GSFlow{}, err
+	}
+	return GSFlow{
+		ID:       piconet.FlowID(g.ID),
+		Slave:    piconet.SlaveID(g.Slave),
+		Dir:      dir,
+		Interval: interval,
+		MinSize:  minSize,
+		MaxSize:  maxSize,
+		Phase:    phase,
+		Allowed:  allowed,
+	}, nil
+}
+
+// unmarshalBE converts a file BE flow back.
+func unmarshalBE(b beV2) (BEFlow, error) {
+	dir, err := parseDir(b.Dir)
+	if err != nil {
+		return BEFlow{}, err
+	}
+	phase, err := parseDur("phase", b.Phase)
+	if err != nil {
+		return BEFlow{}, err
+	}
+	minSize, maxSize, err := unmarshalSize(b.Size)
+	if err != nil {
+		return BEFlow{}, err
+	}
+	if minSize != maxSize {
+		return BEFlow{}, fmt.Errorf("%w: best-effort flows use fixed packet sizes", ErrBadSpec)
+	}
+	allowed, err := parseTypeSet(b.Allowed)
+	if err != nil {
+		return BEFlow{}, err
+	}
+	return BEFlow{
+		ID:         piconet.FlowID(b.ID),
+		Slave:      piconet.SlaveID(b.Slave),
+		Dir:        dir,
+		RateKbps:   b.RateKbps,
+		PacketSize: minSize,
+		Phase:      phase,
+		Allowed:    allowed,
+	}, nil
+}
+
+// unmarshalSCO converts a file SCO link back.
+func unmarshalSCO(l scoV2) (SCOLinkSpec, error) {
+	t, ok := packetTypesByName[strings.ToUpper(strings.TrimSpace(l.Type))]
+	if !ok || !t.IsSCO() {
+		return SCOLinkSpec{}, fmt.Errorf("%w: SCO type %q", ErrBadSpec, l.Type)
+	}
+	return SCOLinkSpec{Slave: piconet.SlaveID(l.Slave), Type: t}, nil
+}
+
+// parseRules parses an improvements rendering ("a+b+c", "none", "a").
+func parseRules(s string) (core.Improvements, error) {
+	var rules core.Improvements
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "none" || s == "" {
+		return 0, nil
+	}
+	for _, part := range strings.Split(s, "+") {
+		switch strings.TrimSpace(part) {
+		case "a":
+			rules |= core.PostponeAfterPacket
+		case "b":
+			rules |= core.PostponeAfterEmpty
+		case "c":
+			rules |= core.SkipEmptyDown
+		default:
+			return 0, fmt.Errorf("%w: unknown improvement rule %q", ErrBadSpec, part)
+		}
+	}
+	return rules, nil
+}
+
+// Unmarshal parses v2 JSON bytes into a Spec.
+func Unmarshal(data []byte) (Spec, error) {
+	var fs specV2
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fs); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if fs.Format != FormatV2 {
+		return Spec{}, fmt.Errorf("%w: format %q (want %q)", ErrBadSpec, fs.Format, FormatV2)
+	}
+	spec := Spec{
+		Name:                fs.Name,
+		Seed:                fs.Seed,
+		DirectionAware:      fs.DirectionAware,
+		WithoutPiggybacking: fs.WithoutPiggybacking,
+		ARQ:                 fs.ARQ,
+		LossRecovery:        fs.LossRecovery,
+	}
+	var err error
+	if spec.DelayTarget, err = parseDur("delay_target", fs.DelayTarget); err != nil {
+		return Spec{}, err
+	}
+	if spec.Duration, err = parseDur("duration", fs.Duration); err != nil {
+		return Spec{}, err
+	}
+	switch strings.ToLower(fs.Mode) {
+	case "":
+	case "variable":
+		spec.Mode = core.VariableInterval
+	case "fixed":
+		spec.Mode = core.FixedInterval
+	default:
+		return Spec{}, fmt.Errorf("%w: mode %q", ErrBadSpec, fs.Mode)
+	}
+	if fs.Rules != nil {
+		if spec.Rules, err = parseRules(*fs.Rules); err != nil {
+			return Spec{}, err
+		}
+		spec.RulesSet = true
+	}
+	if fs.Poller != nil {
+		spec.BEPoller = BEPollerKind(fs.Poller.Kind)
+		spec.PFPThreshold = fs.Poller.PFPThreshold
+		if _, err := NewBEPoller(spec.BEPoller, fs.Poller.PollerParams); err != nil {
+			return Spec{}, err
+		}
+	}
+	if spec.Allowed, err = parseTypeSet(fs.Allowed); err != nil {
+		return Spec{}, err
+	}
+	if fs.Radio != nil {
+		spec.Radio = *fs.Radio
+		if _, err := spec.Radio.Model(); err != nil {
+			return Spec{}, err
+		}
+	}
+	for _, g := range fs.GS {
+		flow, err := unmarshalGS(g)
+		if err != nil {
+			return Spec{}, fmt.Errorf("gs flow %d: %w", g.ID, err)
+		}
+		spec.GS = append(spec.GS, flow)
+	}
+	for _, b := range fs.BE {
+		flow, err := unmarshalBE(b)
+		if err != nil {
+			return Spec{}, fmt.Errorf("be flow %d: %w", b.ID, err)
+		}
+		spec.BE = append(spec.BE, flow)
+	}
+	for _, l := range fs.SCO {
+		link, err := unmarshalSCO(l)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.SCO = append(spec.SCO, link)
+	}
+	for i, ev := range fs.Timeline {
+		at, err := parseDur("at", ev.At)
+		if err != nil {
+			return Spec{}, fmt.Errorf("timeline[%d]: %w", i, err)
+		}
+		// Count the set operation fields on the raw file event: the
+		// switch below would silently take the first one, and the
+		// later validateTimeline pass could no longer see the others.
+		ops := 0
+		for _, set := range []bool{ev.AddGS != nil, ev.AddBE != nil,
+			ev.Remove != 0, ev.AddSCO != nil, ev.DropSCO != 0} {
+			if set {
+				ops++
+			}
+		}
+		if ops > 1 {
+			return Spec{}, fmt.Errorf("%w: timeline[%d] sets %d operations (want exactly 1)",
+				ErrBadSpec, i, ops)
+		}
+		out := TimelineEvent{At: at}
+		switch {
+		case ev.AddGS != nil:
+			flow, err := unmarshalGS(*ev.AddGS)
+			if err != nil {
+				return Spec{}, fmt.Errorf("timeline[%d]: %w", i, err)
+			}
+			out.AddGS = &flow
+		case ev.AddBE != nil:
+			flow, err := unmarshalBE(*ev.AddBE)
+			if err != nil {
+				return Spec{}, fmt.Errorf("timeline[%d]: %w", i, err)
+			}
+			out.AddBE = &flow
+		case ev.Remove != 0:
+			out.Remove = piconet.FlowID(ev.Remove)
+		case ev.AddSCO != nil:
+			link, err := unmarshalSCO(*ev.AddSCO)
+			if err != nil {
+				return Spec{}, fmt.Errorf("timeline[%d]: %w", i, err)
+			}
+			out.AddSCO = &link
+		case ev.DropSCO != 0:
+			out.DropSCO = piconet.SlaveID(ev.DropSCO)
+		default:
+			return Spec{}, fmt.Errorf("%w: timeline[%d] sets no operation", ErrBadSpec, i)
+		}
+		spec.Timeline = append(spec.Timeline, out)
+	}
+	if err := validateTimeline(spec); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// LoadFile reads a scenario file, accepting both the v2 format (see
+// Marshal) and the legacy v1 FileSpec form (files without a "format"
+// tag).
+func LoadFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	var sniff struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &sniff); err == nil && sniff.Format != "" {
+		return Unmarshal(data)
+	}
+	return ParseSpec(data)
+}

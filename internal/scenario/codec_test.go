@@ -1,0 +1,239 @@
+package scenario
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+)
+
+// randomSpec builds a randomized but structurally valid spec: random
+// header knobs, flow sets, SCO links and timeline, for round-trip
+// property testing.
+func randomSpec(rng *rand.Rand) Spec {
+	spec := Spec{
+		Name:                "random",
+		DelayTarget:         time.Duration(20+rng.Intn(40)) * time.Millisecond,
+		Duration:            time.Duration(1+rng.Intn(60)) * time.Second,
+		Seed:                rng.Int63n(1 << 40),
+		DirectionAware:      rng.Intn(2) == 0,
+		WithoutPiggybacking: rng.Intn(2) == 0,
+		ARQ:                 rng.Intn(2) == 0,
+		LossRecovery:        rng.Intn(2) == 0,
+	}
+	if rng.Intn(2) == 0 {
+		spec.Mode = core.FixedInterval
+	} else {
+		spec.Mode = core.VariableInterval
+	}
+	if rng.Intn(2) == 0 {
+		spec.RulesSet = true
+		spec.Rules = core.Improvements(rng.Intn(8))
+	}
+	pollers := []BEPollerKind{BEPFP, BERoundRobin, BEExhaustive, BEFEP, BEEDC, BEDemand, BEHOL}
+	spec.BEPoller = pollers[rng.Intn(len(pollers))]
+	if spec.BEPoller == BEPFP && rng.Intn(2) == 0 {
+		spec.PFPThreshold = 0.25 + 0.5*rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		spec.Allowed = baseband.PaperTypes
+	} else {
+		spec.Allowed = baseband.NewTypeSet(baseband.TypeDH1, baseband.TypeDM3)
+	}
+	switch rng.Intn(3) {
+	case 1:
+		spec.Radio = BERRadio(float64(1+rng.Intn(9)) * 1e-5)
+	case 2:
+		spec.Radio = GilbertElliottRadio(0.01, 0.2, 0.001, 0.3)
+	}
+	id := piconet.FlowID(1)
+	dirs := []piconet.Direction{piconet.Up, piconet.Down}
+	randGS := func(slave piconet.SlaveID) GSFlow {
+		g := GSFlow{
+			ID:       id,
+			Slave:    slave,
+			Dir:      dirs[rng.Intn(2)],
+			Interval: time.Duration(10+rng.Intn(30)) * time.Millisecond,
+			MinSize:  100 + rng.Intn(50),
+			MaxSize:  150 + rng.Intn(50),
+			Phase:    time.Duration(rng.Intn(10_000_000)), // sub-ms precision
+		}
+		if rng.Intn(3) == 0 {
+			g.Allowed = baseband.NewTypeSet(baseband.TypeDH1)
+		}
+		id++
+		return g
+	}
+	randBE := func(slave piconet.SlaveID) BEFlow {
+		b := BEFlow{
+			ID:         id,
+			Slave:      slave,
+			Dir:        dirs[rng.Intn(2)],
+			RateKbps:   10 + 90*rng.Float64(),
+			PacketSize: 27 + rng.Intn(300),
+			Phase:      time.Duration(rng.Intn(10_000_000)),
+		}
+		id++
+		return b
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		spec.GS = append(spec.GS, randGS(piconet.SlaveID(1+rng.Intn(3))))
+	}
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		spec.BE = append(spec.BE, randBE(piconet.SlaveID(4+rng.Intn(3))))
+	}
+	if rng.Intn(3) == 0 {
+		spec.SCO = append(spec.SCO, SCOLinkSpec{Slave: 7, Type: baseband.TypeHV3})
+	}
+	for n := rng.Intn(4); n > 0; n-- {
+		at := time.Duration(rng.Int63n(int64(spec.Duration)))
+		switch rng.Intn(4) {
+		case 0:
+			spec.Timeline = append(spec.Timeline, AddGSAt(at, randGS(piconet.SlaveID(1+rng.Intn(3)))))
+		case 1:
+			spec.Timeline = append(spec.Timeline, AddBEAt(at, randBE(piconet.SlaveID(4+rng.Intn(3)))))
+		case 2:
+			// Remove a flow that exists (static BE always non-empty).
+			spec.Timeline = append(spec.Timeline, RemoveAt(at, spec.BE[rng.Intn(len(spec.BE))].ID))
+		case 3:
+			spec.Timeline = append(spec.Timeline, AddSCOAt(at, SCOLinkSpec{
+				Slave: piconet.SlaveID(1 + rng.Intn(7)), Type: baseband.TypeHV3}))
+		}
+	}
+	return spec
+}
+
+// TestCodecRoundTripProperty: Unmarshal(Marshal(spec)) must be
+// fingerprint-identical — and hence cache-key identical — for randomized
+// specs covering every serializable feature.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		spec := randomSpec(rng)
+		data, err := Marshal(spec)
+		if err != nil {
+			t.Fatalf("case %d: Marshal: %v\nspec: %+v", i, err, spec)
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("case %d: Unmarshal: %v\njson:\n%s", i, err, data)
+		}
+		if got, want := back.Fingerprint(), spec.Fingerprint(); got != want {
+			t.Fatalf("case %d: fingerprint diverged after round trip\njson:\n%s\ncanonical got:\n%s\ncanonical want:\n%s",
+				i, data, back.Canonical(), spec.Canonical())
+		}
+		if back.Name != spec.Name {
+			t.Fatalf("case %d: Name %q != %q", i, back.Name, spec.Name)
+		}
+	}
+}
+
+// TestCodecGoldenPresets pins the serialized form of the registered
+// presets: the committed files are the documentation of the v2 format,
+// and parsing them back must reproduce the preset exactly.
+func TestCodecGoldenPresets(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, tt := range []struct {
+		file string
+		spec Spec
+	}{
+		{"paper-fig4.json", Paper(40 * time.Millisecond)},
+		{"baseline-pfp.json", Baseline(BEPFP)},
+	} {
+		t.Run(tt.file, func(t *testing.T) {
+			data, err := Marshal(tt.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tt.file)
+			if update {
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+			}
+			if string(data) != string(want) {
+				t.Fatalf("serialized form drifted from %s\n--- got ---\n%s--- want ---\n%s",
+					path, data, want)
+			}
+			back, err := Unmarshal(want)
+			if err != nil {
+				t.Fatalf("Unmarshal golden: %v", err)
+			}
+			if back.Fingerprint() != tt.spec.Fingerprint() {
+				t.Fatal("golden file does not reproduce the preset's fingerprint")
+			}
+		})
+	}
+}
+
+// TestCodecErrors exercises the decode-side validation.
+func TestCodecErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing format": `{"name":"x"}`,
+		"wrong format":   `{"format":"bluegs/scenario/v99"}`,
+		"unknown field":  `{"format":"bluegs/scenario/v2","bogus":1}`,
+		"bad duration":   `{"format":"bluegs/scenario/v2","duration":"fast"}`,
+		"bad size kind": `{"format":"bluegs/scenario/v2","gs_flows":[
+			{"id":1,"slave":1,"dir":"up","interval":"20ms","size":{"kind":"zipf"}}]}`,
+		"variable be size": `{"format":"bluegs/scenario/v2","be_flows":[
+			{"id":1,"slave":1,"dir":"up","rate_kbps":10,"size":{"kind":"uniform","min":10,"max":20}}]}`,
+		"bad radio": `{"format":"bluegs/scenario/v2","radio":{"kind":"crystal-ball"}}`,
+		"bad rules": `{"format":"bluegs/scenario/v2","rules":"a+z"}`,
+		"empty timeline event": `{"format":"bluegs/scenario/v2","be_flows":[
+			{"id":1,"slave":1,"dir":"up","rate_kbps":10,"size":{"kind":"fixed","bytes":100}}],
+			"timeline":[{"at":"1s"}]}`,
+		"multi-op timeline event": `{"format":"bluegs/scenario/v2","be_flows":[
+			{"id":1,"slave":1,"dir":"up","rate_kbps":10,"size":{"kind":"fixed","bytes":100}}],
+			"timeline":[{"at":"1s","remove_flow":1,"add_be":
+			{"id":2,"slave":2,"dir":"up","rate_kbps":10,"size":{"kind":"fixed","bytes":100}}}]}`,
+	}
+	for name, js := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Unmarshal([]byte(js)); err == nil {
+				t.Fatalf("Unmarshal accepted %s", js)
+			}
+		})
+	}
+}
+
+// TestLoadFileSniffsFormats: LoadFile must accept both the v2 format and
+// legacy v1 files.
+func TestLoadFileSniffsFormats(t *testing.T) {
+	dir := t.TempDir()
+	v2, err := Marshal(Paper(40 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Path := filepath.Join(dir, "v2.json")
+	if err := os.WriteFile(v2Path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadFile(v2Path)
+	if err != nil {
+		t.Fatalf("LoadFile v2: %v", err)
+	}
+	if spec.Fingerprint() != Paper(40*time.Millisecond).Fingerprint() {
+		t.Fatal("v2 load drifted")
+	}
+	legacy := `{"name":"legacy","delay_target_ms":40,"duration_s":5,
+		"gs_flows":[{"id":1,"slave":1,"dir":"up","interval_ms":20,"min_size":144,"max_size":176}]}`
+	v1Path := filepath.Join(dir, "v1.json")
+	if err := os.WriteFile(v1Path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if spec, err = LoadFile(v1Path); err != nil {
+		t.Fatalf("LoadFile v1: %v", err)
+	}
+	if spec.Name != "legacy" || len(spec.GS) != 1 {
+		t.Fatalf("v1 load: %+v", spec)
+	}
+}

@@ -3,19 +3,19 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
 	"bluegs/internal/piconet"
-	"bluegs/internal/radio"
 )
 
-// FileSpec is the JSON on-disk form of a scenario, used by `btsim -config`.
-// Durations are expressed in the units their field names state so that the
-// files stay plain numbers.
+// FileSpec is the legacy (v1) JSON on-disk form of a scenario, still
+// accepted by LoadFile for backwards compatibility. Durations are
+// expressed in the units their field names state so that the files stay
+// plain numbers. New files should use the v2 format (see Marshal), which
+// covers the full Spec including the timeline.
 type FileSpec struct {
 	Name                string       `json:"name"`
 	DelayTargetMs       float64      `json:"delay_target_ms"`
@@ -129,7 +129,7 @@ func ParseSpec(data []byte) (Spec, error) {
 		spec.Allowed = set
 	}
 	if fs.BER > 0 {
-		spec.Radio = radio.BER{BitErrorRate: fs.BER}
+		spec.Radio = BERRadio(fs.BER)
 	}
 	for _, g := range fs.GSFlows {
 		dir, err := parseDir(g.Dir)
@@ -178,13 +178,4 @@ func ParseSpec(data []byte) (Spec, error) {
 		spec.SCO = append(spec.SCO, SCOLinkSpec{Slave: piconet.SlaveID(l.Slave), Type: t})
 	}
 	return spec, nil
-}
-
-// LoadSpec reads and parses a JSON scenario file.
-func LoadSpec(path string) (Spec, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return Spec{}, fmt.Errorf("scenario: %w", err)
-	}
-	return ParseSpec(data)
 }

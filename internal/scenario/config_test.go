@@ -55,8 +55,8 @@ func TestParseSpec(t *testing.T) {
 	if !spec.DirectionAware || !spec.ARQ || !spec.LossRecovery {
 		t.Fatal("boolean knobs not parsed")
 	}
-	if spec.Radio == nil || spec.Radio.Name() != "ber" {
-		t.Fatalf("radio = %v", spec.Radio)
+	if spec.Radio.Kind != RadioBER || spec.Radio.BER != 0.0001 {
+		t.Fatalf("radio = %+v", spec.Radio)
 	}
 	if len(spec.GS) != 1 || spec.GS[0].Dir != piconet.Up || spec.GS[0].Phase != 2*time.Millisecond {
 		t.Fatalf("GS = %+v", spec.GS)
@@ -116,20 +116,20 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
-func TestLoadSpec(t *testing.T) {
+func TestLoadFileLegacyForm(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "scenario.json")
 	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	spec, err := LoadSpec(path)
+	spec, err := LoadFile(path)
 	if err != nil {
-		t.Fatalf("LoadSpec: %v", err)
+		t.Fatalf("LoadFile: %v", err)
 	}
 	if spec.Name != "custom" {
 		t.Fatalf("Name = %q", spec.Name)
 	}
-	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing file should fail")
 	}
 }

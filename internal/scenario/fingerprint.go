@@ -9,12 +9,14 @@ import (
 
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
+	"bluegs/internal/piconet"
 )
 
 // canonicalVersion tags the canonical rendering format. Bump it whenever
 // the rendering below changes shape, so stale on-disk caches keyed on old
-// fingerprints can never alias new ones.
-const canonicalVersion = "spec-canon/v1"
+// fingerprints can never alias new ones. v2 renders the declarative radio
+// spec and the timeline.
+const canonicalVersion = "spec-canon/v2"
 
 // WithDefaults returns the spec with every zero field replaced by the
 // default scenario.Run would apply. Run itself uses it, so a spec and its
@@ -44,11 +46,10 @@ func (s Spec) WithDefaults() Spec {
 // they describe the same simulation (after defaulting). The rendering is
 // the input of Fingerprint and therefore of the harness run cache.
 //
-// Excluded on purpose: Name (a report label) and Tracer (an observer —
-// the harness never serves traced runs from the cache anyway). The Radio
-// model is rendered through %#v, which captures the concrete type and its
-// parameters; stateful models must start each run from identical state
-// for the fingerprint to be meaningful.
+// Excluded on purpose: Name, a report label. Runtime hooks (tracers, live
+// radio model instances) no longer live on the Spec at all — hooked runs
+// bypass the cache by construction. The declarative radio spec and the
+// full timeline are rendered field by field.
 func (s Spec) Canonical() string {
 	s = s.WithDefaults()
 	var b strings.Builder
@@ -59,23 +60,40 @@ func (s Spec) Canonical() string {
 	fmt.Fprintf(&b, "allowed=%d dur=%d seed=%d arq=%t recovery=%t nopiggy=%t diraware=%t\n",
 		uint64(s.Allowed), int64(s.Duration), s.Seed,
 		s.ARQ, s.LossRecovery, s.WithoutPiggybacking, s.DirectionAware)
-	if s.Radio == nil {
-		fmt.Fprintln(&b, "radio=ideal")
-	} else {
-		fmt.Fprintf(&b, "radio=%#v\n", s.Radio)
+	fmt.Fprintf(&b, "radio=%s\n", s.Radio.canonical())
+	canonGS := func(prefix string, at time.Duration, g GSFlow) {
+		fmt.Fprintf(&b, "%s id=%d slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d at=%d\n",
+			prefix, uint64(g.ID), uint64(g.Slave), int(g.Dir), int64(g.Interval),
+			g.MinSize, g.MaxSize, int64(g.Phase), uint64(g.Allowed), int64(at))
+	}
+	canonBE := func(prefix string, at time.Duration, f BEFlow) {
+		fmt.Fprintf(&b, "%s id=%d slave=%d dir=%d rate=%g size=%d phase=%d allowed=%d at=%d\n",
+			prefix, uint64(f.ID), uint64(f.Slave), int(f.Dir), f.RateKbps,
+			f.PacketSize, int64(f.Phase), uint64(f.Allowed), int64(at))
 	}
 	for _, g := range s.GS {
-		fmt.Fprintf(&b, "gs id=%d slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d\n",
-			uint64(g.ID), uint64(g.Slave), int(g.Dir), int64(g.Interval),
-			g.MinSize, g.MaxSize, int64(g.Phase), uint64(g.Allowed))
+		canonGS("gs", 0, g)
 	}
 	for _, f := range s.BE {
-		fmt.Fprintf(&b, "be id=%d slave=%d dir=%d rate=%g size=%d phase=%d allowed=%d\n",
-			uint64(f.ID), uint64(f.Slave), int(f.Dir), f.RateKbps,
-			f.PacketSize, int64(f.Phase), uint64(f.Allowed))
+		canonBE("be", 0, f)
 	}
 	for _, l := range s.SCO {
 		fmt.Fprintf(&b, "sco slave=%d type=%d\n", uint64(l.Slave), int(l.Type))
+	}
+	for _, ev := range s.Timeline {
+		switch {
+		case ev.AddGS != nil:
+			canonGS("tl-add-gs", ev.At, *ev.AddGS)
+		case ev.AddBE != nil:
+			canonBE("tl-add-be", ev.At, *ev.AddBE)
+		case ev.Remove != piconet.None:
+			fmt.Fprintf(&b, "tl-remove id=%d at=%d\n", uint64(ev.Remove), int64(ev.At))
+		case ev.AddSCO != nil:
+			fmt.Fprintf(&b, "tl-add-sco slave=%d type=%d at=%d\n",
+				uint64(ev.AddSCO.Slave), int(ev.AddSCO.Type), int64(ev.At))
+		case ev.DropSCO != 0:
+			fmt.Fprintf(&b, "tl-drop-sco slave=%d at=%d\n", uint64(ev.DropSCO), int64(ev.At))
+		}
 	}
 	return b.String()
 }

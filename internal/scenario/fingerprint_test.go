@@ -4,8 +4,6 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"bluegs/internal/radio"
 )
 
 func TestCanonicalDefaultsInvariant(t *testing.T) {
@@ -36,8 +34,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"duration":  func(s *Spec) { s.Duration = 11 * time.Second },
 		"target":    func(s *Spec) { s.DelayTarget = 42 * time.Millisecond },
 		"poller":    func(s *Spec) { s.BEPoller = BERoundRobin },
-		"radio":     func(s *Spec) { s.Radio = radio.BER{BitErrorRate: 1e-5} },
-		"ber-rate":  func(s *Spec) { s.Radio = radio.BER{BitErrorRate: 2e-5} },
+		"radio":     func(s *Spec) { s.Radio = BERRadio(1e-5) },
+		"ber-rate":  func(s *Spec) { s.Radio = BERRadio(2e-5) },
 		"arq":       func(s *Spec) { s.ARQ = true },
 		"gs-flow":   func(s *Spec) { s.GS[0].MaxSize = 180 },
 		"be-flow":   func(s *Spec) { s.BE[0].RateKbps = 42 },
@@ -69,7 +67,7 @@ func TestFingerprintIgnoresLabels(t *testing.T) {
 
 func TestCanonicalMentionsRadioParameters(t *testing.T) {
 	s := Paper(40 * time.Millisecond)
-	s.Radio = radio.BER{BitErrorRate: 1e-5}
+	s.Radio = BERRadio(1e-5)
 	if c := s.Canonical(); !strings.Contains(c, "1e-05") {
 		t.Fatalf("canonical form loses the BER parameter:\n%s", c)
 	}

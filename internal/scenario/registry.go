@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AllBEPollers lists every best-effort poller kind, in comparison order.
+var AllBEPollers = []BEPollerKind{
+	BEPFP, BERoundRobin, BEExhaustive, BEFEP, BEEDC, BEDemand, BEHOL,
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]func() Spec)
+)
+
+// Register adds a named scenario builder to the process-wide registry
+// (used by `btsim -scenario <name>` and `-list`). The builder must be
+// deterministic: it is invoked once per Lookup. Registering an empty or
+// already-taken name is an error.
+func Register(name string, build func() Spec) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("%w: registry needs a name and a builder", ErrBadSpec)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("%w: scenario %q already registered", ErrBadSpec, name)
+	}
+	registry[name] = build
+	return nil
+}
+
+// MustRegister is Register for init-time presets; it panics on error.
+func MustRegister(name string, build func() Spec) {
+	if err := Register(name, build); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup builds the named scenario, reporting whether the name is
+// registered.
+func Lookup(name string) (Spec, bool) {
+	registryMu.RLock()
+	build, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return Spec{}, false
+	}
+	return build(), true
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The presets register themselves so every tool sees one catalogue.
+func init() {
+	MustRegister("paper-fig4", func() Spec { return Paper(40 * time.Millisecond) })
+	for _, kind := range AllBEPollers {
+		kind := kind
+		MustRegister(fmt.Sprintf("baseline-%s", kind), func() Spec { return Baseline(kind) })
+	}
+	MustRegister("churn", func() Spec { return Churn(ChurnConfig{}) })
+}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryPresets(t *testing.T) {
+	names := Names()
+	want := []string{"churn", "paper-fig4", "baseline-pfp", "baseline-round-robin"}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Fatalf("registry misses %q (have %v)", n, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Fatal("Lookup invented a scenario")
+	}
+}
+
+// TestRegistryScenariosRun: every registered scenario must actually run —
+// the registry is user-facing surface (btsim -scenario), so a preset that
+// errors is a release blocker.
+func TestRegistryScenariosRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, ok := Lookup(name)
+			if !ok {
+				t.Fatal("registered name does not resolve")
+			}
+			spec.Duration = 2 * time.Second
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := res.BoundViolations(); len(v) != 0 {
+				t.Fatalf("violations: %+v", v)
+			}
+		})
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register("", func() Spec { return Spec{} }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register("paper-fig4", func() Spec { return Spec{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register("test-once", func() Spec { return Paper(time.Millisecond * 40) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Lookup("test-once"); !ok {
+		t.Fatal("registered scenario not found")
+	}
+}

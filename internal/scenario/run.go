@@ -1,0 +1,390 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/core"
+	"bluegs/internal/piconet"
+	"bluegs/internal/sco"
+	"bluegs/internal/sim"
+	"bluegs/internal/traffic"
+)
+
+// runner holds the live state of one scenario run: the simulated piconet
+// and scheduler, the admission controller (shared by the static plan and
+// the online timeline), the cancellable traffic sources, and the exported
+// bound/rate bookkeeping behind Result.
+type runner struct {
+	spec  Spec
+	s     *sim.Simulator
+	pn    *piconet.Piconet
+	sched *core.Scheduler
+	ctrl  *admission.Controller
+
+	// sources maps installed flows to their cancellable traffic sources;
+	// a flow leaves the map when it is removed.
+	sources map[piconet.FlowID]*source
+	// bounds tracks, per GS flow, the loosest bound exported while the
+	// flow was installed (see FlowResult.Bound); rates the admitted R.
+	bounds map[piconet.FlowID]time.Duration
+	rates  map[piconet.FlowID]float64
+	// slaves tracks registered slaves across static setup and timeline.
+	slaves map[piconet.SlaveID]bool
+
+	admissions []AdmissionRecord
+	// err is the first fatal timeline-application error; it stops the
+	// simulation and fails the run.
+	err error
+}
+
+// source is one self-rescheduling traffic source; ev is its pending tick,
+// cancelled when the flow is removed.
+type source struct {
+	ev sim.Event
+}
+
+// Run executes a scenario.
+func Run(spec Spec) (*Result, error) { return RunWith(spec, Hooks{}) }
+
+// RunWith executes a scenario with runtime hooks attached (a live tracer
+// or a pre-built radio model instance). Hooked runs must not be served
+// from a result cache: their side effects cannot be replayed.
+func RunWith(spec Spec, hooks Hooks) (*Result, error) {
+	if len(spec.GS) == 0 && len(spec.BE) == 0 && len(spec.Timeline) == 0 {
+		return nil, fmt.Errorf("%w: no flows", ErrBadSpec)
+	}
+	spec = spec.WithDefaults()
+	if err := validateTimeline(spec); err != nil {
+		return nil, err
+	}
+
+	r := &runner{
+		spec:    spec,
+		sources: make(map[piconet.FlowID]*source),
+		bounds:  make(map[piconet.FlowID]time.Duration),
+		rates:   make(map[piconet.FlowID]float64),
+		slaves:  make(map[piconet.SlaveID]bool),
+	}
+
+	// Admission: the piconet-wide worst exchange must cover BE traffic,
+	// including every flow the timeline may ever install.
+	admCfg := admission.Config{MaxExchange: maxExchange(spec), DirectionAware: spec.DirectionAware}
+	for _, l := range spec.SCO {
+		ch, err := sco.NewChannel(l.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		admCfg.SCOLinks = append(admCfg.SCOLinks, ch)
+	}
+	var admOpts []admission.ControllerOption
+	if spec.WithoutPiggybacking {
+		admOpts = append(admOpts, admission.WithoutPiggybacking())
+	}
+	var delayReqs []admission.DelayRequest
+	for _, g := range spec.GS {
+		delayReqs = append(delayReqs, admission.DelayRequest{
+			Request: admission.Request{
+				ID:      g.ID,
+				Slave:   g.Slave,
+				Dir:     g.Dir,
+				Spec:    g.Spec(),
+				Allowed: r.allowedFor(g.Allowed),
+			},
+			Target: spec.DelayTarget,
+		})
+	}
+	ctrl, err := admission.PlanForDelayBestEffort(delayReqs, admCfg, admOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: admission: %w", err)
+	}
+	r.ctrl = ctrl
+
+	// Piconet construction. The radio model is built fresh from the
+	// declarative spec unless a live instance is hooked in.
+	s := sim.New(sim.WithSeed(spec.Seed))
+	model := hooks.Radio
+	if model == nil {
+		if model, err = spec.Radio.Model(); err != nil {
+			return nil, err
+		}
+	}
+	pnOpts := []piconet.Option{piconet.WithRadio(model)}
+	if spec.ARQ {
+		pnOpts = append(pnOpts, piconet.WithARQ(true))
+	}
+	if hooks.Tracer != nil {
+		pnOpts = append(pnOpts, piconet.WithTracer(hooks.Tracer))
+	}
+	pn := piconet.New(s, pnOpts...)
+	r.s, r.pn = s, pn
+	for _, g := range spec.GS {
+		if err := r.addSlave(g.Slave); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := pn.AddFlow(piconet.FlowConfig{
+			ID: g.ID, Slave: g.Slave, Dir: g.Dir,
+			Class: piconet.Guaranteed, Allowed: r.allowedFor(g.Allowed),
+		}); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for _, b := range spec.BE {
+		if err := r.addSlave(b.Slave); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := pn.AddFlow(piconet.FlowConfig{
+			ID: b.ID, Slave: b.Slave, Dir: b.Dir,
+			Class: piconet.BestEffort, Allowed: r.allowedFor(b.Allowed),
+		}); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	for _, l := range spec.SCO {
+		if err := r.addSlave(l.Slave); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		if err := pn.AddSCOLink(l.Slave, l.Type); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+
+	// Scheduler.
+	bePoller, err := NewBEPoller(spec.BEPoller, PollerParams{PFPThreshold: spec.PFPThreshold})
+	if err != nil {
+		return nil, err
+	}
+	coreOpts := []core.Option{
+		core.WithMode(spec.Mode),
+		core.WithBEPoller(bePoller),
+		core.WithLossRecovery(spec.LossRecovery),
+	}
+	if spec.RulesSet {
+		coreOpts = append(coreOpts, core.WithImprovements(spec.Rules))
+	}
+	sched, err := core.New(pn, ctrl.Flows(), coreOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	pn.SetScheduler(sched)
+	r.sched = sched
+	r.noteBounds()
+
+	// Traffic sources.
+	for _, g := range spec.GS {
+		r.attachGSSource(g)
+	}
+	for _, b := range spec.BE {
+		r.attachBESource(b)
+	}
+
+	// Timeline: each event applies at its simulated time; events sharing
+	// an instant apply in slice order (the kernel is FIFO per instant).
+	for _, ev := range spec.Timeline {
+		ev := ev
+		s.Schedule(ev.At, func() { r.applyEvent(ev) })
+	}
+
+	if err := pn.Start(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Run(spec.Duration); err != nil {
+		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
+	if err := pn.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: engine: %w", err)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("scenario: timeline: %w", r.err)
+	}
+
+	return r.collect(), nil
+}
+
+// allowedFor resolves a flow's baseband type set against the spec default.
+func (r *runner) allowedFor(override baseband.TypeSet) baseband.TypeSet {
+	if !override.Empty() {
+		return override
+	}
+	return r.spec.Allowed
+}
+
+// addSlave registers a slave once across static setup and timeline.
+func (r *runner) addSlave(id piconet.SlaveID) error {
+	if r.slaves[id] {
+		return nil
+	}
+	r.slaves[id] = true
+	return r.pn.AddSlave(id)
+}
+
+// noteBounds folds the controller's current plan into the exported
+// bound/rate bookkeeping: per flow the loosest bound ever in force (later
+// admissions can shift priorities and grow x, weakening earlier promises)
+// and the admitted rate.
+func (r *runner) noteBounds() {
+	for _, pf := range r.ctrl.Flows() {
+		id := pf.Request.ID
+		if pf.Bound > r.bounds[id] {
+			r.bounds[id] = pf.Bound
+		}
+		r.rates[id] = pf.Request.Rate
+	}
+}
+
+// attachGSSource starts a Guaranteed Service flow's CBR source.
+func (r *runner) attachGSSource(g GSFlow) {
+	r.attachSource(g.ID, traffic.CBR{Interval: g.Interval},
+		traffic.UniformSize{Min: g.MinSize, Max: g.MaxSize}, g.Phase)
+}
+
+// attachBESource starts a best-effort flow's CBR source.
+func (r *runner) attachBESource(b BEFlow) {
+	gen := traffic.CBRForRate(b.RateKbps*1000, b.PacketSize)
+	r.attachSource(b.ID, gen, traffic.FixedSize(b.PacketSize), b.Phase)
+}
+
+// attachSource schedules a self-rescheduling traffic source whose pending
+// tick stays cancellable (flow removal stops the source).
+func (r *runner) attachSource(flow piconet.FlowID, gen traffic.Generator,
+	sizes traffic.SizeDist, phase time.Duration) {
+	if phase < 0 {
+		phase = 0
+	}
+	src := &source{}
+	var tick func()
+	tick = func() {
+		_ = r.pn.EnqueuePacket(flow, sizes.Draw(r.s.Rand()))
+		src.ev = r.s.After(gen.NextInterval(r.s.Rand()), tick)
+	}
+	src.ev = r.s.Schedule(r.s.Now()+phase, tick)
+	r.sources[flow] = src
+}
+
+// maxExchange derives the piconet-wide worst ongoing ACL exchange Xi from
+// the actual flow layout — including every flow the timeline may install —
+// as, per slave, the largest downlink leg plus the largest uplink leg
+// (POLL/NULL legs count one slot). With DirectionAware disabled the
+// paper's conservative assumption applies: any flow's exchange may carry
+// maximal segments both ways.
+func maxExchange(spec Spec) time.Duration {
+	allowedFor := func(override baseband.TypeSet) baseband.TypeSet {
+		if !override.Empty() {
+			return override
+		}
+		return spec.Allowed
+	}
+	type legs struct{ down, up int }
+	perSlave := map[piconet.SlaveID]*legs{}
+	visit := func(slave piconet.SlaveID, dir piconet.Direction, allowed baseband.TypeSet, conservative bool) {
+		l := perSlave[slave]
+		if l == nil {
+			l = &legs{down: 1, up: 1}
+			perSlave[slave] = l
+		}
+		slots := allowed.MaxSlots()
+		if conservative {
+			// Both legs may carry maximal segments (paper default).
+			if slots > l.down {
+				l.down = slots
+			}
+			if slots > l.up {
+				l.up = slots
+			}
+			return
+		}
+		if dir == piconet.Down && slots > l.down {
+			l.down = slots
+		}
+		if dir == piconet.Up && slots > l.up {
+			l.up = slots
+		}
+	}
+	visitGS := func(g GSFlow) {
+		visit(g.Slave, g.Dir, allowedFor(g.Allowed), !spec.DirectionAware)
+	}
+	visitBE := func(b BEFlow) {
+		// Best-effort exchanges serve whatever is queued each way, so
+		// the legs are direction-specific regardless of the admission
+		// mode.
+		visit(b.Slave, b.Dir, allowedFor(b.Allowed), false)
+	}
+	for _, g := range spec.GS {
+		visitGS(g)
+	}
+	for _, b := range spec.BE {
+		visitBE(b)
+	}
+	for _, ev := range spec.Timeline {
+		// Timeline arrivals are folded in conservatively: Xi must cover
+		// any exchange that can occur at any point of the run.
+		if ev.AddGS != nil {
+			visitGS(*ev.AddGS)
+		}
+		if ev.AddBE != nil {
+			visitBE(*ev.AddBE)
+		}
+	}
+	maxSlots := 2
+	for _, l := range perSlave {
+		if s := l.down + l.up; s > maxSlots {
+			maxSlots = s
+		}
+	}
+	return baseband.SlotsToDuration(maxSlots)
+}
+
+// collect assembles the result.
+func (r *runner) collect() *Result {
+	s, pn := r.s, r.pn
+	elapsed := s.Now()
+	res := &Result{
+		Spec:       r.spec,
+		Elapsed:    elapsed,
+		Events:     s.Executed(),
+		SlaveKbps:  make(map[piconet.SlaveID]float64),
+		SCOKbps:    make(map[piconet.SlaveID]float64),
+		Slots:      pn.SlotAccount(elapsed),
+		GSPolls:    r.sched.GSPolls(),
+		BEPolls:    r.sched.BEPolls(),
+		Skipped:    r.sched.SkippedPolls(),
+		Admitted:   r.ctrl.Flows(),
+		Admissions: r.admissions,
+	}
+	for _, id := range pn.Flows() {
+		cfg, _ := pn.FlowConfig(id)
+		delay, _ := pn.FlowDelayStats(id)
+		delivered, _ := pn.FlowDelivered(id)
+		offered, _ := pn.FlowOffered(id)
+		lost, _ := pn.FlowLost(id)
+		fr := FlowResult{
+			ID:          id,
+			Slave:       cfg.Slave,
+			Dir:         cfg.Dir,
+			Class:       cfg.Class,
+			Offered:     offered.Packets(),
+			Delivered:   delivered.Packets(),
+			Lost:        lost.Packets(),
+			Kbps:        delivered.Kbps(elapsed),
+			DelayMax:    delay.Max(),
+			DelayMean:   delay.Mean(),
+			DelayP99:    delay.Quantile(0.99),
+			DelayJitter: delay.StdDev(),
+			Delay:       delay,
+		}
+		if bound, ok := r.bounds[id]; ok {
+			fr.Bound = bound
+			fr.Rate = r.rates[id]
+		}
+		res.Flows = append(res.Flows, fr)
+	}
+	for _, slave := range pn.Slaves() {
+		res.SlaveKbps[slave] = pn.SlaveThroughputKbps(slave, elapsed)
+		if down, up, ok := pn.SCOMeters(slave); ok {
+			res.SCOKbps[slave] = down.Kbps(elapsed) + up.Kbps(elapsed)
+		}
+	}
+	return res
+}

@@ -2,6 +2,14 @@
 // sources, admission, scheduler and measurement. It provides the paper's
 // §4.1 evaluation setup (Fig. 4) as a preset and a generic runner used by
 // the experiment harness, the command-line tools and the examples.
+//
+// A Spec is pure data: every field — flows, poller and radio selection
+// (by name plus parameters), SCO links and the Timeline of mid-run
+// changes — is serializable (see Marshal/Unmarshal) and enters the spec's
+// canonical fingerprint. Runtime-only attachments (a live Tracer, a
+// pre-seeded radio model instance) travel separately through Hooks and
+// RunWith. Named specs register into a process-wide registry (Register/
+// Lookup/Names) that the presets populate.
 package scenario
 
 import (
@@ -15,10 +23,7 @@ import (
 	"bluegs/internal/piconet"
 	"bluegs/internal/poller"
 	"bluegs/internal/radio"
-	"bluegs/internal/sco"
-	"bluegs/internal/sim"
 	"bluegs/internal/stats"
-	"bluegs/internal/traffic"
 	"bluegs/internal/tspec"
 )
 
@@ -37,7 +42,9 @@ type GSFlow struct {
 	Interval time.Duration
 	MinSize  int
 	MaxSize  int
-	// Phase offsets the source start.
+	// Phase offsets the source start (relative to the flow's
+	// installation: run start for static flows, the timeline event for
+	// flows added mid-run).
 	Phase time.Duration
 	// Allowed overrides the spec-wide baseband type set when non-empty.
 	Allowed baseband.TypeSet
@@ -82,10 +89,23 @@ const (
 	BEHOL        BEPollerKind = "hol-priority"
 )
 
-// NewBEPoller constructs a poller by kind (empty kind means PFP).
-func NewBEPoller(kind BEPollerKind) (poller.Poller, error) {
+// PollerParams carries the per-kind tuning parameters of a best-effort
+// poller in declarative form, so poller construction has a single path
+// shared by the runner and the JSON codec.
+type PollerParams struct {
+	// PFPThreshold overrides the PFP active-prediction threshold when
+	// positive (meaningful with the PFP poller only).
+	PFPThreshold float64 `json:"pfp_threshold,omitempty"`
+}
+
+// NewBEPoller constructs a poller by kind and parameters (empty kind
+// means PFP).
+func NewBEPoller(kind BEPollerKind, params PollerParams) (poller.Poller, error) {
 	switch kind {
 	case "", BEPFP:
+		if params.PFPThreshold > 0 {
+			return poller.NewPFP(nil, poller.WithActiveThreshold(params.PFPThreshold)), nil
+		}
 		return poller.NewPFP(nil), nil
 	case BERoundRobin:
 		return &poller.RoundRobin{}, nil
@@ -104,16 +124,21 @@ func NewBEPoller(kind BEPollerKind) (poller.Poller, error) {
 	}
 }
 
-// Spec is a complete scenario specification.
+// Spec is a complete scenario specification. It is pure data: runtime
+// observers attach through Hooks (see RunWith), and the radio model is
+// named declaratively so every run constructs a fresh instance.
 type Spec struct {
 	// Name labels reports.
 	Name string
-	// GS and BE are the flow sets.
+	// GS and BE are the static flow sets, installed before the run
+	// starts. The Timeline adds and removes flows mid-run.
 	GS []GSFlow
 	BE []BEFlow
 	// DelayTarget is the delay bound requested for every GS flow.
-	// Targets below the supportable minimum are clamped to the tightest
-	// achievable bound (see admission.PlanForDelayBestEffort).
+	// Static flows below the supportable minimum are clamped to the
+	// tightest achievable bound (see admission.PlanForDelayBestEffort);
+	// timeline flows whose target cannot be met are rejected instead
+	// (the paper's online admission protocol).
 	DelayTarget time.Duration
 	// Mode is the planner mode (default VariableInterval).
 	Mode core.Mode
@@ -122,10 +147,9 @@ type Spec struct {
 	// value.
 	Rules    core.Improvements
 	RulesSet bool
-	// BEPoller selects the best-effort discipline (default PFP).
-	BEPoller BEPollerKind
-	// PFPThreshold overrides the PFP active-prediction threshold when
-	// positive (only meaningful with the PFP poller).
+	// BEPoller selects the best-effort discipline (default PFP);
+	// PFPThreshold is its PollerParams.PFPThreshold.
+	BEPoller     BEPollerKind
 	PFPThreshold float64
 	// Allowed is the baseband type set for all flows (default DH1+DH3).
 	Allowed baseband.TypeSet
@@ -133,24 +157,25 @@ type Spec struct {
 	Duration time.Duration
 	// Seed drives all randomness (default 1).
 	Seed int64
-	// Radio is the channel model (default ideal); ARQ enables
+	// Radio names the channel model (default ideal); ARQ enables
 	// retransmissions; LossRecovery additionally grants lost GS segments
 	// recovery polls from the saved bandwidth (paper future work).
-	Radio        radio.Model
+	Radio        RadioSpec
 	ARQ          bool
 	LossRecovery bool
 	// WithoutPiggybacking disables pair detection in admission.
 	WithoutPiggybacking bool
-	// SCO lists reserved synchronous links. With SCO present,
-	// direction-aware admission is usually required so single-direction
-	// GS exchanges fit between reservations.
+	// SCO lists synchronous links reserved from the start. With SCO
+	// present, direction-aware admission is usually required so
+	// single-direction GS exchanges fit between reservations.
 	SCO []SCOLinkSpec
-	// Tracer, when set, receives every completed exchange (see
-	// piconet.RingTracer and piconet.NewCSVTracer).
-	Tracer piconet.Tracer
 	// DirectionAware switches admission to direction-specific worst
 	// exchange times (see admission.Config.DirectionAware).
 	DirectionAware bool
+	// Timeline schedules mid-run changes: GS flows arrive through the
+	// paper's online admission test (and may be rejected), BE flows and
+	// SCO links come and go, flows retire. See TimelineEvent.
+	Timeline []TimelineEvent
 }
 
 // Paper returns the paper's Fig. 4 setup: a seven-slave piconet with four
@@ -221,6 +246,22 @@ func Baseline(kind BEPollerKind) Spec {
 	}
 }
 
+// Hooks are the runtime-only attachments of a run: live observers and
+// channel-model instances that cannot travel in a pure-data Spec. Hooked
+// runs are excluded from the harness run cache (their side effects cannot
+// be replayed).
+type Hooks struct {
+	// Tracer, when set, receives every completed exchange (see
+	// piconet.RingTracer and piconet.NewCSVTracer).
+	Tracer piconet.Tracer
+	// Radio, when set, overrides Spec.Radio with a live model instance
+	// (e.g. a pre-seeded stateful channel).
+	Radio radio.Model
+}
+
+// Zero reports whether no hook is attached.
+func (h Hooks) Zero() bool { return h.Tracer == nil && h.Radio == nil }
+
 // FlowResult summarises one flow after a run.
 type FlowResult struct {
 	ID        piconet.FlowID
@@ -237,7 +278,11 @@ type FlowResult struct {
 	// DelayJitter is the standard deviation of the packet delay (voice
 	// and video sources care about it as much as the bound).
 	DelayJitter time.Duration
-	// Bound and Rate are set for GS flows only.
+	// Bound and Rate are set for GS flows only. Bound is the loosest
+	// bound the flow ever exported while installed: later admissions may
+	// shift a flow's priority and grow its x, so this is the weakest
+	// promise in effect at any point — the sound value to check measured
+	// delays against.
 	Bound time.Duration
 	Rate  float64
 	// Delay exposes the flow's full delay statistics (quantiles,
@@ -262,8 +307,12 @@ type Result struct {
 	GSPolls   uint64
 	BEPolls   uint64
 	Skipped   uint64
-	// Admitted is the admission plan the run used.
+	// Admitted is the admission plan in force at the end of the run.
 	Admitted []*admission.PlannedFlow
+	// Admissions is the online admission log: one record per timeline
+	// event, in application order, with per-request accept/reject
+	// outcomes (empty for static specs).
+	Admissions []AdmissionRecord
 }
 
 // FlowByID returns the result row of a flow.
@@ -299,265 +348,6 @@ func (r *Result) BoundViolations() []FlowResult {
 	return out
 }
 
-// Run executes a scenario.
-func Run(spec Spec) (*Result, error) {
-	if len(spec.GS) == 0 && len(spec.BE) == 0 {
-		return nil, fmt.Errorf("%w: no flows", ErrBadSpec)
-	}
-	spec = spec.WithDefaults()
-
-	// Admission: the piconet-wide worst exchange must cover BE traffic.
-	admCfg := admission.Config{MaxExchange: maxExchange(spec), DirectionAware: spec.DirectionAware}
-	for _, l := range spec.SCO {
-		ch, err := sco.NewChannel(l.Type)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
-		}
-		admCfg.SCOLinks = append(admCfg.SCOLinks, ch)
-	}
-	var admOpts []admission.ControllerOption
-	if spec.WithoutPiggybacking {
-		admOpts = append(admOpts, admission.WithoutPiggybacking())
-	}
-	allowedFor := func(override baseband.TypeSet) baseband.TypeSet {
-		if !override.Empty() {
-			return override
-		}
-		return spec.Allowed
-	}
-	var delayReqs []admission.DelayRequest
-	for _, g := range spec.GS {
-		delayReqs = append(delayReqs, admission.DelayRequest{
-			Request: admission.Request{
-				ID:      g.ID,
-				Slave:   g.Slave,
-				Dir:     g.Dir,
-				Spec:    g.Spec(),
-				Allowed: allowedFor(g.Allowed),
-			},
-			Target: spec.DelayTarget,
-		})
-	}
-	ctrl, err := admission.PlanForDelayBestEffort(delayReqs, admCfg, admOpts...)
-	if err != nil {
-		return nil, fmt.Errorf("scenario: admission: %w", err)
-	}
-
-	// Piconet construction.
-	s := sim.New(sim.WithSeed(spec.Seed))
-	var pnOpts []piconet.Option
-	if spec.Radio != nil {
-		pnOpts = append(pnOpts, piconet.WithRadio(spec.Radio))
-	}
-	if spec.ARQ {
-		pnOpts = append(pnOpts, piconet.WithARQ(true))
-	}
-	if spec.Tracer != nil {
-		pnOpts = append(pnOpts, piconet.WithTracer(spec.Tracer))
-	}
-	pn := piconet.New(s, pnOpts...)
-	slaves := map[piconet.SlaveID]bool{}
-	addSlave := func(id piconet.SlaveID) error {
-		if slaves[id] {
-			return nil
-		}
-		slaves[id] = true
-		return pn.AddSlave(id)
-	}
-	for _, g := range spec.GS {
-		if err := addSlave(g.Slave); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		if err := pn.AddFlow(piconet.FlowConfig{
-			ID: g.ID, Slave: g.Slave, Dir: g.Dir,
-			Class: piconet.Guaranteed, Allowed: allowedFor(g.Allowed),
-		}); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-	}
-	for _, b := range spec.BE {
-		if err := addSlave(b.Slave); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		if err := pn.AddFlow(piconet.FlowConfig{
-			ID: b.ID, Slave: b.Slave, Dir: b.Dir,
-			Class: piconet.BestEffort, Allowed: allowedFor(b.Allowed),
-		}); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-	}
-	for _, l := range spec.SCO {
-		if err := addSlave(l.Slave); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-		if err := pn.AddSCOLink(l.Slave, l.Type); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
-		}
-	}
-
-	// Scheduler.
-	var bePoller poller.Poller
-	if (spec.BEPoller == "" || spec.BEPoller == BEPFP) && spec.PFPThreshold > 0 {
-		bePoller = poller.NewPFP(nil, poller.WithActiveThreshold(spec.PFPThreshold))
-	} else if bePoller, err = NewBEPoller(spec.BEPoller); err != nil {
-		return nil, err
-	}
-	coreOpts := []core.Option{
-		core.WithMode(spec.Mode),
-		core.WithBEPoller(bePoller),
-		core.WithLossRecovery(spec.LossRecovery),
-	}
-	if spec.RulesSet {
-		coreOpts = append(coreOpts, core.WithImprovements(spec.Rules))
-	}
-	sched, err := core.New(pn, ctrl.Flows(), coreOpts...)
-	if err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-	pn.SetScheduler(sched)
-
-	// Traffic sources.
-	for _, g := range spec.GS {
-		attachSource(s, pn, g.ID, traffic.CBR{Interval: g.Interval},
-			traffic.UniformSize{Min: g.MinSize, Max: g.MaxSize}, g.Phase)
-	}
-	for _, b := range spec.BE {
-		gen := traffic.CBRForRate(b.RateKbps*1000, b.PacketSize)
-		attachSource(s, pn, b.ID, gen, traffic.FixedSize(b.PacketSize), b.Phase)
-	}
-
-	if err := pn.Start(); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-	if err := s.Run(spec.Duration); err != nil {
-		return nil, fmt.Errorf("scenario: run: %w", err)
-	}
-	if err := pn.Err(); err != nil {
-		return nil, fmt.Errorf("scenario: engine: %w", err)
-	}
-
-	return collect(spec, s, pn, sched, ctrl), nil
-}
-
-// maxExchange derives the piconet-wide worst ongoing ACL exchange Xi from
-// the actual flow layout: per slave, the largest downlink leg plus the
-// largest uplink leg (POLL/NULL legs count one slot). With DirectionAware
-// disabled the paper's conservative assumption applies: any flow's exchange
-// may carry maximal segments both ways.
-func maxExchange(spec Spec) time.Duration {
-	allowedFor := func(override baseband.TypeSet) baseband.TypeSet {
-		if !override.Empty() {
-			return override
-		}
-		return spec.Allowed
-	}
-	type legs struct{ down, up int }
-	perSlave := map[piconet.SlaveID]*legs{}
-	visit := func(slave piconet.SlaveID, dir piconet.Direction, allowed baseband.TypeSet, conservative bool) {
-		l := perSlave[slave]
-		if l == nil {
-			l = &legs{down: 1, up: 1}
-			perSlave[slave] = l
-		}
-		slots := allowed.MaxSlots()
-		if conservative {
-			// Both legs may carry maximal segments (paper default).
-			if slots > l.down {
-				l.down = slots
-			}
-			if slots > l.up {
-				l.up = slots
-			}
-			return
-		}
-		if dir == piconet.Down && slots > l.down {
-			l.down = slots
-		}
-		if dir == piconet.Up && slots > l.up {
-			l.up = slots
-		}
-	}
-	for _, g := range spec.GS {
-		visit(g.Slave, g.Dir, allowedFor(g.Allowed), !spec.DirectionAware)
-	}
-	for _, b := range spec.BE {
-		// Best-effort exchanges serve whatever is queued each way, so
-		// the legs are direction-specific regardless of the admission
-		// mode.
-		visit(b.Slave, b.Dir, allowedFor(b.Allowed), false)
-	}
-	maxSlots := 2
-	for _, l := range perSlave {
-		if s := l.down + l.up; s > maxSlots {
-			maxSlots = s
-		}
-	}
-	return baseband.SlotsToDuration(maxSlots)
-}
-
-// attachSource schedules a self-rescheduling traffic source.
-func attachSource(s *sim.Simulator, pn *piconet.Piconet, flow piconet.FlowID,
-	gen traffic.Generator, sizes traffic.SizeDist, phase time.Duration) {
-	var tick func()
-	tick = func() {
-		_ = pn.EnqueuePacket(flow, sizes.Draw(s.Rand()))
-		s.After(gen.NextInterval(s.Rand()), tick)
-	}
-	s.Schedule(phase, tick)
-}
-
-// collect assembles the result.
-func collect(spec Spec, s *sim.Simulator, pn *piconet.Piconet, sched *core.Scheduler,
-	ctrl *admission.Controller) *Result {
-	elapsed := s.Now()
-	res := &Result{
-		Spec:      spec,
-		Elapsed:   elapsed,
-		Events:    s.Executed(),
-		SlaveKbps: make(map[piconet.SlaveID]float64),
-		SCOKbps:   make(map[piconet.SlaveID]float64),
-		Slots:     pn.SlotAccount(elapsed),
-		GSPolls:   sched.GSPolls(),
-		BEPolls:   sched.BEPolls(),
-		Skipped:   sched.SkippedPolls(),
-		Admitted:  ctrl.Flows(),
-	}
-	for _, id := range pn.Flows() {
-		cfg, _ := pn.FlowConfig(id)
-		delay, _ := pn.FlowDelayStats(id)
-		delivered, _ := pn.FlowDelivered(id)
-		offered, _ := pn.FlowOffered(id)
-		lost, _ := pn.FlowLost(id)
-		fr := FlowResult{
-			ID:          id,
-			Slave:       cfg.Slave,
-			Dir:         cfg.Dir,
-			Class:       cfg.Class,
-			Offered:     offered.Packets(),
-			Delivered:   delivered.Packets(),
-			Lost:        lost.Packets(),
-			Kbps:        delivered.Kbps(elapsed),
-			DelayMax:    delay.Max(),
-			DelayMean:   delay.Mean(),
-			DelayP99:    delay.Quantile(0.99),
-			DelayJitter: delay.StdDev(),
-			Delay:       delay,
-		}
-		if pf, ok := ctrl.Find(id); ok {
-			fr.Bound = pf.Bound
-			fr.Rate = pf.Request.Rate
-		}
-		res.Flows = append(res.Flows, fr)
-	}
-	for _, slave := range pn.Slaves() {
-		res.SlaveKbps[slave] = pn.SlaveThroughputKbps(slave, elapsed)
-		if down, up, ok := pn.SCOMeters(slave); ok {
-			res.SCOKbps[slave] = down.Kbps(elapsed) + up.Kbps(elapsed)
-		}
-	}
-	return res
-}
-
 // Report renders a run as a table.
 func (r *Result) Report() *stats.Table {
 	tbl := stats.NewTable(
@@ -579,6 +369,35 @@ func (r *Result) Report() *stats.Table {
 			f.DelayMean.Round(time.Microsecond), f.DelayJitter.Round(time.Microsecond),
 			f.DelayP99.Round(time.Microsecond),
 			f.DelayMax.Round(time.Microsecond), bound, ok)
+	}
+	return tbl
+}
+
+// AdmissionReport renders the online admission log as a table (nil when
+// the run had no timeline).
+func (r *Result) AdmissionReport() *stats.Table {
+	if len(r.Admissions) == 0 {
+		return nil
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("%s: online admission log (%d requests)", r.Spec.Name, len(r.Admissions)),
+		"at", "op", "flow", "slave", "outcome", "bound", "rate_Bps", "reason")
+	for _, a := range r.Admissions {
+		outcome := "accepted"
+		if !a.Accepted {
+			outcome = "rejected"
+		}
+		flow, bound, rate := "", "", ""
+		if a.Flow != piconet.None {
+			flow = fmt.Sprintf("%d", a.Flow)
+		}
+		if a.Bound > 0 {
+			bound = a.Bound.Round(time.Microsecond).String()
+		}
+		if a.Rate > 0 {
+			rate = fmt.Sprintf("%.0f", a.Rate)
+		}
+		tbl.AddRow(a.At, a.Op, flow, a.Slave, outcome, bound, rate, a.Reason)
 	}
 	return tbl
 }

@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/piconet"
+	"bluegs/internal/sco"
+)
+
+// Timeline operation names (TimelineEvent.Op, AdmissionRecord.Op).
+const (
+	OpAddGS      = "add-gs"
+	OpAddBE      = "add-be"
+	OpRemoveFlow = "remove-flow"
+	OpAddSCO     = "add-sco"
+	OpDropSCO    = "drop-sco"
+)
+
+// TimelineEvent is one scheduled mid-run change of a scenario. Exactly one
+// operation field must be set; events apply in slice order when they share
+// an instant. Build events with the *At constructors.
+type TimelineEvent struct {
+	// At is the simulated time of the change, relative to the run start.
+	At time.Duration
+	// AddGS requests admission of a Guaranteed Service flow at At: the
+	// paper's Fig. 3 admission test runs against the then-current flow
+	// set and either installs the flow — re-planning every stream's
+	// polling — or records a rejection in Result.Admissions.
+	AddGS *GSFlow
+	// AddBE installs a best-effort flow (no admission test; best effort
+	// takes whatever is left over).
+	AddBE *BEFlow
+	// Remove retires a flow (GS or BE): its source stops, queued packets
+	// are dropped, and — for GS — its reserved bandwidth is released and
+	// the remaining flows re-planned. Removing a flow whose admission
+	// was rejected records a no-op.
+	Remove piconet.FlowID
+	// AddSCO requests a synchronous voice link. It is rejected when the
+	// link does not fit the piconet's SCO capacity or when the admitted
+	// Guaranteed Service set could no longer be scheduled around the new
+	// reservations.
+	AddSCO *SCOLinkSpec
+	// DropSCO releases the slave's synchronous link.
+	DropSCO piconet.SlaveID
+}
+
+// Op names the event's operation ("" for an invalid event).
+func (e TimelineEvent) Op() string {
+	switch {
+	case e.AddGS != nil:
+		return OpAddGS
+	case e.AddBE != nil:
+		return OpAddBE
+	case e.Remove != piconet.None:
+		return OpRemoveFlow
+	case e.AddSCO != nil:
+		return OpAddSCO
+	case e.DropSCO != 0:
+		return OpDropSCO
+	}
+	return ""
+}
+
+// ops counts the set operation fields (a valid event has exactly one).
+func (e TimelineEvent) ops() int {
+	n := 0
+	if e.AddGS != nil {
+		n++
+	}
+	if e.AddBE != nil {
+		n++
+	}
+	if e.Remove != piconet.None {
+		n++
+	}
+	if e.AddSCO != nil {
+		n++
+	}
+	if e.DropSCO != 0 {
+		n++
+	}
+	return n
+}
+
+// AddGSAt schedules a Guaranteed Service flow arrival.
+func AddGSAt(at time.Duration, g GSFlow) TimelineEvent {
+	return TimelineEvent{At: at, AddGS: &g}
+}
+
+// AddBEAt schedules a best-effort flow arrival.
+func AddBEAt(at time.Duration, b BEFlow) TimelineEvent {
+	return TimelineEvent{At: at, AddBE: &b}
+}
+
+// RemoveAt schedules a flow departure.
+func RemoveAt(at time.Duration, id piconet.FlowID) TimelineEvent {
+	return TimelineEvent{At: at, Remove: id}
+}
+
+// AddSCOAt schedules a synchronous voice link arrival.
+func AddSCOAt(at time.Duration, l SCOLinkSpec) TimelineEvent {
+	return TimelineEvent{At: at, AddSCO: &l}
+}
+
+// DropSCOAt schedules a synchronous voice link departure.
+func DropSCOAt(at time.Duration, slave piconet.SlaveID) TimelineEvent {
+	return TimelineEvent{At: at, DropSCO: slave}
+}
+
+// AdmissionRecord is one entry of a run's online admission log: the
+// outcome of one timeline event.
+type AdmissionRecord struct {
+	// At is the simulated time the event applied.
+	At time.Duration
+	// Op is the operation (see the Op* constants).
+	Op string
+	// Flow is the affected flow (flow operations only).
+	Flow piconet.FlowID
+	// Slave is the affected slave.
+	Slave piconet.SlaveID
+	// Accepted reports whether the operation took effect.
+	Accepted bool
+	// Bound and Rate are the admitted Guaranteed Service contract at
+	// admission time (add-gs only).
+	Bound time.Duration
+	Rate  float64
+	// Reason explains a rejection.
+	Reason string
+}
+
+// validateTimeline statically checks a timeline against the spec: one
+// operation per event, non-negative times, unique flow ids across the
+// static sets and all additions, and removals that reference a flow the
+// scenario can ever install.
+func validateTimeline(spec Spec) error {
+	known := make(map[piconet.FlowID]bool, len(spec.GS)+len(spec.BE))
+	for _, g := range spec.GS {
+		known[g.ID] = true
+	}
+	for _, b := range spec.BE {
+		known[b.ID] = true
+	}
+	for i, ev := range spec.Timeline {
+		if n := ev.ops(); n != 1 {
+			return fmt.Errorf("%w: timeline[%d] sets %d operations (want exactly 1)", ErrBadSpec, i, n)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("%w: timeline[%d] at %v is negative", ErrBadSpec, i, ev.At)
+		}
+		switch {
+		case ev.AddGS != nil:
+			if ev.AddGS.ID == piconet.None {
+				return fmt.Errorf("%w: timeline[%d] add-gs with zero flow id", ErrBadSpec, i)
+			}
+			if known[ev.AddGS.ID] {
+				return fmt.Errorf("%w: timeline[%d] duplicate flow id %d", ErrBadSpec, i, ev.AddGS.ID)
+			}
+			known[ev.AddGS.ID] = true
+		case ev.AddBE != nil:
+			if ev.AddBE.ID == piconet.None {
+				return fmt.Errorf("%w: timeline[%d] add-be with zero flow id", ErrBadSpec, i)
+			}
+			if known[ev.AddBE.ID] {
+				return fmt.Errorf("%w: timeline[%d] duplicate flow id %d", ErrBadSpec, i, ev.AddBE.ID)
+			}
+			known[ev.AddBE.ID] = true
+		case ev.Remove != piconet.None:
+			if !known[ev.Remove] {
+				return fmt.Errorf("%w: timeline[%d] removes unknown flow %d", ErrBadSpec, i, ev.Remove)
+			}
+		case ev.AddSCO != nil:
+			if !ev.AddSCO.Type.IsSCO() {
+				return fmt.Errorf("%w: timeline[%d] SCO type %v", ErrBadSpec, i, ev.AddSCO.Type)
+			}
+		}
+	}
+	return nil
+}
+
+// reject logs a refused timeline operation.
+func (r *runner) reject(op string, flow piconet.FlowID, slave piconet.SlaveID, reason string) {
+	r.admissions = append(r.admissions, AdmissionRecord{
+		At: r.s.Now(), Op: op, Flow: flow, Slave: slave, Reason: reason,
+	})
+}
+
+// accept logs an applied timeline operation.
+func (r *runner) accept(rec AdmissionRecord) {
+	rec.At = r.s.Now()
+	rec.Accepted = true
+	r.admissions = append(r.admissions, rec)
+}
+
+// applyEvent dispatches one timeline event at its simulated time. Spec
+// errors (which static validation should have caught) are fatal: they
+// stop the simulation and fail the run. Admission refusals are recorded
+// outcomes, not errors.
+func (r *runner) applyEvent(ev TimelineEvent) {
+	if r.err != nil {
+		return
+	}
+	switch {
+	case ev.AddGS != nil:
+		r.applyAddGS(*ev.AddGS)
+	case ev.AddBE != nil:
+		r.applyAddBE(*ev.AddBE)
+	case ev.Remove != piconet.None:
+		r.applyRemove(ev.Remove)
+	case ev.AddSCO != nil:
+		r.applyAddSCO(*ev.AddSCO)
+	case ev.DropSCO != 0:
+		r.applyDropSCO(ev.DropSCO)
+	}
+	if r.err != nil {
+		r.s.Stop()
+	}
+}
+
+// applyAddGS runs the paper's online admission test for a mid-run GS
+// arrival and installs the flow on success.
+func (r *runner) applyAddGS(g GSFlow) {
+	pf, err := r.ctrl.AdmitForDelay(admission.DelayRequest{
+		Request: admission.Request{
+			ID:      g.ID,
+			Slave:   g.Slave,
+			Dir:     g.Dir,
+			Spec:    g.Spec(),
+			Allowed: r.allowedFor(g.Allowed),
+		},
+		Target: r.spec.DelayTarget,
+	})
+	if err != nil {
+		r.reject(OpAddGS, g.ID, g.Slave, err.Error())
+		return
+	}
+	if r.err = r.addSlave(g.Slave); r.err != nil {
+		return
+	}
+	if r.err = r.pn.AddFlow(piconet.FlowConfig{
+		ID: g.ID, Slave: g.Slave, Dir: g.Dir,
+		Class: piconet.Guaranteed, Allowed: r.allowedFor(g.Allowed),
+	}); r.err != nil {
+		return
+	}
+	if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
+		return
+	}
+	r.noteBounds()
+	r.attachGSSource(g)
+	r.pn.Kick()
+	r.accept(AdmissionRecord{
+		Op: OpAddGS, Flow: g.ID, Slave: g.Slave,
+		Bound: pf.Bound, Rate: pf.Request.Rate,
+	})
+}
+
+// applyAddBE installs a mid-run best-effort arrival (no admission test).
+func (r *runner) applyAddBE(b BEFlow) {
+	if r.err = r.addSlave(b.Slave); r.err != nil {
+		return
+	}
+	if r.err = r.pn.AddFlow(piconet.FlowConfig{
+		ID: b.ID, Slave: b.Slave, Dir: b.Dir,
+		Class: piconet.BestEffort, Allowed: r.allowedFor(b.Allowed),
+	}); r.err != nil {
+		return
+	}
+	r.sched.RefreshBE()
+	r.attachBESource(b)
+	r.pn.Kick()
+	r.accept(AdmissionRecord{Op: OpAddBE, Flow: b.ID, Slave: b.Slave})
+}
+
+// applyRemove retires a flow: its source stops, queued packets drop, and
+// a Guaranteed Service flow's bandwidth is released by re-planning.
+func (r *runner) applyRemove(id piconet.FlowID) {
+	src, installed := r.sources[id]
+	if !installed {
+		// The flow's admission was rejected (or it was already
+		// removed): the departure has nothing to retire.
+		r.reject(OpRemoveFlow, id, 0, "flow not installed")
+		return
+	}
+	r.s.Cancel(src.ev)
+	delete(r.sources, id)
+	cfg, _ := r.pn.FlowConfig(id)
+	if r.err = r.pn.RetireFlow(id); r.err != nil {
+		return
+	}
+	if _, isGS := r.ctrl.Find(id); isGS {
+		if r.err = r.ctrl.Remove(id); r.err != nil {
+			return
+		}
+		if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
+			return
+		}
+		r.noteBounds()
+	} else {
+		r.sched.RefreshBE()
+	}
+	r.accept(AdmissionRecord{Op: OpRemoveFlow, Flow: id, Slave: cfg.Slave})
+}
+
+// applyAddSCO reserves a mid-run voice link if both the piconet's SCO
+// capacity and the admitted Guaranteed Service contracts allow it. Every
+// check runs before any state changes, so a refused call leaves no trace
+// (no phantom slave registration, no half-installed reservation).
+func (r *runner) applyAddSCO(l SCOLinkSpec) {
+	ch, err := sco.NewChannel(l.Type)
+	if err != nil {
+		r.reject(OpAddSCO, 0, l.Slave, err.Error())
+		return
+	}
+	if err := r.pn.CheckSCOLink(l.Slave, l.Type); err != nil {
+		r.reject(OpAddSCO, 0, l.Slave, err.Error())
+		return
+	}
+	if err := r.ctrl.SetSCOLinks(append(r.ctrl.SCOLinks(), ch)); err != nil {
+		// The GS set no longer fits around the reservations: the call
+		// is refused (SetSCOLinks left the controller unchanged).
+		r.reject(OpAddSCO, 0, l.Slave, err.Error())
+		return
+	}
+	if r.err = r.addSlave(l.Slave); r.err != nil {
+		return
+	}
+	if r.err = r.pn.AddSCOLink(l.Slave, l.Type); r.err != nil {
+		return
+	}
+	if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
+		return
+	}
+	r.noteBounds()
+	r.accept(AdmissionRecord{Op: OpAddSCO, Slave: l.Slave})
+}
+
+// applyDropSCO releases a voice link and the admission headroom it held.
+func (r *runner) applyDropSCO(slave piconet.SlaveID) {
+	if err := r.pn.DropSCOLink(slave); err != nil {
+		r.reject(OpDropSCO, 0, slave, err.Error())
+		return
+	}
+	links := r.ctrl.SCOLinks()
+	if len(links) > 0 {
+		// Links are interchangeable at the admission level (one
+		// aggregate stream of count×type): release any one.
+		if r.err = r.ctrl.SetSCOLinks(links[:len(links)-1]); r.err != nil {
+			return
+		}
+		if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
+			return
+		}
+		r.noteBounds()
+	}
+	r.accept(AdmissionRecord{Op: OpDropSCO, Slave: slave})
+}

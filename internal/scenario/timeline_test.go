@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+)
+
+func TestTimelineValidation(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			BE:       []BEFlow{{ID: 1, Slave: 1, Dir: piconet.Up, RateKbps: 10, PacketSize: 100}},
+			Duration: time.Second,
+		}
+	}
+	gs := GSFlow{ID: 2, Slave: 2, Dir: piconet.Up, Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176}
+	cases := map[string]TimelineEvent{
+		"no op":       {At: time.Second},
+		"two ops":     {At: time.Second, AddGS: &gs, Remove: 1},
+		"negative at": {At: -time.Second, AddGS: &gs},
+		"zero gs id":  AddGSAt(time.Second, GSFlow{Slave: 1, Dir: piconet.Up, Interval: time.Millisecond, MinSize: 1, MaxSize: 1}),
+		"dup id":      AddGSAt(time.Second, GSFlow{ID: 1, Slave: 1, Dir: piconet.Up, Interval: time.Millisecond, MinSize: 1, MaxSize: 1}),
+		"unknown rm":  RemoveAt(time.Second, 99),
+		"acl as sco":  AddSCOAt(time.Second, SCOLinkSpec{Slave: 1, Type: baseband.TypeDH1}),
+	}
+	for name, ev := range cases {
+		t.Run(name, func(t *testing.T) {
+			spec := base()
+			spec.Timeline = []TimelineEvent{ev}
+			if _, err := Run(spec); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+	// A timeline-only spec (no static flows) is valid.
+	spec := Spec{Duration: time.Second, Timeline: []TimelineEvent{
+		AddBEAt(100*time.Millisecond, BEFlow{ID: 5, Slave: 1, Dir: piconet.Up, RateKbps: 10, PacketSize: 100}),
+	}}
+	if _, err := Run(spec); err != nil {
+		t.Fatalf("timeline-only spec: %v", err)
+	}
+}
+
+// TestTimelineOnlineAdmission is the end-to-end acceptance test of the
+// online protocol: GS flows arrive mid-run through the admission test,
+// deliver within their exported bounds, and retire cleanly.
+func TestTimelineOnlineAdmission(t *testing.T) {
+	gs := func(id piconet.FlowID, slave piconet.SlaveID, dir piconet.Direction) GSFlow {
+		return GSFlow{ID: id, Slave: slave, Dir: dir,
+			Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176}
+	}
+	spec := Spec{
+		Name:        "online",
+		GS:          []GSFlow{gs(1, 1, piconet.Up)},
+		BE:          []BEFlow{{ID: 2, Slave: 7, Dir: piconet.Down, RateKbps: 60, PacketSize: 176}},
+		DelayTarget: 40 * time.Millisecond,
+		Duration:    12 * time.Second,
+		Timeline: []TimelineEvent{
+			AddGSAt(2*time.Second, gs(10, 2, piconet.Up)),
+			AddGSAt(3*time.Second, gs(11, 2, piconet.Down)), // pairs with 10
+			AddBEAt(4*time.Second, BEFlow{ID: 12, Slave: 6, Dir: piconet.Up, RateKbps: 40, PacketSize: 176}),
+			RemoveAt(8*time.Second, 10),
+			RemoveAt(9*time.Second, 12),
+		},
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.BoundViolations(); len(v) != 0 {
+		t.Fatalf("violations: %+v", v)
+	}
+	if len(res.Admissions) != 5 {
+		t.Fatalf("admission log has %d entries, want 5: %+v", len(res.Admissions), res.Admissions)
+	}
+	for i, a := range res.Admissions {
+		if !a.Accepted {
+			t.Fatalf("admissions[%d] rejected: %+v", i, a)
+		}
+	}
+	// The late flow delivered roughly its active share: 64 kbps for
+	// (8-2)=6 of 12 seconds ≈ 32 kbps averaged over the run.
+	f10, ok := res.FlowByID(10)
+	if !ok {
+		t.Fatal("flow 10 missing from the report")
+	}
+	if f10.Kbps < 20 || f10.Kbps > 45 {
+		t.Fatalf("flow 10 delivered %.1f kbps, want ≈32", f10.Kbps)
+	}
+	if f10.Bound <= 0 || f10.Rate <= 0 {
+		t.Fatalf("flow 10 lost its contract: %+v", f10)
+	}
+	// Flow 11 stayed to the end at ~64 kbps.
+	f11, _ := res.FlowByID(11)
+	if f11.Kbps < 45 {
+		t.Fatalf("flow 11 delivered %.1f kbps, want ≈48 (installed at 3s)", f11.Kbps)
+	}
+	// The removed BE flow stopped offering packets after its removal.
+	f12, _ := res.FlowByID(12)
+	wantPkts := uint64(5 * 40_000 / 8 / 176) // ≈5 s of 40 kbps in 176-byte packets
+	if f12.Offered < wantPkts*8/10 || f12.Offered > wantPkts*12/10 {
+		t.Fatalf("flow 12 offered %d packets, want ≈%d (source must stop at removal)",
+			f12.Offered, wantPkts)
+	}
+	// The final plan covers exactly the surviving GS flows.
+	ids := map[piconet.FlowID]bool{}
+	for _, pf := range res.Admitted {
+		ids[pf.Request.ID] = true
+	}
+	if !ids[1] || !ids[11] || ids[10] {
+		t.Fatalf("final plan = %v, want {1, 11}", ids)
+	}
+}
+
+// TestTimelineRejectionRecorded: an inadmissible request is refused,
+// logged, and its departure becomes a recorded no-op.
+func TestTimelineRejectionRecorded(t *testing.T) {
+	spec := Spec{
+		GS: []GSFlow{{ID: 1, Slave: 1, Dir: piconet.Up,
+			Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176}},
+		DelayTarget: 40 * time.Millisecond,
+		Duration:    6 * time.Second,
+		Timeline: []TimelineEvent{
+			// A 5 ms-interval source needs t ≈ 4 ms of polling; with the
+			// piconet's Xi alone x exceeds it: no rate meets the target.
+			AddGSAt(time.Second, GSFlow{ID: 10, Slave: 2, Dir: piconet.Up,
+				Interval: 5 * time.Millisecond, MinSize: 144, MaxSize: 176}),
+			RemoveAt(2*time.Second, 10),
+		},
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admissions) != 2 {
+		t.Fatalf("admission log: %+v", res.Admissions)
+	}
+	if rej := res.Admissions[0]; rej.Accepted || rej.Op != OpAddGS || rej.Reason == "" {
+		t.Fatalf("add-gs should be rejected with a reason: %+v", rej)
+	}
+	if noop := res.Admissions[1]; noop.Accepted || noop.Op != OpRemoveFlow {
+		t.Fatalf("remove of a rejected flow should be a recorded no-op: %+v", noop)
+	}
+	if _, ok := res.FlowByID(10); ok {
+		t.Fatal("rejected flow must not appear in the report")
+	}
+}
+
+// TestTimelineRejectedSCOLeavesNoTrace: a refused add_sco must not leak
+// partial state — no phantom slave registration, no reservation.
+func TestTimelineRejectedSCOLeavesNoTrace(t *testing.T) {
+	spec := Spec{
+		// The paper setup's 6-slot worst exchange cannot fit an HV3
+		// window, so the voice call is refused.
+		GS: []GSFlow{{ID: 1, Slave: 1, Dir: piconet.Up,
+			Interval: 20 * time.Millisecond, MinSize: 144, MaxSize: 176}},
+		BE:          []BEFlow{{ID: 2, Slave: 2, Dir: piconet.Down, RateKbps: 40, PacketSize: 176}},
+		DelayTarget: 40 * time.Millisecond,
+		Duration:    4 * time.Second,
+		Timeline: []TimelineEvent{
+			AddSCOAt(time.Second, SCOLinkSpec{Slave: 5, Type: baseband.TypeHV3}),
+		},
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admissions) != 1 || res.Admissions[0].Accepted {
+		t.Fatalf("add-sco should be rejected: %+v", res.Admissions)
+	}
+	if _, ok := res.SlaveKbps[5]; ok {
+		t.Fatal("rejected add-sco registered a phantom slave")
+	}
+	if res.Slots.SCO != 0 {
+		t.Fatalf("rejected add-sco booked %d SCO slots", res.Slots.SCO)
+	}
+}
+
+// TestTimelineSCOAddDrop: a voice call joins mid-run when the admitted
+// set tolerates it, squeezes best effort while up, and leaves cleanly.
+func TestTimelineSCOAddDrop(t *testing.T) {
+	spec := Spec{
+		BE: []BEFlow{
+			{ID: 1, Slave: 1, Dir: piconet.Down, RateKbps: 100, PacketSize: 27,
+				Allowed: baseband.NewTypeSet(baseband.TypeDH1)},
+		},
+		Duration: 9 * time.Second,
+		Timeline: []TimelineEvent{
+			AddSCOAt(3*time.Second, SCOLinkSpec{Slave: 2, Type: baseband.TypeHV3}),
+			DropSCOAt(6*time.Second, 2),
+		},
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Admissions {
+		if !a.Accepted {
+			t.Fatalf("admissions[%d]: %+v", i, a)
+		}
+	}
+	// The call was up for 3 of 9 seconds: HV3 carries 30 B per 3.75 ms
+	// per direction (= 128 kbps both ways) while active, so ≈42.7 kbps
+	// averaged over the run.
+	if kbps := res.SCOKbps[2]; kbps < 35 || kbps > 50 {
+		t.Fatalf("SCO carried %.1f kbps, want ≈42.7", kbps)
+	}
+	if res.Slots.SCO == 0 {
+		t.Fatal("no SCO slots booked")
+	}
+	be, _ := res.FlowByID(1)
+	if be.Kbps < 90 {
+		t.Fatalf("BE carried %.1f kbps, want ≈100 (DH1 fits the SCO window)", be.Kbps)
+	}
+}
+
+// TestTimelineFingerprintSensitivity: the timeline is part of the spec's
+// identity — shifting one event changes the fingerprint.
+func TestTimelineFingerprintSensitivity(t *testing.T) {
+	base := Paper(40 * time.Millisecond)
+	withTL := base
+	withTL.Timeline = []TimelineEvent{RemoveAt(5*time.Second, 5)}
+	shifted := base
+	shifted.Timeline = []TimelineEvent{RemoveAt(6*time.Second, 5)}
+	fps := map[string]string{
+		base.Fingerprint():    "no timeline",
+		withTL.Fingerprint():  "remove at 5s",
+		shifted.Fingerprint(): "remove at 6s",
+	}
+	if len(fps) != 3 {
+		t.Fatalf("timeline variants collided: %v", fps)
+	}
+}
+
+// TestResultSpecIsPureData: a Result's Spec must round-trip through the
+// codec — the regression guard for runtime state leaking into results.
+func TestResultSpecIsPureData(t *testing.T) {
+	spec := Paper(40 * time.Millisecond)
+	spec.Duration = time.Second
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(res.Spec)
+	if err != nil {
+		t.Fatalf("result spec does not serialize: %v", err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != spec.Fingerprint() {
+		t.Fatal("result spec lost information")
+	}
+}
