@@ -309,3 +309,52 @@ func BenchmarkPaperScenarioSimulation(b *testing.B) {
 		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(events), "allocs/event")
 	}
 }
+
+// BenchmarkScatternet runs N interference-coupled piconets over one
+// shared kernel (batched traffic generation on) and reports how
+// simulation throughput scales with the piconet count — the
+// sim_s/wall_s-vs-count trajectory also recorded in BENCH_kernel.json.
+func BenchmarkScatternet(b *testing.B) {
+	simulated := 5 * time.Second
+	for _, piconets := range []int{1, 2, 4, 8} {
+		piconets := piconets
+		b.Run(fmt.Sprintf("%dpn", piconets), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				spec := scenario.Scatternet(scenario.ScatternetConfig{Piconets: piconets})
+				spec.Duration = simulated
+				spec.BatchTraffic = true
+				res, err := scenario.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalKbps(piconet.Guaranteed) < 100*float64(piconets) {
+					b.Fatal("implausible result")
+				}
+				events += res.Events
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if perOp > 0 {
+				b.ReportMetric(simulated.Seconds()/perOp.Seconds(), "sim_s/wall_s")
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 && events > 0 {
+				b.ReportMetric(float64(events)/sec, "events/s")
+			}
+		})
+	}
+}
+
+// BenchmarkScatternetStudy regenerates the E9 erosion table.
+func BenchmarkScatternetStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, tbl, err := experiments.ScatternetStudy(benchCfg, []int{1, 2, 4}, []float64{60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+		printTable("scatternet", tbl)
+	}
+}

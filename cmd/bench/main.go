@@ -14,7 +14,11 @@
 // harness_sweep_warm), so the cache-replay speedup is tracked alongside
 // the simulator itself. -cache-dir points the measurement at a specific
 // directory (default: a temp dir); a fresh salt keeps the cold pass cold
-// either way.
+// either way. The paper scenario is measured with per-packet and with
+// burst-batched traffic generation (paper_scenario_10s vs
+// paper_scenario_10s_batch — the batching before/after), and the
+// scatternet_<N>pn rows track how sim_s/wall_s scales with the number of
+// interference-coupled piconets sharing one kernel.
 //
 // The committed baseline is produced by CI hardware (see the bench job in
 // .github/workflows/ci.yml); numbers from other machines are comparable
@@ -75,29 +79,30 @@ func measure(name string, f func(b *testing.B)) Result {
 	return out
 }
 
-// measureScenario runs the full Fig. 4 paper piconet and reports simulation
-// throughput per wall second.
-func measureScenario(simulated time.Duration) Result {
+// measureSpec runs one scenario spec repeatedly and reports simulation
+// throughput per wall second. minGSKbps guards against silently measuring
+// a broken simulation.
+func measureSpec(name string, build func() scenario.Spec, simulated time.Duration, minGSKbps float64) Result {
 	var events uint64
 	var ops int
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		events, ops = 0, b.N
 		for i := 0; i < b.N; i++ {
-			spec := scenario.Paper(38 * time.Millisecond)
+			spec := build()
 			spec.Duration = simulated
 			res, err := scenario.Run(spec)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if res.TotalKbps(piconet.Guaranteed) < 200 {
+			if res.TotalKbps(piconet.Guaranteed) < minGSKbps {
 				b.Fatal("implausible result")
 			}
 			events += res.Events
 		}
 	})
 	out := Result{
-		Name:        fmt.Sprintf("paper_scenario_%ds", int(simulated.Seconds())),
+		Name:        name,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
@@ -107,6 +112,33 @@ func measureScenario(simulated time.Duration) Result {
 		out.SimSecPerWallSec = simulated.Seconds() * float64(ops) / r.T.Seconds()
 	}
 	return out
+}
+
+// measureScenario runs the full Fig. 4 paper piconet; batch toggles the
+// burst-batched traffic generation (the before/after pair in the
+// baseline).
+func measureScenario(simulated time.Duration, batch bool) Result {
+	name := fmt.Sprintf("paper_scenario_%ds", int(simulated.Seconds()))
+	if batch {
+		name += "_batch"
+	}
+	return measureSpec(name, func() scenario.Spec {
+		spec := scenario.Paper(38 * time.Millisecond)
+		spec.BatchTraffic = batch
+		return spec
+	}, simulated, 200)
+}
+
+// measureScatternet runs N interference-coupled piconets on one kernel:
+// the sim_s/wall_s column tracks how simulation throughput scales with
+// the piconet count.
+func measureScatternet(piconets int, simulated time.Duration) Result {
+	return measureSpec(fmt.Sprintf("scatternet_%dpn_%ds", piconets, int(simulated.Seconds())),
+		func() scenario.Spec {
+			spec := scenario.Scatternet(scenario.ScatternetConfig{Piconets: piconets})
+			spec.BatchTraffic = true
+			return spec
+		}, simulated, 100*float64(piconets))
 }
 
 // measureSweep runs a small Fig. 5 sweep through the harness twice
@@ -177,7 +209,11 @@ func main() {
 		measure("kernel_schedule_cancel", benchwork.ScheduleCancel),
 		measure("kernel_deep_heap", benchwork.DeepHeap),
 		measure("kernel_same_slot_batch", benchwork.SameSlotBatch),
-		measureScenario(10*time.Second),
+		measureScenario(10*time.Second, false),
+		measureScenario(10*time.Second, true),
+		measureScatternet(2, 10*time.Second),
+		measureScatternet(4, 10*time.Second),
+		measureScatternet(8, 10*time.Second),
 	)
 	cold, warm, err := measureSweep(*cacheDir)
 	if err != nil {

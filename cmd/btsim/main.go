@@ -13,6 +13,7 @@
 //	btsim -poller round-robin -target 46ms -csv  # RR for best effort, CSV output
 //	btsim -list                                  # registered scenario names
 //	btsim -scenario churn                        # a registered scenario by name
+//	btsim -scenario scatternet                   # 4 FH-coupled piconets, per-piconet report
 //	btsim -scenario file.json                    # a scenario file (v2 or legacy)
 //	btsim -scenario churn -export churn.json     # write the resolved spec as v2 JSON
 //	btsim -target 40ms -reps 8                   # 8 seeds in parallel, mean±95% CI
@@ -279,11 +280,24 @@ func run() error {
 			return err
 		}
 	}
-	var violations int
+	var violations, gsFlowRuns int
 	for _, r := range results {
 		violations += len(r.Result.BoundViolations())
+		for _, f := range r.Result.Flows {
+			if f.Class == piconet.Guaranteed {
+				gsFlowRuns++
+			}
+		}
 	}
 	if violations > 0 {
+		if spec.Interference.Enabled {
+			// Bound erosion under co-channel interference is the measured
+			// effect, not a scheduler failure: report it without failing.
+			fmt.Fprintf(os.Stderr,
+				"btsim: %d of %d GS flow runs exceeded their bound under FH interference (violation fraction %.3f)\n",
+				violations, gsFlowRuns, float64(violations)/float64(gsFlowRuns))
+			return nil
+		}
 		return fmt.Errorf("%d GS flow runs violated their delay bound", violations)
 	}
 	return nil

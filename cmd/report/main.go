@@ -131,5 +131,13 @@ func run() error {
 	if err := print(e8, err); err != nil {
 		return fmt.Errorf("E8: %w", err)
 	}
+	_, e8b, err := experiments.ChurnPollers(cfg, nil)
+	if err := print(e8b, err); err != nil {
+		return fmt.Errorf("E8b: %w", err)
+	}
+	_, e9, err := experiments.ScatternetStudy(cfg, nil, nil)
+	if err := print(e9, err); err != nil {
+		return fmt.Errorf("E9: %w", err)
+	}
 	return nil
 }

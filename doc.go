@@ -22,13 +22,20 @@
 //     JSON-serializable Spec (radio/poller/size distributions by name
 //     plus parameters) with a Timeline of mid-run changes — GS flows
 //     arrive through the paper's online admission test and may be
-//     rejected, flows and SCO voice links come and go — a scenario
-//     registry of named presets, and the runner threading online
-//     admission through piconet, core and admission (Result.Admissions
-//     logs every request's outcome);
+//     rejected, flows and SCO voice links come and go, whole piconets
+//     join and leave — a scenario registry of named presets, and the
+//     runner threading online admission through piconet, core and
+//     admission (Result.Admissions logs every request's outcome). The
+//     scatternet form (Spec.Piconets) runs N co-located piconets over
+//     one shared kernel clock, each with its own scheduler and
+//     admission controller, coupled through the 1/79 FH co-channel
+//     collision model (radio.Medium/HopInterference) — the flat
+//     single-piconet spec is its byte-identical degenerate case;
 //   - internal/experiments — one entry point per paper table/figure,
-//     plus the churn study (accept ratio and bound compliance under
-//     Poisson GS flow arrivals and departures);
+//     plus the churn studies (accept ratio and bound compliance under
+//     Poisson GS flow arrivals, for every best-effort poller) and the
+//     E9 scatternet study (how the per-piconet delay bounds erode as
+//     co-channel interference grows with the piconet count);
 //   - internal/harness — the parallel experiment runner: sweep grids
 //     (delay target × poller × seed replication) fan out across a bounded
 //     worker pool with per-replication seed derivation, so every cmd tool

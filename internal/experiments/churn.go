@@ -106,3 +106,90 @@ func ChurnStudy(cfg Config, arrivals []time.Duration) ([]ChurnRow, *stats.Table,
 	}
 	return rows, tbl, nil
 }
+
+// ChurnPollerRow is one poller's showing under the churn workload.
+type ChurnPollerRow struct {
+	Poller scenario.BEPollerKind
+	// Requests/Accepted/Rejected count the add-gs outcomes across
+	// replications. The arrival sequence is fixed spec data, but the
+	// admission state each request meets depends on what was installed
+	// before it — identical across pollers (admission ignores BE) yet
+	// reported per row as a sanity anchor.
+	Requests, Accepted, Rejected int
+	AcceptRatio                  float64
+	// Violations counts admitted GS flows whose measured max delay
+	// exceeded their exported bound (must stay zero: the paper's
+	// guarantee may not depend on which best-effort poller competes).
+	Violations int
+	// GS and BE are delivered-throughput summaries; BE is where the
+	// pollers differ — how much leftover capacity each discipline
+	// salvages while the GS set churns under it.
+	GS, BE stats.Summary
+	Reps   int
+}
+
+// ChurnPollers is experiment E8b (the ROADMAP's "does PFP's prediction
+// survive flow churn?"): the churn workload re-run under every
+// best-effort poller. The paper's admission guarantee must hold
+// regardless of the competing discipline — the violations column stays
+// zero — while the BE throughput column ranks how each poller's internal
+// state (PFP's activity predictions, EDC's deficit counters, …) copes
+// with GS flows arriving and leaving under it.
+func ChurnPollers(cfg Config, kinds []scenario.BEPollerKind) ([]ChurnPollerRow, *stats.Table, error) {
+	cfg = cfg.withDefaults()
+	if len(kinds) == 0 {
+		kinds = scenario.AllBEPollers
+	}
+	cells := make([]string, len(kinds))
+	for i, k := range kinds {
+		cells[i] = string(k)
+	}
+	grid := harness.Grid{Name: "churn-pollers", Cells: cells, Build: func(cell string) scenario.Spec {
+		return scenario.Churn(scenario.ChurnConfig{
+			Duration: cfg.Duration,
+			Poller:   scenario.BEPollerKind(cell),
+		})
+	}}
+	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: churn pollers: %w", err)
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("E8b: churn workload by best-effort poller (%v per run%s)",
+			cfg.Duration, cfg.repNote()),
+		"poller", "requests", "accepted", "accept_ratio", "violations",
+		"GS_kbps", "BE_kbps")
+	order, cellRuns := harness.Cells(results)
+	var rows []ChurnPollerRow
+	for _, cell := range order {
+		rs := cellRuns[cell]
+		row := ChurnPollerRow{
+			Poller:     scenario.BEPollerKind(cell),
+			GS:         classKbps(rs, piconet.Guaranteed),
+			BE:         classKbps(rs, piconet.BestEffort),
+			Reps:       len(rs),
+			Violations: cellViolations(rs),
+		}
+		for _, r := range rs {
+			for _, a := range r.Result.Admissions {
+				if a.Op != scenario.OpAddGS {
+					continue
+				}
+				row.Requests++
+				if a.Accepted {
+					row.Accepted++
+				} else {
+					row.Rejected++
+				}
+			}
+		}
+		if row.Requests > 0 {
+			row.AcceptRatio = float64(row.Accepted) / float64(row.Requests)
+		}
+		rows = append(rows, row)
+		tbl.AddRow(string(row.Poller), row.Requests, row.Accepted,
+			fmt.Sprintf("%.3f", row.AcceptRatio), row.Violations,
+			kbpsCell(row.GS), kbpsCell(row.BE))
+	}
+	return rows, tbl, nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"bluegs/internal/harness"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+	"bluegs/internal/stats"
+)
+
+// ScatternetRow is one point of the scatternet study: the paper's
+// per-piconet delay guarantees under N co-located piconets at one
+// best-effort load, aggregated over replications.
+type ScatternetRow struct {
+	// Piconets and BEKbps locate the cell: piconet count × per-direction
+	// best-effort load per piconet.
+	Piconets int
+	BEKbps   float64
+	// GSFlows is the number of GS flows across the scatternet;
+	// Violations how many of them (summed over replications) exceeded
+	// their exported bound.
+	GSFlows    int
+	Violations int
+	// ViolationFraction is the mean scatternet-wide fraction of GS flows
+	// violating their bound, across replications — the study's headline:
+	// 0 at one piconet (the paper's guarantee), growing with the count.
+	ViolationFraction float64
+	// PerPiconet renders per-piconet bound compliance: one
+	// "ok-flows/gs-flows" entry per piconet (flows count as ok when they
+	// met the bound in every replication).
+	PerPiconet []string
+	// MeanDelayMax is the worst GS delay across flows, averaged over
+	// replications.
+	MeanDelayMax time.Duration
+	// Utilization is the mean per-piconet channel occupancy.
+	Utilization float64
+	// GS and BE are delivered-throughput summaries across replications.
+	GS, BE stats.Summary
+	// Reps is the number of replications aggregated.
+	Reps int
+}
+
+// DefaultScatternetCounts is the study's piconet-count axis.
+func DefaultScatternetCounts() []int { return []int{1, 2, 4, 6, 8} }
+
+// DefaultScatternetLoads is the study's offered-load axis: the
+// per-direction best-effort floor of every piconet, in kbps.
+func DefaultScatternetLoads() []float64 { return []float64{30, 60} }
+
+// scatternetCell renders one (count, load) grid cell.
+func scatternetCell(count int, load float64) string {
+	return fmt.Sprintf("%dpn/%skbps", count, strconv.FormatFloat(load, 'g', -1, 64))
+}
+
+// ScatternetStudy is experiment E9: how the paper's per-piconet delay
+// bounds erode as co-located piconets multiply. Each cell runs N
+// identical piconets — the paper's voice-style GS flows plus a
+// best-effort floor, ARQ on — coupled through the 1/79 FH co-channel
+// collision model, over one shared kernel clock. With one piconet the
+// admission test's promise holds exactly; every added piconet raises the
+// per-packet collision probability, retransmissions eat the slack the
+// x_i fixed point reasoned with, and the violation fraction climbs.
+func ScatternetStudy(cfg Config, counts []int, loads []float64) ([]ScatternetRow, *stats.Table, error) {
+	cfg = cfg.withDefaults()
+	if len(counts) == 0 {
+		counts = DefaultScatternetCounts()
+	}
+	if len(loads) == 0 {
+		loads = DefaultScatternetLoads()
+	}
+	type point struct {
+		count int
+		load  float64
+	}
+	var cells []string
+	byCell := make(map[string]point)
+	for _, load := range loads {
+		for _, count := range counts {
+			cell := scatternetCell(count, load)
+			if _, dup := byCell[cell]; dup {
+				continue
+			}
+			cells = append(cells, cell)
+			byCell[cell] = point{count, load}
+		}
+	}
+	grid := harness.Grid{Name: "scatternet", Cells: cells, Build: func(cell string) scenario.Spec {
+		p := byCell[cell]
+		return scenario.Scatternet(scenario.ScatternetConfig{
+			Piconets: p.count,
+			BEKbps:   p.load,
+			Duration: cfg.Duration,
+		})
+	}}
+	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: scatternet: %w", err)
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("E9: delay-bound erosion across co-located piconets (%v per run%s; 1/79 FH collision model, ARQ on)",
+			cfg.Duration, cfg.repNote()),
+		"piconets", "be_kbps", "GS_kbps", "BE_kbps", "violations", "viol_fraction",
+		"worst_gs_delay", "mean_util", "per_piconet_ok")
+	order, cellRuns := harness.Cells(results)
+	var rows []ScatternetRow
+	for _, cell := range order {
+		rs := cellRuns[cell]
+		p := byCell[cell]
+		row := ScatternetRow{
+			Piconets: p.count,
+			BEKbps:   p.load,
+			GS:       classKbps(rs, piconet.Guaranteed),
+			BE:       classKbps(rs, piconet.BestEffort),
+			Reps:     len(rs),
+		}
+		// Per-(piconet, flow) compliance across replications.
+		type flowKey struct {
+			pn   string
+			flow piconet.FlowID
+		}
+		violated := make(map[flowKey]bool)
+		fracSum, delaySum, utilSum := 0.0, time.Duration(0), 0.0
+		for _, r := range rs {
+			res := r.Result
+			fracSum += res.ViolationFraction()
+			var worst time.Duration
+			for _, f := range res.Flows {
+				if f.Class != piconet.Guaranteed {
+					continue
+				}
+				if f.DelayMax > worst {
+					worst = f.DelayMax
+				}
+				if f.DelayMax > f.Bound {
+					violated[flowKey{f.Piconet, f.ID}] = true
+				}
+			}
+			delaySum += worst
+			for _, pr := range res.Piconets {
+				utilSum += pr.Utilization
+			}
+		}
+		row.Violations = cellViolations(rs)
+		row.ViolationFraction = fracSum / float64(len(rs))
+		row.MeanDelayMax = delaySum / time.Duration(len(rs))
+		row.Utilization = utilSum / float64(len(rs)*p.count)
+		// Per-piconet compliance from the first replication's layout
+		// (all replications share it), marking a flow ok only when it
+		// met its bound in every replication.
+		for _, pr := range rs[0].Result.Piconets {
+			gs, ok := 0, 0
+			for _, f := range pr.Flows {
+				if f.Class != piconet.Guaranteed {
+					continue
+				}
+				gs++
+				if !violated[flowKey{pr.Name, f.ID}] {
+					ok++
+				}
+			}
+			row.PerPiconet = append(row.PerPiconet, fmt.Sprintf("%d/%d", ok, gs))
+			row.GSFlows += gs
+		}
+		rows = append(rows, row)
+		tbl.AddRow(row.Piconets, stats.FormatKbps(row.BEKbps),
+			kbpsCell(row.GS), kbpsCell(row.BE),
+			row.Violations, fmt.Sprintf("%.3f", row.ViolationFraction),
+			row.MeanDelayMax.Round(time.Microsecond),
+			fmt.Sprintf("%.3f", row.Utilization),
+			strings.Join(row.PerPiconet, " "))
+	}
+	return rows, tbl, nil
+}

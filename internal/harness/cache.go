@@ -23,9 +23,11 @@ import (
 // kernel, the scheduler, admission, traffic timing, …): the new salt
 // invalidates every previously cached result at once, so a stale disk
 // cache can never replay results the current code would not produce.
-// sim-v4: scenario API v2 (timeline semantics, canonical rendering v2,
-// cached admission logs).
-const DefaultCacheSalt = "sim-v4"
+// sim-v5: scatternet engine (multi-piconet specs, canonical rendering
+// v3 with piconet arrays + interference parameters, per-piconet cached
+// results) — cached single-piconet results can never alias scatternet
+// runs.
+const DefaultCacheSalt = "sim-v5"
 
 // CacheConfig tunes a RunCache.
 type CacheConfig struct {
@@ -103,6 +105,9 @@ type cacheRecord struct {
 	Skipped    uint64
 	Admit      []*admission.PlannedFlow
 	Admissions []scenario.AdmissionRecord
+	// Piconets carries the per-piconet results of scatternet runs (one
+	// entry for flat single-piconet specs).
+	Piconets []scenario.PiconetResult
 }
 
 func init() {
@@ -261,6 +266,7 @@ func (c *RunCache) readDisk(key string) (*scenario.Result, error) {
 		Skipped:    rec.Skipped,
 		Admitted:   rec.Admit,
 		Admissions: rec.Admissions,
+		Piconets:   rec.Piconets,
 	}, nil
 }
 
@@ -279,6 +285,7 @@ func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
 		Admit:   res.Admitted,
 
 		Admissions: res.Admissions,
+		Piconets:   res.Piconets,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {

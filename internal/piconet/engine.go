@@ -41,6 +41,9 @@ func (p *Piconet) scheduleDecision(at sim.Time) {
 // wakeIfIdle pulls the next decision forward to the next transmit
 // opportunity; called on master-side arrivals so an idling master reacts.
 func (p *Piconet) wakeIfIdle() {
+	if p.stopped {
+		return
+	}
 	now := p.simulator.Now()
 	if now < p.busyUntil {
 		return // mid-exchange: a decision is already scheduled at its end
@@ -58,7 +61,7 @@ func (p *Piconet) wakeIfIdle() {
 // decide runs one master decision opportunity.
 func (p *Piconet) decide() {
 	p.wake = sim.Event{}
-	if p.err != nil {
+	if p.err != nil || p.stopped {
 		return
 	}
 	now := p.simulator.Now()

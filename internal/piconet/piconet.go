@@ -276,7 +276,10 @@ type Piconet struct {
 	scoLinks   []*scoLink
 	retiredSCO []*scoLink
 
-	started   bool
+	started bool
+	// stopped marks a piconet whose master left the scatternet (see
+	// Stop): no further decisions run and no wake is ever scheduled.
+	stopped   bool
 	startTime sim.Time
 	// busyUntil is the end of the exchange in progress.
 	busyUntil sim.Time
@@ -397,10 +400,37 @@ func (p *Piconet) RetireFlow(id FlowID) error {
 		return fmt.Errorf("%w: %d", ErrFlowRetired, id)
 	}
 	fs.retired = true
+	now := p.simulator.Now()
 	for fs.qlen() > 0 {
-		p.freePacket(fs.qpop())
+		pkt := fs.qpop()
+		if pkt.arrival > now {
+			// A batched source pre-counted this future packet; the flow
+			// leaves before it ever arrives, so it never existed — the
+			// per-packet path would not have generated it.
+			fs.offered.Unadd(pkt.size)
+		}
+		p.freePacket(pkt)
 	}
 	return nil
+}
+
+// PruneFutureArrivals drops every queued packet whose arrival stamp is
+// after cutoff, uncounting it from its flow's offered meter. Scatternet
+// piconet removal uses it: batched sources pre-enqueue future arrivals,
+// and a piconet that leaves at t must report exactly the offered load a
+// per-packet source would have generated by t.
+func (p *Piconet) PruneFutureArrivals(cutoff sim.Time) {
+	for _, id := range p.flowOrder {
+		fs := p.flows[id]
+		for fs.qlen() > 0 {
+			tail := fs.qat(fs.qlen() - 1)
+			if tail.arrival <= cutoff {
+				break
+			}
+			fs.offered.Unadd(tail.size)
+			p.freePacket(fs.qpopTail())
+		}
+	}
 }
 
 // FlowActive reports whether the flow exists and has not been retired.
@@ -414,10 +444,29 @@ func (p *Piconet) FlowActive(id FlowID) bool {
 // an SCO reservation) use it so an idling master reacts immediately
 // instead of sleeping through the change.
 func (p *Piconet) Kick() {
-	if p.started {
+	if p.started && !p.stopped {
 		p.wakeIfIdle()
 	}
 }
+
+// Stop halts the master's decision loop permanently: the pending wake is
+// cancelled, no further poll or SCO exchange starts, and an exchange in
+// flight completes its accounting without triggering another decision.
+// Flow statistics stay readable, so a piconet removed from a scatternet
+// mid-run still reports. Stopping is idempotent and permanent.
+func (p *Piconet) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.wake.Pending() {
+		p.simulator.Cancel(p.wake)
+		p.wake = sim.Event{}
+	}
+}
+
+// Stopped reports whether Stop was called.
+func (p *Piconet) Stopped() bool { return p.stopped }
 
 // SetScheduler installs the master's scheduler. Must be called before Start.
 func (p *Piconet) SetScheduler(s Scheduler) { p.scheduler = s }

@@ -160,6 +160,15 @@ func (fs *flowState) moreAfterHeadSegment(cutoff sim.Time) bool {
 	return fs.qlen() > 1 && fs.qat(1).arrival <= cutoff
 }
 
+// qpopTail removes and returns the tail packet.
+func (fs *flowState) qpopTail() *hlPacket {
+	last := len(fs.queue) - 1
+	pkt := fs.queue[last]
+	fs.queue[last] = nil
+	fs.queue = fs.queue[:last]
+	return pkt
+}
+
 // popCompleted removes the head if fully delivered and recycles it.
 func (fs *flowState) popCompleted() {
 	if fs.qlen() == 0 || !fs.qat(0).done() {
@@ -173,6 +182,20 @@ func (fs *flowState) popCompleted() {
 // flow's policy. Traffic sources call this; for down flows the scheduler is
 // notified and the master wakes up if idle.
 func (p *Piconet) EnqueuePacket(flow FlowID, size int) error {
+	return p.EnqueuePacketAt(flow, size, p.simulator.Now())
+}
+
+// EnqueuePacketAt is EnqueuePacket with an explicit arrival time at or
+// after now. Batched traffic sources use it to pre-enqueue a whole burst
+// of future arrivals in one kernel event: availability is gated on the
+// packet's arrival stamp (headAvailable/moreAfterHeadSegment compare
+// against the poll cutoff), so a future-dated packet can never be served
+// — or flagged as more-data — before it "exists". Up-flow bursts need no
+// further events at all; a future down-flow arrival schedules its own
+// scheduler notification at the arrival instant, preserving the
+// per-packet wake semantics exactly. Arrivals must be enqueued in
+// non-decreasing order per flow (queues are FIFO by arrival).
+func (p *Piconet) EnqueuePacketAt(flow FlowID, size int, at sim.Time) error {
 	fs, ok := p.flows[flow]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
@@ -182,6 +205,13 @@ func (p *Piconet) EnqueuePacket(flow FlowID, size int) error {
 	}
 	if size <= 0 {
 		return ErrPacketTooSmall
+	}
+	now := p.simulator.Now()
+	if at < now {
+		return fmt.Errorf("%w: arrival %v before now %v", ErrInvalidFlow, at, now)
+	}
+	if n := fs.qlen(); n > 0 && fs.qat(n-1).arrival > at {
+		return fmt.Errorf("%w: arrival %v before queued tail", ErrInvalidFlow, at)
 	}
 	pkt := p.allocPacket()
 	var err error
@@ -194,19 +224,31 @@ func (p *Piconet) EnqueuePacket(flow FlowID, size int) error {
 		p.freePacket(pkt)
 		return fmt.Errorf("%w: %v", ErrSegmentFailure, err)
 	}
-	now := p.simulator.Now()
 	p.nextID++
 	pkt.id = p.nextID
 	pkt.size = size
-	pkt.arrival = now
+	pkt.arrival = at
 	pkt.nextSeg = 0
 	pkt.remaining = pkt.plan.TotalBytes()
 	pkt.corrupt = false
 	fs.qpush(pkt)
 	fs.offered.Add(size)
-	if fs.cfg.Dir == Down && p.started {
-		p.scheduler.OnDownArrival(flow, now)
-		p.wakeIfIdle()
+	if fs.cfg.Dir == Down {
+		if at == now {
+			if p.started {
+				p.scheduler.OnDownArrival(flow, now)
+				p.wakeIfIdle()
+			}
+		} else {
+			// The master must not learn of — or react to — the packet
+			// before it arrives.
+			p.simulator.Schedule(at, func() {
+				if p.started && !p.stopped && !fs.retired {
+					p.scheduler.OnDownArrival(flow, at)
+					p.wakeIfIdle()
+				}
+			})
+		}
 	}
 	return nil
 }

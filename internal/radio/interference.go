@@ -1,0 +1,185 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bluegs/internal/baseband"
+)
+
+// DefaultFHChannels is the size of the Bluetooth frequency-hopping set: 79
+// 1 MHz channels. Co-located piconets hop over the same set with
+// uncorrelated sequences, so two simultaneous transmissions land on the
+// same channel — and destroy each other — with probability ~1/79 per hop.
+const DefaultFHChannels = 79
+
+// DefaultUtilizationWindow is the minimum elapsed time a piconet's channel
+// utilization is estimated over. Before that much simulated time has
+// passed the estimate divides by the floor instead, so a piconet's very
+// first exchanges do not read as 100% load.
+const DefaultUtilizationWindow = 250 * time.Millisecond
+
+// Medium models the shared FH spectrum of co-located piconets. Each
+// piconet attaches once and receives a HopInterference model that wraps
+// its own channel model; every packet any of them sends is then exposed
+// to co-channel collisions derived from the number and load of the other
+// attached piconets (the classic 1/C frequency-hopping collision
+// approximation):
+//
+//	P(collision) = 1 − ∏_{j≠i} (1 − q_j/C)
+//
+// where C is the hop-set size and q_j is piconet j's channel occupancy —
+// 1 when j is transmitting at this instant, otherwise its measured
+// utilization (busy airtime over elapsed time). A Medium belongs to one
+// simulation run: all attached piconets must share the clock passed to
+// NewMedium, and the struct is not safe for concurrent use (runs are
+// single-threaded by construction).
+type Medium struct {
+	channels  int
+	minWindow time.Duration
+	now       func() time.Duration
+	piconets  []*Activity
+}
+
+// NewMedium creates a shared spectrum with the given hop-set size
+// (<= 0 means DefaultFHChannels), utilization window floor (<= 0 means
+// DefaultUtilizationWindow) and simulation clock.
+func NewMedium(channels int, minWindow time.Duration, now func() time.Duration) *Medium {
+	if channels <= 0 {
+		channels = DefaultFHChannels
+	}
+	if minWindow <= 0 {
+		minWindow = DefaultUtilizationWindow
+	}
+	return &Medium{channels: channels, minWindow: minWindow, now: now}
+}
+
+// Channels returns the hop-set size.
+func (m *Medium) Channels() int { return m.channels }
+
+// Activity is one attached piconet's transmission record: when it is busy
+// and how much airtime it has accumulated. The medium reads it to compute
+// the collision probability seen by everyone else.
+type Activity struct {
+	m *Medium
+	// attachedAt anchors the utilization estimate's elapsed time.
+	attachedAt time.Duration
+	// busyUntil is the end of the piconet's latest transmission;
+	// busyTotal the accumulated airtime.
+	busyUntil time.Duration
+	busyTotal time.Duration
+	// active is cleared when the piconet leaves the scatternet; an
+	// inactive piconet no longer interferes.
+	active bool
+}
+
+// Attach registers a piconet and returns its interference-wrapped channel
+// model: base decides the fate of packets that survive co-channel
+// collisions (nil means the ideal channel).
+func (m *Medium) Attach(base Model) *HopInterference {
+	if base == nil {
+		base = Ideal{}
+	}
+	act := &Activity{m: m, attachedAt: m.now(), active: true}
+	m.piconets = append(m.piconets, act)
+	return &HopInterference{base: base, act: act}
+}
+
+// Detach removes a piconet from the scatternet: it stops interfering with
+// the others immediately (its own model keeps working, colliding with the
+// remaining active piconets).
+func (m *Medium) Detach(h *HopInterference) {
+	if h != nil {
+		h.act.active = false
+	}
+}
+
+// utilization estimates the piconet's busy fraction at the given instant.
+func (a *Activity) utilization(now time.Duration) float64 {
+	elapsed := now - a.attachedAt
+	if elapsed < a.m.minWindow {
+		elapsed = a.m.minWindow
+	}
+	u := float64(a.busyTotal) / float64(elapsed)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// observe books one transmission of the given airtime starting at now.
+// Back-to-back legs of one exchange extend the busy interval instead of
+// overlapping it.
+func (a *Activity) observe(now time.Duration, airtime time.Duration) {
+	if a.busyUntil < now {
+		a.busyUntil = now
+	}
+	a.busyUntil += airtime
+	a.busyTotal += airtime
+}
+
+// Utilization exposes the current busy-fraction estimate (for reports).
+func (a *Activity) Utilization(now time.Duration) float64 { return a.utilization(now) }
+
+// collisionProb is the probability that a packet of piconet self collides
+// with any concurrently transmitting co-located piconet.
+func (m *Medium) collisionProb(self *Activity, now time.Duration) float64 {
+	clear := 1.0
+	c := float64(m.channels)
+	for _, a := range m.piconets {
+		if a == self || !a.active {
+			continue
+		}
+		q := a.utilization(now)
+		if a.busyUntil > now {
+			// The piconet is on air right now: it occupies exactly one
+			// (unknown) hop channel for the overlap.
+			q = 1
+		}
+		clear *= 1 - q/c
+	}
+	return 1 - clear
+}
+
+// HopInterference exposes one piconet's packets to the scatternet's
+// co-channel collisions before handing survivors to the wrapped channel
+// model. Create with Medium.Attach.
+type HopInterference struct {
+	base Model
+	act  *Activity
+}
+
+var _ Model = (*HopInterference)(nil)
+
+// Deliver implements Model: the packet is first booked as channel
+// occupancy, then survives with probability 1 − P(collision), then faces
+// the wrapped model. When no other piconet is active the collision draw
+// is skipped entirely, so a one-piconet scatternet consumes exactly the
+// RNG stream of the bare base model.
+func (h *HopInterference) Deliver(rng *rand.Rand, t baseband.PacketType) bool {
+	now := h.act.m.now()
+	p := h.act.m.collisionProb(h.act, now)
+	h.act.observe(now, t.Duration())
+	if p > 0 && rng.Float64() < p {
+		return false
+	}
+	return h.base.Deliver(rng, t)
+}
+
+// Name implements Model.
+func (h *HopInterference) Name() string {
+	return fmt.Sprintf("hop-interference(%s)", h.base.Name())
+}
+
+// Base returns the wrapped channel model.
+func (h *HopInterference) Base() Model { return h.base }
+
+// Utilization exposes the piconet's busy-fraction estimate at the given
+// instant (for reports).
+func (h *HopInterference) Utilization(now time.Duration) float64 {
+	return h.act.utilization(now)
+}

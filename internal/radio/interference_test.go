@@ -1,0 +1,130 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+)
+
+// clock is a settable simulation clock for medium tests.
+type clock struct{ t time.Duration }
+
+func (c *clock) now() time.Duration { return c.t }
+
+func TestMediumSinglePiconetNeverCollides(t *testing.T) {
+	ck := &clock{}
+	m := NewMedium(0, 0, ck.now)
+	h := m.Attach(Ideal{})
+	rng := rand.New(rand.NewSource(1))
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		ck.t += time.Millisecond
+		if !h.Deliver(rng, baseband.TypeDH3) {
+			t.Fatalf("packet %d lost with no co-located piconet", i)
+		}
+	}
+	// No other piconet is active, so the collision draw must be skipped:
+	// the RNG stream is untouched (ideal base draws nothing either).
+	if got := rng.Int63(); got != before {
+		t.Fatalf("RNG consumed without interference: got %d want %d", got, before)
+	}
+}
+
+func TestMediumCollisionProbGrowsWithPiconetsAndLoad(t *testing.T) {
+	ck := &clock{t: time.Second}
+	m := NewMedium(79, 0, ck.now)
+	self := m.Attach(Ideal{})
+	var others []*HopInterference
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		h := m.Attach(Ideal{})
+		// Give the new piconet ~50% utilization over the elapsed second.
+		h.act.busyTotal = 500 * time.Millisecond
+		h.act.attachedAt = 0
+		others = append(others, h)
+		p := m.collisionProb(self.act, ck.t)
+		if p <= prev {
+			t.Fatalf("collision prob not increasing: %d piconets -> %g (prev %g)", n, p, prev)
+		}
+		prev = p
+	}
+	// Doubling every other piconet's load must raise the probability.
+	base := m.collisionProb(self.act, ck.t)
+	for _, h := range others {
+		h.act.busyTotal = 900 * time.Millisecond
+	}
+	if p := m.collisionProb(self.act, ck.t); p <= base {
+		t.Fatalf("collision prob did not grow with load: %g -> %g", base, p)
+	}
+	// A currently transmitting piconet counts as fully occupying a channel.
+	for _, h := range others {
+		h.act.busyTotal = 0
+		h.act.busyUntil = 0
+	}
+	idle := m.collisionProb(self.act, ck.t)
+	others[0].act.busyUntil = ck.t + baseband.SlotDuration
+	if p := m.collisionProb(self.act, ck.t); p <= idle {
+		t.Fatalf("on-air piconet did not raise collision prob: %g -> %g", idle, p)
+	}
+	want := 1.0 / 79
+	if p := m.collisionProb(self.act, ck.t); p < want*0.999 || p > want*1.001 {
+		t.Fatalf("one on-air piconet: collision prob %g, want ~%g", p, want)
+	}
+}
+
+func TestMediumDetachStopsInterfering(t *testing.T) {
+	ck := &clock{t: time.Second}
+	m := NewMedium(79, 0, ck.now)
+	self := m.Attach(Ideal{})
+	other := m.Attach(Ideal{})
+	other.act.busyUntil = ck.t + time.Millisecond
+	if p := m.collisionProb(self.act, ck.t); p <= 0 {
+		t.Fatal("active piconet should interfere")
+	}
+	m.Detach(other)
+	if p := m.collisionProb(self.act, ck.t); p != 0 {
+		t.Fatalf("detached piconet still interferes: p=%g", p)
+	}
+}
+
+func TestHopInterferenceObservesAirtime(t *testing.T) {
+	ck := &clock{}
+	m := NewMedium(79, 100*time.Millisecond, ck.now)
+	h := m.Attach(Ideal{})
+	rng := rand.New(rand.NewSource(1))
+	// One DH5 packet at t=0: busy until 5 slots, 5 slots of airtime.
+	h.Deliver(rng, baseband.TypeDH5)
+	if want := baseband.TypeDH5.Duration(); h.act.busyUntil != want {
+		t.Fatalf("busyUntil = %v, want %v", h.act.busyUntil, want)
+	}
+	// A back-to-back second leg extends the interval instead of
+	// overlapping it.
+	h.Deliver(rng, baseband.TypeDH1)
+	if want := baseband.TypeDH5.Duration() + baseband.TypeDH1.Duration(); h.act.busyUntil != want {
+		t.Fatalf("busyUntil = %v, want %v", h.act.busyUntil, want)
+	}
+	ck.t = 100 * time.Millisecond
+	u := h.act.Utilization(ck.t)
+	want := float64(baseband.TypeDH5.Duration()+baseband.TypeDH1.Duration()) / float64(100*time.Millisecond)
+	if u < want*0.999 || u > want*1.001 {
+		t.Fatalf("utilization = %g, want ~%g", u, want)
+	}
+}
+
+func TestHopInterferenceComposesWithBase(t *testing.T) {
+	ck := &clock{t: time.Second}
+	m := NewMedium(79, 0, ck.now)
+	// A base model that always loses: survivors of the collision stage
+	// must still face it.
+	h := m.Attach(BER{BitErrorRate: 1})
+	rng := rand.New(rand.NewSource(1))
+	if h.Deliver(rng, baseband.TypeDH1) {
+		t.Fatal("base model loss ignored")
+	}
+	if h.Name() != "hop-interference(ber)" {
+		t.Fatalf("Name() = %q", h.Name())
+	}
+}

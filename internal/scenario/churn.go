@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
@@ -32,6 +33,11 @@ type ChurnConfig struct {
 	// Slaves is how many slaves (1..Slaves) the GS arrivals cycle over
 	// (default 5, keeping 6 and 7 for the BE floor).
 	Slaves int
+	// Poller selects the best-effort discipline competing with the
+	// churning GS set (default PFP). The churn-<poller> presets exercise
+	// every kind: whether a poller's state survives flow churn is part
+	// of the E8 study.
+	Poller BEPollerKind
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -147,9 +153,14 @@ func Churn(cfg ChurnConfig) Spec {
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 
+	name := "churn"
+	if cfg.Poller != "" {
+		name = fmt.Sprintf("churn-%s", cfg.Poller)
+	}
 	return Spec{
-		Name:        "churn",
+		Name:        name,
 		BE:          be,
+		BEPoller:    cfg.Poller,
 		DelayTarget: cfg.DelayTarget,
 		Duration:    cfg.Duration,
 		Timeline:    events,

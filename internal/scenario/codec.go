@@ -16,7 +16,11 @@ import (
 // FormatV2 is the format tag of the v2 scenario file format: the complete
 // serializable Spec — flows, poller/radio/size distributions by name plus
 // parameters, SCO links and the timeline — with durations as Go duration
-// strings ("20ms"), so values round-trip exactly.
+// strings ("20ms"), so values round-trip exactly. Scatternet specs add a
+// "piconets" array (named piconets, each with its own flow and SCO sets)
+// plus an "interference" block, and timeline events gain a "piconet"
+// address and the add_piconet/remove_piconet operations; single-piconet
+// files are unchanged byte for byte.
 const FormatV2 = "bluegs/scenario/v2"
 
 // specV2 is the v2 on-disk form of a Spec.
@@ -34,11 +38,29 @@ type specV2 struct {
 	WithoutPiggybacking bool            `json:"without_piggybacking,omitempty"`
 	ARQ                 bool            `json:"arq,omitempty"`
 	LossRecovery        bool            `json:"loss_recovery,omitempty"`
+	BatchTraffic        bool            `json:"batch_traffic,omitempty"`
 	Radio               *RadioSpec      `json:"radio,omitempty"`
+	Interference        *interferenceV2 `json:"interference,omitempty"`
 	GS                  []gsV2          `json:"gs_flows,omitempty"`
 	BE                  []beV2          `json:"be_flows,omitempty"`
 	SCO                 []scoV2         `json:"sco_links,omitempty"`
+	Piconets            []piconetV2     `json:"piconets,omitempty"`
 	Timeline            []timelineEvtV2 `json:"timeline,omitempty"`
+}
+
+// piconetV2 is one piconet of a scatternet spec.
+type piconetV2 struct {
+	Name string  `json:"name"`
+	GS   []gsV2  `json:"gs_flows,omitempty"`
+	BE   []beV2  `json:"be_flows,omitempty"`
+	SCO  []scoV2 `json:"sco_links,omitempty"`
+}
+
+// interferenceV2 is the FH co-channel coupling block.
+type interferenceV2 struct {
+	Enabled  bool   `json:"enabled"`
+	Channels int    `json:"channels,omitempty"`
+	Window   string `json:"window,omitempty"`
 }
 
 // pollerV2 names the best-effort poller plus its parameters.
@@ -81,12 +103,17 @@ type scoV2 struct {
 }
 
 type timelineEvtV2 struct {
-	At      string `json:"at"`
-	AddGS   *gsV2  `json:"add_gs,omitempty"`
-	AddBE   *beV2  `json:"add_be,omitempty"`
-	Remove  int    `json:"remove_flow,omitempty"`
-	AddSCO  *scoV2 `json:"add_sco,omitempty"`
-	DropSCO int    `json:"drop_sco,omitempty"`
+	At string `json:"at"`
+	// Piconet addresses the target piconet of a flow/SCO operation in
+	// scatternet specs ("" targets the first piconet).
+	Piconet       string     `json:"piconet,omitempty"`
+	AddGS         *gsV2      `json:"add_gs,omitempty"`
+	AddBE         *beV2      `json:"add_be,omitempty"`
+	Remove        int        `json:"remove_flow,omitempty"`
+	AddSCO        *scoV2     `json:"add_sco,omitempty"`
+	DropSCO       int        `json:"drop_sco,omitempty"`
+	AddPiconet    *piconetV2 `json:"add_piconet,omitempty"`
+	RemovePiconet string     `json:"remove_piconet,omitempty"`
 }
 
 // durString renders a duration for the file ("" for zero, so zero fields
@@ -146,6 +173,21 @@ func marshalBE(b BEFlow) beV2 {
 	}
 }
 
+// marshalPiconet converts one scatternet piconet to its file form.
+func marshalPiconet(ps PiconetSpec) piconetV2 {
+	out := piconetV2{Name: ps.Name}
+	for _, g := range ps.GS {
+		out.GS = append(out.GS, marshalGS(g))
+	}
+	for _, b := range ps.BE {
+		out.BE = append(out.BE, marshalBE(b))
+	}
+	for _, l := range ps.SCO {
+		out.SCO = append(out.SCO, scoV2{Slave: int(l.Slave), Type: l.Type.String()})
+	}
+	return out
+}
+
 // Marshal renders a Spec as indented v2 JSON. The output is deterministic
 // and round-trips: Unmarshal(Marshal(spec)) is fingerprint-identical to
 // spec.
@@ -161,6 +203,19 @@ func Marshal(spec Spec) ([]byte, error) {
 		WithoutPiggybacking: spec.WithoutPiggybacking,
 		ARQ:                 spec.ARQ,
 		LossRecovery:        spec.LossRecovery,
+		BatchTraffic:        spec.BatchTraffic,
+	}
+	if spec.Interference.Enabled {
+		fs.Interference = &interferenceV2{
+			Enabled:  true,
+			Channels: spec.Interference.Channels,
+			Window:   durString(spec.Interference.Window),
+		}
+	}
+	// Names are emitted defaulted, so an unnamed piconet reads back as
+	// the same piconet Canonical and Run resolve it to.
+	for _, ps := range withPiconetNames(spec.Piconets) {
+		fs.Piconets = append(fs.Piconets, marshalPiconet(ps))
 	}
 	switch spec.Mode {
 	case 0:
@@ -199,7 +254,7 @@ func Marshal(spec Spec) ([]byte, error) {
 		if ev.ops() != 1 {
 			return nil, fmt.Errorf("%w: timeline[%d] sets %d operations", ErrBadSpec, i, ev.ops())
 		}
-		out := timelineEvtV2{At: ev.At.String()}
+		out := timelineEvtV2{At: ev.At.String(), Piconet: ev.Piconet}
 		switch {
 		case ev.AddGS != nil:
 			g := marshalGS(*ev.AddGS)
@@ -213,6 +268,11 @@ func Marshal(spec Spec) ([]byte, error) {
 			out.AddSCO = &scoV2{Slave: int(ev.AddSCO.Slave), Type: ev.AddSCO.Type.String()}
 		case ev.DropSCO != 0:
 			out.DropSCO = int(ev.DropSCO)
+		case ev.AddPiconet != nil:
+			ps := marshalPiconet(*ev.AddPiconet)
+			out.AddPiconet = &ps
+		case ev.RemovePiconet != "":
+			out.RemovePiconet = ev.RemovePiconet
 		}
 		fs.Timeline = append(fs.Timeline, out)
 	}
@@ -312,6 +372,33 @@ func unmarshalSCO(l scoV2) (SCOLinkSpec, error) {
 	return SCOLinkSpec{Slave: piconet.SlaveID(l.Slave), Type: t}, nil
 }
 
+// unmarshalPiconet converts a file piconet back.
+func unmarshalPiconet(p piconetV2) (PiconetSpec, error) {
+	out := PiconetSpec{Name: p.Name}
+	for _, g := range p.GS {
+		flow, err := unmarshalGS(g)
+		if err != nil {
+			return PiconetSpec{}, fmt.Errorf("gs flow %d: %w", g.ID, err)
+		}
+		out.GS = append(out.GS, flow)
+	}
+	for _, b := range p.BE {
+		flow, err := unmarshalBE(b)
+		if err != nil {
+			return PiconetSpec{}, fmt.Errorf("be flow %d: %w", b.ID, err)
+		}
+		out.BE = append(out.BE, flow)
+	}
+	for _, l := range p.SCO {
+		link, err := unmarshalSCO(l)
+		if err != nil {
+			return PiconetSpec{}, err
+		}
+		out.SCO = append(out.SCO, link)
+	}
+	return out, nil
+}
+
 // parseRules parses an improvements rendering ("a+b+c", "none", "a").
 func parseRules(s string) (core.Improvements, error) {
 	var rules core.Improvements
@@ -391,6 +478,23 @@ func Unmarshal(data []byte) (Spec, error) {
 			return Spec{}, err
 		}
 	}
+	spec.BatchTraffic = fs.BatchTraffic
+	if fs.Interference != nil {
+		spec.Interference = InterferenceSpec{
+			Enabled:  fs.Interference.Enabled,
+			Channels: fs.Interference.Channels,
+		}
+		if spec.Interference.Window, err = parseDur("interference window", fs.Interference.Window); err != nil {
+			return Spec{}, err
+		}
+	}
+	for _, p := range fs.Piconets {
+		ps, err := unmarshalPiconet(p)
+		if err != nil {
+			return Spec{}, fmt.Errorf("piconet %q: %w", p.Name, err)
+		}
+		spec.Piconets = append(spec.Piconets, ps)
+	}
 	for _, g := range fs.GS {
 		flow, err := unmarshalGS(g)
 		if err != nil {
@@ -422,7 +526,8 @@ func Unmarshal(data []byte) (Spec, error) {
 		// later validateTimeline pass could no longer see the others.
 		ops := 0
 		for _, set := range []bool{ev.AddGS != nil, ev.AddBE != nil,
-			ev.Remove != 0, ev.AddSCO != nil, ev.DropSCO != 0} {
+			ev.Remove != 0, ev.AddSCO != nil, ev.DropSCO != 0,
+			ev.AddPiconet != nil, ev.RemovePiconet != ""} {
 			if set {
 				ops++
 			}
@@ -431,7 +536,7 @@ func Unmarshal(data []byte) (Spec, error) {
 			return Spec{}, fmt.Errorf("%w: timeline[%d] sets %d operations (want exactly 1)",
 				ErrBadSpec, i, ops)
 		}
-		out := TimelineEvent{At: at}
+		out := TimelineEvent{At: at, Piconet: ev.Piconet}
 		switch {
 		case ev.AddGS != nil:
 			flow, err := unmarshalGS(*ev.AddGS)
@@ -455,12 +560,26 @@ func Unmarshal(data []byte) (Spec, error) {
 			out.AddSCO = &link
 		case ev.DropSCO != 0:
 			out.DropSCO = piconet.SlaveID(ev.DropSCO)
+		case ev.AddPiconet != nil:
+			ps, err := unmarshalPiconet(*ev.AddPiconet)
+			if err != nil {
+				return Spec{}, fmt.Errorf("timeline[%d]: %w", i, err)
+			}
+			out.AddPiconet = &ps
+		case ev.RemovePiconet != "":
+			out.RemovePiconet = ev.RemovePiconet
 		default:
 			return Spec{}, fmt.Errorf("%w: timeline[%d] sets no operation", ErrBadSpec, i)
 		}
 		spec.Timeline = append(spec.Timeline, out)
 	}
-	if err := validateTimeline(spec); err != nil {
+	// Validate the defaulted view (names filled, timeline targets
+	// resolved) — the same view Run and Canonical act on.
+	def := spec.WithDefaults()
+	if err := def.validateScatternet(); err != nil {
+		return Spec{}, err
+	}
+	if err := validateTimeline(def); err != nil {
 		return Spec{}, err
 	}
 	return spec, nil

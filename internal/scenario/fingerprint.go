@@ -15,8 +15,10 @@ import (
 // canonicalVersion tags the canonical rendering format. Bump it whenever
 // the rendering below changes shape, so stale on-disk caches keyed on old
 // fingerprints can never alias new ones. v2 renders the declarative radio
-// spec and the timeline.
-const canonicalVersion = "spec-canon/v2"
+// spec and the timeline; v3 adds the scatternet axis: piconet arrays,
+// interference parameters, batched traffic and piconet-addressed timeline
+// events.
+const canonicalVersion = "spec-canon/v3"
 
 // WithDefaults returns the spec with every zero field replaced by the
 // default scenario.Run would apply. Run itself uses it, so a spec and its
@@ -35,8 +37,36 @@ func (s Spec) WithDefaults() Spec {
 	if s.Mode == 0 {
 		s.Mode = core.VariableInterval
 	}
+	if s.BEPoller == "" {
+		// The empty kind runs PFP (see NewBEPoller): normalize so the
+		// implicit and explicit spellings of the same simulation share
+		// one canonical rendering and cache entry.
+		s.BEPoller = BEPFP
+	}
 	if s.DelayTarget <= 0 {
 		s.DelayTarget = 40 * time.Millisecond
+	}
+	s.Interference = s.Interference.withDefaults()
+	if s.scatternet() {
+		s.Piconets = withPiconetNames(s.Piconets)
+		// Resolve defaulted timeline targets to the first piconet's
+		// name, so an explicit and an implicit address of the same
+		// piconet describe — and fingerprint as — the same simulation.
+		// Flat specs resolve to "" and stay untouched.
+		def := s.Piconets[0].Name
+		for i, ev := range s.Timeline {
+			if ev.Piconet != "" || ev.AddPiconet != nil || ev.RemovePiconet != "" {
+				continue
+			}
+			tl := append([]TimelineEvent(nil), s.Timeline...)
+			for j := i; j < len(tl); j++ {
+				if tl[j].Piconet == "" && tl[j].AddPiconet == nil && tl[j].RemovePiconet == "" {
+					tl[j].Piconet = def
+				}
+			}
+			s.Timeline = tl
+			break
+		}
 	}
 	return s
 }
@@ -61,6 +91,9 @@ func (s Spec) Canonical() string {
 		uint64(s.Allowed), int64(s.Duration), s.Seed,
 		s.ARQ, s.LossRecovery, s.WithoutPiggybacking, s.DirectionAware)
 	fmt.Fprintf(&b, "radio=%s\n", s.Radio.canonical())
+	fmt.Fprintf(&b, "batch=%t interference=%t ch=%d win=%d\n",
+		s.BatchTraffic, s.Interference.Enabled, s.Interference.Channels,
+		int64(s.Interference.Window))
 	canonGS := func(prefix string, at time.Duration, g GSFlow) {
 		fmt.Fprintf(&b, "%s id=%d slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d at=%d\n",
 			prefix, uint64(g.ID), uint64(g.Slave), int(g.Dir), int64(g.Interval),
@@ -71,28 +104,46 @@ func (s Spec) Canonical() string {
 			prefix, uint64(f.ID), uint64(f.Slave), int(f.Dir), f.RateKbps,
 			f.PacketSize, int64(f.Phase), uint64(f.Allowed), int64(at))
 	}
-	for _, g := range s.GS {
-		canonGS("gs", 0, g)
+	canonPiconet := func(ps PiconetSpec) {
+		for _, g := range ps.GS {
+			canonGS("gs", 0, g)
+		}
+		for _, f := range ps.BE {
+			canonBE("be", 0, f)
+		}
+		for _, l := range ps.SCO {
+			fmt.Fprintf(&b, "sco slave=%d type=%d\n", uint64(l.Slave), int(l.Type))
+		}
 	}
-	for _, f := range s.BE {
-		canonBE("be", 0, f)
-	}
-	for _, l := range s.SCO {
-		fmt.Fprintf(&b, "sco slave=%d type=%d\n", uint64(l.Slave), int(l.Type))
+	if s.scatternet() {
+		for _, ps := range s.Piconets {
+			fmt.Fprintf(&b, "piconet name=%q\n", ps.Name)
+			canonPiconet(ps)
+		}
+	} else {
+		// Flat specs render without a piconet header; a one-piconet
+		// scatternet spec is the same simulation but a distinct content
+		// address (its flows are piconet-addressed in the result).
+		canonPiconet(PiconetSpec{GS: s.GS, BE: s.BE, SCO: s.SCO})
 	}
 	for _, ev := range s.Timeline {
 		switch {
 		case ev.AddGS != nil:
-			canonGS("tl-add-gs", ev.At, *ev.AddGS)
+			canonGS(fmt.Sprintf("tl-add-gs pn=%q", ev.Piconet), ev.At, *ev.AddGS)
 		case ev.AddBE != nil:
-			canonBE("tl-add-be", ev.At, *ev.AddBE)
+			canonBE(fmt.Sprintf("tl-add-be pn=%q", ev.Piconet), ev.At, *ev.AddBE)
 		case ev.Remove != piconet.None:
-			fmt.Fprintf(&b, "tl-remove id=%d at=%d\n", uint64(ev.Remove), int64(ev.At))
+			fmt.Fprintf(&b, "tl-remove pn=%q id=%d at=%d\n", ev.Piconet, uint64(ev.Remove), int64(ev.At))
 		case ev.AddSCO != nil:
-			fmt.Fprintf(&b, "tl-add-sco slave=%d type=%d at=%d\n",
-				uint64(ev.AddSCO.Slave), int(ev.AddSCO.Type), int64(ev.At))
+			fmt.Fprintf(&b, "tl-add-sco pn=%q slave=%d type=%d at=%d\n",
+				ev.Piconet, uint64(ev.AddSCO.Slave), int(ev.AddSCO.Type), int64(ev.At))
 		case ev.DropSCO != 0:
-			fmt.Fprintf(&b, "tl-drop-sco slave=%d at=%d\n", uint64(ev.DropSCO), int64(ev.At))
+			fmt.Fprintf(&b, "tl-drop-sco pn=%q slave=%d at=%d\n", ev.Piconet, uint64(ev.DropSCO), int64(ev.At))
+		case ev.AddPiconet != nil:
+			fmt.Fprintf(&b, "tl-add-piconet name=%q at=%d\n", ev.AddPiconet.Name, int64(ev.At))
+			canonPiconet(*ev.AddPiconet)
+		case ev.RemovePiconet != "":
+			fmt.Fprintf(&b, "tl-remove-piconet name=%q at=%d\n", ev.RemovePiconet, int64(ev.At))
 		}
 	}
 	return b.String()

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+)
+
+// randomTimeline appends a burst of randomized-but-valid events to a
+// spec: flow arrivals and departures, SCO churn, and piconet churn. Flow
+// ids start far above any preset's range; slaves stay within 1..7 so a
+// piconet can always host them; piconet removals only target
+// fuzz-added piconets (a preset's piconets stay up). Runtime rejections
+// (admission refusals, SCO that does not fit) are expected outcomes —
+// what the smoke asserts is that no preset turns them into a fatal
+// engine error.
+func randomTimeline(rng *rand.Rand, spec Spec) []TimelineEvent {
+	dirs := []piconet.Direction{piconet.Up, piconet.Down}
+	targets := []string{""}
+	if spec.scatternet() {
+		targets = targets[:0]
+		for _, ps := range spec.Piconets {
+			targets = append(targets, ps.Name)
+		}
+	}
+	horizon := spec.Duration
+	if horizon <= 0 {
+		horizon = 2 * time.Second
+	}
+	var events []TimelineEvent
+	var added []piconet.FlowID
+	addedTarget := map[piconet.FlowID]string{}
+	var fuzzPNs []string
+	id := piconet.FlowID(10000)
+	at := func() time.Duration { return time.Duration(rng.Int63n(int64(horizon))) }
+	for e := 0; e < 12; e++ {
+		target := targets[rng.Intn(len(targets))]
+		switch rng.Intn(6) {
+		case 0:
+			events = append(events, AddGSAt(at(), GSFlow{
+				ID: id, Slave: piconet.SlaveID(1 + rng.Intn(7)), Dir: dirs[rng.Intn(2)],
+				Interval: time.Duration(10+rng.Intn(40)) * time.Millisecond,
+				MinSize:  100, MaxSize: 176,
+			}).For(target))
+			added, addedTarget[id] = append(added, id), target
+			id++
+		case 1:
+			events = append(events, AddBEAt(at(), BEFlow{
+				ID: id, Slave: piconet.SlaveID(1 + rng.Intn(7)), Dir: dirs[rng.Intn(2)],
+				RateKbps: 5 + 40*rng.Float64(), PacketSize: 176,
+			}).For(target))
+			added, addedTarget[id] = append(added, id), target
+			id++
+		case 2:
+			if len(added) == 0 {
+				continue
+			}
+			victim := added[rng.Intn(len(added))]
+			events = append(events, RemoveAt(at(), victim).For(addedTarget[victim]))
+		case 3:
+			types := []baseband.PacketType{baseband.TypeHV1, baseband.TypeHV2, baseband.TypeHV3}
+			events = append(events, AddSCOAt(at(), SCOLinkSpec{
+				Slave: piconet.SlaveID(1 + rng.Intn(7)), Type: types[rng.Intn(3)],
+			}).For(target))
+		case 4:
+			events = append(events, DropSCOAt(at(), piconet.SlaveID(1+rng.Intn(7))).For(target))
+		case 5:
+			if len(fuzzPNs) > 0 && rng.Intn(2) == 0 {
+				events = append(events, RemovePiconetAt(at(), fuzzPNs[rng.Intn(len(fuzzPNs))]))
+				continue
+			}
+			name := fmt.Sprintf("fuzz-pn-%d", len(fuzzPNs)+1)
+			events = append(events, AddPiconetAt(at(), PiconetSpec{
+				Name: name,
+				BE:   []BEFlow{{ID: 1, Slave: 1, Dir: piconet.Up, RateKbps: 20, PacketSize: 176}},
+			}))
+			fuzzPNs = append(fuzzPNs, name)
+			targets = append(targets, name)
+		}
+	}
+	return events
+}
+
+// TestRegistryFuzzSmoke runs every registered scenario — the scatternet
+// presets included — under randomized 2 s timelines (fixed seeds, so CI
+// failures reproduce). The invariant: whatever churn the timeline throws
+// at a preset, the run completes; refusals land in the admission log,
+// never as engine errors. The CI fuzz-smoke step invokes exactly this
+// test.
+func TestRegistryFuzzSmoke(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				spec, ok := Lookup(name)
+				if !ok {
+					t.Fatal("registered name does not resolve")
+				}
+				spec.Duration = 2 * time.Second
+				rng := rand.New(rand.NewSource(seed))
+				spec.Timeline = append(spec.Timeline, randomTimeline(rng, spec)...)
+				res, err := Run(spec)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Elapsed != spec.Duration {
+					t.Fatalf("seed %d: run stopped early at %v", seed, res.Elapsed)
+				}
+			}
+		})
+	}
+}

@@ -73,4 +73,10 @@ func init() {
 		MustRegister(fmt.Sprintf("baseline-%s", kind), func() Spec { return Baseline(kind) })
 	}
 	MustRegister("churn", func() Spec { return Churn(ChurnConfig{}) })
+	for _, kind := range AllBEPollers {
+		kind := kind
+		MustRegister(fmt.Sprintf("churn-%s", kind), func() Spec { return Churn(ChurnConfig{Poller: kind}) })
+	}
+	MustRegister("scatternet", func() Spec { return Scatternet(ScatternetConfig{}) })
+	MustRegister("scatternet-pair", func() Spec { return Scatternet(ScatternetConfig{Piconets: 2}) })
 }

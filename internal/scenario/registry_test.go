@@ -43,6 +43,12 @@ func TestRegistryScenariosRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			if spec.Interference.Enabled {
+				// Co-channel interference eroding the per-piconet bounds
+				// is the point of the scatternet presets (the E9 study
+				// measures it); violations are expected, errors are not.
+				return
+			}
 			if v := res.BoundViolations(); len(v) != 0 {
 				t.Fatalf("violations: %+v", v)
 			}

@@ -2,27 +2,57 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"bluegs/internal/admission"
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
 	"bluegs/internal/piconet"
+	"bluegs/internal/radio"
 	"bluegs/internal/sco"
 	"bluegs/internal/sim"
 	"bluegs/internal/traffic"
 )
 
-// runner holds the live state of one scenario run: the simulated piconet
-// and scheduler, the admission controller (shared by the static plan and
-// the online timeline), the cancellable traffic sources, and the exported
-// bound/rate bookkeeping behind Result.
+// runner holds the live state of one scenario run: the shared kernel, the
+// scatternet medium (when interference is enabled), the piconet engines
+// in creation order, and the chronological online admission log. A flat
+// spec runs as a scatternet of one.
 type runner struct {
-	spec  Spec
-	s     *sim.Simulator
+	spec Spec
+	s    *sim.Simulator
+	// medium couples the piconets through FH co-channel collisions; nil
+	// when interference is disabled.
+	medium *radio.Medium
+	// pns lists every piconet ever created (including removed ones, for
+	// reporting) in creation order; byName addresses the same engines
+	// from timeline events.
+	pns    []*piconetRunner
+	byName map[string]*piconetRunner
+	// defaultName resolves timeline events with an empty Piconet field.
+	defaultName string
+
+	admissions []AdmissionRecord
+	// err is the first fatal timeline-application error; it stops the
+	// simulation and fails the run.
+	err error
+}
+
+// piconetRunner is one piconet engine of the scatternet: its own polling
+// scheduler and admission controller over the shared kernel clock, plus
+// the cancellable traffic sources and the exported bound/rate bookkeeping
+// behind its PiconetResult.
+type piconetRunner struct {
+	r    *runner
+	name string
+
 	pn    *piconet.Piconet
 	sched *core.Scheduler
 	ctrl  *admission.Controller
+	// hop is the piconet's interference-wrapped channel model (nil when
+	// the run has no medium).
+	hop *radio.HopInterference
 
 	// sources maps installed flows to their cancellable traffic sources;
 	// a flow leaves the map when it is removed.
@@ -34,10 +64,10 @@ type runner struct {
 	// slaves tracks registered slaves across static setup and timeline.
 	slaves map[piconet.SlaveID]bool
 
-	admissions []AdmissionRecord
-	// err is the first fatal timeline-application error; it stops the
-	// simulation and fails the run.
-	err error
+	// removed marks a piconet that left the scatternet at removedAt; its
+	// statistics are final as of that instant.
+	removed   bool
+	removedAt sim.Time
 }
 
 // source is one self-rescheduling traffic source; ev is its pending tick,
@@ -51,18 +81,92 @@ func Run(spec Spec) (*Result, error) { return RunWith(spec, Hooks{}) }
 
 // RunWith executes a scenario with runtime hooks attached (a live tracer
 // or a pre-built radio model instance). Hooked runs must not be served
-// from a result cache: their side effects cannot be replayed.
+// from a result cache: their side effects cannot be replayed. In
+// scatternet runs a Tracer observes the first piconet only, and a live
+// Radio instance is rejected (one stateful model cannot serve N piconets).
 func RunWith(spec Spec, hooks Hooks) (*Result, error) {
-	if len(spec.GS) == 0 && len(spec.BE) == 0 && len(spec.Timeline) == 0 {
+	if err := spec.validateScatternet(); err != nil {
+		return nil, err
+	}
+	if spec.flowCount() == 0 && len(spec.Timeline) == 0 {
 		return nil, fmt.Errorf("%w: no flows", ErrBadSpec)
 	}
 	spec = spec.WithDefaults()
 	if err := validateTimeline(spec); err != nil {
 		return nil, err
 	}
+	piconets := spec.piconetSpecs()
+	if hooks.Radio != nil && (len(piconets) > 1 || timelineAddsPiconet(spec)) {
+		return nil, fmt.Errorf("%w: a live Radio hook cannot serve a multi-piconet run", ErrBadSpec)
+	}
 
 	r := &runner{
-		spec:    spec,
+		spec:        spec,
+		s:           sim.New(sim.WithSeed(spec.Seed)),
+		byName:      make(map[string]*piconetRunner),
+		defaultName: spec.defaultPiconetName(),
+	}
+	if spec.Interference.Enabled {
+		r.medium = radio.NewMedium(spec.Interference.Channels, spec.Interference.Window,
+			func() time.Duration { return r.s.Now() })
+	}
+
+	for i, ps := range piconets {
+		// Runtime hooks attach to the first piconet only.
+		h := Hooks{}
+		if i == 0 {
+			h = hooks
+		}
+		if _, err := r.buildPiconet(ps, h); err != nil {
+			return nil, err
+		}
+	}
+
+	// Timeline: each event applies at its simulated time; events sharing
+	// an instant apply in slice order (the kernel is FIFO per instant).
+	for _, ev := range spec.Timeline {
+		ev := ev
+		r.s.Schedule(ev.At, func() { r.applyEvent(ev) })
+	}
+
+	for _, p := range r.pns {
+		if err := p.pn.Start(); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if err := r.s.Run(spec.Duration); err != nil {
+		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
+	for _, p := range r.pns {
+		if err := p.pn.Err(); err != nil {
+			return nil, fmt.Errorf("scenario: engine %q: %w", p.name, err)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("scenario: timeline: %w", r.err)
+	}
+
+	return r.collect(), nil
+}
+
+// timelineAddsPiconet reports whether the timeline grows the scatternet.
+func timelineAddsPiconet(spec Spec) bool {
+	for _, ev := range spec.Timeline {
+		if ev.AddPiconet != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// buildPiconet constructs one piconet engine — admission plan, piconet,
+// scheduler and traffic sources — over the shared kernel. It is used both
+// for the run-start piconets and for add_piconet timeline arrivals.
+func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks) (*piconetRunner, error) {
+	spec := r.spec
+	p := &piconetRunner{
+		r:       r,
+		name:    ps.Name,
 		sources: make(map[piconet.FlowID]*source),
 		bounds:  make(map[piconet.FlowID]time.Duration),
 		rates:   make(map[piconet.FlowID]float64),
@@ -70,9 +174,9 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	}
 
 	// Admission: the piconet-wide worst exchange must cover BE traffic,
-	// including every flow the timeline may ever install.
-	admCfg := admission.Config{MaxExchange: maxExchange(spec), DirectionAware: spec.DirectionAware}
-	for _, l := range spec.SCO {
+	// including every flow the timeline may ever install here.
+	admCfg := admission.Config{MaxExchange: maxExchange(spec, ps), DirectionAware: spec.DirectionAware}
+	for _, l := range ps.SCO {
 		ch, err := sco.NewChannel(l.Type)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
@@ -84,14 +188,14 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 		admOpts = append(admOpts, admission.WithoutPiggybacking())
 	}
 	var delayReqs []admission.DelayRequest
-	for _, g := range spec.GS {
+	for _, g := range ps.GS {
 		delayReqs = append(delayReqs, admission.DelayRequest{
 			Request: admission.Request{
 				ID:      g.ID,
 				Slave:   g.Slave,
 				Dir:     g.Dir,
 				Spec:    g.Spec(),
-				Allowed: r.allowedFor(g.Allowed),
+				Allowed: p.allowedFor(g.Allowed),
 			},
 			Target: spec.DelayTarget,
 		})
@@ -100,17 +204,30 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: admission: %w", err)
 	}
-	r.ctrl = ctrl
+	p.ctrl = ctrl
 
 	// Piconet construction. The radio model is built fresh from the
-	// declarative spec unless a live instance is hooked in.
-	s := sim.New(sim.WithSeed(spec.Seed))
+	// declarative spec unless a live instance is hooked in; the medium
+	// wraps it so the piconet both suffers and causes hop collisions.
 	model := hooks.Radio
 	if model == nil {
 		if model, err = spec.Radio.Model(); err != nil {
 			return nil, err
 		}
 	}
+	if r.medium != nil {
+		p.hop = r.medium.Attach(model)
+		model = p.hop
+	}
+	// A build failure after this point must not leave the half-built
+	// piconet interfering: a rejected add_piconet keeps the run going,
+	// so an orphaned medium entry would shadow the scatternet forever.
+	built := false
+	defer func() {
+		if !built && p.hop != nil {
+			r.medium.Detach(p.hop)
+		}
+	}()
 	pnOpts := []piconet.Option{piconet.WithRadio(model)}
 	if spec.ARQ {
 		pnOpts = append(pnOpts, piconet.WithARQ(true))
@@ -118,32 +235,32 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	if hooks.Tracer != nil {
 		pnOpts = append(pnOpts, piconet.WithTracer(hooks.Tracer))
 	}
-	pn := piconet.New(s, pnOpts...)
-	r.s, r.pn = s, pn
-	for _, g := range spec.GS {
-		if err := r.addSlave(g.Slave); err != nil {
+	pn := piconet.New(r.s, pnOpts...)
+	p.pn = pn
+	for _, g := range ps.GS {
+		if err := p.addSlave(g.Slave); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 		if err := pn.AddFlow(piconet.FlowConfig{
 			ID: g.ID, Slave: g.Slave, Dir: g.Dir,
-			Class: piconet.Guaranteed, Allowed: r.allowedFor(g.Allowed),
+			Class: piconet.Guaranteed, Allowed: p.allowedFor(g.Allowed),
 		}); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 	}
-	for _, b := range spec.BE {
-		if err := r.addSlave(b.Slave); err != nil {
+	for _, b := range ps.BE {
+		if err := p.addSlave(b.Slave); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 		if err := pn.AddFlow(piconet.FlowConfig{
 			ID: b.ID, Slave: b.Slave, Dir: b.Dir,
-			Class: piconet.BestEffort, Allowed: r.allowedFor(b.Allowed),
+			Class: piconet.BestEffort, Allowed: p.allowedFor(b.Allowed),
 		}); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 	}
-	for _, l := range spec.SCO {
-		if err := r.addSlave(l.Slave); err != nil {
+	for _, l := range ps.SCO {
+		if err := p.addSlave(l.Slave); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 		if err := pn.AddSCOLink(l.Slave, l.Type); err != nil {
@@ -151,7 +268,9 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 		}
 	}
 
-	// Scheduler.
+	// Scheduler. Every piconet gets its own best-effort poller instance:
+	// poller state (PFP predictions, RR cursors) must not leak across
+	// piconets.
 	bePoller, err := NewBEPoller(spec.BEPoller, PollerParams{PFPThreshold: spec.PFPThreshold})
 	if err != nil {
 		return nil, err
@@ -169,107 +288,142 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 	pn.SetScheduler(sched)
-	r.sched = sched
-	r.noteBounds()
+	p.sched = sched
+	p.noteBounds()
 
 	// Traffic sources.
-	for _, g := range spec.GS {
-		r.attachGSSource(g)
+	for _, g := range ps.GS {
+		p.attachGSSource(g)
 	}
-	for _, b := range spec.BE {
-		r.attachBESource(b)
-	}
-
-	// Timeline: each event applies at its simulated time; events sharing
-	// an instant apply in slice order (the kernel is FIFO per instant).
-	for _, ev := range spec.Timeline {
-		ev := ev
-		s.Schedule(ev.At, func() { r.applyEvent(ev) })
+	for _, b := range ps.BE {
+		p.attachBESource(b)
 	}
 
-	if err := pn.Start(); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-	if err := s.Run(spec.Duration); err != nil {
-		return nil, fmt.Errorf("scenario: run: %w", err)
-	}
-	if err := pn.Err(); err != nil {
-		return nil, fmt.Errorf("scenario: engine: %w", err)
-	}
-	if r.err != nil {
-		return nil, fmt.Errorf("scenario: timeline: %w", r.err)
-	}
-
-	return r.collect(), nil
+	built = true
+	r.pns = append(r.pns, p)
+	r.byName[p.name] = p
+	return p, nil
 }
 
 // allowedFor resolves a flow's baseband type set against the spec default.
-func (r *runner) allowedFor(override baseband.TypeSet) baseband.TypeSet {
+func (p *piconetRunner) allowedFor(override baseband.TypeSet) baseband.TypeSet {
 	if !override.Empty() {
 		return override
 	}
-	return r.spec.Allowed
+	return p.r.spec.Allowed
 }
 
 // addSlave registers a slave once across static setup and timeline.
-func (r *runner) addSlave(id piconet.SlaveID) error {
-	if r.slaves[id] {
+func (p *piconetRunner) addSlave(id piconet.SlaveID) error {
+	if p.slaves[id] {
 		return nil
 	}
-	r.slaves[id] = true
-	return r.pn.AddSlave(id)
+	p.slaves[id] = true
+	return p.pn.AddSlave(id)
 }
 
 // noteBounds folds the controller's current plan into the exported
 // bound/rate bookkeeping: per flow the loosest bound ever in force (later
 // admissions can shift priorities and grow x, weakening earlier promises)
 // and the admitted rate.
-func (r *runner) noteBounds() {
-	for _, pf := range r.ctrl.Flows() {
+func (p *piconetRunner) noteBounds() {
+	for _, pf := range p.ctrl.Flows() {
 		id := pf.Request.ID
-		if pf.Bound > r.bounds[id] {
-			r.bounds[id] = pf.Bound
+		if pf.Bound > p.bounds[id] {
+			p.bounds[id] = pf.Bound
 		}
-		r.rates[id] = pf.Request.Rate
+		p.rates[id] = pf.Request.Rate
 	}
 }
 
 // attachGSSource starts a Guaranteed Service flow's CBR source.
-func (r *runner) attachGSSource(g GSFlow) {
-	r.attachSource(g.ID, traffic.CBR{Interval: g.Interval},
+func (p *piconetRunner) attachGSSource(g GSFlow) {
+	p.attachSource(g.ID, g.Dir, traffic.CBR{Interval: g.Interval},
 		traffic.UniformSize{Min: g.MinSize, Max: g.MaxSize}, g.Phase)
 }
 
 // attachBESource starts a best-effort flow's CBR source.
-func (r *runner) attachBESource(b BEFlow) {
+func (p *piconetRunner) attachBESource(b BEFlow) {
 	gen := traffic.CBRForRate(b.RateKbps*1000, b.PacketSize)
-	r.attachSource(b.ID, gen, traffic.FixedSize(b.PacketSize), b.Phase)
+	p.attachSource(b.ID, b.Dir, gen, traffic.FixedSize(b.PacketSize), b.Phase)
 }
 
+// maxBurst bounds a batched source's pre-enqueued arrivals per kernel
+// event.
+const maxBurst = 64
+
 // attachSource schedules a self-rescheduling traffic source whose pending
-// tick stays cancellable (flow removal stops the source).
-func (r *runner) attachSource(flow piconet.FlowID, gen traffic.Generator,
-	sizes traffic.SizeDist, phase time.Duration) {
+// tick stays cancellable (flow removal stops the source). With
+// Spec.BatchTraffic, up-flow sources whose generator supports bursts
+// pre-enqueue one burst of future-dated arrivals per kernel event (see
+// piconet.EnqueuePacketAt) instead of one event per packet; down flows
+// keep the per-packet path so the master's arrival knowledge is
+// untouched.
+func (p *piconetRunner) attachSource(flow piconet.FlowID, dir piconet.Direction,
+	gen traffic.Generator, sizes traffic.SizeDist, phase time.Duration) {
 	if phase < 0 {
 		phase = 0
+	}
+	r := p.r
+	if r.spec.BatchTraffic && dir == piconet.Up {
+		if bg, ok := gen.(traffic.BurstGenerator); ok {
+			p.attachBurstSource(flow, bg, sizes, phase)
+			return
+		}
 	}
 	src := &source{}
 	var tick func()
 	tick = func() {
-		_ = r.pn.EnqueuePacket(flow, sizes.Draw(r.s.Rand()))
+		_ = p.pn.EnqueuePacket(flow, sizes.Draw(r.s.Rand()))
 		src.ev = r.s.After(gen.NextInterval(r.s.Rand()), tick)
 	}
 	src.ev = r.s.Schedule(r.s.Now()+phase, tick)
-	r.sources[flow] = src
+	p.sources[flow] = src
 }
 
-// maxExchange derives the piconet-wide worst ongoing ACL exchange Xi from
-// the actual flow layout — including every flow the timeline may install —
-// as, per slave, the largest downlink leg plus the largest uplink leg
-// (POLL/NULL legs count one slot). With DirectionAware disabled the
-// paper's conservative assumption applies: any flow's exchange may carry
-// maximal segments both ways.
-func maxExchange(spec Spec) time.Duration {
+// attachBurstSource is the batched form of attachSource: each tick
+// enqueues the packet arriving now, pre-enqueues the rest of the burst as
+// future-dated arrivals (clamped at the horizon — an arrival the
+// per-packet path could never generate must not exist here either), and
+// reschedules itself at the burst's last arrival.
+func (p *piconetRunner) attachBurstSource(flow piconet.FlowID, gen traffic.BurstGenerator,
+	sizes traffic.SizeDist, phase time.Duration) {
+	r := p.r
+	horizon := r.spec.Duration
+	src := &source{}
+	var offs []time.Duration
+	var tick func()
+	tick = func() {
+		now := r.s.Now()
+		_ = p.pn.EnqueuePacketAt(flow, sizes.Draw(r.s.Rand()), now)
+		offs = gen.NextBurst(r.s.Rand(), offs[:0], maxBurst)
+		at := now
+		for _, gap := range offs[:len(offs)-1] {
+			at += gap
+			if at > horizon {
+				break
+			}
+			_ = p.pn.EnqueuePacketAt(flow, sizes.Draw(r.s.Rand()), at)
+		}
+		// The burst's last arrival is the next tick: it enqueues its own
+		// packet when it fires and draws the following burst.
+		next := now
+		for _, gap := range offs {
+			next += gap
+		}
+		src.ev = r.s.Schedule(next, tick)
+	}
+	src.ev = r.s.Schedule(r.s.Now()+phase, tick)
+	p.sources[flow] = src
+}
+
+// maxExchange derives one piconet's worst ongoing ACL exchange Xi from
+// the actual flow layout — including every flow the timeline may ever
+// install there — as, per slave, the largest downlink leg plus the
+// largest uplink leg (POLL/NULL legs count one slot). With DirectionAware
+// disabled the paper's conservative assumption applies: any flow's
+// exchange may carry maximal segments both ways.
+func maxExchange(spec Spec, ps PiconetSpec) time.Duration {
 	allowedFor := func(override baseband.TypeSet) baseband.TypeSet {
 		if !override.Empty() {
 			return override
@@ -311,15 +465,24 @@ func maxExchange(spec Spec) time.Duration {
 		// mode.
 		visit(b.Slave, b.Dir, allowedFor(b.Allowed), false)
 	}
-	for _, g := range spec.GS {
+	for _, g := range ps.GS {
 		visitGS(g)
 	}
-	for _, b := range spec.BE {
+	for _, b := range ps.BE {
 		visitBE(b)
 	}
+	def := spec.defaultPiconetName()
 	for _, ev := range spec.Timeline {
-		// Timeline arrivals are folded in conservatively: Xi must cover
-		// any exchange that can occur at any point of the run.
+		// Timeline arrivals targeting this piconet are folded in
+		// conservatively: Xi must cover any exchange that can occur at
+		// any point of the run.
+		target := ev.Piconet
+		if target == "" {
+			target = def
+		}
+		if target != ps.Name {
+			continue
+		}
 		if ev.AddGS != nil {
 			visitGS(*ev.AddGS)
 		}
@@ -336,22 +499,303 @@ func maxExchange(spec Spec) time.Duration {
 	return baseband.SlotsToDuration(maxSlots)
 }
 
-// collect assembles the result.
-func (r *runner) collect() *Result {
-	s, pn := r.s, r.pn
-	elapsed := s.Now()
-	res := &Result{
-		Spec:       r.spec,
-		Elapsed:    elapsed,
-		Events:     s.Executed(),
+// reject logs a refused timeline operation.
+func (r *runner) reject(pnName, op string, flow piconet.FlowID, slave piconet.SlaveID, reason string) {
+	r.admissions = append(r.admissions, AdmissionRecord{
+		At: r.s.Now(), Op: op, Piconet: pnName, Flow: flow, Slave: slave, Reason: reason,
+	})
+}
+
+// accept logs an applied timeline operation.
+func (r *runner) accept(rec AdmissionRecord) {
+	rec.At = r.s.Now()
+	rec.Accepted = true
+	r.admissions = append(r.admissions, rec)
+}
+
+func (p *piconetRunner) reject(op string, flow piconet.FlowID, slave piconet.SlaveID, reason string) {
+	p.r.reject(p.name, op, flow, slave, reason)
+}
+
+func (p *piconetRunner) accept(rec AdmissionRecord) {
+	rec.Piconet = p.name
+	p.r.accept(rec)
+}
+
+// applyEvent dispatches one timeline event at its simulated time. Spec
+// errors (which static validation should have caught) are fatal: they
+// stop the simulation and fail the run. Admission refusals — including a
+// flow aimed at a piconet that already left — are recorded outcomes, not
+// errors.
+func (r *runner) applyEvent(ev TimelineEvent) {
+	if r.err != nil {
+		return
+	}
+	switch {
+	case ev.AddPiconet != nil:
+		r.applyAddPiconet(*ev.AddPiconet)
+	case ev.RemovePiconet != "":
+		r.applyRemovePiconet(ev.RemovePiconet)
+	default:
+		target := ev.Piconet
+		if target == "" {
+			target = r.defaultName
+		}
+		p, ok := r.byName[target]
+		switch {
+		case !ok:
+			flow, slave := ev.subject()
+			r.reject(target, ev.Op(), flow, slave, "unknown piconet")
+		case p.removed:
+			flow, slave := ev.subject()
+			r.reject(target, ev.Op(), flow, slave, "piconet removed")
+		default:
+			p.applyEvent(ev)
+		}
+	}
+	if r.err != nil {
+		r.s.Stop()
+	}
+}
+
+// applyEvent dispatches a flow or SCO operation on one piconet.
+func (p *piconetRunner) applyEvent(ev TimelineEvent) {
+	switch {
+	case ev.AddGS != nil:
+		p.applyAddGS(*ev.AddGS)
+	case ev.AddBE != nil:
+		p.applyAddBE(*ev.AddBE)
+	case ev.Remove != piconet.None:
+		p.applyRemove(ev.Remove)
+	case ev.AddSCO != nil:
+		p.applyAddSCO(*ev.AddSCO)
+	case ev.DropSCO != 0:
+		p.applyDropSCO(ev.DropSCO)
+	}
+}
+
+// applyAddPiconet brings a new piconet into the scatternet: its static GS
+// set is planned offline (clamped, like a run-start plan), its master
+// starts polling at the next opportunity, and its name becomes a timeline
+// target. Build errors are recorded as rejections — the scatternet keeps
+// running.
+func (r *runner) applyAddPiconet(ps PiconetSpec) {
+	if _, dup := r.byName[ps.Name]; dup {
+		r.reject(ps.Name, OpAddPiconet, 0, 0, "piconet name already used")
+		return
+	}
+	p, err := r.buildPiconet(ps, Hooks{})
+	if err != nil {
+		r.reject(ps.Name, OpAddPiconet, 0, 0, err.Error())
+		return
+	}
+	if r.err = p.pn.Start(); r.err != nil {
+		return
+	}
+	r.accept(AdmissionRecord{Op: OpAddPiconet, Piconet: ps.Name})
+}
+
+// applyRemovePiconet retires a whole piconet: every source stops, the
+// master polls no more, and — under interference — its airtime stops
+// colliding with the survivors. Statistics freeze at the removal instant.
+func (r *runner) applyRemovePiconet(name string) {
+	p, ok := r.byName[name]
+	if !ok {
+		r.reject(name, OpRemovePiconet, 0, 0, "unknown piconet")
+		return
+	}
+	if p.removed {
+		r.reject(name, OpRemovePiconet, 0, 0, "piconet removed")
+		return
+	}
+	// Cancel sources in flow-id order: deterministic regardless of map
+	// iteration.
+	ids := make([]piconet.FlowID, 0, len(p.sources))
+	for id := range p.sources {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r.s.Cancel(p.sources[id].ev)
+		delete(p.sources, id)
+	}
+	p.pn.Stop()
+	// Batched sources pre-enqueue future arrivals; packets stamped after
+	// the removal never happen and must not stay counted as offered.
+	p.pn.PruneFutureArrivals(r.s.Now())
+	if p.hop != nil {
+		r.medium.Detach(p.hop)
+	}
+	p.removed = true
+	p.removedAt = r.s.Now()
+	r.accept(AdmissionRecord{Op: OpRemovePiconet, Piconet: name})
+}
+
+// applyAddGS runs the paper's online admission test for a mid-run GS
+// arrival and installs the flow on success.
+func (p *piconetRunner) applyAddGS(g GSFlow) {
+	r := p.r
+	pf, err := p.ctrl.AdmitForDelay(admission.DelayRequest{
+		Request: admission.Request{
+			ID:      g.ID,
+			Slave:   g.Slave,
+			Dir:     g.Dir,
+			Spec:    g.Spec(),
+			Allowed: p.allowedFor(g.Allowed),
+		},
+		Target: r.spec.DelayTarget,
+	})
+	if err != nil {
+		p.reject(OpAddGS, g.ID, g.Slave, err.Error())
+		return
+	}
+	if r.err = p.addSlave(g.Slave); r.err != nil {
+		return
+	}
+	if r.err = p.pn.AddFlow(piconet.FlowConfig{
+		ID: g.ID, Slave: g.Slave, Dir: g.Dir,
+		Class: piconet.Guaranteed, Allowed: p.allowedFor(g.Allowed),
+	}); r.err != nil {
+		return
+	}
+	if r.err = p.sched.Replan(p.ctrl.Flows()); r.err != nil {
+		return
+	}
+	p.noteBounds()
+	p.attachGSSource(g)
+	p.pn.Kick()
+	p.accept(AdmissionRecord{
+		Op: OpAddGS, Flow: g.ID, Slave: g.Slave,
+		Bound: pf.Bound, Rate: pf.Request.Rate,
+	})
+}
+
+// applyAddBE installs a mid-run best-effort arrival (no admission test).
+func (p *piconetRunner) applyAddBE(b BEFlow) {
+	r := p.r
+	if r.err = p.addSlave(b.Slave); r.err != nil {
+		return
+	}
+	if r.err = p.pn.AddFlow(piconet.FlowConfig{
+		ID: b.ID, Slave: b.Slave, Dir: b.Dir,
+		Class: piconet.BestEffort, Allowed: p.allowedFor(b.Allowed),
+	}); r.err != nil {
+		return
+	}
+	p.sched.RefreshBE()
+	p.attachBESource(b)
+	p.pn.Kick()
+	p.accept(AdmissionRecord{Op: OpAddBE, Flow: b.ID, Slave: b.Slave})
+}
+
+// applyRemove retires a flow: its source stops, queued packets drop, and
+// a Guaranteed Service flow's bandwidth is released by re-planning.
+func (p *piconetRunner) applyRemove(id piconet.FlowID) {
+	r := p.r
+	src, installed := p.sources[id]
+	if !installed {
+		// The flow's admission was rejected (or it was already
+		// removed): the departure has nothing to retire.
+		p.reject(OpRemoveFlow, id, 0, "flow not installed")
+		return
+	}
+	r.s.Cancel(src.ev)
+	delete(p.sources, id)
+	cfg, _ := p.pn.FlowConfig(id)
+	if r.err = p.pn.RetireFlow(id); r.err != nil {
+		return
+	}
+	if _, isGS := p.ctrl.Find(id); isGS {
+		if r.err = p.ctrl.Remove(id); r.err != nil {
+			return
+		}
+		if r.err = p.sched.Replan(p.ctrl.Flows()); r.err != nil {
+			return
+		}
+		p.noteBounds()
+	} else {
+		p.sched.RefreshBE()
+	}
+	p.accept(AdmissionRecord{Op: OpRemoveFlow, Flow: id, Slave: cfg.Slave})
+}
+
+// applyAddSCO reserves a mid-run voice link if both the piconet's SCO
+// capacity and the admitted Guaranteed Service contracts allow it. Every
+// check runs before any state changes, so a refused call leaves no trace
+// (no phantom slave registration, no half-installed reservation).
+func (p *piconetRunner) applyAddSCO(l SCOLinkSpec) {
+	r := p.r
+	ch, err := sco.NewChannel(l.Type)
+	if err != nil {
+		p.reject(OpAddSCO, 0, l.Slave, err.Error())
+		return
+	}
+	if err := p.pn.CheckSCOLink(l.Slave, l.Type); err != nil {
+		p.reject(OpAddSCO, 0, l.Slave, err.Error())
+		return
+	}
+	if err := p.ctrl.SetSCOLinks(append(p.ctrl.SCOLinks(), ch)); err != nil {
+		// The GS set no longer fits around the reservations: the call
+		// is refused (SetSCOLinks left the controller unchanged).
+		p.reject(OpAddSCO, 0, l.Slave, err.Error())
+		return
+	}
+	if r.err = p.addSlave(l.Slave); r.err != nil {
+		return
+	}
+	if r.err = p.pn.AddSCOLink(l.Slave, l.Type); r.err != nil {
+		return
+	}
+	if r.err = p.sched.Replan(p.ctrl.Flows()); r.err != nil {
+		return
+	}
+	p.noteBounds()
+	p.accept(AdmissionRecord{Op: OpAddSCO, Slave: l.Slave})
+}
+
+// applyDropSCO releases a voice link and the admission headroom it held.
+func (p *piconetRunner) applyDropSCO(slave piconet.SlaveID) {
+	r := p.r
+	if err := p.pn.DropSCOLink(slave); err != nil {
+		p.reject(OpDropSCO, 0, slave, err.Error())
+		return
+	}
+	links := p.ctrl.SCOLinks()
+	if len(links) > 0 {
+		// Links are interchangeable at the admission level (one
+		// aggregate stream of count×type): release any one.
+		if r.err = p.ctrl.SetSCOLinks(links[:len(links)-1]); r.err != nil {
+			return
+		}
+		if r.err = p.sched.Replan(p.ctrl.Flows()); r.err != nil {
+			return
+		}
+		p.noteBounds()
+	}
+	p.accept(AdmissionRecord{Op: OpDropSCO, Slave: slave})
+}
+
+// collect assembles one piconet's result. end is the measurement horizon:
+// the run's end, or the removal instant for piconets that left early.
+func (p *piconetRunner) collect(end sim.Time) PiconetResult {
+	if p.removed {
+		end = p.removedAt
+	}
+	pn := p.pn
+	pr := PiconetResult{
+		Name:       p.name,
+		Removed:    p.removed,
 		SlaveKbps:  make(map[piconet.SlaveID]float64),
 		SCOKbps:    make(map[piconet.SlaveID]float64),
-		Slots:      pn.SlotAccount(elapsed),
-		GSPolls:    r.sched.GSPolls(),
-		BEPolls:    r.sched.BEPolls(),
-		Skipped:    r.sched.SkippedPolls(),
-		Admitted:   r.ctrl.Flows(),
-		Admissions: r.admissions,
+		Slots:      pn.SlotAccount(end),
+		GSPolls:    p.sched.GSPolls(),
+		BEPolls:    p.sched.BEPolls(),
+		Skipped:    p.sched.SkippedPolls(),
+		Admitted:   p.ctrl.Flows(),
+		Admissions: p.admissionSlice(),
+	}
+	if p.hop != nil {
+		pr.Utilization = p.hop.Utilization(end)
 	}
 	for _, id := range pn.Flows() {
 		cfg, _ := pn.FlowConfig(id)
@@ -361,30 +805,100 @@ func (r *runner) collect() *Result {
 		lost, _ := pn.FlowLost(id)
 		fr := FlowResult{
 			ID:          id,
+			Piconet:     p.name,
 			Slave:       cfg.Slave,
 			Dir:         cfg.Dir,
 			Class:       cfg.Class,
 			Offered:     offered.Packets(),
 			Delivered:   delivered.Packets(),
 			Lost:        lost.Packets(),
-			Kbps:        delivered.Kbps(elapsed),
+			Kbps:        delivered.Kbps(end),
 			DelayMax:    delay.Max(),
 			DelayMean:   delay.Mean(),
 			DelayP99:    delay.Quantile(0.99),
 			DelayJitter: delay.StdDev(),
 			Delay:       delay,
 		}
-		if bound, ok := r.bounds[id]; ok {
+		if bound, ok := p.bounds[id]; ok {
 			fr.Bound = bound
-			fr.Rate = r.rates[id]
+			fr.Rate = p.rates[id]
 		}
-		res.Flows = append(res.Flows, fr)
+		pr.Flows = append(pr.Flows, fr)
 	}
 	for _, slave := range pn.Slaves() {
-		res.SlaveKbps[slave] = pn.SlaveThroughputKbps(slave, elapsed)
+		pr.SlaveKbps[slave] = pn.SlaveThroughputKbps(slave, end)
 		if down, up, ok := pn.SCOMeters(slave); ok {
-			res.SCOKbps[slave] = down.Kbps(elapsed) + up.Kbps(elapsed)
+			pr.SCOKbps[slave] = down.Kbps(end) + up.Kbps(end)
 		}
 	}
+	return pr
+}
+
+// admissionSlice filters the run's chronological admission log down to
+// this piconet's records.
+func (p *piconetRunner) admissionSlice() []AdmissionRecord {
+	var out []AdmissionRecord
+	for _, rec := range p.r.admissions {
+		if rec.Piconet == p.name {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// collect assembles the run's result: per-piconet results plus the
+// scatternet-wide rollup. A single-piconet run's rollup is its piconet's
+// result verbatim (byte-identical to the pre-scatternet runner).
+func (r *runner) collect() *Result {
+	elapsed := r.s.Now()
+	res := &Result{
+		Spec:       r.spec,
+		Elapsed:    elapsed,
+		Events:     r.s.Executed(),
+		Admissions: r.admissions,
+	}
+	for _, p := range r.pns {
+		res.Piconets = append(res.Piconets, p.collect(elapsed))
+	}
+	if len(res.Piconets) == 1 {
+		pr := res.Piconets[0]
+		res.Flows = pr.Flows
+		res.SlaveKbps = pr.SlaveKbps
+		res.SCOKbps = pr.SCOKbps
+		res.Slots = pr.Slots
+		res.GSPolls, res.BEPolls, res.Skipped = pr.GSPolls, pr.BEPolls, pr.Skipped
+		res.Admitted = pr.Admitted
+		return res
+	}
+	res.SlaveKbps = make(map[piconet.SlaveID]float64)
+	res.SCOKbps = make(map[piconet.SlaveID]float64)
+	for _, pr := range res.Piconets {
+		res.Flows = append(res.Flows, pr.Flows...)
+		for slave, kbps := range pr.SlaveKbps {
+			res.SlaveKbps[slave] += kbps
+		}
+		for slave, kbps := range pr.SCOKbps {
+			res.SCOKbps[slave] += kbps
+		}
+		res.Slots = addSlots(res.Slots, pr.Slots)
+		res.GSPolls += pr.GSPolls
+		res.BEPolls += pr.BEPolls
+		res.Skipped += pr.Skipped
+		res.Admitted = append(res.Admitted, pr.Admitted...)
+	}
 	return res
+}
+
+// addSlots sums two slot accounts field by field (the scatternet rollup:
+// N piconets occupy N channels' worth of slots).
+func addSlots(a, b piconet.SlotAccount) piconet.SlotAccount {
+	a.GSData += b.GSData
+	a.GSOverhead += b.GSOverhead
+	a.BEData += b.BEData
+	a.BEOverhead += b.BEOverhead
+	a.Retransmit += b.Retransmit
+	a.SCO += b.SCO
+	a.Idle += b.Idle
+	a.Total += b.Total
+	return a
 }

@@ -174,8 +174,26 @@ type Spec struct {
 	DirectionAware bool
 	// Timeline schedules mid-run changes: GS flows arrive through the
 	// paper's online admission test (and may be rejected), BE flows and
-	// SCO links come and go, flows retire. See TimelineEvent.
+	// SCO links come and go, flows retire, and whole piconets join or
+	// leave the scatternet. See TimelineEvent.
 	Timeline []TimelineEvent
+	// Piconets, when non-empty, switches the spec to scatternet form: N
+	// co-located piconets run over one shared kernel clock, each with its
+	// own scheduler and admission controller. The flat GS/BE/SCO fields
+	// must then stay empty (they are the one-piconet degenerate case).
+	// Spec-wide knobs (DelayTarget, Mode, BEPoller, Allowed, Radio, ARQ,
+	// …) apply to every piconet.
+	Piconets []PiconetSpec
+	// Interference couples the piconets through FH co-channel collisions
+	// (see InterferenceSpec). Without it piconets share only the clock.
+	Interference InterferenceSpec
+	// BatchTraffic batches traffic generation: up-flow sources that
+	// support it (CBR, ON/OFF) pre-enqueue one burst of future-dated
+	// arrivals per kernel event instead of one event per packet. Runs
+	// stay deterministic, but the RNG draw order differs from unbatched
+	// runs, so the two modes are distinct simulations (and fingerprint
+	// differently).
+	BatchTraffic bool
 }
 
 // Paper returns the paper's Fig. 4 setup: a seven-slave piconet with four
@@ -264,7 +282,10 @@ func (h Hooks) Zero() bool { return h.Tracer == nil && h.Radio == nil }
 
 // FlowResult summarises one flow after a run.
 type FlowResult struct {
-	ID        piconet.FlowID
+	ID piconet.FlowID
+	// Piconet names the flow's piconet in scatternet runs ("" for flat
+	// single-piconet specs). Flow ids are unique per piconet only.
+	Piconet   string
 	Slave     piconet.SlaveID
 	Dir       piconet.Direction
 	Class     piconet.Class
@@ -311,8 +332,16 @@ type Result struct {
 	Admitted []*admission.PlannedFlow
 	// Admissions is the online admission log: one record per timeline
 	// event, in application order, with per-request accept/reject
-	// outcomes (empty for static specs).
+	// outcomes (empty for static specs). In scatternet runs every record
+	// names its piconet.
 	Admissions []AdmissionRecord
+	// Piconets holds the per-piconet results, in creation order. Flat
+	// single-piconet specs carry one entry; the Result-level fields above
+	// are its values verbatim. Scatternet runs roll the piconets up into
+	// the Result-level fields: Flows concatenates, the throughput maps
+	// and slot account sum per slave id across piconets, and the poll
+	// counters total.
+	Piconets []PiconetResult
 }
 
 // FlowByID returns the result row of a flow.
@@ -337,7 +366,9 @@ func (r *Result) TotalKbps(class piconet.Class) float64 {
 }
 
 // BoundViolations returns GS flows whose measured maximum delay exceeded
-// the exported bound (must be empty for a correct scheduler).
+// the exported bound (must be empty for a correct scheduler on an
+// uncoupled piconet; co-channel interference is exactly what makes it
+// non-empty in scatternet runs).
 func (r *Result) BoundViolations() []FlowResult {
 	var out []FlowResult
 	for _, f := range r.Flows {
@@ -348,12 +379,50 @@ func (r *Result) BoundViolations() []FlowResult {
 	return out
 }
 
-// Report renders a run as a table.
+// ViolationFraction is the scatternet-wide fraction of GS flows whose
+// measured maximum delay exceeded the exported bound (0 when the run had
+// no GS flows).
+func (r *Result) ViolationFraction() float64 {
+	gs, bad := 0, 0
+	for _, f := range r.Flows {
+		if f.Class != piconet.Guaranteed {
+			continue
+		}
+		gs++
+		if f.DelayMax > f.Bound {
+			bad++
+		}
+	}
+	if gs == 0 {
+		return 0
+	}
+	return float64(bad) / float64(gs)
+}
+
+// PiconetByName returns the result of a piconet.
+func (r *Result) PiconetByName(name string) (PiconetResult, bool) {
+	for _, p := range r.Piconets {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PiconetResult{}, false
+}
+
+// multiPiconet reports whether the result spans more than one piconet
+// (reports then gain a piconet column).
+func (r *Result) multiPiconet() bool { return len(r.Piconets) > 1 }
+
+// Report renders a run as a table. Scatternet runs gain a leading
+// "piconet" column; single-piconet output is unchanged.
 func (r *Result) Report() *stats.Table {
-	tbl := stats.NewTable(
-		fmt.Sprintf("%s: %v over %v (GS polls %d, BE polls %d, skipped %d)",
-			r.Spec.Name, r.Spec.Mode, r.Elapsed, r.GSPolls, r.BEPolls, r.Skipped),
-		"flow", "slave", "dir", "class", "kbps", "delay_mean", "jitter", "delay_p99", "delay_max", "bound", "ok")
+	title := fmt.Sprintf("%s: %v over %v (GS polls %d, BE polls %d, skipped %d)",
+		r.Spec.Name, r.Spec.Mode, r.Elapsed, r.GSPolls, r.BEPolls, r.Skipped)
+	columns := []string{"flow", "slave", "dir", "class", "kbps", "delay_mean", "jitter", "delay_p99", "delay_max", "bound", "ok"}
+	if r.multiPiconet() {
+		columns = append([]string{"piconet"}, columns...)
+	}
+	tbl := stats.NewTable(title, columns...)
 	for _, f := range r.Flows {
 		ok := ""
 		bound := ""
@@ -365,23 +434,39 @@ func (r *Result) Report() *stats.Table {
 				ok = "VIOLATED"
 			}
 		}
-		tbl.AddRow(f.ID, f.Slave, f.Dir, f.Class, stats.FormatKbps(f.Kbps),
+		cells := []any{f.ID, f.Slave, f.Dir, f.Class, stats.FormatKbps(f.Kbps),
 			f.DelayMean.Round(time.Microsecond), f.DelayJitter.Round(time.Microsecond),
 			f.DelayP99.Round(time.Microsecond),
-			f.DelayMax.Round(time.Microsecond), bound, ok)
+			f.DelayMax.Round(time.Microsecond), bound, ok}
+		if r.multiPiconet() {
+			cells = append([]any{f.Piconet}, cells...)
+		}
+		tbl.AddRow(cells...)
 	}
 	return tbl
 }
 
 // AdmissionReport renders the online admission log as a table (nil when
-// the run had no timeline).
+// the run had no timeline). Records that name a piconet add a piconet
+// column; flat single-piconet output is unchanged.
 func (r *Result) AdmissionReport() *stats.Table {
 	if len(r.Admissions) == 0 {
 		return nil
 	}
+	withPiconet := false
+	for _, a := range r.Admissions {
+		if a.Piconet != "" {
+			withPiconet = true
+			break
+		}
+	}
+	columns := []string{"at", "op", "flow", "slave", "outcome", "bound", "rate_Bps", "reason"}
+	if withPiconet {
+		columns = append([]string{"piconet"}, columns...)
+	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("%s: online admission log (%d requests)", r.Spec.Name, len(r.Admissions)),
-		"at", "op", "flow", "slave", "outcome", "bound", "rate_Bps", "reason")
+		columns...)
 	for _, a := range r.Admissions {
 		outcome := "accepted"
 		if !a.Accepted {
@@ -397,7 +482,11 @@ func (r *Result) AdmissionReport() *stats.Table {
 		if a.Rate > 0 {
 			rate = fmt.Sprintf("%.0f", a.Rate)
 		}
-		tbl.AddRow(a.At, a.Op, flow, a.Slave, outcome, bound, rate, a.Reason)
+		cells := []any{a.At, a.Op, flow, a.Slave, outcome, bound, rate, a.Reason}
+		if withPiconet {
+			cells = append([]any{a.Piconet}, cells...)
+		}
+		tbl.AddRow(cells...)
 	}
 	return tbl
 }

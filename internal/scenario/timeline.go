@@ -4,38 +4,48 @@ import (
 	"fmt"
 	"time"
 
-	"bluegs/internal/admission"
 	"bluegs/internal/piconet"
-	"bluegs/internal/sco"
 )
 
 // Timeline operation names (TimelineEvent.Op, AdmissionRecord.Op).
 const (
-	OpAddGS      = "add-gs"
-	OpAddBE      = "add-be"
-	OpRemoveFlow = "remove-flow"
-	OpAddSCO     = "add-sco"
-	OpDropSCO    = "drop-sco"
+	OpAddGS         = "add-gs"
+	OpAddBE         = "add-be"
+	OpRemoveFlow    = "remove-flow"
+	OpAddSCO        = "add-sco"
+	OpDropSCO       = "drop-sco"
+	OpAddPiconet    = "add-piconet"
+	OpRemovePiconet = "remove-piconet"
 )
 
 // TimelineEvent is one scheduled mid-run change of a scenario. Exactly one
 // operation field must be set; events apply in slice order when they share
 // an instant. Build events with the *At constructors.
+//
+// Piconet addressing: in scatternet specs the Piconet field names the
+// piconet a flow or SCO operation targets; an empty field targets the
+// first piconet (which is also the only piconet of a flat spec, so flat
+// timelines need no addressing at all). AddPiconet and RemovePiconet act
+// on the scatternet itself and ignore the Piconet field.
 type TimelineEvent struct {
 	// At is the simulated time of the change, relative to the run start.
 	At time.Duration
+	// Piconet addresses the target piconet of a flow or SCO operation by
+	// name ("" means the spec's first piconet).
+	Piconet string
 	// AddGS requests admission of a Guaranteed Service flow at At: the
 	// paper's Fig. 3 admission test runs against the then-current flow
-	// set and either installs the flow — re-planning every stream's
-	// polling — or records a rejection in Result.Admissions.
+	// set of the target piconet and either installs the flow —
+	// re-planning every stream's polling — or records a rejection in
+	// Result.Admissions.
 	AddGS *GSFlow
 	// AddBE installs a best-effort flow (no admission test; best effort
 	// takes whatever is left over).
 	AddBE *BEFlow
-	// Remove retires a flow (GS or BE): its source stops, queued packets
-	// are dropped, and — for GS — its reserved bandwidth is released and
-	// the remaining flows re-planned. Removing a flow whose admission
-	// was rejected records a no-op.
+	// Remove retires a flow (GS or BE) of the target piconet: its source
+	// stops, queued packets are dropped, and — for GS — its reserved
+	// bandwidth is released and the remaining flows re-planned. Removing
+	// a flow whose admission was rejected records a no-op.
 	Remove piconet.FlowID
 	// AddSCO requests a synchronous voice link. It is rejected when the
 	// link does not fit the piconet's SCO capacity or when the admitted
@@ -44,6 +54,16 @@ type TimelineEvent struct {
 	AddSCO *SCOLinkSpec
 	// DropSCO releases the slave's synchronous link.
 	DropSCO piconet.SlaveID
+	// AddPiconet brings a whole new piconet into the scatternet at At:
+	// its static GS set is planned offline (clamped like a run-start
+	// plan), its master starts polling, and from then on timeline events
+	// may target it by name. Names must be unique across the run.
+	AddPiconet *PiconetSpec
+	// RemovePiconet takes the named piconet out of service: its sources
+	// stop, its master polls no more, and — with interference enabled —
+	// it stops colliding with the others. Its statistics stay in the
+	// result, final as of the removal.
+	RemovePiconet string
 }
 
 // Op names the event's operation ("" for an invalid event).
@@ -59,6 +79,10 @@ func (e TimelineEvent) Op() string {
 		return OpAddSCO
 	case e.DropSCO != 0:
 		return OpDropSCO
+	case e.AddPiconet != nil:
+		return OpAddPiconet
+	case e.RemovePiconet != "":
+		return OpRemovePiconet
 	}
 	return ""
 }
@@ -81,7 +105,38 @@ func (e TimelineEvent) ops() int {
 	if e.DropSCO != 0 {
 		n++
 	}
+	if e.AddPiconet != nil {
+		n++
+	}
+	if e.RemovePiconet != "" {
+		n++
+	}
 	return n
+}
+
+// subject returns the flow and slave a flow/SCO operation acts on (zero
+// where the operation has none) — the identifiers a rejection record
+// carries when the event cannot even reach its piconet.
+func (e TimelineEvent) subject() (piconet.FlowID, piconet.SlaveID) {
+	switch {
+	case e.AddGS != nil:
+		return e.AddGS.ID, e.AddGS.Slave
+	case e.AddBE != nil:
+		return e.AddBE.ID, e.AddBE.Slave
+	case e.Remove != piconet.None:
+		return e.Remove, 0
+	case e.AddSCO != nil:
+		return piconet.None, e.AddSCO.Slave
+	case e.DropSCO != 0:
+		return piconet.None, e.DropSCO
+	}
+	return piconet.None, 0
+}
+
+// For returns the event readdressed to the named piconet.
+func (e TimelineEvent) For(piconet string) TimelineEvent {
+	e.Piconet = piconet
+	return e
 }
 
 // AddGSAt schedules a Guaranteed Service flow arrival.
@@ -109,6 +164,16 @@ func DropSCOAt(at time.Duration, slave piconet.SlaveID) TimelineEvent {
 	return TimelineEvent{At: at, DropSCO: slave}
 }
 
+// AddPiconetAt schedules a piconet joining the scatternet.
+func AddPiconetAt(at time.Duration, ps PiconetSpec) TimelineEvent {
+	return TimelineEvent{At: at, AddPiconet: &ps}
+}
+
+// RemovePiconetAt schedules a piconet leaving the scatternet.
+func RemovePiconetAt(at time.Duration, name string) TimelineEvent {
+	return TimelineEvent{At: at, RemovePiconet: name}
+}
+
 // AdmissionRecord is one entry of a run's online admission log: the
 // outcome of one timeline event.
 type AdmissionRecord struct {
@@ -116,6 +181,9 @@ type AdmissionRecord struct {
 	At time.Duration
 	// Op is the operation (see the Op* constants).
 	Op string
+	// Piconet names the piconet the operation acted on ("" in flat
+	// single-piconet runs).
+	Piconet string
 	// Flow is the affected flow (flow operations only).
 	Flow piconet.FlowID
 	// Slave is the affected slave.
@@ -131,16 +199,20 @@ type AdmissionRecord struct {
 }
 
 // validateTimeline statically checks a timeline against the spec: one
-// operation per event, non-negative times, unique flow ids across the
-// static sets and all additions, and removals that reference a flow the
-// scenario can ever install.
+// operation per event, non-negative times, piconet targets that name a
+// piconet the scenario can ever create, unique flow ids per piconet
+// across the static sets and all additions, and removals that reference
+// a flow the scenario can ever install there.
 func validateTimeline(spec Spec) error {
-	known := make(map[piconet.FlowID]bool, len(spec.GS)+len(spec.BE))
-	for _, g := range spec.GS {
-		known[g.ID] = true
-	}
-	for _, b := range spec.BE {
-		known[b.ID] = true
+	// Piconet names the scenario can ever have: the initial set plus
+	// every add_piconet. Whether a name is live when an event fires is a
+	// runtime question (recorded as a rejection, like a full piconet
+	// refusing a flow) — what validation rejects is a name that can
+	// never exist.
+	def := spec.defaultPiconetName()
+	known := make(map[string]map[piconet.FlowID]bool)
+	for _, ps := range spec.piconetSpecs() {
+		known[ps.Name] = ps.flowIDSet()
 	}
 	for i, ev := range spec.Timeline {
 		if n := ev.ops(); n != 1 {
@@ -149,25 +221,55 @@ func validateTimeline(spec Spec) error {
 		if ev.At < 0 {
 			return fmt.Errorf("%w: timeline[%d] at %v is negative", ErrBadSpec, i, ev.At)
 		}
+		// Scatternet operations first: they change the name set.
+		switch {
+		case ev.AddPiconet != nil:
+			ps := *ev.AddPiconet
+			if ps.Name == "" {
+				return fmt.Errorf("%w: timeline[%d] add-piconet with no name", ErrBadSpec, i)
+			}
+			if _, dup := known[ps.Name]; dup {
+				return fmt.Errorf("%w: timeline[%d] duplicate piconet name %q", ErrBadSpec, i, ps.Name)
+			}
+			if err := ps.validateFlows(); err != nil {
+				return fmt.Errorf("timeline[%d] add-piconet %q: %w", i, ps.Name, err)
+			}
+			known[ps.Name] = ps.flowIDSet()
+			continue
+		case ev.RemovePiconet != "":
+			if _, ok := known[ev.RemovePiconet]; !ok {
+				return fmt.Errorf("%w: timeline[%d] removes unknown piconet %q", ErrBadSpec, i, ev.RemovePiconet)
+			}
+			continue
+		}
+		// Flow and SCO operations: resolve the target piconet.
+		target := ev.Piconet
+		if target == "" {
+			target = def
+		}
+		flows, ok := known[target]
+		if !ok {
+			return fmt.Errorf("%w: timeline[%d] targets unknown piconet %q", ErrBadSpec, i, target)
+		}
 		switch {
 		case ev.AddGS != nil:
 			if ev.AddGS.ID == piconet.None {
 				return fmt.Errorf("%w: timeline[%d] add-gs with zero flow id", ErrBadSpec, i)
 			}
-			if known[ev.AddGS.ID] {
+			if flows[ev.AddGS.ID] {
 				return fmt.Errorf("%w: timeline[%d] duplicate flow id %d", ErrBadSpec, i, ev.AddGS.ID)
 			}
-			known[ev.AddGS.ID] = true
+			flows[ev.AddGS.ID] = true
 		case ev.AddBE != nil:
 			if ev.AddBE.ID == piconet.None {
 				return fmt.Errorf("%w: timeline[%d] add-be with zero flow id", ErrBadSpec, i)
 			}
-			if known[ev.AddBE.ID] {
+			if flows[ev.AddBE.ID] {
 				return fmt.Errorf("%w: timeline[%d] duplicate flow id %d", ErrBadSpec, i, ev.AddBE.ID)
 			}
-			known[ev.AddBE.ID] = true
+			flows[ev.AddBE.ID] = true
 		case ev.Remove != piconet.None:
-			if !known[ev.Remove] {
+			if !flows[ev.Remove] {
 				return fmt.Errorf("%w: timeline[%d] removes unknown flow %d", ErrBadSpec, i, ev.Remove)
 			}
 		case ev.AddSCO != nil:
@@ -177,182 +279,4 @@ func validateTimeline(spec Spec) error {
 		}
 	}
 	return nil
-}
-
-// reject logs a refused timeline operation.
-func (r *runner) reject(op string, flow piconet.FlowID, slave piconet.SlaveID, reason string) {
-	r.admissions = append(r.admissions, AdmissionRecord{
-		At: r.s.Now(), Op: op, Flow: flow, Slave: slave, Reason: reason,
-	})
-}
-
-// accept logs an applied timeline operation.
-func (r *runner) accept(rec AdmissionRecord) {
-	rec.At = r.s.Now()
-	rec.Accepted = true
-	r.admissions = append(r.admissions, rec)
-}
-
-// applyEvent dispatches one timeline event at its simulated time. Spec
-// errors (which static validation should have caught) are fatal: they
-// stop the simulation and fail the run. Admission refusals are recorded
-// outcomes, not errors.
-func (r *runner) applyEvent(ev TimelineEvent) {
-	if r.err != nil {
-		return
-	}
-	switch {
-	case ev.AddGS != nil:
-		r.applyAddGS(*ev.AddGS)
-	case ev.AddBE != nil:
-		r.applyAddBE(*ev.AddBE)
-	case ev.Remove != piconet.None:
-		r.applyRemove(ev.Remove)
-	case ev.AddSCO != nil:
-		r.applyAddSCO(*ev.AddSCO)
-	case ev.DropSCO != 0:
-		r.applyDropSCO(ev.DropSCO)
-	}
-	if r.err != nil {
-		r.s.Stop()
-	}
-}
-
-// applyAddGS runs the paper's online admission test for a mid-run GS
-// arrival and installs the flow on success.
-func (r *runner) applyAddGS(g GSFlow) {
-	pf, err := r.ctrl.AdmitForDelay(admission.DelayRequest{
-		Request: admission.Request{
-			ID:      g.ID,
-			Slave:   g.Slave,
-			Dir:     g.Dir,
-			Spec:    g.Spec(),
-			Allowed: r.allowedFor(g.Allowed),
-		},
-		Target: r.spec.DelayTarget,
-	})
-	if err != nil {
-		r.reject(OpAddGS, g.ID, g.Slave, err.Error())
-		return
-	}
-	if r.err = r.addSlave(g.Slave); r.err != nil {
-		return
-	}
-	if r.err = r.pn.AddFlow(piconet.FlowConfig{
-		ID: g.ID, Slave: g.Slave, Dir: g.Dir,
-		Class: piconet.Guaranteed, Allowed: r.allowedFor(g.Allowed),
-	}); r.err != nil {
-		return
-	}
-	if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
-		return
-	}
-	r.noteBounds()
-	r.attachGSSource(g)
-	r.pn.Kick()
-	r.accept(AdmissionRecord{
-		Op: OpAddGS, Flow: g.ID, Slave: g.Slave,
-		Bound: pf.Bound, Rate: pf.Request.Rate,
-	})
-}
-
-// applyAddBE installs a mid-run best-effort arrival (no admission test).
-func (r *runner) applyAddBE(b BEFlow) {
-	if r.err = r.addSlave(b.Slave); r.err != nil {
-		return
-	}
-	if r.err = r.pn.AddFlow(piconet.FlowConfig{
-		ID: b.ID, Slave: b.Slave, Dir: b.Dir,
-		Class: piconet.BestEffort, Allowed: r.allowedFor(b.Allowed),
-	}); r.err != nil {
-		return
-	}
-	r.sched.RefreshBE()
-	r.attachBESource(b)
-	r.pn.Kick()
-	r.accept(AdmissionRecord{Op: OpAddBE, Flow: b.ID, Slave: b.Slave})
-}
-
-// applyRemove retires a flow: its source stops, queued packets drop, and
-// a Guaranteed Service flow's bandwidth is released by re-planning.
-func (r *runner) applyRemove(id piconet.FlowID) {
-	src, installed := r.sources[id]
-	if !installed {
-		// The flow's admission was rejected (or it was already
-		// removed): the departure has nothing to retire.
-		r.reject(OpRemoveFlow, id, 0, "flow not installed")
-		return
-	}
-	r.s.Cancel(src.ev)
-	delete(r.sources, id)
-	cfg, _ := r.pn.FlowConfig(id)
-	if r.err = r.pn.RetireFlow(id); r.err != nil {
-		return
-	}
-	if _, isGS := r.ctrl.Find(id); isGS {
-		if r.err = r.ctrl.Remove(id); r.err != nil {
-			return
-		}
-		if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
-			return
-		}
-		r.noteBounds()
-	} else {
-		r.sched.RefreshBE()
-	}
-	r.accept(AdmissionRecord{Op: OpRemoveFlow, Flow: id, Slave: cfg.Slave})
-}
-
-// applyAddSCO reserves a mid-run voice link if both the piconet's SCO
-// capacity and the admitted Guaranteed Service contracts allow it. Every
-// check runs before any state changes, so a refused call leaves no trace
-// (no phantom slave registration, no half-installed reservation).
-func (r *runner) applyAddSCO(l SCOLinkSpec) {
-	ch, err := sco.NewChannel(l.Type)
-	if err != nil {
-		r.reject(OpAddSCO, 0, l.Slave, err.Error())
-		return
-	}
-	if err := r.pn.CheckSCOLink(l.Slave, l.Type); err != nil {
-		r.reject(OpAddSCO, 0, l.Slave, err.Error())
-		return
-	}
-	if err := r.ctrl.SetSCOLinks(append(r.ctrl.SCOLinks(), ch)); err != nil {
-		// The GS set no longer fits around the reservations: the call
-		// is refused (SetSCOLinks left the controller unchanged).
-		r.reject(OpAddSCO, 0, l.Slave, err.Error())
-		return
-	}
-	if r.err = r.addSlave(l.Slave); r.err != nil {
-		return
-	}
-	if r.err = r.pn.AddSCOLink(l.Slave, l.Type); r.err != nil {
-		return
-	}
-	if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
-		return
-	}
-	r.noteBounds()
-	r.accept(AdmissionRecord{Op: OpAddSCO, Slave: l.Slave})
-}
-
-// applyDropSCO releases a voice link and the admission headroom it held.
-func (r *runner) applyDropSCO(slave piconet.SlaveID) {
-	if err := r.pn.DropSCOLink(slave); err != nil {
-		r.reject(OpDropSCO, 0, slave, err.Error())
-		return
-	}
-	links := r.ctrl.SCOLinks()
-	if len(links) > 0 {
-		// Links are interchangeable at the admission level (one
-		// aggregate stream of count×type): release any one.
-		if r.err = r.ctrl.SetSCOLinks(links[:len(links)-1]); r.err != nil {
-			return
-		}
-		if r.err = r.sched.Replan(r.ctrl.Flows()); r.err != nil {
-			return
-		}
-		r.noteBounds()
-	}
-	r.accept(AdmissionRecord{Op: OpDropSCO, Slave: slave})
 }

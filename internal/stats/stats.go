@@ -220,6 +220,23 @@ func (m *Meter) Add(n int) {
 	m.packets++
 }
 
+// Unadd reverses one Add of n bytes: batched traffic sources that
+// pre-count future packets use it to uncount packets whose arrival never
+// happens (flow retired, piconet removed). Underflow clamps to zero.
+func (m *Meter) Unadd(n int) {
+	if n < 0 {
+		return
+	}
+	if m.bytes >= uint64(n) {
+		m.bytes -= uint64(n)
+	} else {
+		m.bytes = 0
+	}
+	if m.packets > 0 {
+		m.packets--
+	}
+}
+
 // Bytes returns the accumulated byte count.
 func (m *Meter) Bytes() uint64 { return m.bytes }
 

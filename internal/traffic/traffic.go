@@ -97,13 +97,32 @@ type Generator interface {
 	Name() string
 }
 
+// BurstGenerator is an optional Generator extension for batched emission:
+// NextBurst returns the next run of inter-arrival gaps in one call, drawn
+// exactly as the same number of successive NextInterval calls would draw
+// them (same values, same RNG consumption). Sources that understand it
+// can schedule one kernel event per burst instead of one per packet,
+// pre-enqueueing the burst's future-dated arrivals (see
+// piconet.EnqueuePacketAt). A burst ends where the generator would next
+// need fresh randomness to continue — an ON/OFF source returns one ON
+// burst per call — or at max gaps, whichever comes first.
+type BurstGenerator interface {
+	Generator
+	// NextBurst appends up to max gaps to dst and returns it. At least
+	// one gap is returned when max > 0.
+	NextBurst(rng *rand.Rand, dst []time.Duration, max int) []time.Duration
+}
+
 // CBR emits one packet every Interval, the paper's arrival process for both
 // GS and BE sources.
 type CBR struct {
 	Interval time.Duration
 }
 
-var _ Generator = CBR{}
+var (
+	_ Generator      = CBR{}
+	_ BurstGenerator = CBR{}
+)
 
 // NextInterval implements Generator.
 func (c CBR) NextInterval(*rand.Rand) time.Duration {
@@ -115,6 +134,15 @@ func (c CBR) NextInterval(*rand.Rand) time.Duration {
 
 // Name implements Generator.
 func (c CBR) Name() string { return fmt.Sprintf("cbr(%v)", c.Interval) }
+
+// NextBurst implements BurstGenerator. A constant-rate source needs no
+// randomness, so every call fills the whole batch.
+func (c CBR) NextBurst(rng *rand.Rand, dst []time.Duration, max int) []time.Duration {
+	for i := 0; i < max; i++ {
+		dst = append(dst, c.NextInterval(rng))
+	}
+	return dst
+}
 
 // CBRForRate returns the CBR process that carries rate bits per second with
 // packets of the given mean size in bytes. This mirrors the paper's BE
@@ -172,7 +200,10 @@ type OnOff struct {
 	started         bool
 }
 
-var _ Generator = (*OnOff)(nil)
+var (
+	_ Generator      = (*OnOff)(nil)
+	_ BurstGenerator = (*OnOff)(nil)
+)
 
 // NewOnOff returns an ON/OFF source with the given mean ON and OFF period
 // lengths emitting one packet per interval while ON.
@@ -232,6 +263,28 @@ func (o *OnOff) NextInterval(rng *rand.Rand) time.Duration {
 	}
 	o.remainingOn -= o.interval
 	return gap + o.interval
+}
+
+// NextBurst implements BurstGenerator: one call returns (up to max) the
+// rest of the current ON burst. The first gap may carry an OFF silence —
+// exactly what NextInterval would have returned — and every further gap
+// is a bare interval emitted while the remaining ON budget lasts, so the
+// returned sequence and the RNG consumption match successive
+// NextInterval calls gap for gap. The burst stops where the next
+// emission would need a fresh OFF/ON draw.
+func (o *OnOff) NextBurst(rng *rand.Rand, dst []time.Duration, max int) []time.Duration {
+	if max <= 0 {
+		return dst
+	}
+	// max caps the gaps appended by this call, not len(dst): callers may
+	// accumulate across calls (CBR counts the same way).
+	start := len(dst)
+	dst = append(dst, o.NextInterval(rng))
+	for len(dst)-start < max && o.remainingOn >= o.interval {
+		o.remainingOn -= o.interval
+		dst = append(dst, o.interval)
+	}
+	return dst
 }
 
 // Name implements Generator.

@@ -276,3 +276,66 @@ func TestGeneratorNames(t *testing.T) {
 		}
 	}
 }
+
+// TestCBRNextBurstMatchesNextInterval checks batch emission draws the
+// exact sequence repeated NextInterval calls would.
+func TestCBRNextBurstMatchesNextInterval(t *testing.T) {
+	gen := CBR{Interval: 20 * time.Millisecond}
+	rng := rand.New(rand.NewSource(7))
+	burst := gen.NextBurst(rng, nil, 5)
+	if len(burst) != 5 {
+		t.Fatalf("burst length %d, want 5", len(burst))
+	}
+	ref := CBR{Interval: 20 * time.Millisecond}
+	refRng := rand.New(rand.NewSource(7))
+	for i, got := range burst {
+		if want := ref.NextInterval(refRng); got != want {
+			t.Fatalf("gap %d: %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestOnOffNextBurstMatchesNextInterval replays an ON/OFF source both
+// ways from identical RNG states: the batched gaps, their order and the
+// randomness consumed must be indistinguishable from per-packet draws.
+func TestOnOffNextBurstMatchesNextInterval(t *testing.T) {
+	const seed = 42
+	batched := NewOnOff(50*time.Millisecond, 30*time.Millisecond, 5*time.Millisecond)
+	serial := NewOnOff(50*time.Millisecond, 30*time.Millisecond, 5*time.Millisecond)
+	bRng := rand.New(rand.NewSource(seed))
+	sRng := rand.New(rand.NewSource(seed))
+	var got []time.Duration
+	for len(got) < 500 {
+		got = batched.NextBurst(bRng, got, 64)
+	}
+	for i, g := range got {
+		if want := serial.NextInterval(sRng); g != want {
+			t.Fatalf("gap %d: batched %v, serial %v", i, g, want)
+		}
+	}
+	// Both generators must land in the same RNG state.
+	if bRng.Int63() != sRng.Int63() {
+		t.Fatal("batched and serial paths consumed different randomness")
+	}
+}
+
+// TestOnOffNextBurstBoundaries checks a burst never spans an OFF gap
+// after its first element: only the first gap may exceed the interval.
+func TestOnOffNextBurstBoundaries(t *testing.T) {
+	gen := NewOnOff(40*time.Millisecond, 40*time.Millisecond, 5*time.Millisecond)
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 200; round++ {
+		burst := gen.NextBurst(rng, nil, 1024)
+		if len(burst) == 0 {
+			t.Fatal("empty burst")
+		}
+		for i, g := range burst[1:] {
+			if g != 5*time.Millisecond {
+				t.Fatalf("round %d: gap %d = %v, want the bare interval", round, i+1, g)
+			}
+		}
+	}
+	if got := gen.NextBurst(rng, nil, 0); len(got) != 0 {
+		t.Fatalf("max=0 returned %d gaps", len(got))
+	}
+}
