@@ -76,6 +76,8 @@ func run() error {
 		mode      = flag.String("mode", "variable", "planner mode: fixed or variable")
 		pollerK   = flag.String("poller", "pfp", "best-effort poller: pfp, round-robin, exhaustive-rr, fep, edc, demand, hol-priority")
 		noPiggy   = flag.Bool("no-piggyback", false, "disable piggybacking in admission")
+		iaa       = flag.Bool("interference-aware", false, "derate admission by the expected FH co-channel collision probability (needs a scatternet scenario with interference enabled)")
+		derate    = flag.Float64("derate", 0, "static admission success probability in (0,1), overriding the medium estimate (implies -interference-aware)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a text table")
 		scenarioF = flag.String("scenario", "", "scenario to run: a registered name (see -list) or a JSON file path")
 		list      = flag.Bool("list", false, "list registered scenario names and exit")
@@ -138,6 +140,16 @@ func run() error {
 			spec.Mode = core.VariableInterval
 		default:
 			return fmt.Errorf("unknown mode %q", *mode)
+		}
+	}
+	if *derate != 0 && (*derate <= 0 || *derate >= 1) {
+		return fmt.Errorf("-derate %g outside (0,1)", *derate)
+	}
+	if *iaa || *derate != 0 {
+		spec.InterferenceAwareAdmission = true
+		spec.AdmissionDerate = *derate
+		if !spec.Interference.Enabled {
+			fmt.Fprintln(os.Stderr, "btsim: -interference-aware is inert: the scenario has no interference coupling")
 		}
 	}
 	if *export != "" {

@@ -139,5 +139,9 @@ func run() error {
 	if err := print(e9, err); err != nil {
 		return fmt.Errorf("E9: %w", err)
 	}
+	_, e10, err := experiments.ScatternetAdmissionStudy(cfg, nil, nil)
+	if err := print(e10, err); err != nil {
+		return fmt.Errorf("E10: %w", err)
+	}
 	return nil
 }

@@ -11,7 +11,11 @@
 //     poll planners;
 //   - internal/admission — the x_i fixed point (Fig. 2), feasibility
 //     condition (eq. 8/9) and priority-reassigning, piggyback-aware
-//     admission routine (Fig. 3);
+//     admission routine (Fig. 3), with optional interference derating:
+//     an FH co-channel success probability s scales every reserved rate
+//     to its effective service rate R·s in the bound math, grows the
+//     exported error terms by a retransmission budget, and re-derives
+//     accepted contracts when the estimate moves (SetSuccessProb);
 //   - internal/piconet, internal/baseband, internal/sim — the simulated
 //     Bluetooth substrate (TDD slot engine, packet types, event kernel);
 //   - internal/poller — best-effort pollers: RR, ERR, FEP, EDC,
@@ -33,9 +37,12 @@
 //     single-piconet spec is its byte-identical degenerate case;
 //   - internal/experiments — one entry point per paper table/figure,
 //     plus the churn studies (accept ratio and bound compliance under
-//     Poisson GS flow arrivals, for every best-effort poller) and the
+//     Poisson GS flow arrivals, for every best-effort poller), the
 //     E9 scatternet study (how the per-piconet delay bounds erode as
-//     co-channel interference grows with the piconet count);
+//     co-channel interference grows with the piconet count), and the
+//     E10 interference-aware admission study (the same workload with
+//     derated admission: violation fraction ~0, bought with a lower
+//     online accept ratio);
 //   - internal/harness — the parallel experiment runner: sweep grids
 //     (delay target × poller × seed replication) fan out across a bounded
 //     worker pool with per-replication seed derivation, so every cmd tool

@@ -10,6 +10,7 @@ package admission
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"bluegs/internal/baseband"
@@ -101,6 +102,25 @@ type Config struct {
 	// flows whose worst exchange cannot fit between reservations are
 	// rejected. All links must share one HV type.
 	SCOLinks []sco.Channel
+	// SuccessProb is the effective per-exchange success probability
+	// s = 1 − P(collision) under FH co-channel interference (see
+	// radio.ExpectedCollisionProb). Values <= 0 or >= 1 mean the ideal
+	// channel (no derating). When set, a reserved fluid rate R delivers
+	// only an effective service rate R·s, so the delay bound is
+	// evaluated at R·s, the exported C term grows by a retransmission
+	// budget (DeratedErrorTerms), and flows whose derated rate falls
+	// below their token rate are rejected — admission must then reserve
+	// R >= r/s to keep the queue stable.
+	SuccessProb float64
+}
+
+// successProb normalises the configured derating input: 1 (ideal) when
+// unset or out of range.
+func (cfg Config) successProb() float64 {
+	if cfg.SuccessProb <= 0 || cfg.SuccessProb >= 1 {
+		return 1
+	}
+	return cfg.SuccessProb
 }
 
 // DeriveParams computes the polling parameters of a request.
@@ -196,4 +216,44 @@ func Feasible(x, interval time.Duration) bool { return x <= interval }
 // C = eta_min (rate-dependent) and D = x (rate-independent).
 func ErrorTerms(etaMin float64, x time.Duration) gs.ErrorTerms {
 	return gs.ErrorTerms{C: etaMin, D: x}
+}
+
+// retryTailProb is the residual risk the interference retry budget leaves
+// uncovered: the derated C term funds enough retransmission polls that a
+// packet needs more of them only with probability < retryTailProb per
+// exchange (that many consecutive independent collisions). 1e-5 is
+// calibrated against the E10 scatternet study: at 8 co-located piconets
+// (~10⁵ exchanges per 30s run) it keeps measured worst-case delays inside
+// the derated bounds where 1e-3/1e-4 left the deepest retry tails ~1-2ms
+// outside. Collisions across retries are not fully independent (the other
+// piconets stay on air while they too retransmit), so the geometric model
+// needs this extra headroom.
+const retryTailProb = 1e-5
+
+// RetryBudget returns the number of extra polls the derated error terms
+// fund against consecutive co-channel collisions: the smallest K with
+// (1 − s)^K <= retryTailProb, 0 on the ideal channel. The admission
+// estimate of s is conservative (every co-located piconet assumed on
+// air), so the realised tail risk is far below retryTailProb.
+func RetryBudget(successProb float64) int {
+	if successProb >= 1 || successProb <= 0 {
+		return 0
+	}
+	k := math.Ceil(math.Log(retryTailProb) / math.Log(1-successProb))
+	if k < 0 {
+		return 0
+	}
+	return int(k)
+}
+
+// DeratedErrorTerms is the error-term export under co-channel
+// interference. A collided exchange retransmits at the flow's next
+// planned poll, one interval t = eta/R later; budgeting K = RetryBudget
+// retries therefore adds K·t to the worst-case delay. The bound divides
+// C by the effective rate R·s, so the addition is expressed as
+// C = eta·(1 + K·s): C/(R·s) = eta/(R·s) + K·eta/R. With s = 1 this is
+// exactly ErrorTerms.
+func DeratedErrorTerms(etaMin float64, x time.Duration, successProb float64) gs.ErrorTerms {
+	k := RetryBudget(successProb)
+	return gs.ErrorTerms{C: etaMin * (1 + float64(k)*successProb), D: x}
 }

@@ -284,7 +284,11 @@ func (c *Controller) AdmitForDelay(dr DelayRequest) (*PlannedFlow, error) {
 	if dr.Target <= 0 {
 		return nil, fmt.Errorf("%w: non-positive delay target", ErrBadRequest)
 	}
-	rate := dr.Request.Spec.TokenRate
+	// Under derating the reserved rate must at least cover the token
+	// rate after the interference tax, and the rate the bound formula
+	// asks for is an effective rate — gross it up by 1/s to reserve.
+	s := c.cfg.successProb()
+	rate := dr.Request.Spec.TokenRate / s
 	const maxIters = 60
 	for iter := 0; iter < maxIters; iter++ {
 		trial := c.clone()
@@ -302,6 +306,9 @@ func (c *Controller) AdmitForDelay(dr DelayRequest) (*PlannedFlow, error) {
 			return admitted, nil
 		}
 		needed, err := gs.RequiredRate(dr.Request.Spec, dr.Target, pf.Terms)
+		if err == nil {
+			needed /= s
+		}
 		if err != nil || needed <= rate {
 			// The target sits below the exported D (no rate closes
 			// the gap directly) or the formula stalled because x
@@ -348,6 +355,44 @@ func (c *Controller) SetSCOLinks(links []sco.Channel) error {
 func (c *Controller) SCOLinks() []sco.Channel {
 	return append([]sco.Channel(nil), c.cfg.SCOLinks...)
 }
+
+// SetSuccessProb replaces the interference derating input — the
+// effective per-exchange success probability s — and recomputes the
+// accepted flows' error terms and bounds against it, preserving their
+// relative priority order (x values do not move: poll intervals depend on
+// the reserved raw rates, which stay as contracted). Scatternet churn
+// calls this when piconets join or leave: a join tightens s and loosens
+// every bound, a leave relaxes it. If some accepted flow's derated rate
+// R·s no longer covers its token rate the new estimate is unservable for
+// the existing contracts — the controller is left unchanged and the
+// error wraps ErrRejected, so the caller can record the refused
+// re-derate.
+func (c *Controller) SetSuccessProb(s float64) error {
+	old := c.cfg.SuccessProb
+	c.cfg.SuccessProb = s
+	var kept []*PlannedFlow
+	for _, f := range c.Flows() {
+		cp := *f
+		kept = append(kept, &cp)
+	}
+	groups, err := c.pairUp(kept)
+	if err == nil {
+		sort.SliceStable(groups, func(i, j int) bool {
+			return groups[i].primary.Priority < groups[j].primary.Priority
+		})
+		err = c.finalize(groups, c.maxExchange(groups))
+	}
+	if err != nil {
+		c.cfg.SuccessProb = old
+		return err
+	}
+	c.groups = groups
+	return nil
+}
+
+// SuccessProb returns the success probability admission currently
+// derates against (1 on the ideal channel).
+func (c *Controller) SuccessProb() float64 { return c.cfg.successProb() }
 
 // Remove drops a flow from the accepted set. Remaining flows keep their
 // relative priority order; their x values and bounds are recomputed (they
@@ -421,6 +466,7 @@ func (c *Controller) finalize(ordered []*group, xi time.Duration) error {
 	if err != nil {
 		return err
 	}
+	s := c.cfg.successProb()
 	for i, g := range ordered {
 		if err := c.cfg.checkSCOWindow(g.stream().Exchange); err != nil {
 			return fmt.Errorf("%w: %w", ErrRejected, err)
@@ -439,8 +485,22 @@ func (c *Controller) finalize(ordered []*group, xi time.Duration) error {
 		for _, f := range g.flows() {
 			f.Priority = i + 1
 			f.X = x
-			f.Terms = ErrorTerms(f.Params.EtaMin, x)
-			bound, err := gs.DelayBound(f.Request.Spec, f.Request.Rate, f.Terms)
+			f.Terms = DeratedErrorTerms(f.Params.EtaMin, x, s)
+			// Interference taxes the reserved rate: only R·s of it
+			// arrives as fluid service, and the bound must be honest
+			// about that. A flow whose derated rate cannot cover its
+			// token rate would queue without bound — reject it (the
+			// online negotiators compensate by reserving R >= r/s).
+			eff := f.Request.Rate * s
+			if tr := f.Request.Spec.TokenRate; eff < tr {
+				if eff >= tr*(1-1e-9) {
+					eff = tr // float rounding of an exact r/s reservation
+				} else {
+					return fmt.Errorf("%w: flow %d: derated rate %.1f×%.4f = %.1f below token rate %.1f",
+						ErrRejected, f.Request.ID, f.Request.Rate, s, eff, tr)
+				}
+			}
+			bound, err := gs.DelayBound(f.Request.Spec, eff, f.Terms)
 			if err != nil {
 				return fmt.Errorf("admission: bound for flow %d: %w", f.Request.ID, err)
 			}

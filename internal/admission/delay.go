@@ -36,12 +36,15 @@ func PlanForDelay(reqs []DelayRequest, cfg Config, opts ...ControllerOption) (*C
 	if len(reqs) == 0 {
 		return NewController(cfg, opts...), nil
 	}
+	s := cfg.successProb()
 	rates := make([]float64, len(reqs))
 	for i, dr := range reqs {
 		if err := dr.Request.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadRequest, dr.Request.ID, err)
 		}
-		rates[i] = dr.Request.Spec.TokenRate
+		// The legal minimum under derating: the reserved rate must
+		// still cover the token rate after the interference tax.
+		rates[i] = dr.Request.Spec.TokenRate / s
 	}
 
 	const maxIters = 50
@@ -71,6 +74,8 @@ func PlanForDelay(reqs []DelayRequest, cfg Config, opts ...ControllerOption) (*C
 			if err != nil {
 				return nil, fmt.Errorf("%w: flow %d: %v", ErrTargetInfeasible, dr.Request.ID, err)
 			}
+			// RequiredRate speaks in effective rate; reserve 1/s more.
+			needed /= s
 			// Rates must be monotone non-decreasing for convergence.
 			if needed > rates[i] {
 				rates[i] = needed
@@ -103,12 +108,13 @@ func PlanForDelayBestEffort(reqs []DelayRequest, cfg Config, opts ...ControllerO
 	if len(reqs) == 0 {
 		return NewController(cfg, opts...), nil
 	}
+	s := cfg.successProb()
 	rates := make([]float64, len(reqs))
 	for i, dr := range reqs {
 		if err := dr.Request.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadRequest, dr.Request.ID, err)
 		}
-		rates[i] = dr.Request.Spec.TokenRate
+		rates[i] = dr.Request.Spec.TokenRate / s
 	}
 	admitAll := func(rs []float64) (*Controller, error) {
 		c := NewController(cfg, opts...)
@@ -146,6 +152,10 @@ func PlanForDelayBestEffort(reqs []DelayRequest, cfg Config, opts ...ControllerO
 				// Target below D: push the rate as high as the
 				// growth step allows.
 				needed = goodRates[i] * 1.5
+			} else {
+				// RequiredRate speaks in effective rate; reserve
+				// 1/s more to deliver it through the interference.
+				needed /= s
 			}
 			if needed <= goodRates[i] {
 				needed = goodRates[i] * 1.02

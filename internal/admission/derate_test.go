@@ -1,0 +1,178 @@
+package admission_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"bluegs/internal/admission"
+	"bluegs/internal/baseband"
+	"bluegs/internal/piconet"
+	"bluegs/internal/radio"
+	"bluegs/internal/tspec"
+)
+
+func TestRetryBudget(t *testing.T) {
+	if k := admission.RetryBudget(1); k != 0 {
+		t.Fatalf("ideal channel: budget %d, want 0", k)
+	}
+	// p = 0.1: 0.1^5 = 1e-5, so K = 5 covers the tail exactly.
+	if k := admission.RetryBudget(0.9); k != 5 {
+		t.Fatalf("s=0.9: budget %d, want 5", k)
+	}
+	// The budget grows as the channel worsens.
+	prev := 0
+	for _, s := range []float64{0.99, 0.9, 0.7, 0.5} {
+		k := admission.RetryBudget(s)
+		if k < prev {
+			t.Fatalf("s=%g: budget %d shrank (prev %d)", s, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestDeratedErrorTermsReduceToIdeal(t *testing.T) {
+	x := 10 * time.Millisecond
+	ideal := admission.ErrorTerms(176, x)
+	if got := admission.DeratedErrorTerms(176, x, 1); got != ideal {
+		t.Fatalf("s=1 derated terms %+v != ideal %+v", got, ideal)
+	}
+	der := admission.DeratedErrorTerms(176, x, 0.9)
+	if der.C <= ideal.C || der.D != ideal.D {
+		t.Fatalf("s=0.9 terms %+v must inflate C only (ideal %+v)", der, ideal)
+	}
+}
+
+// TestDeratedAdmissionInflatesRateAndBound: the same delay negotiation on
+// a derated controller reserves a higher raw rate and still reports a
+// bound within the target, and rejects requests whose derated rate cannot
+// cover the token rate.
+func TestDeratedAdmissionInflatesRateAndBound(t *testing.T) {
+	target := 40 * time.Millisecond
+	s := 1 - radio.ExpectedCollisionProb(7, 79) // 8-piconet scatternet
+	ideal := admission.NewController(admission.Config{MaxExchange: baseband.SlotsToDuration(6)})
+	derated := admission.NewController(admission.Config{
+		MaxExchange: baseband.SlotsToDuration(6),
+		SuccessProb: s,
+	})
+	pfIdeal, err := ideal.AdmitForDelay(delayReq(1, 1, piconet.Up, target))
+	if err != nil {
+		t.Fatalf("ideal admit: %v", err)
+	}
+	pfDer, err := derated.AdmitForDelay(delayReq(1, 1, piconet.Up, target))
+	if err != nil {
+		t.Fatalf("derated admit: %v", err)
+	}
+	if pfDer.Bound > target {
+		t.Fatalf("derated bound %v exceeds target %v", pfDer.Bound, target)
+	}
+	if pfDer.Request.Rate <= pfIdeal.Request.Rate {
+		t.Fatalf("derated rate %.1f not above ideal %.1f", pfDer.Request.Rate, pfIdeal.Request.Rate)
+	}
+	// The reservation must at least gross up the token rate by 1/s.
+	tr := pfDer.Request.Spec.TokenRate
+	if pfDer.Request.Rate*s < tr*(1-1e-9) {
+		t.Fatalf("derated rate %.1f×%.4f below token rate %.1f", pfDer.Request.Rate, s, tr)
+	}
+	// A fixed-rate request at exactly the token rate is no longer
+	// servable on the derated channel.
+	_, err = derated.Admit(admission.Request{
+		ID: 9, Slave: 5, Dir: piconet.Up,
+		Spec:    tspec.CBR(20*time.Millisecond, 144, 176),
+		Rate:    tspec.CBR(20*time.Millisecond, 144, 176).TokenRate,
+		Allowed: baseband.PaperTypes,
+	})
+	if !errors.Is(err, admission.ErrRejected) {
+		t.Fatalf("token-rate request on derated channel: err=%v, want ErrRejected", err)
+	}
+}
+
+// TestSetSuccessProb: re-derating recomputes bounds in place (a leave
+// tightens them, a join loosens them back), preserves priorities, and
+// refuses an estimate the accepted contracts cannot survive, leaving
+// state unchanged. Flows are admitted with 4-scatternet derating so the
+// re-derates move within the reserved headroom — exactly how the runner
+// uses it (plan for the worst co-location, relax as piconets leave).
+func TestSetSuccessProb(t *testing.T) {
+	s4 := 1 - radio.ExpectedCollisionProb(3, 79) // 4 co-located piconets
+	s2 := 1 - radio.ExpectedCollisionProb(1, 79) // 2 co-located piconets
+	ctrl := admission.NewController(admission.Config{
+		MaxExchange: baseband.SlotsToDuration(6),
+		SuccessProb: s4,
+	})
+	// Oppositely-directed flows on one slave: they piggyback into one
+	// poll stream, leaving feasibility headroom for the inflated rates.
+	var ids []piconet.FlowID
+	for i, ep := range []struct {
+		slave piconet.SlaveID
+		dir   piconet.Direction
+	}{{1, piconet.Up}, {1, piconet.Down}} {
+		id := piconet.FlowID(i + 1)
+		if _, err := ctrl.AdmitForDelay(delayReq(id, ep.slave, ep.dir, 40*time.Millisecond)); err != nil {
+			t.Fatalf("admit %d: %v", id, err)
+		}
+		ids = append(ids, id)
+	}
+	boundAt := func(id piconet.FlowID) time.Duration {
+		pf, ok := ctrl.Find(id)
+		if !ok {
+			t.Fatalf("flow %d lost", id)
+		}
+		return pf.Bound
+	}
+	prioAt := func(id piconet.FlowID) int {
+		pf, _ := ctrl.Find(id)
+		return pf.Priority
+	}
+	bounds4 := map[piconet.FlowID]time.Duration{}
+	prios := map[piconet.FlowID]int{}
+	for _, id := range ids {
+		bounds4[id] = boundAt(id)
+		prios[id] = prioAt(id)
+	}
+	// Two piconets leave: the estimate relaxes and every bound tightens.
+	if err := ctrl.SetSuccessProb(s2); err != nil {
+		t.Fatalf("relax: %v", err)
+	}
+	if got := ctrl.SuccessProb(); math.Abs(got-s2) > 1e-12 {
+		t.Fatalf("SuccessProb() = %g, want %g", got, s2)
+	}
+	for _, id := range ids {
+		if boundAt(id) >= bounds4[id] {
+			t.Fatalf("flow %d: bound %v did not tighten from %v", id, boundAt(id), bounds4[id])
+		}
+		if prioAt(id) != prios[id] {
+			t.Fatalf("flow %d: priority moved %d -> %d", id, prios[id], prioAt(id))
+		}
+	}
+	// They come back: bounds loosen to exactly the at-admission values.
+	if err := ctrl.SetSuccessProb(s4); err != nil {
+		t.Fatalf("tighten: %v", err)
+	}
+	for _, id := range ids {
+		if boundAt(id) != bounds4[id] {
+			t.Fatalf("flow %d: bound %v != at-admission %v after re-tighten", id, boundAt(id), bounds4[id])
+		}
+	}
+	// An estimate so bad some reserved rate cannot cover its token
+	// rate any more is refused and nothing moves.
+	sBad := 1.0
+	for _, id := range ids {
+		pf, _ := ctrl.Find(id)
+		if s := 0.99 * pf.Request.Spec.TokenRate / pf.Request.Rate; s < sBad {
+			sBad = s
+		}
+	}
+	if err := ctrl.SetSuccessProb(sBad); !errors.Is(err, admission.ErrRejected) {
+		t.Fatalf("unservable re-derate (s=%g): err=%v, want ErrRejected", sBad, err)
+	}
+	if got := ctrl.SuccessProb(); math.Abs(got-s4) > 1e-12 {
+		t.Fatalf("failed re-derate changed SuccessProb to %g", got)
+	}
+	for _, id := range ids {
+		if boundAt(id) != bounds4[id] {
+			t.Fatalf("flow %d: failed re-derate moved bound to %v", id, boundAt(id))
+		}
+	}
+}

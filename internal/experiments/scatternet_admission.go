@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"bluegs/internal/harness"
+	"bluegs/internal/piconet"
+	"bluegs/internal/scenario"
+	"bluegs/internal/stats"
+)
+
+// ScatternetAdmissionRow is one point of the interference-aware admission
+// study: the same co-located scatternet workload with the admission test
+// either trusting the ideal channel (baseline) or derating its service
+// rates by the expected FH co-channel success probability.
+type ScatternetAdmissionRow struct {
+	// Piconets and BEKbps locate the workload cell.
+	Piconets int
+	BEKbps   float64
+	// Derated tells which admission mode the row ran.
+	Derated bool
+	// GSFlows is the number of admitted GS flows across the scatternet
+	// (first replication's layout; replications share it). Violations
+	// counts admitted flows whose measured max delay exceeded their
+	// exported bound, summed over replications.
+	GSFlows    int
+	Violations int
+	// ViolationFraction is the mean fraction of admitted GS flows
+	// violating their bound, across replications — ~0 when derated.
+	ViolationFraction float64
+	// Requests/Accepted/Rejected count the timeline's online add-gs
+	// outcomes across replications; AcceptRatio = Accepted/Requests.
+	// The derating cost shows here: the derated controller refuses
+	// arrivals the baseline happily admits (and then violates).
+	Requests, Accepted, Rejected int
+	AcceptRatio                  float64
+	// MeanDelayMax is the worst GS delay across flows, averaged over
+	// replications.
+	MeanDelayMax time.Duration
+	// GS and BE are delivered-throughput summaries across replications.
+	GS, BE stats.Summary
+	// Reps is the number of replications aggregated.
+	Reps int
+}
+
+// DefaultAdmissionCounts is the admission study's piconet-count axis.
+func DefaultAdmissionCounts() []int { return []int{1, 2, 4, 8} }
+
+// DefaultAdmissionLoads is the study's offered-load axis. One load keeps
+// the default report tractable; pass more to sweep it.
+func DefaultAdmissionLoads() []float64 { return []float64{60} }
+
+// admissionOnlineGS is the number of extra online GS arrivals per piconet
+// the timeline offers — the probes whose accept/reject split prices the
+// derating.
+const admissionOnlineGS = 2
+
+// admissionCell renders one (count, load, mode) grid cell.
+func admissionCell(count int, load float64, derated bool) string {
+	mode := "baseline"
+	if derated {
+		mode = "derated"
+	}
+	return fmt.Sprintf("%dpn/%skbps/%s", count, strconv.FormatFloat(load, 'g', -1, 64), mode)
+}
+
+// ScatternetAdmissionStudy is experiment E10: what interference-aware
+// admission buys and costs. Each workload cell — N co-located piconets,
+// the paper's voice-style GS flows plus a best-effort floor, and a stream
+// of online GS arrivals — runs twice: once with the baseline admission
+// test (which reasons over an ideal channel and, per E9, promises bounds
+// the colliding scatternet cannot keep) and once with every controller
+// derated by s = 1 − P(collision) from the FH co-channel estimate
+// (radio.ExpectedCollisionProb). Derating inflates reservations by 1/s
+// and funds a retransmission budget in the exported error terms, so the
+// violation fraction drops to ~0 — paid for in the accept-ratio column,
+// where the derated controller turns away the online arrivals the
+// baseline admits and then fails.
+func ScatternetAdmissionStudy(cfg Config, counts []int, loads []float64) ([]ScatternetAdmissionRow, *stats.Table, error) {
+	cfg = cfg.withDefaults()
+	if len(counts) == 0 {
+		counts = DefaultAdmissionCounts()
+	}
+	if len(loads) == 0 {
+		loads = DefaultAdmissionLoads()
+	}
+	type point struct {
+		count   int
+		load    float64
+		derated bool
+	}
+	var cells []string
+	byCell := make(map[string]point)
+	for _, load := range loads {
+		for _, count := range counts {
+			for _, derated := range []bool{false, true} {
+				cell := admissionCell(count, load, derated)
+				if _, dup := byCell[cell]; dup {
+					continue
+				}
+				cells = append(cells, cell)
+				byCell[cell] = point{count, load, derated}
+			}
+		}
+	}
+	grid := harness.Grid{Name: "scatternet-admission", Cells: cells, Build: func(cell string) scenario.Spec {
+		p := byCell[cell]
+		return scenario.Scatternet(scenario.ScatternetConfig{
+			Piconets:          p.count,
+			BEKbps:            p.load,
+			Duration:          cfg.Duration,
+			OnlineGS:          admissionOnlineGS,
+			InterferenceAware: p.derated,
+		})
+	}}
+	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: scatternet admission: %w", err)
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("E10: interference-aware admission — violations bought back with refusals (%v per run%s; 1/79 FH collision model, ARQ on)",
+			cfg.Duration, cfg.repNote()),
+		"piconets", "be_kbps", "admission", "gs_flows", "violations", "viol_fraction",
+		"requests", "accepted", "accept_ratio", "worst_gs_delay", "GS_kbps")
+	order, cellRuns := harness.Cells(results)
+	var rows []ScatternetAdmissionRow
+	for _, cell := range order {
+		rs := cellRuns[cell]
+		p := byCell[cell]
+		row := ScatternetAdmissionRow{
+			Piconets:   p.count,
+			BEKbps:     p.load,
+			Derated:    p.derated,
+			Violations: cellViolations(rs),
+			GS:         classKbps(rs, piconet.Guaranteed),
+			BE:         classKbps(rs, piconet.BestEffort),
+			Reps:       len(rs),
+		}
+		fracSum, delaySum := 0.0, time.Duration(0)
+		for _, r := range rs {
+			res := r.Result
+			fracSum += res.ViolationFraction()
+			var worst time.Duration
+			for _, f := range res.Flows {
+				if f.Class != piconet.Guaranteed {
+					continue
+				}
+				if f.DelayMax > worst {
+					worst = f.DelayMax
+				}
+			}
+			delaySum += worst
+			for _, a := range res.Admissions {
+				if a.Op != scenario.OpAddGS {
+					continue
+				}
+				row.Requests++
+				if a.Accepted {
+					row.Accepted++
+				} else {
+					row.Rejected++
+				}
+			}
+		}
+		row.ViolationFraction = fracSum / float64(len(rs))
+		row.MeanDelayMax = delaySum / time.Duration(len(rs))
+		if row.Requests > 0 {
+			row.AcceptRatio = float64(row.Accepted) / float64(row.Requests)
+		}
+		for _, f := range rs[0].Result.Flows {
+			if f.Class == piconet.Guaranteed {
+				row.GSFlows++
+			}
+		}
+		rows = append(rows, row)
+		mode := "baseline"
+		if row.Derated {
+			mode = "derated"
+		}
+		tbl.AddRow(row.Piconets, stats.FormatKbps(row.BEKbps), mode,
+			row.GSFlows, row.Violations, fmt.Sprintf("%.3f", row.ViolationFraction),
+			row.Requests, row.Accepted, fmt.Sprintf("%.3f", row.AcceptRatio),
+			row.MeanDelayMax.Round(time.Microsecond), kbpsCell(row.GS))
+	}
+	return rows, tbl, nil
+}

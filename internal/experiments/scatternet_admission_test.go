@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"bluegs/internal/harness"
+)
+
+// TestScatternetAdmissionDeratingKeepsBounds is the E10 acceptance
+// criterion: at every piconet count the derated rows keep the paper's
+// guarantee (zero bound violations) while the baseline rows — where E9
+// shows erosion — violate; and the price is visible in the admission
+// columns, the derated controller accepting no more (and beyond one
+// piconet strictly fewer) of the same online arrivals.
+func TestScatternetAdmissionDeratingKeepsBounds(t *testing.T) {
+	// The same 30 s horizon as the E9 monotonicity test: violations are
+	// per-flow max-delay events, so short horizons are too noisy.
+	cfg := Config{Duration: 30 * time.Second, Seed: 1}
+	counts := []int{1, 2, 4, 8}
+	rows, _, err := ScatternetAdmissionStudy(cfg, counts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(counts) {
+		t.Fatalf("%d rows, want %d", len(rows), 2*len(counts))
+	}
+	baseline := map[int]ScatternetAdmissionRow{}
+	derated := map[int]ScatternetAdmissionRow{}
+	for _, row := range rows {
+		if row.Derated {
+			derated[row.Piconets] = row
+		} else {
+			baseline[row.Piconets] = row
+		}
+	}
+	erosion := false
+	for _, n := range counts {
+		b, d := baseline[n], derated[n]
+		if d.Violations != 0 || d.ViolationFraction != 0 {
+			t.Fatalf("%d piconets: derated admission left %d violations (fraction %.3f)",
+				n, d.Violations, d.ViolationFraction)
+		}
+		if b.Requests == 0 || d.Requests != b.Requests {
+			t.Fatalf("%d piconets: request streams diverged (%d vs %d) — the timeline is spec data",
+				n, b.Requests, d.Requests)
+		}
+		if d.Accepted > b.Accepted {
+			t.Fatalf("%d piconets: derated admission accepted more (%d) than baseline (%d)",
+				n, d.Accepted, b.Accepted)
+		}
+		if b.Violations > 0 {
+			erosion = true
+			if d.Accepted >= b.Accepted {
+				t.Fatalf("%d piconets: baseline violates yet derating refused nothing (%d vs %d accepted)",
+					n, d.Accepted, b.Accepted)
+			}
+		}
+	}
+	if !erosion {
+		t.Fatal("no baseline cell eroded; the study is not exercising the failure E10 exists to fix")
+	}
+}
+
+// TestScatternetAdmissionDeterministicAcrossWorkers: the E10 sweep —
+// derated and baseline runs fanned out across the pool — must render
+// bit-identical tables at every worker count.
+func TestScatternetAdmissionDeterministicAcrossWorkers(t *testing.T) {
+	type snapshot struct {
+		rows  []ScatternetAdmissionRow
+		table string
+	}
+	var base *snapshot
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := Config{Duration: 3 * time.Second, Seed: 1, Replications: 2, Workers: workers}
+		rows, tbl, err := ScatternetAdmissionStudy(cfg, []int{1, 2}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := &snapshot{rows: rows, table: tbl.String()}
+		if base == nil {
+			base = got
+			continue
+		}
+		if got.table != base.table {
+			t.Fatalf("workers=%d: table diverged\n--- got ---\n%s--- want ---\n%s",
+				workers, got.table, base.table)
+		}
+		if !reflect.DeepEqual(got.rows, base.rows) {
+			t.Fatalf("workers=%d: rows diverged", workers)
+		}
+	}
+}
+
+// TestScatternetAdmissionWarmCacheReplay: the E10 sweep replayed from a
+// warm run cache reproduces the cold table — including the online
+// admission columns, which come from replayed per-run admission logs —
+// without executing a single simulator.
+func TestScatternetAdmissionWarmCacheReplay(t *testing.T) {
+	cache, err := harness.NewRunCache(harness.CacheConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		cfg := Config{Duration: 3 * time.Second, Seed: 1, Replications: 2, Cache: cache}
+		_, tbl, err := ScatternetAdmissionStudy(cfg, []int{1, 2}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	cold := run()
+	stats := cache.Stats()
+	if stats.Hits != 0 {
+		t.Fatalf("cold pass hit the cache %d times", stats.Hits)
+	}
+	warm := run()
+	if warm != cold {
+		t.Fatalf("warm table differs\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+	after := cache.Stats()
+	if after.Misses != stats.Misses {
+		t.Fatalf("warm pass executed %d simulations", after.Misses-stats.Misses)
+	}
+}

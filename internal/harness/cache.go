@@ -27,7 +27,10 @@ import (
 // v3 with piconet arrays + interference parameters, per-piconet cached
 // results) — cached single-piconet results can never alias scatternet
 // runs.
-const DefaultCacheSalt = "sim-v5"
+// sim-v6: interference-aware admission (canonical rendering v4 with the
+// derating knobs, re-derate on churn, retry-budget error terms) — derated
+// runs can never replay results computed without the derating path.
+const DefaultCacheSalt = "sim-v6"
 
 // CacheConfig tunes a RunCache.
 type CacheConfig struct {

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -88,20 +89,52 @@ func (m *Medium) Attach(base Model) *HopInterference {
 
 // Detach removes a piconet from the scatternet: it stops interfering with
 // the others immediately (its own model keeps working, colliding with the
-// remaining active piconets).
+// remaining active piconets), and its Activity record is dropped from the
+// medium so long join/leave churn does not accumulate dead entries.
 func (m *Medium) Detach(h *HopInterference) {
-	if h != nil {
-		h.act.active = false
+	if h == nil {
+		return
+	}
+	h.act.active = false
+	for i, a := range m.piconets {
+		if a == h.act {
+			m.piconets = append(m.piconets[:i], m.piconets[i+1:]...)
+			break
+		}
 	}
 }
 
+// Attached returns the number of piconets currently attached to the
+// medium (detached piconets are removed, so this is also the slice
+// length — the churn regression tests assert on it).
+func (m *Medium) Attached() int { return len(m.piconets) }
+
+// ActivePiconets counts the attached piconets that still interfere.
+func (m *Medium) ActivePiconets() int {
+	n := 0
+	for _, a := range m.piconets {
+		if a.active {
+			n++
+		}
+	}
+	return n
+}
+
 // utilization estimates the piconet's busy fraction at the given instant.
+// Transmissions are booked in full when they start (observe), so the part
+// of the latest booking that has not yet elapsed — busyUntil beyond now —
+// is clipped off before dividing: a mid-flight query must not count
+// airtime that has not happened yet.
 func (a *Activity) utilization(now time.Duration) float64 {
 	elapsed := now - a.attachedAt
 	if elapsed < a.m.minWindow {
 		elapsed = a.m.minWindow
 	}
-	u := float64(a.busyTotal) / float64(elapsed)
+	busy := a.busyTotal
+	if a.busyUntil > now {
+		busy -= a.busyUntil - now
+	}
+	u := float64(busy) / float64(elapsed)
 	if u < 0 {
 		return 0
 	}
@@ -182,4 +215,44 @@ func (h *HopInterference) Base() Model { return h.base }
 // instant (for reports).
 func (h *HopInterference) Utilization(now time.Duration) float64 {
 	return h.act.utilization(now)
+}
+
+// ExpectedCollisionProb is the admission controller's a-priori collision
+// estimate for a piconet sharing the hop set with `others` co-located
+// piconets: 1 − (1 − 1/C)^others. It deliberately assumes every other
+// piconet is on air whenever we are (q_j = 1) — the admission guarantee
+// must hold at full co-channel load, not at the current traffic mix — so
+// it upper-bounds the instantaneous collisionProb the medium draws
+// against. channels <= 0 means DefaultFHChannels.
+func ExpectedCollisionProb(others, channels int) float64 {
+	if others <= 0 {
+		return 0
+	}
+	if channels <= 0 {
+		channels = DefaultFHChannels
+	}
+	return 1 - math.Pow(1-1/float64(channels), float64(others))
+}
+
+// ExpectedCollisionProb is the medium's estimate for one attached
+// piconet: the package-level bound evaluated against the other currently
+// active piconets. A nil h (or one not attached to m) is treated as an
+// outside observer and sees all active piconets as interferers.
+func (m *Medium) ExpectedCollisionProb(h *HopInterference) float64 {
+	others := m.ActivePiconets()
+	if h != nil && h.act.active {
+		others--
+	}
+	return ExpectedCollisionProb(others, m.channels)
+}
+
+// MeasuredCollisionProb exposes the instantaneous collision probability
+// one attached piconet faces right now, from the other piconets' actual
+// on-air state and measured utilization (for reports; the admission path
+// uses the conservative ExpectedCollisionProb instead).
+func (m *Medium) MeasuredCollisionProb(h *HopInterference, now time.Duration) float64 {
+	if h == nil {
+		return 0
+	}
+	return m.collisionProb(h.act, now)
 }

@@ -114,6 +114,99 @@ func TestHopInterferenceObservesAirtime(t *testing.T) {
 	}
 }
 
+func TestUtilizationClipsMidFlightAirtime(t *testing.T) {
+	ck := &clock{}
+	m := NewMedium(79, 100*time.Millisecond, ck.now)
+	h := m.Attach(Ideal{})
+	rng := rand.New(rand.NewSource(1))
+	// A DH5 packet (5 slots = 3.125 ms) starts at t=50ms. Querying
+	// mid-flight at t=51ms must count only the 1 ms that has elapsed,
+	// not the full booking.
+	ck.t = 50 * time.Millisecond
+	h.Deliver(rng, baseband.TypeDH5)
+	ck.t = 51 * time.Millisecond
+	u := h.Utilization(ck.t)
+	want := float64(time.Millisecond) / float64(100*time.Millisecond)
+	if u < want*0.999 || u > want*1.001 {
+		t.Fatalf("mid-flight utilization = %g, want ~%g (elapsed airtime only)", u, want)
+	}
+	// After the transmission completes, the full airtime counts.
+	ck.t = 100 * time.Millisecond
+	u = h.Utilization(ck.t)
+	want = float64(baseband.TypeDH5.Duration()) / float64(100*time.Millisecond)
+	if u < want*0.999 || u > want*1.001 {
+		t.Fatalf("settled utilization = %g, want ~%g", u, want)
+	}
+}
+
+func TestMediumDetachRemovesActivity(t *testing.T) {
+	ck := &clock{}
+	m := NewMedium(79, 0, ck.now)
+	self := m.Attach(Ideal{})
+	// Join/leave churn must not grow the piconet slice without bound.
+	for i := 0; i < 100; i++ {
+		h := m.Attach(Ideal{})
+		m.Detach(h)
+	}
+	if got := m.Attached(); got != 1 {
+		t.Fatalf("after churn: %d attached activities, want 1", got)
+	}
+	if got := m.ActivePiconets(); got != 1 {
+		t.Fatalf("after churn: %d active piconets, want 1", got)
+	}
+	// Detaching preserves the iteration order of the survivors.
+	a := m.Attach(Ideal{})
+	b := m.Attach(Ideal{})
+	c := m.Attach(Ideal{})
+	m.Detach(b)
+	if len(m.piconets) != 3 || m.piconets[0] != self.act || m.piconets[1] != a.act || m.piconets[2] != c.act {
+		t.Fatal("detach did not preserve the order of surviving activities")
+	}
+	// Detaching twice (or a never-attached handle) is harmless.
+	m.Detach(b)
+	m.Detach(nil)
+	if got := m.Attached(); got != 3 {
+		t.Fatalf("double detach changed the slice: %d attached, want 3", got)
+	}
+}
+
+func TestExpectedCollisionProb(t *testing.T) {
+	if p := ExpectedCollisionProb(0, 79); p != 0 {
+		t.Fatalf("no other piconets: p=%g, want 0", p)
+	}
+	// One other piconet at q=1: exactly 1/C.
+	want := 1.0 / 79
+	if p := ExpectedCollisionProb(1, 79); p < want*0.999 || p > want*1.001 {
+		t.Fatalf("one other piconet: p=%g, want %g", p, want)
+	}
+	// Monotone in the piconet count, and an upper bound on the measured
+	// probability at any utilization mix.
+	ck := &clock{t: time.Second}
+	m := NewMedium(79, 0, ck.now)
+	self := m.Attach(Ideal{})
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		h := m.Attach(Ideal{})
+		h.act.attachedAt = 0
+		h.act.busyTotal = 700 * time.Millisecond
+		exp := m.ExpectedCollisionProb(self)
+		if exp <= prev {
+			t.Fatalf("%d others: expected prob %g not increasing (prev %g)", n, exp, prev)
+		}
+		if meas := m.MeasuredCollisionProb(self, ck.t); meas > exp {
+			t.Fatalf("%d others: measured %g exceeds expected bound %g", n, meas, exp)
+		}
+		prev = exp
+	}
+	// The medium method discounts the caller itself.
+	if got, want := m.ExpectedCollisionProb(self), ExpectedCollisionProb(8, 79); got != want {
+		t.Fatalf("medium estimate %g, want package bound %g", got, want)
+	}
+	if got, want := m.ExpectedCollisionProb(nil), ExpectedCollisionProb(9, 79); got != want {
+		t.Fatalf("outside-observer estimate %g, want %g", got, want)
+	}
+}
+
 func TestHopInterferenceComposesWithBase(t *testing.T) {
 	ck := &clock{t: time.Second}
 	m := NewMedium(79, 0, ck.now)

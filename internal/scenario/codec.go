@@ -41,6 +41,8 @@ type specV2 struct {
 	BatchTraffic        bool            `json:"batch_traffic,omitempty"`
 	Radio               *RadioSpec      `json:"radio,omitempty"`
 	Interference        *interferenceV2 `json:"interference,omitempty"`
+	InterferenceAware   bool            `json:"interference_aware_admission,omitempty"`
+	AdmissionDerate     float64         `json:"admission_derate,omitempty"`
 	GS                  []gsV2          `json:"gs_flows,omitempty"`
 	BE                  []beV2          `json:"be_flows,omitempty"`
 	SCO                 []scoV2         `json:"sco_links,omitempty"`
@@ -204,6 +206,8 @@ func Marshal(spec Spec) ([]byte, error) {
 		ARQ:                 spec.ARQ,
 		LossRecovery:        spec.LossRecovery,
 		BatchTraffic:        spec.BatchTraffic,
+		InterferenceAware:   spec.InterferenceAwareAdmission,
+		AdmissionDerate:     spec.AdmissionDerate,
 	}
 	if spec.Interference.Enabled {
 		fs.Interference = &interferenceV2{
@@ -479,6 +483,11 @@ func Unmarshal(data []byte) (Spec, error) {
 		}
 	}
 	spec.BatchTraffic = fs.BatchTraffic
+	spec.InterferenceAwareAdmission = fs.InterferenceAware
+	if fs.AdmissionDerate < 0 || fs.AdmissionDerate >= 1 {
+		return Spec{}, fmt.Errorf("%w: admission_derate %g outside [0,1)", ErrBadSpec, fs.AdmissionDerate)
+	}
+	spec.AdmissionDerate = fs.AdmissionDerate
 	if fs.Interference != nil {
 		spec.Interference = InterferenceSpec{
 			Enabled:  fs.Interference.Enabled,

@@ -17,8 +17,8 @@ import (
 // fingerprints can never alias new ones. v2 renders the declarative radio
 // spec and the timeline; v3 adds the scatternet axis: piconet arrays,
 // interference parameters, batched traffic and piconet-addressed timeline
-// events.
-const canonicalVersion = "spec-canon/v3"
+// events; v4 adds the interference-aware admission knobs (derating).
+const canonicalVersion = "spec-canon/v4"
 
 // WithDefaults returns the spec with every zero field replaced by the
 // default scenario.Run would apply. Run itself uses it, so a spec and its
@@ -47,6 +47,16 @@ func (s Spec) WithDefaults() Spec {
 		s.DelayTarget = 40 * time.Millisecond
 	}
 	s.Interference = s.Interference.withDefaults()
+	// The admission-derating knobs are inert without the interference
+	// coupling, and the static override is inert without the knob or
+	// outside (0,1): normalize the inert spellings to zero so equivalent
+	// specs share one canonical rendering.
+	if !s.Interference.Enabled {
+		s.InterferenceAwareAdmission = false
+	}
+	if !s.InterferenceAwareAdmission || s.AdmissionDerate <= 0 || s.AdmissionDerate >= 1 {
+		s.AdmissionDerate = 0
+	}
 	if s.scatternet() {
 		s.Piconets = withPiconetNames(s.Piconets)
 		// Resolve defaulted timeline targets to the first piconet's
@@ -91,9 +101,9 @@ func (s Spec) Canonical() string {
 		uint64(s.Allowed), int64(s.Duration), s.Seed,
 		s.ARQ, s.LossRecovery, s.WithoutPiggybacking, s.DirectionAware)
 	fmt.Fprintf(&b, "radio=%s\n", s.Radio.canonical())
-	fmt.Fprintf(&b, "batch=%t interference=%t ch=%d win=%d\n",
+	fmt.Fprintf(&b, "batch=%t interference=%t ch=%d win=%d iaa=%t derate=%g\n",
 		s.BatchTraffic, s.Interference.Enabled, s.Interference.Channels,
-		int64(s.Interference.Window))
+		int64(s.Interference.Window), s.InterferenceAwareAdmission, s.AdmissionDerate)
 	canonGS := func(prefix string, at time.Duration, g GSFlow) {
 		fmt.Fprintf(&b, "%s id=%d slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d at=%d\n",
 			prefix, uint64(g.ID), uint64(g.Slave), int(g.Dir), int64(g.Interval),

@@ -41,6 +41,18 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"be-flow":   func(s *Spec) { s.BE[0].RateKbps = 42 },
 		"gs-phase":  func(s *Spec) { s.GS[1].Phase = 6 * time.Millisecond },
 		"dir-aware": func(s *Spec) { s.DirectionAware = true },
+		"interference": func(s *Spec) {
+			s.Interference.Enabled = true
+		},
+		"iaa": func(s *Spec) {
+			s.Interference.Enabled = true
+			s.InterferenceAwareAdmission = true
+		},
+		"static-derate": func(s *Spec) {
+			s.Interference.Enabled = true
+			s.InterferenceAwareAdmission = true
+			s.AdmissionDerate = 0.9
+		},
 	}
 	seen := map[string]string{fp: "base"}
 	for name, f := range mutate {
@@ -62,6 +74,49 @@ func TestFingerprintIgnoresLabels(t *testing.T) {
 	b.Name = "renamed"
 	if a.Fingerprint() != b.Fingerprint() {
 		t.Fatal("Name must not enter the fingerprint")
+	}
+}
+
+// TestCanonicalDeratingKnobs: the interference-aware admission fields
+// enter the canonical rendering, but only in the combinations that change
+// the simulation — a flat (derating-off) spec keeps one canonical form no
+// matter how the inert knobs are set, so pre-existing cached tables keyed
+// on flat specs stay reachable across the sim-v6 bump.
+func TestCanonicalDeratingKnobs(t *testing.T) {
+	flat := Paper(40 * time.Millisecond)
+	if c := flat.Canonical(); !strings.Contains(c, "iaa=false derate=0") {
+		t.Fatalf("flat canonical form misses the derating knobs:\n%s", c)
+	}
+	if c := flat.Canonical(); !strings.Contains(c, "spec-canon/v4") {
+		t.Fatalf("canonical form not tagged v4:\n%s", c)
+	}
+
+	// Interference-aware admission without the interference coupling is
+	// inert and must normalise away.
+	inert := flat
+	inert.InterferenceAwareAdmission = true
+	inert.AdmissionDerate = 0.9
+	if inert.Fingerprint() != flat.Fingerprint() {
+		t.Fatal("iaa without Interference.Enabled must not change the fingerprint")
+	}
+
+	// An out-of-range static derate normalises to 0 (use the medium
+	// estimate) without erasing the iaa flag itself.
+	on := flat
+	on.Interference.Enabled = true
+	on.InterferenceAwareAdmission = true
+	wild := on
+	wild.AdmissionDerate = 1.5
+	if wild.Fingerprint() != on.Fingerprint() {
+		t.Fatal("out-of-range AdmissionDerate must normalise to the estimate default")
+	}
+	if c := on.WithDefaults().Canonical(); !strings.Contains(c, "iaa=true derate=0") {
+		t.Fatalf("enabled iaa lost in canonical form:\n%s", c)
+	}
+	static := on
+	static.AdmissionDerate = 0.875
+	if !strings.Contains(static.Canonical(), "derate=0.875") {
+		t.Fatalf("static derate lost in canonical form:\n%s", static.Canonical())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"bluegs/internal/baseband"
 	"bluegs/internal/piconet"
+	"bluegs/internal/radio"
 )
 
 // randomTimeline appends a burst of randomized-but-valid events to a
@@ -109,6 +110,64 @@ func TestRegistryFuzzSmoke(t *testing.T) {
 				}
 				if res.Elapsed != spec.Duration {
 					t.Fatalf("seed %d: run stopped early at %v", seed, res.Elapsed)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryFuzzSmokeInterferenceAware reruns the fuzz smoke with
+// interference-aware admission switched on over every preset: the FH
+// coupling enabled and a static derate pinned at the 16-piconet estimate,
+// conservative enough that whatever piconet churn the random timeline
+// produces stays inside every admitted contract. The invariants: the run
+// completes, no admitted GS flow violates its (derated) bound, and the
+// new spec fields survive a JSON round trip fingerprint-intact.
+func TestRegistryFuzzSmokeInterferenceAware(t *testing.T) {
+	s16 := 1 - radio.ExpectedCollisionProb(15, 0)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				spec, ok := Lookup(name)
+				if !ok {
+					t.Fatal("registered name does not resolve")
+				}
+				spec.Duration = 2 * time.Second
+				spec.Interference.Enabled = true
+				spec.InterferenceAwareAdmission = true
+				spec.AdmissionDerate = s16
+				rng := rand.New(rand.NewSource(seed))
+				spec.Timeline = append(spec.Timeline, randomTimeline(rng, spec)...)
+
+				data, err := Marshal(spec)
+				if err != nil {
+					t.Fatalf("seed %d: marshal: %v", seed, err)
+				}
+				decoded, err := Unmarshal(data)
+				if err != nil {
+					t.Fatalf("seed %d: unmarshal: %v", seed, err)
+				}
+				if !decoded.InterferenceAwareAdmission || decoded.AdmissionDerate != s16 {
+					t.Fatalf("seed %d: derating knobs lost in round trip: iaa=%v derate=%g",
+						seed, decoded.InterferenceAwareAdmission, decoded.AdmissionDerate)
+				}
+				if decoded.Fingerprint() != spec.Fingerprint() {
+					t.Fatalf("seed %d: fingerprint drifted across JSON round trip", seed)
+				}
+
+				res, err := Run(decoded)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Elapsed != spec.Duration {
+					t.Fatalf("seed %d: run stopped early at %v", seed, res.Elapsed)
+				}
+				for _, f := range res.Flows {
+					if f.Class == piconet.Guaranteed && f.DelayMax > f.Bound {
+						t.Fatalf("seed %d: flow %d (%s) violated its derated bound: max %v > %v",
+							seed, f.ID, f.Piconet, f.DelayMax, f.Bound)
+					}
 				}
 			}
 		})

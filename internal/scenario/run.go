@@ -88,6 +88,9 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	if err := spec.validateScatternet(); err != nil {
 		return nil, err
 	}
+	if spec.AdmissionDerate < 0 || spec.AdmissionDerate >= 1 {
+		return nil, fmt.Errorf("%w: AdmissionDerate %g outside [0,1)", ErrBadSpec, spec.AdmissionDerate)
+	}
 	if spec.flowCount() == 0 && len(spec.Timeline) == 0 {
 		return nil, fmt.Errorf("%w: no flows", ErrBadSpec)
 	}
@@ -117,7 +120,10 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 		if i == 0 {
 			h = hooks
 		}
-		if _, err := r.buildPiconet(ps, h); err != nil {
+		// Run-start piconets derate against the full planned scatternet,
+		// not the few piconets attached so far: all of them will be
+		// active the moment the run begins.
+		if _, err := r.buildPiconet(ps, h, len(piconets)-1); err != nil {
 			return nil, err
 		}
 	}
@@ -159,10 +165,28 @@ func timelineAddsPiconet(spec Spec) bool {
 	return false
 }
 
+// successProb returns the admission derating input for a piconet
+// co-located with others active piconets: 1 (no derating) when the knob
+// is off or the run has no interference coupling, the static override
+// when configured, and otherwise the conservative expected collision
+// estimate for the current scatternet size.
+func (r *runner) successProb(others int) float64 {
+	if !r.spec.InterferenceAwareAdmission || r.medium == nil {
+		return 1
+	}
+	if d := r.spec.AdmissionDerate; d > 0 && d < 1 {
+		return d
+	}
+	return 1 - radio.ExpectedCollisionProb(others, r.medium.Channels())
+}
+
 // buildPiconet constructs one piconet engine — admission plan, piconet,
 // scheduler and traffic sources — over the shared kernel. It is used both
 // for the run-start piconets and for add_piconet timeline arrivals.
-func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks) (*piconetRunner, error) {
+// others is the number of co-located piconets this one must expect to
+// share the spectrum with (the derating input — run-start piconets pass
+// the planned scatternet size, churn arrivals the current one).
+func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconetRunner, error) {
 	spec := r.spec
 	p := &piconetRunner{
 		r:       r,
@@ -175,7 +199,11 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks) (*piconetRunner, erro
 
 	// Admission: the piconet-wide worst exchange must cover BE traffic,
 	// including every flow the timeline may ever install here.
-	admCfg := admission.Config{MaxExchange: maxExchange(spec, ps), DirectionAware: spec.DirectionAware}
+	admCfg := admission.Config{
+		MaxExchange:    maxExchange(spec, ps),
+		DirectionAware: spec.DirectionAware,
+		SuccessProb:    r.successProb(others),
+	}
 	for _, l := range ps.SCO {
 		ch, err := sco.NewChannel(l.Type)
 		if err != nil {
@@ -584,7 +612,13 @@ func (r *runner) applyAddPiconet(ps PiconetSpec) {
 		r.reject(ps.Name, OpAddPiconet, 0, 0, "piconet name already used")
 		return
 	}
-	p, err := r.buildPiconet(ps, Hooks{})
+	others := 0
+	if r.medium != nil {
+		// Every piconet active right now will interfere with the
+		// newcomer (it attaches during the build, after this count).
+		others = r.medium.ActivePiconets()
+	}
+	p, err := r.buildPiconet(ps, Hooks{}, others)
 	if err != nil {
 		r.reject(ps.Name, OpAddPiconet, 0, 0, err.Error())
 		return
@@ -593,6 +627,7 @@ func (r *runner) applyAddPiconet(ps PiconetSpec) {
 		return
 	}
 	r.accept(AdmissionRecord{Op: OpAddPiconet, Piconet: ps.Name})
+	r.rederate(p)
 }
 
 // applyRemovePiconet retires a whole piconet: every source stops, the
@@ -629,6 +664,39 @@ func (r *runner) applyRemovePiconet(name string) {
 	p.removed = true
 	p.removedAt = r.s.Now()
 	r.accept(AdmissionRecord{Op: OpRemovePiconet, Piconet: name})
+	r.rederate(nil)
+}
+
+// rederate re-evaluates the interference derating of every surviving
+// piconet after the scatternet changed size: a join tightens the
+// collision estimate (bounds loosen), a leave relaxes it (bounds
+// tighten). skip is the piconet that just joined — it planned against
+// the new size already. A piconet whose existing contracts cannot absorb
+// the new estimate keeps its previous derate and logs a rejected
+// rederate record; unchanged estimates (the static override, or a
+// no-interference run) log nothing.
+func (r *runner) rederate(skip *piconetRunner) {
+	if !r.spec.InterferenceAwareAdmission || r.medium == nil {
+		return
+	}
+	for _, p := range r.pns {
+		if p.removed || p == skip {
+			continue
+		}
+		s := r.successProb(r.medium.ActivePiconets() - 1)
+		if s == p.ctrl.SuccessProb() {
+			continue
+		}
+		if err := p.ctrl.SetSuccessProb(s); err != nil {
+			p.reject(OpRederate, 0, 0, err.Error())
+			continue
+		}
+		if r.err = p.sched.Replan(p.ctrl.Flows()); r.err != nil {
+			return
+		}
+		p.noteBounds()
+		p.accept(AdmissionRecord{Op: OpRederate})
+	}
 }
 
 // applyAddGS runs the paper's online admission test for a mid-run GS

@@ -239,6 +239,21 @@ type ScatternetConfig struct {
 	// instead of delay (the study wants delay erosion, so ARQ defaults
 	// on).
 	NoARQ bool
+	// InterferenceAware switches the interference-aware admission
+	// derating on (Spec.InterferenceAwareAdmission): bounds are promised
+	// against the derated service rate instead of the ideal channel.
+	InterferenceAware bool
+	// Derate statically overrides the derating estimator
+	// (Spec.AdmissionDerate); zero uses the medium estimate.
+	Derate float64
+	// OnlineGS adds this many extra GS voice flows per piconet arriving
+	// through the paper's online admission test (timeline add-gs events,
+	// staggered from 1s at the free slaves above the static set). They
+	// are the accept-ratio probe of the E10 admission study: an ideal
+	// admission accepts them and erodes everyone's bounds; a derated one
+	// refuses what the scatternet cannot carry. Clamped to the free
+	// non-BE slaves (at most 5 − GSPerPiconet + 1, using slave 7).
+	OnlineGS int
 }
 
 func (c ScatternetConfig) withDefaults() ScatternetConfig {
@@ -260,7 +275,26 @@ func (c ScatternetConfig) withDefaults() ScatternetConfig {
 	if c.Duration <= 0 {
 		c.Duration = 30 * time.Second
 	}
+	if c.OnlineGS > len(c.onlineSlaves()) {
+		c.OnlineGS = len(c.onlineSlaves())
+	}
+	if c.OnlineGS < 0 {
+		c.OnlineGS = 0
+	}
 	return c
+}
+
+// onlineSlaves lists the slaves free for online GS arrivals: above the
+// static GS set, skipping the BE pair's slave 6, up to slave 7.
+func (c ScatternetConfig) onlineSlaves() []piconet.SlaveID {
+	var out []piconet.SlaveID
+	for s := c.GSPerPiconet + 1; s <= 7; s++ {
+		if s == 6 {
+			continue
+		}
+		out = append(out, piconet.SlaveID(s))
+	}
+	return out
 }
 
 // Scatternet builds N co-located identical piconets named "pn1".."pnN",
@@ -301,14 +335,44 @@ func Scatternet(cfg ScatternetConfig) Spec {
 		}
 		pns = append(pns, ps)
 	}
+	// Online arrivals: OnlineGS extra voice flows per piconet negotiate
+	// admission mid-run, staggered so no two arrivals share an instant.
+	var timeline []TimelineEvent
+	if cfg.OnlineGS > 0 {
+		slaves := cfg.onlineSlaves()
+		for k := 0; k < cfg.OnlineGS; k++ {
+			dir := piconet.Up
+			if k%2 == 1 {
+				dir = piconet.Down
+			}
+			for i := 0; i < cfg.Piconets; i++ {
+				at := time.Second + time.Duration(k*cfg.Piconets+i)*100*time.Millisecond
+				timeline = append(timeline, AddGSAt(at, GSFlow{
+					ID:       piconet.FlowID(10 + k),
+					Slave:    slaves[k],
+					Dir:      dir,
+					Interval: 20 * time.Millisecond,
+					MinSize:  144,
+					MaxSize:  176,
+				}).For(fmt.Sprintf("pn%d", i+1)))
+			}
+		}
+	}
+	name := fmt.Sprintf("scatternet-%dpn", cfg.Piconets)
+	if cfg.InterferenceAware {
+		name += "-derated"
+	}
 	return Spec{
-		Name:         fmt.Sprintf("scatternet-%dpn", cfg.Piconets),
-		Piconets:     pns,
-		DelayTarget:  cfg.DelayTarget,
-		Allowed:      baseband.PaperTypes,
-		Duration:     cfg.Duration,
-		Seed:         1,
-		ARQ:          !cfg.NoARQ,
-		Interference: InterferenceSpec{Enabled: !cfg.NoInterference},
+		Name:                       name,
+		Piconets:                   pns,
+		DelayTarget:                cfg.DelayTarget,
+		Allowed:                    baseband.PaperTypes,
+		Duration:                   cfg.Duration,
+		Seed:                       1,
+		ARQ:                        !cfg.NoARQ,
+		Interference:               InterferenceSpec{Enabled: !cfg.NoInterference},
+		InterferenceAwareAdmission: cfg.InterferenceAware,
+		AdmissionDerate:            cfg.Derate,
+		Timeline:                   timeline,
 	}
 }

@@ -187,6 +187,23 @@ type Spec struct {
 	// Interference couples the piconets through FH co-channel collisions
 	// (see InterferenceSpec). Without it piconets share only the clock.
 	Interference InterferenceSpec
+	// InterferenceAwareAdmission feeds the medium's expected collision
+	// probability into every piconet's admission controller as a
+	// service-rate derating (admission.Config.SuccessProb): delay bounds
+	// are evaluated at the effective rate R·s the interference leaves,
+	// reserved rates inflate by ~1/s, and the exported C term funds a
+	// collision retry budget. Piconet churn re-derates the survivors
+	// (add_piconet tightens, remove_piconet relaxes; refused re-derates
+	// land in the admission log as rejected "rederate" records). Inert
+	// without Interference.Enabled.
+	InterferenceAwareAdmission bool
+	// AdmissionDerate optionally overrides the estimator with a static
+	// success probability in (0,1): admission then derates against this
+	// fixed value regardless of the current piconet count, so churn
+	// re-derates are no-ops and the initial plan absorbs the worst-case
+	// co-location the value was chosen for. Meaningful only with
+	// InterferenceAwareAdmission; zero means "use the medium estimate".
+	AdmissionDerate float64
 	// BatchTraffic batches traffic generation: up-flow sources that
 	// support it (CBR, ON/OFF) pre-enqueue one burst of future-dated
 	// arrivals per kernel event instead of one event per packet. Runs

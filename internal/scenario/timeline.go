@@ -16,6 +16,13 @@ const (
 	OpDropSCO       = "drop-sco"
 	OpAddPiconet    = "add-piconet"
 	OpRemovePiconet = "remove-piconet"
+	// OpRederate records an interference-aware admission re-derate of one
+	// surviving piconet after the scatternet changed size (no timeline
+	// event constructs it: piconet churn emits it as a side effect when
+	// Spec.InterferenceAwareAdmission is on). A rejected rederate means
+	// the new collision estimate cannot be served by the piconet's
+	// existing contracts — its bounds stay at the previous derate.
+	OpRederate = "rederate"
 )
 
 // TimelineEvent is one scheduled mid-run change of a scenario. Exactly one
