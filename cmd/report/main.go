@@ -143,5 +143,9 @@ func run() error {
 	if err := print(e10, err); err != nil {
 		return fmt.Errorf("E10: %w", err)
 	}
+	_, e11, err := experiments.FaultStudy(cfg, nil, nil, nil)
+	if err := print(e11, err); err != nil {
+		return fmt.Errorf("E11: %w", err)
+	}
 	return nil
 }

@@ -34,7 +34,19 @@
 //     one shared kernel clock, each with its own scheduler and
 //     admission controller, coupled through the 1/79 FH co-channel
 //     collision model (radio.Medium/HopInterference) — the flat
-//     single-piconet spec is its byte-identical degenerate case;
+//     single-piconet spec is its byte-identical degenerate case.
+//     Spec.Faults/Spec.Recovery add fault injection and self-healing:
+//     declared link outages, slave departures and master crashes meet
+//     a supervision timeout (N failed polls declare a link dead and
+//     suspend its flows) and a recovery policy — nothing, graceful
+//     degradation (re-admit at a looser bound when the link returns),
+//     or make-before-break handoff to another piconet (the target
+//     admits before the source releases; the move_flow timeline event
+//     exposes the same migration to operators);
+//   - internal/faults — the pure-data fault plan behind Spec.Faults:
+//     validated outage/departure/crash declarations compiled into
+//     per-piconet schedules of merged downtime windows the engine
+//     consults on every poll decision;
 //   - internal/experiments — one entry point per paper table/figure,
 //     plus the churn studies (accept ratio and bound compliance under
 //     Poisson GS flow arrivals, for every best-effort poller), the
@@ -42,7 +54,9 @@
 //     co-channel interference grows with the piconet count), and the
 //     E10 interference-aware admission study (the same workload with
 //     derated admission: violation fraction ~0, bought with a lower
-//     online accept ratio);
+//     online accept ratio), and the E11 fault study (outage rate ×
+//     duration × recovery policy: guarantee-survival fraction,
+//     supervision detection latency, post-recovery bound compliance);
 //   - internal/harness — the parallel experiment runner: sweep grids
 //     (delay target × poller × seed replication) fan out across a bounded
 //     worker pool with per-replication seed derivation, so every cmd tool

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"bluegs/internal/faults"
+)
+
+// TestFaultStudySelfHealing is the E11 acceptance gate: at the same fault
+// rate, the recovery policies keep strictly more guarantees alive than
+// the supervision-only baseline, every suspension is detected within the
+// supervision window, and no retained contract is ever violated.
+func TestFaultStudySelfHealing(t *testing.T) {
+	cfg := Config{Duration: 12 * time.Second, Seed: 1}
+	rows, tbl, err := FaultStudy(cfg, []int{3}, []time.Duration{400 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 policies", len(rows))
+	}
+	byPolicy := map[faults.Policy]FaultStudyRow{}
+	for _, row := range rows {
+		byPolicy[row.Policy] = row
+		if row.RetainedViolations != 0 {
+			t.Errorf("policy %q: %d retained flows violated their bound",
+				row.Policy, row.RetainedViolations)
+		}
+		if row.Suspended == 0 {
+			t.Errorf("policy %q: no supervision suspensions — the outages were not detected",
+				row.Policy)
+		}
+		// Three failed voice polls: detection must land between one poll
+		// interval and a generous multiple of the supervision window.
+		if row.Suspended > 0 && (row.DetectionLatency <= 0 || row.DetectionLatency > 250*time.Millisecond) {
+			t.Errorf("policy %q: detection latency %v outside (0, 250ms]",
+				row.Policy, row.DetectionLatency)
+		}
+	}
+	none := byPolicy[faults.PolicyNone]
+	degrade := byPolicy[faults.PolicyDegrade]
+	handoff := byPolicy[faults.PolicyHandoff]
+	if none.GSFlows == 0 || none.GSFlows != degrade.GSFlows || none.GSFlows != handoff.GSFlows {
+		t.Fatalf("guarantee populations diverged: none=%d degrade=%d handoff=%d",
+			none.GSFlows, degrade.GSFlows, handoff.GSFlows)
+	}
+	if degrade.Survival <= none.Survival {
+		t.Errorf("degradation did not improve survival: %.3f vs %.3f",
+			degrade.Survival, none.Survival)
+	}
+	if handoff.Survival <= none.Survival {
+		t.Errorf("handoff did not improve survival: %.3f vs %.3f",
+			handoff.Survival, none.Survival)
+	}
+	if degrade.Degraded == 0 {
+		t.Error("degrade arm renegotiated nothing")
+	}
+	if handoff.Moved == 0 {
+		t.Error("handoff arm moved nothing")
+	}
+}

@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error; "" means valid
+	}{
+		{"empty", Plan{}, ""},
+		{"good", Plan{
+			Outages:    []LinkOutage{{Piconet: "pn1", Slave: 1, Start: time.Second, End: 2 * time.Second}},
+			Departures: []SlaveDeparture{{Piconet: "pn1", Slave: 2, At: time.Second, ReturnAt: 3 * time.Second}},
+			Crashes:    []MasterCrash{{Piconet: "pn2", At: 5 * time.Second}},
+		}, ""},
+		{"outage slave zero", Plan{
+			Outages: []LinkOutage{{Slave: 0, Start: 0, End: time.Second}},
+		}, "outside 1..7"},
+		{"outage slave high", Plan{
+			Outages: []LinkOutage{{Slave: 8, Start: 0, End: time.Second}},
+		}, "outside 1..7"},
+		{"outage reversed window", Plan{
+			Outages: []LinkOutage{{Slave: 1, Start: 2 * time.Second, End: time.Second}},
+		}, "not well-ordered"},
+		{"outage empty window", Plan{
+			Outages: []LinkOutage{{Slave: 1, Start: time.Second, End: time.Second}},
+		}, "not well-ordered"},
+		{"outage negative start", Plan{
+			Outages: []LinkOutage{{Slave: 1, Start: -time.Second, End: time.Second}},
+		}, "not well-ordered"},
+		{"departure negative", Plan{
+			Departures: []SlaveDeparture{{Slave: 1, At: -time.Second}},
+		}, "is negative"},
+		{"departure returns before leaving", Plan{
+			Departures: []SlaveDeparture{{Slave: 1, At: 2 * time.Second, ReturnAt: time.Second}},
+		}, "before it departs"},
+		{"crash negative", Plan{
+			Crashes: []MasterCrash{{At: -time.Second}},
+		}, "is negative"},
+		{"duplicate crash", Plan{
+			Crashes: []MasterCrash{{Piconet: "pn1", At: time.Second}, {Piconet: "pn1", At: 2 * time.Second}},
+		}, "duplicate crash"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPlanResolve(t *testing.T) {
+	plan := Plan{
+		Outages:    []LinkOutage{{Slave: 1, Start: 0, End: time.Second}, {Piconet: "pn2", Slave: 2, Start: 0, End: time.Second}},
+		Departures: []SlaveDeparture{{Slave: 3, At: time.Second}},
+		Crashes:    []MasterCrash{{At: time.Second}},
+	}
+	got := plan.Resolve("pn1")
+	if got.Outages[0].Piconet != "pn1" || got.Departures[0].Piconet != "pn1" || got.Crashes[0].Piconet != "pn1" {
+		t.Fatalf("empty names not resolved: %+v", got)
+	}
+	if got.Outages[1].Piconet != "pn2" {
+		t.Fatalf("explicit name overwritten: %+v", got.Outages[1])
+	}
+	if plan.Outages[0].Piconet != "" {
+		t.Fatal("Resolve mutated the receiver")
+	}
+	// No empty names: the same slices come back untouched.
+	resolved := got.Resolve("pn9")
+	if &resolved.Outages[0] != &got.Outages[0] {
+		t.Fatal("fully-resolved plan was copied")
+	}
+	// Empty default: nothing to do.
+	same := plan.Resolve("")
+	if &same.Outages[0] != &plan.Outages[0] {
+		t.Fatal("Resolve(\"\") copied the plan")
+	}
+}
+
+func TestCompileMergesWindows(t *testing.T) {
+	plan := Plan{
+		Outages: []LinkOutage{
+			// Overlapping and touching windows on one slave, out of order.
+			{Piconet: "pn1", Slave: 1, Start: 3 * time.Second, End: 4 * time.Second},
+			{Piconet: "pn1", Slave: 1, Start: time.Second, End: 2 * time.Second},
+			{Piconet: "pn1", Slave: 1, Start: 1500 * time.Millisecond, End: 2500 * time.Millisecond},
+			{Piconet: "pn1", Slave: 1, Start: 2500 * time.Millisecond, End: 2800 * time.Millisecond},
+		},
+		Departures: []SlaveDeparture{
+			{Piconet: "pn1", Slave: 2, At: 5 * time.Second}, // never returns
+		},
+	}
+	sched := plan.Compile()
+	pf := sched.Piconet("pn1")
+	if pf == nil {
+		t.Fatal("compiled schedule lost pn1")
+	}
+
+	// Slave 1: [1s, 2.8s) and [3s, 4s) after merging.
+	for _, tc := range []struct {
+		at   time.Duration
+		down bool
+	}{
+		{999 * time.Millisecond, false},
+		{time.Second, true},
+		{2 * time.Second, true},
+		{2799 * time.Millisecond, true},
+		{2800 * time.Millisecond, false},
+		{2900 * time.Millisecond, false},
+		{3 * time.Second, true},
+		{4 * time.Second, false},
+	} {
+		if got := pf.Down(1, tc.at); got != tc.down {
+			t.Errorf("slave 1 at %v: down=%t, want %t", tc.at, got, tc.down)
+		}
+	}
+	iv, ok := pf.Covering(1, 2*time.Second)
+	if !ok || iv.Start != time.Second || iv.End != 2800*time.Millisecond {
+		t.Fatalf("covering interval = %+v (%t), want merged [1s, 2.8s)", iv, ok)
+	}
+
+	// Slave 2: departed forever.
+	if !pf.Down(2, 5*time.Second) || !pf.Down(2, time.Hour) {
+		t.Fatal("departed-forever slave reported up")
+	}
+	iv, ok = pf.Covering(2, 6*time.Second)
+	if !ok || iv.End != Forever {
+		t.Fatalf("departure interval = %+v (%t), want End=Forever", iv, ok)
+	}
+	if pf.Down(2, 4999*time.Millisecond) {
+		t.Fatal("slave 2 down before departing")
+	}
+
+	// Untouched slaves and piconets.
+	if pf.Down(3, 2*time.Second) {
+		t.Fatal("untouched slave reported down")
+	}
+	if sched.Piconet("pn2") != nil {
+		t.Fatal("untouched piconet has a compiled schedule")
+	}
+}
+
+func TestScheduleCrash(t *testing.T) {
+	plan := Plan{Crashes: []MasterCrash{{Piconet: "pn1", At: 7 * time.Second}}}
+	sched := plan.Compile()
+	at, ok := sched.Crash("pn1")
+	if !ok || at != 7*time.Second {
+		t.Fatalf("Crash(pn1) = %v, %t", at, ok)
+	}
+	if _, ok := sched.Crash("pn2"); ok {
+		t.Fatal("uncrashed piconet reports a crash")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var sched *Schedule
+	if sched.Piconet("pn1") != nil {
+		t.Fatal("nil schedule returned a piconet")
+	}
+	if _, ok := sched.Crash("pn1"); ok {
+		t.Fatal("nil schedule reported a crash")
+	}
+	var pf *PiconetFaults
+	if pf.Down(1, time.Second) {
+		t.Fatal("nil piconet faults reported down")
+	}
+	if _, ok := pf.Covering(1, time.Second); ok {
+		t.Fatal("nil piconet faults reported a covering interval")
+	}
+}
+
+func TestPolicyValid(t *testing.T) {
+	for _, p := range []Policy{PolicyNone, PolicyDegrade, PolicyHandoff} {
+		if !p.Valid() {
+			t.Errorf("policy %q invalid", p)
+		}
+	}
+	if Policy("reboot").Valid() {
+		t.Error("unknown policy accepted")
+	}
+	if !(Plan{}).Empty() {
+		t.Error("zero plan not empty")
+	}
+	if (Plan{Crashes: []MasterCrash{{}}}).Empty() {
+		t.Error("crash-only plan reported empty")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -30,7 +32,12 @@ import (
 // sim-v6: interference-aware admission (canonical rendering v4 with the
 // derating knobs, re-derate on churn, retry-budget error terms) — derated
 // runs can never replay results computed without the derating path.
-const DefaultCacheSalt = "sim-v6"
+// sim-v7: fault injection and self-healing (link-outage gating in the
+// piconet engine, supervision timeouts, degrade/handoff recovery,
+// master crashes, flow fates in results) — pre-fault cached results can
+// never replay runs the fault-aware engine would produce, and the new
+// on-disk footer format invalidates footerless entries wholesale.
+const DefaultCacheSalt = "sim-v7"
 
 // CacheConfig tunes a RunCache.
 type CacheConfig struct {
@@ -57,13 +64,22 @@ type CacheStats struct {
 	Misses uint64
 	// Stores counts Put calls accepted.
 	Stores uint64
+	// Corrupt counts on-disk entries whose integrity footer failed
+	// verification; each was deleted and its Get served as a miss (so the
+	// fresh result rewrites the entry).
+	Corrupt uint64
 }
 
 // String renders the counters as "H/T runs served from cache (D from
-// disk, S stored)".
+// disk, S stored)". Corruption drops are appended only when they
+// happened, keeping the healthy-cache line byte-stable for log greps.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("%d/%d runs served from cache (%d from disk, %d stored)",
+	out := fmt.Sprintf("%d/%d runs served from cache (%d from disk, %d stored)",
 		s.Hits, s.Hits+s.Misses, s.DiskHits, s.Stores)
+	if s.Corrupt > 0 {
+		out += fmt.Sprintf(", %d corrupt dropped", s.Corrupt)
+	}
+	return out
 }
 
 // RunCache is a content-addressed store of completed simulation results,
@@ -245,13 +261,66 @@ func (c *RunCache) path(key string) string {
 	return filepath.Join(c.cfg.Dir, key+".run.gob")
 }
 
+// The on-disk entry layout is gob payload followed by a fixed integrity
+// footer: magic, payload length and payload CRC-32 (IEEE). A truncated
+// copy, a partial write that survived a crash, or bit rot all fail the
+// footer check; the entry is then deleted and the lookup degrades to a
+// miss, so the fresh result rewrites it.
+const cacheFooterMagic = "BGC1"
+
+const cacheFooterSize = len(cacheFooterMagic) + 8
+
+// cacheFooter renders the footer for a payload.
+func cacheFooter(payload []byte) []byte {
+	f := make([]byte, cacheFooterSize)
+	copy(f, cacheFooterMagic)
+	binary.LittleEndian.PutUint32(f[len(cacheFooterMagic):], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f[len(cacheFooterMagic)+4:], crc32.ChecksumIEEE(payload))
+	return f
+}
+
+// checkFooter verifies a raw entry and returns its gob payload.
+func checkFooter(data []byte) ([]byte, error) {
+	if len(data) < cacheFooterSize {
+		return nil, fmt.Errorf("harness: cache entry truncated (%d bytes)", len(data))
+	}
+	payload, f := data[:len(data)-cacheFooterSize], data[len(data)-cacheFooterSize:]
+	if string(f[:len(cacheFooterMagic)]) != cacheFooterMagic {
+		return nil, fmt.Errorf("harness: cache entry missing integrity footer")
+	}
+	if n := binary.LittleEndian.Uint32(f[len(cacheFooterMagic):]); n != uint32(len(payload)) {
+		return nil, fmt.Errorf("harness: cache entry length %d, footer says %d", len(payload), n)
+	}
+	if sum := binary.LittleEndian.Uint32(f[len(cacheFooterMagic)+4:]); sum != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("harness: cache entry checksum mismatch")
+	}
+	return payload, nil
+}
+
+// dropCorrupt deletes a failed entry and books the corruption.
+func (c *RunCache) dropCorrupt(key string) {
+	os.Remove(c.path(key))
+	c.mu.Lock()
+	c.stats.Corrupt++
+	c.mu.Unlock()
+}
+
 func (c *RunCache) readDisk(key string) (*scenario.Result, error) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return nil, err
 	}
+	payload, err := checkFooter(data)
+	if err != nil {
+		c.dropCorrupt(key)
+		return nil, err
+	}
 	var rec cacheRecord
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		// The footer verified, so the bytes are as written — a decode
+		// failure means an incompatible record schema. Drop it too: it
+		// can never be read, only rewritten.
+		c.dropCorrupt(key)
 		return nil, fmt.Errorf("harness: cache decode %s: %w", key, err)
 	}
 	if rec.Key != key {
@@ -294,6 +363,7 @@ func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
 		return fmt.Errorf("harness: cache encode %s: %w", key, err)
 	}
+	buf.Write(cacheFooter(buf.Bytes()))
 	tmp, err := os.CreateTemp(c.cfg.Dir, key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("harness: cache write: %w", err)

@@ -1,7 +1,10 @@
 package harness_test
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -212,5 +215,69 @@ func TestExecuteTimedRunsReleaseTimers(t *testing.T) {
 	}
 	if got := harness.LiveRunTimers(); got != 0 {
 		t.Fatalf("%d per-run timeout timers still alive after the sweep", got)
+	}
+}
+
+// TestRunCacheCorruptionResilience: a truncated or garbled on-disk entry
+// fails its integrity footer, is deleted, degrades to a miss — and the
+// fresh execution rewrites it, so a later pass replays everything again.
+func TestRunCacheCorruptionResilience(t *testing.T) {
+	dir := t.TempDir()
+	sw := shortSweep(t)
+	cold, err := harness.Execute(sw.Runs, harness.Options{
+		Cache: newCache(t, harness.CacheConfig{Dir: dir}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.run.gob"))
+	if err != nil || len(files) != len(sw.Runs) {
+		t.Fatalf("cache files = %d (%v), want %d", len(files), err, len(sw.Runs))
+	}
+	// Truncate one entry mid-payload and flip a byte in another.
+	if err := os.Truncate(files[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	garbled, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbled[len(garbled)/2] ^= 0xFF
+	if err := os.WriteFile(files[1], garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	damaged := newCache(t, harness.CacheConfig{Dir: dir})
+	warm, err := harness.Execute(sw.Runs, harness.Options{Cache: damaged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(t, warm), fingerprint(t, cold); !reflect.DeepEqual(got, want) {
+		t.Fatalf("results drifted through corruption:\n got %v\nwant %v", got, want)
+	}
+	st := damaged.Stats()
+	if st.Corrupt != 2 || st.Misses != 2 || st.Hits != uint64(len(sw.Runs)-2) {
+		t.Fatalf("stats = %+v, want 2 corrupt drops and misses", st)
+	}
+	if !strings.Contains(st.String(), "2 corrupt dropped") {
+		t.Fatalf("stats line hides the corruption: %q", st)
+	}
+	if strings.Contains(harness.CacheStats{}.String(), "corrupt") {
+		t.Fatal("healthy stats line changed shape")
+	}
+	// The damaged entries were rewritten: a third fresh cache replays the
+	// whole sweep from disk.
+	final := newCache(t, harness.CacheConfig{Dir: dir})
+	again, err := harness.Execute(sw.Runs, harness.Options{Cache: final})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range again {
+		if !r.CacheHit {
+			t.Fatalf("run %d executed after the rewrite pass", i)
+		}
+	}
+	if st := final.Stats(); st.DiskHits != uint64(len(sw.Runs)) || st.Corrupt != 0 {
+		t.Fatalf("final stats = %+v, want %d clean disk hits", st, len(sw.Runs))
 	}
 }

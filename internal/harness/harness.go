@@ -49,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,11 @@ import (
 // ErrTimeout is wrapped into a RunResult's Err when a run exceeds the
 // per-run timeout.
 var ErrTimeout = errors.New("harness: run timed out")
+
+// ErrRunPanicked is wrapped into a RunResult's Err when a run's
+// simulation panicked. The panic is contained to that run: the worker
+// survives and the sweep's other runs complete normally.
+var ErrRunPanicked = errors.New("harness: run panicked")
 
 // Run is one point of a sweep grid: a complete scenario specification plus
 // its position (cell and replication) for aggregation.
@@ -202,11 +208,25 @@ func execute(run Run, opts Options) RunResult {
 // timer until it fired) asserts this returns to zero after a sweep.
 var liveRunTimers atomic.Int64
 
+// runScenario executes one scenario, converting a panic anywhere inside
+// the simulation into an ErrRunPanicked error (with the stack attached)
+// so one faulty run is an inspectable per-run failure instead of a
+// crashed sweep.
+func runScenario(spec scenario.Spec, hooks scenario.Hooks) (res *scenario.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("%w: %v\n%s", ErrRunPanicked, r, debug.Stack())
+		}
+	}()
+	return scenario.RunWith(spec, hooks)
+}
+
 // simulate runs one scenario, enforcing the per-run timeout when set.
 func simulate(run Run, timeout time.Duration) RunResult {
 	start := time.Now()
 	if timeout <= 0 {
-		res, err := scenario.RunWith(run.Spec, run.Hooks)
+		res, err := runScenario(run.Spec, run.Hooks)
 		return RunResult{Run: run, Result: res, Err: err, Wall: time.Since(start)}
 	}
 	type outcome struct {
@@ -215,7 +235,7 @@ func simulate(run Run, timeout time.Duration) RunResult {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := scenario.RunWith(run.Spec, run.Hooks)
+		res, err := runScenario(run.Spec, run.Hooks)
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(timeout)

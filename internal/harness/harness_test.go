@@ -251,3 +251,43 @@ func TestComparisonAndExtensionSweeps(t *testing.T) {
 		t.Fatal("run 2 must enable recovery")
 	}
 }
+
+// panicTracer panics on the first traced exchange: a stand-in for any
+// bug deep inside one run's simulation.
+type panicTracer struct{}
+
+func (panicTracer) Trace(piconet.TraceEntry) { panic("tracer exploded") }
+
+// TestExecutePanicIsolated: a run that panics mid-simulation becomes that
+// run's Err — the worker survives, the sweep's other runs complete, and
+// the sweep error names the faulty run. Both simulate paths (with and
+// without a per-run timeout) must contain the panic.
+func TestExecutePanicIsolated(t *testing.T) {
+	for _, timeout := range []time.Duration{0, time.Hour} {
+		spec := scenario.Paper(40 * time.Millisecond)
+		spec.Duration = time.Second
+		runs := []harness.Run{
+			{Index: 0, Cell: "ok", Spec: spec},
+			{Index: 1, Cell: "boom", Spec: spec, Hooks: scenario.Hooks{Tracer: panicTracer{}}},
+			{Index: 2, Cell: "ok", Rep: 1, Spec: spec},
+		}
+		results, err := harness.Execute(runs, harness.Options{Workers: 2, Timeout: timeout})
+		if err == nil {
+			t.Fatalf("timeout=%v: sweep error missing", timeout)
+		}
+		if !errors.Is(err, harness.ErrRunPanicked) {
+			t.Fatalf("timeout=%v: sweep error = %v, want ErrRunPanicked", timeout, err)
+		}
+		if !errors.Is(results[1].Err, harness.ErrRunPanicked) {
+			t.Fatalf("timeout=%v: run 1 err = %v", timeout, results[1].Err)
+		}
+		if !strings.Contains(results[1].Err.Error(), "tracer exploded") {
+			t.Fatalf("timeout=%v: panic value lost: %v", timeout, results[1].Err)
+		}
+		for _, i := range []int{0, 2} {
+			if results[i].Err != nil || results[i].Result == nil {
+				t.Fatalf("timeout=%v: healthy run %d infected: %+v", timeout, i, results[i].Err)
+			}
+		}
+	}
+}

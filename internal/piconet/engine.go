@@ -116,6 +116,9 @@ func (p *Piconet) resolveGSLeg(a Action, flow FlowID, dir Direction) (*flowState
 	if fs.retired {
 		return nil, fmt.Errorf("%w: %d", ErrFlowRetired, flow)
 	}
+	if fs.suspended {
+		return nil, fmt.Errorf("%w: %d", ErrFlowSuspended, flow)
+	}
 	if fs.cfg.Slave != a.Slave {
 		return nil, fmt.Errorf("%w: flow %d is at slave %d, polled slave %d",
 			ErrSlaveNotOfFlow, flow, fs.cfg.Slave, a.Slave)
@@ -138,7 +141,7 @@ func (p *Piconet) pickBE(sl *slaveState, dir Direction, cutoff sim.Time) *flowSt
 	for i := 0; i < n; i++ {
 		id := sl.flows[(sl.beRR+i)%n]
 		fs := p.flows[id]
-		if fs.cfg.Class != BestEffort || fs.cfg.Dir != dir || fs.retired {
+		if fs.cfg.Class != BestEffort || fs.cfg.Dir != dir || fs.retired || fs.suspended {
 			continue
 		}
 		if fs.headAvailable(cutoff) {
@@ -178,6 +181,9 @@ func (p *Piconet) executePoll(now sim.Time, a Action, window int64) error {
 
 	rng := p.simulator.Rand()
 	cutoff := now // paper §3.1: data must be available at master TX start
+	// An active link fault fails the exchange outright; the radio model
+	// is not consulted, so its RNG draws and chain state are untouched.
+	linkUp := p.linkDown == nil || !p.linkDown(a.Slave, now)
 
 	// Downlink leg.
 	down := LegOutcome{Type: baseband.TypePOLL}
@@ -189,7 +195,10 @@ func (p *Piconet) executePoll(now sim.Time, a Action, window int64) error {
 			down = LegOutcome{Flow: downFS.cfg.ID, Type: seg.Type, Bytes: seg.Bytes}
 		}
 	}
-	downDelivered := p.radioModel.Deliver(rng, down.Type)
+	downDelivered := false
+	if linkUp {
+		downDelivered = p.radioModel.Deliver(rng, down.Type)
+	}
 	downEnd := now + down.Type.Duration()
 
 	// Uplink leg: the slave answers only if it decoded the master's
@@ -290,7 +299,36 @@ func (p *Piconet) finishPoll() {
 	p.account(pe.kind, pe.down, pe.downOK, pe.up, pe.upOK)
 	p.trace(pe.entry)
 	p.scheduler.OnOutcome(pe.outcome)
+	p.superviseExchange(pe)
 	p.decide()
+}
+
+// superviseExchange feeds one completed ACL exchange into the link
+// supervision timeout: an exchange with no decodable slave response is a
+// failure, and supLimit consecutive failures declare the link dead —
+// firing onLinkDead once per failure episode. Any decodable response
+// re-arms the timeout.
+func (p *Piconet) superviseExchange(pe *pendingExchange) {
+	if p.supLimit <= 0 || p.onLinkDead == nil {
+		return
+	}
+	sl, ok := p.slaves[pe.outcome.Slave]
+	if !ok {
+		return
+	}
+	if pe.upOK {
+		sl.consecFails = 0
+		sl.linkDead = false
+		return
+	}
+	if sl.consecFails == 0 {
+		sl.failingSince = pe.outcome.Start
+	}
+	sl.consecFails++
+	if sl.consecFails >= p.supLimit && !sl.linkDead {
+		sl.linkDead = true
+		p.onLinkDead(sl.id, sl.failingSince, pe.outcome.End)
+	}
 }
 
 // pickBEUp selects the slave's best-effort uplink flow for a BE poll,
@@ -300,7 +338,7 @@ func (p *Piconet) pickBEUp(sl *slaveState, cutoff sim.Time) *flowState {
 	for i := 0; i < n; i++ {
 		id := sl.flows[(sl.beUpRR+i)%n]
 		fs := p.flows[id]
-		if fs.cfg.Class != BestEffort || fs.cfg.Dir != Up || fs.retired {
+		if fs.cfg.Class != BestEffort || fs.cfg.Dir != Up || fs.retired || fs.suspended {
 			continue
 		}
 		if fs.headAvailable(cutoff) {

@@ -46,6 +46,7 @@ var (
 	ErrClassMismatch  = errors.New("piconet: action class does not match flow class")
 	ErrSlaveNotOfFlow = errors.New("piconet: flow does not belong to addressed slave")
 	ErrFlowRetired    = errors.New("piconet: flow is retired")
+	ErrFlowSuspended  = errors.New("piconet: flow is suspended")
 )
 
 // DecisionInterval is the spacing of master transmit opportunities: every
@@ -259,6 +260,30 @@ func WithARQ(enabled bool) Option {
 	return func(p *Piconet) { p.arq = enabled }
 }
 
+// WithLinkFault installs a link-fault oracle: when it reports a slave's
+// link down at an exchange start, the exchange fails completely — both
+// legs lost, no slave response — and, critically, the radio model is
+// never consulted, so the channel's RNG draw sequence and chain state
+// (Gilbert–Elliott) are exactly what they would be had the master stayed
+// silent. A nil fn leaves the piconet fault-free with zero per-exchange
+// overhead.
+func WithLinkFault(fn func(slave SlaveID, now sim.Time) bool) Option {
+	return func(p *Piconet) { p.linkDown = fn }
+}
+
+// WithSupervision arms a link supervision timeout: after limit
+// consecutive failed ACL exchanges on a slave's link (no decodable slave
+// response), the link is declared dead and onDead fires once with the
+// slave, the start of the failing streak, and the detection instant. A
+// successful exchange re-arms the timeout (the link can die again later,
+// firing onDead again). limit <= 0 disables supervision.
+func WithSupervision(limit int, onDead func(slave SlaveID, failingSince, at sim.Time)) Option {
+	return func(p *Piconet) {
+		p.supLimit = limit
+		p.onLinkDead = onDead
+	}
+}
+
 // Piconet is the simulated piconet. Create with New, configure slaves,
 // flows and a scheduler, then Start it and run the simulator.
 type Piconet struct {
@@ -266,6 +291,13 @@ type Piconet struct {
 	radioModel radio.Model
 	arq        bool
 	scheduler  Scheduler
+	// linkDown, when set, is the fault oracle consulted at each exchange
+	// start (see WithLinkFault).
+	linkDown func(slave SlaveID, now sim.Time) bool
+	// supLimit and onLinkDead implement the link supervision timeout
+	// (see WithSupervision).
+	supLimit   int
+	onLinkDead func(slave SlaveID, failingSince, at sim.Time)
 
 	slaves map[SlaveID]*slaveState
 	flows  map[FlowID]*flowState
@@ -319,6 +351,13 @@ type slaveState struct {
 	// across the slave's flows.
 	beRR   int
 	beUpRR int
+	// consecFails counts consecutive failed ACL exchanges on this link;
+	// failingSince stamps the start of the current failing streak.
+	// linkDead latches after the supervision timeout fired, so it fires
+	// once per failure episode (a success clears it).
+	consecFails  int
+	failingSince sim.Time
+	linkDead     bool
 }
 
 // New returns an empty piconet bound to the simulator.
@@ -412,6 +451,58 @@ func (p *Piconet) RetireFlow(id FlowID) error {
 		p.freePacket(pkt)
 	}
 	return nil
+}
+
+// SuspendFlow takes a flow out of service reversibly: its queue is
+// flushed (packets stuck behind a dead link must not complete late once
+// the link heals), no packet may be enqueued and no poll may address it —
+// but, unlike RetireFlow, a later ResumeFlow puts it back in service.
+// The supervision/recovery machinery uses the suspend/resume pair; meters
+// and delay statistics keep accumulating across the gap.
+func (p *Piconet) SuspendFlow(id FlowID) error {
+	fs, ok := p.flows[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	if fs.retired {
+		return fmt.Errorf("%w: %d", ErrFlowRetired, id)
+	}
+	if fs.suspended {
+		return fmt.Errorf("%w: %d", ErrFlowSuspended, id)
+	}
+	fs.suspended = true
+	now := p.simulator.Now()
+	for fs.qlen() > 0 {
+		pkt := fs.qpop()
+		if pkt.arrival > now {
+			// Pre-counted future arrival of a batched source: the flow is
+			// out of service before it exists, so it never existed.
+			fs.offered.Unadd(pkt.size)
+		}
+		p.freePacket(pkt)
+	}
+	return nil
+}
+
+// ResumeFlow puts a suspended flow back in service: packets may be
+// enqueued and polls may address it again. The resumed flow starts with
+// an empty queue.
+func (p *Piconet) ResumeFlow(id FlowID) error {
+	fs, ok := p.flows[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	if fs.retired {
+		return fmt.Errorf("%w: %d", ErrFlowRetired, id)
+	}
+	fs.suspended = false
+	return nil
+}
+
+// FlowSuspended reports whether the flow exists and is suspended.
+func (p *Piconet) FlowSuspended(id FlowID) bool {
+	fs, ok := p.flows[id]
+	return ok && fs.suspended
 }
 
 // PruneFutureArrivals drops every queued packet whose arrival stamp is

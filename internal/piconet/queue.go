@@ -76,6 +76,10 @@ type flowState struct {
 	// Piconet.RetireFlow): it keeps its statistics but accepts no packets
 	// and no polls.
 	retired bool
+	// suspended marks a flow taken out of service reversibly by the link
+	// supervision machinery (see Piconet.SuspendFlow); ResumeFlow clears
+	// it.
+	suspended bool
 
 	delay     *stats.DurationStats
 	delivered *stats.Meter
@@ -203,6 +207,9 @@ func (p *Piconet) EnqueuePacketAt(flow FlowID, size int, at sim.Time) error {
 	if fs.retired {
 		return fmt.Errorf("%w: %d", ErrFlowRetired, flow)
 	}
+	if fs.suspended {
+		return fmt.Errorf("%w: %d", ErrFlowSuspended, flow)
+	}
 	if size <= 0 {
 		return ErrPacketTooSmall
 	}
@@ -243,7 +250,7 @@ func (p *Piconet) EnqueuePacketAt(flow FlowID, size int, at sim.Time) error {
 			// The master must not learn of — or react to — the packet
 			// before it arrives.
 			p.simulator.Schedule(at, func() {
-				if p.started && !p.stopped && !fs.retired {
+				if p.started && !p.stopped && !fs.retired && !fs.suspended {
 					p.scheduler.OnDownArrival(flow, at)
 					p.wakeIfIdle()
 				}

@@ -201,17 +201,23 @@ func (p *Piconet) executeSCO(now sim.Time, l *scoLink) {
 		Start: now, End: end, Kind: TraceSCO, Slave: l.slave,
 		DownType: l.typ, UpType: l.typ,
 	}
-	if p.radioModel.Deliver(rng, l.typ) {
-		l.down.Add(l.typ.Payload())
-		entry.DownBytes = l.typ.Payload()
-	} else {
+	if p.linkDown != nil && p.linkDown(l.slave, now) {
+		// Link fault: both legs lost, radio model untouched (no RNG
+		// draws), the reserved slot pair still elapses.
 		entry.Lost = true
-	}
-	if p.radioModel.Deliver(rng, l.typ) {
-		l.up.Add(l.typ.Payload())
-		entry.UpBytes = l.typ.Payload()
 	} else {
-		entry.Lost = true
+		if p.radioModel.Deliver(rng, l.typ) {
+			l.down.Add(l.typ.Payload())
+			entry.DownBytes = l.typ.Payload()
+		} else {
+			entry.Lost = true
+		}
+		if p.radioModel.Deliver(rng, l.typ) {
+			l.up.Add(l.typ.Payload())
+			entry.UpBytes = l.typ.Payload()
+		} else {
+			entry.Lost = true
+		}
 	}
 	p.busyUntil = end
 	p.pendingSCO = entry

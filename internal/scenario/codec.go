@@ -10,6 +10,7 @@ import (
 
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
+	"bluegs/internal/faults"
 	"bluegs/internal/piconet"
 )
 
@@ -47,7 +48,43 @@ type specV2 struct {
 	BE                  []beV2          `json:"be_flows,omitempty"`
 	SCO                 []scoV2         `json:"sco_links,omitempty"`
 	Piconets            []piconetV2     `json:"piconets,omitempty"`
+	Faults              *faultsV2       `json:"faults,omitempty"`
+	Recovery            *recoveryV2     `json:"recovery,omitempty"`
 	Timeline            []timelineEvtV2 `json:"timeline,omitempty"`
+}
+
+// faultsV2 is the declarative fault plan block.
+type faultsV2 struct {
+	Outages    []outageV2    `json:"outages,omitempty"`
+	Departures []departureV2 `json:"departures,omitempty"`
+	Crashes    []crashV2     `json:"crashes,omitempty"`
+}
+
+type outageV2 struct {
+	Piconet string `json:"piconet,omitempty"`
+	Slave   int    `json:"slave"`
+	Start   string `json:"start"`
+	End     string `json:"end"`
+}
+
+type departureV2 struct {
+	Piconet  string `json:"piconet,omitempty"`
+	Slave    int    `json:"slave"`
+	At       string `json:"at"`
+	ReturnAt string `json:"return_at,omitempty"`
+}
+
+type crashV2 struct {
+	Piconet string `json:"piconet,omitempty"`
+	At      string `json:"at"`
+}
+
+// recoveryV2 is the self-healing configuration block.
+type recoveryV2 struct {
+	Supervision   int     `json:"supervision,omitempty"`
+	Policy        string  `json:"policy,omitempty"`
+	DegradeFactor float64 `json:"degrade_factor,omitempty"`
+	HandoffTarget string  `json:"handoff_target,omitempty"`
 }
 
 // piconetV2 is one piconet of a scatternet spec.
@@ -116,6 +153,13 @@ type timelineEvtV2 struct {
 	DropSCO       int        `json:"drop_sco,omitempty"`
 	AddPiconet    *piconetV2 `json:"add_piconet,omitempty"`
 	RemovePiconet string     `json:"remove_piconet,omitempty"`
+	Move          *moveV2    `json:"move_flow,omitempty"`
+}
+
+// moveV2 is the make-before-break flow handoff operation.
+type moveV2 struct {
+	Flow int    `json:"flow"`
+	To   string `json:"to,omitempty"`
 }
 
 // durString renders a duration for the file ("" for zero, so zero fields
@@ -221,6 +265,36 @@ func Marshal(spec Spec) ([]byte, error) {
 	for _, ps := range withPiconetNames(spec.Piconets) {
 		fs.Piconets = append(fs.Piconets, marshalPiconet(ps))
 	}
+	if !spec.Faults.Empty() {
+		fp := &faultsV2{}
+		for _, o := range spec.Faults.Outages {
+			fp.Outages = append(fp.Outages, outageV2{
+				Piconet: o.Piconet, Slave: int(o.Slave),
+				Start: o.Start.String(), End: o.End.String(),
+			})
+		}
+		for _, d := range spec.Faults.Departures {
+			fp.Departures = append(fp.Departures, departureV2{
+				Piconet: d.Piconet, Slave: int(d.Slave),
+				At: d.At.String(), ReturnAt: durString(d.ReturnAt),
+			})
+		}
+		for _, c := range spec.Faults.Crashes {
+			fp.Crashes = append(fp.Crashes, crashV2{Piconet: c.Piconet, At: c.At.String()})
+		}
+		fs.Faults = fp
+	}
+	if spec.Recovery != (RecoverySpec{}) {
+		if !spec.Recovery.Policy.Valid() {
+			return nil, fmt.Errorf("%w: recovery policy %q", ErrBadSpec, spec.Recovery.Policy)
+		}
+		fs.Recovery = &recoveryV2{
+			Supervision:   spec.Recovery.Supervision,
+			Policy:        string(spec.Recovery.Policy),
+			DegradeFactor: spec.Recovery.DegradeFactor,
+			HandoffTarget: spec.Recovery.HandoffTarget,
+		}
+	}
 	switch spec.Mode {
 	case 0:
 	case core.FixedInterval:
@@ -277,6 +351,8 @@ func Marshal(spec Spec) ([]byte, error) {
 			out.AddPiconet = &ps
 		case ev.RemovePiconet != "":
 			out.RemovePiconet = ev.RemovePiconet
+		case ev.Move != nil:
+			out.Move = &moveV2{Flow: int(ev.Move.Flow), To: ev.Move.To}
 		}
 		fs.Timeline = append(fs.Timeline, out)
 	}
@@ -504,6 +580,43 @@ func Unmarshal(data []byte) (Spec, error) {
 		}
 		spec.Piconets = append(spec.Piconets, ps)
 	}
+	if fs.Faults != nil {
+		for i, o := range fs.Faults.Outages {
+			out := faults.LinkOutage{Piconet: o.Piconet, Slave: piconet.SlaveID(o.Slave)}
+			if out.Start, err = parseDur("start", o.Start); err != nil {
+				return Spec{}, fmt.Errorf("faults.outages[%d]: %w", i, err)
+			}
+			if out.End, err = parseDur("end", o.End); err != nil {
+				return Spec{}, fmt.Errorf("faults.outages[%d]: %w", i, err)
+			}
+			spec.Faults.Outages = append(spec.Faults.Outages, out)
+		}
+		for i, d := range fs.Faults.Departures {
+			dep := faults.SlaveDeparture{Piconet: d.Piconet, Slave: piconet.SlaveID(d.Slave)}
+			if dep.At, err = parseDur("at", d.At); err != nil {
+				return Spec{}, fmt.Errorf("faults.departures[%d]: %w", i, err)
+			}
+			if dep.ReturnAt, err = parseDur("return_at", d.ReturnAt); err != nil {
+				return Spec{}, fmt.Errorf("faults.departures[%d]: %w", i, err)
+			}
+			spec.Faults.Departures = append(spec.Faults.Departures, dep)
+		}
+		for i, c := range fs.Faults.Crashes {
+			cr := faults.MasterCrash{Piconet: c.Piconet}
+			if cr.At, err = parseDur("at", c.At); err != nil {
+				return Spec{}, fmt.Errorf("faults.crashes[%d]: %w", i, err)
+			}
+			spec.Faults.Crashes = append(spec.Faults.Crashes, cr)
+		}
+	}
+	if fs.Recovery != nil {
+		spec.Recovery = RecoverySpec{
+			Supervision:   fs.Recovery.Supervision,
+			Policy:        faults.Policy(fs.Recovery.Policy),
+			DegradeFactor: fs.Recovery.DegradeFactor,
+			HandoffTarget: fs.Recovery.HandoffTarget,
+		}
+	}
 	for _, g := range fs.GS {
 		flow, err := unmarshalGS(g)
 		if err != nil {
@@ -536,7 +649,7 @@ func Unmarshal(data []byte) (Spec, error) {
 		ops := 0
 		for _, set := range []bool{ev.AddGS != nil, ev.AddBE != nil,
 			ev.Remove != 0, ev.AddSCO != nil, ev.DropSCO != 0,
-			ev.AddPiconet != nil, ev.RemovePiconet != ""} {
+			ev.AddPiconet != nil, ev.RemovePiconet != "", ev.Move != nil} {
 			if set {
 				ops++
 			}
@@ -577,6 +690,8 @@ func Unmarshal(data []byte) (Spec, error) {
 			out.AddPiconet = &ps
 		case ev.RemovePiconet != "":
 			out.RemovePiconet = ev.RemovePiconet
+		case ev.Move != nil:
+			out.Move = &MoveFlow{Flow: piconet.FlowID(ev.Move.Flow), To: ev.Move.To}
 		default:
 			return Spec{}, fmt.Errorf("%w: timeline[%d] sets no operation", ErrBadSpec, i)
 		}
@@ -589,6 +704,9 @@ func Unmarshal(data []byte) (Spec, error) {
 		return Spec{}, err
 	}
 	if err := validateTimeline(def); err != nil {
+		return Spec{}, err
+	}
+	if err := validateFaults(def); err != nil {
 		return Spec{}, err
 	}
 	return spec, nil

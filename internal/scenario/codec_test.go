@@ -4,11 +4,14 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
+	"bluegs/internal/faults"
 	"bluegs/internal/piconet"
 )
 
@@ -235,5 +238,67 @@ func TestLoadFileSniffsFormats(t *testing.T) {
 	}
 	if spec.Name != "legacy" || len(spec.GS) != 1 {
 		t.Fatalf("v1 load: %+v", spec)
+	}
+}
+
+// TestCodecFaultBlocksRoundTrip pins the v2 serialization of the fault
+// plan, the recovery block, and the move_flow timeline event: every
+// field survives the round trip and the decoded spec is
+// fingerprint-identical to the original.
+func TestCodecFaultBlocksRoundTrip(t *testing.T) {
+	spec := FaultScenario(FaultScenarioConfig{Policy: faults.PolicyHandoff})
+	spec.Faults.Departures = []faults.SlaveDeparture{
+		{Piconet: "pn1", Slave: 3, At: 4 * time.Second, ReturnAt: 5 * time.Second},
+		{Piconet: "pn2", Slave: 5, At: 9 * time.Second}, // never returns
+	}
+	spec.Faults.Crashes = []faults.MasterCrash{{Piconet: "pn2", At: 11 * time.Second}}
+	spec.Recovery.DegradeFactor = 0 // inert outside PolicyDegrade
+	spec.Recovery.HandoffTarget = "pn2"
+	spec.Timeline = append(spec.Timeline, MoveFlowAt(6*time.Second, 2, "pn2"))
+
+	data, err := Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"faults"`, `"outages"`, `"departures"`, `"crashes"`,
+		`"recovery"`, `"handoff"`, `"move_flow"`, `"return_at"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("serialized form lacks %s:\n%s", want, data)
+		}
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\njson:\n%s", err, data)
+	}
+	if back.Fingerprint() != spec.Fingerprint() {
+		t.Fatalf("fingerprint diverged after round trip\ngot:\n%s\nwant:\n%s",
+			back.Canonical(), spec.Canonical())
+	}
+	if !reflect.DeepEqual(back.Faults, spec.Faults) {
+		t.Fatalf("fault plan drifted:\ngot  %+v\nwant %+v", back.Faults, spec.Faults)
+	}
+	if !reflect.DeepEqual(back.Recovery, spec.Recovery) {
+		t.Fatalf("recovery spec drifted:\ngot  %+v\nwant %+v", back.Recovery, spec.Recovery)
+	}
+	last := back.Timeline[len(back.Timeline)-1]
+	if last.Move == nil || last.Move.Flow != 2 || last.Move.To != "pn2" || last.At != 6*time.Second {
+		t.Fatalf("move_flow event drifted: %+v", last)
+	}
+
+	// Decode-side validation of the new blocks.
+	for name, js := range map[string]string{
+		"bad outage start": `{"format":"bluegs/scenario/v2","be_flows":[
+			{"id":1,"slave":1,"dir":"up","rate_kbps":10,"size":{"kind":"fixed","bytes":100}}],
+			"faults":{"outages":[{"slave":1,"start":"soon","end":"2s"}]}}`,
+		"bad departure return": `{"format":"bluegs/scenario/v2","be_flows":[
+			{"id":1,"slave":1,"dir":"up","rate_kbps":10,"size":{"kind":"fixed","bytes":100}}],
+			"faults":{"departures":[{"slave":1,"at":"1s","return_at":"later"}]}}`,
+		"bad crash at": `{"format":"bluegs/scenario/v2","be_flows":[
+			{"id":1,"slave":1,"dir":"up","rate_kbps":10,"size":{"kind":"fixed","bytes":100}}],
+			"faults":{"crashes":[{"at":"whenever"}]}}`,
+	} {
+		if _, err := Unmarshal([]byte(js)); err == nil {
+			t.Errorf("%s: Unmarshal accepted it", name)
+		}
 	}
 }

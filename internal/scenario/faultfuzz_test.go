@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bluegs/internal/faults"
+	"bluegs/internal/piconet"
+	"bluegs/internal/radio"
+)
+
+// randomFaultPlan builds a randomized-but-valid fault plan over a spec's
+// piconets: link-outage windows long enough for a Supervision-3 timeout
+// to trip (three failed polls, well under 300ms at any preset's poll
+// spacing), slave departures with and without return, and at most one
+// master crash. Slaves are drawn from the full 1..7 range on purpose —
+// an outage at a slave nobody polls must be inert, not fatal.
+func randomFaultPlan(rng *rand.Rand, spec Spec, horizon time.Duration) faults.Plan {
+	names := []string{""}
+	if spec.scatternet() {
+		names = names[:0]
+		for _, ps := range spec.Piconets {
+			names = append(names, ps.Name)
+		}
+	}
+	pick := func() string { return names[rng.Intn(len(names))] }
+	slave := func() piconet.SlaveID { return piconet.SlaveID(1 + rng.Intn(7)) }
+	at := func() time.Duration { return time.Duration(rng.Int63n(int64(horizon))) }
+
+	var plan faults.Plan
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		start := at()
+		dur := 300*time.Millisecond + time.Duration(rng.Int63n(int64(300*time.Millisecond)))
+		plan.Outages = append(plan.Outages, faults.LinkOutage{
+			Piconet: pick(), Slave: slave(), Start: start, End: start + dur,
+		})
+	}
+	if rng.Intn(2) == 0 {
+		dep := faults.SlaveDeparture{Piconet: pick(), Slave: slave(), At: at()}
+		if rng.Intn(2) == 0 {
+			dep.ReturnAt = dep.At + 400*time.Millisecond
+		}
+		plan.Departures = append(plan.Departures, dep)
+	}
+	if rng.Intn(3) == 0 {
+		plan.Crashes = append(plan.Crashes, faults.MasterCrash{
+			Piconet: pick(), At: horizon/2 + at()/2,
+		})
+	}
+	return plan
+}
+
+// TestRegistryFaultFuzzSmoke runs every registered scenario under
+// randomized fault timelines — outages, slave churn, the occasional
+// master crash — across every recovery policy (fixed seeds, so CI
+// failures reproduce). The invariants: the run completes without an
+// engine error or panic, every surviving contract (a GS flow the fault
+// machinery left untouched or renegotiated) still meets the loosest
+// bound it ever exported, and the faulted spec survives a v2 JSON round
+// trip fingerprint-intact. The CI fuzz-smoke step invokes exactly this
+// test alongside TestRegistryFuzzSmoke.
+//
+// Like TestRegistryFuzzSmokeInterferenceAware, the sweep pins
+// interference-aware admission at the conservative 16-piconet derate:
+// without it the scatternet presets can exceed their nominal bounds
+// through FH co-channel collisions alone, fault-free, and the assertion
+// would blame the fault machinery for radio physics.
+func TestRegistryFaultFuzzSmoke(t *testing.T) {
+	s16 := 1 - radio.ExpectedCollisionProb(15, 0)
+	policies := []faults.Policy{faults.PolicyNone, faults.PolicyDegrade, faults.PolicyHandoff}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				spec, ok := Lookup(name)
+				if !ok {
+					t.Fatal("registered name does not resolve")
+				}
+				spec.Duration = 3 * time.Second
+				spec.Interference.Enabled = true
+				spec.InterferenceAwareAdmission = true
+				spec.AdmissionDerate = s16
+				rng := rand.New(rand.NewSource(seed))
+				spec.Faults = randomFaultPlan(rng, spec, spec.Duration)
+				spec.Recovery = RecoverySpec{
+					Supervision: 3,
+					Policy:      policies[rng.Intn(len(policies))],
+				}
+
+				data, err := Marshal(spec)
+				if err != nil {
+					t.Fatalf("seed %d: marshal: %v", seed, err)
+				}
+				decoded, err := Unmarshal(data)
+				if err != nil {
+					t.Fatalf("seed %d: unmarshal: %v", seed, err)
+				}
+				if decoded.Fingerprint() != spec.Fingerprint() {
+					t.Fatalf("seed %d: fingerprint drifted across JSON round trip", seed)
+				}
+
+				res, err := Run(decoded)
+				if err != nil {
+					t.Fatalf("seed %d (policy %q): %v", seed, spec.Recovery.Policy, err)
+				}
+				if res.Elapsed != spec.Duration {
+					t.Fatalf("seed %d: run stopped early at %v", seed, res.Elapsed)
+				}
+				for _, f := range res.Flows {
+					if f.Class != piconet.Guaranteed {
+						continue
+					}
+					if f.Fate != "" && f.Fate != FateDegraded {
+						continue // suspended, moved-away remnant, or crashed
+					}
+					if f.Bound > 0 && f.DelayMax > f.Bound {
+						t.Fatalf("seed %d (policy %q): surviving flow %d (%s, fate %q) violated its bound: max %v > %v",
+							seed, spec.Recovery.Policy, f.ID, f.Piconet, f.Fate, f.DelayMax, f.Bound)
+					}
+				}
+			}
+		})
+	}
+}

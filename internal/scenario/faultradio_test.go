@@ -1,0 +1,163 @@
+package scenario_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+	"bluegs/internal/faults"
+	"bluegs/internal/piconet"
+	"bluegs/internal/radio"
+	"bluegs/internal/scenario"
+)
+
+// countingRadio wraps a radio model and counts Deliver calls. Every call
+// to the wrapped GilbertElliott consumes exactly two RNG draws, so the
+// call count is also an exact draw account.
+type countingRadio struct {
+	inner radio.Model
+	calls int
+}
+
+func (c *countingRadio) Deliver(rng *rand.Rand, t baseband.PacketType) bool {
+	c.calls++
+	return c.inner.Deliver(rng, t)
+}
+
+func (c *countingRadio) Name() string { return c.inner.Name() }
+
+// sliceTracer collects every exchange.
+type sliceTracer struct{ entries []piconet.TraceEntry }
+
+func (s *sliceTracer) Trace(e piconet.TraceEntry) { s.entries = append(s.entries, e) }
+
+// geOutageSpec is the composition workload: one fixed-size GS voice flow,
+// no ARQ, no supervision — the engine keeps polling straight through the
+// outage window, so the window's exchanges are observable as losses.
+func geOutageSpec(outage bool) scenario.Spec {
+	spec := scenario.Spec{
+		// Down direction: the master's data leg is the one the outage
+		// fails, so window exchanges surface as Lost trace entries (a
+		// failed bare POLL to an Up flow carries no packet to mark lost).
+		GS: []scenario.GSFlow{{
+			ID: 1, Slave: 1, Dir: piconet.Down,
+			Interval: 20 * time.Millisecond,
+			MinSize:  176, MaxSize: 176,
+		}},
+		DelayTarget: 100 * time.Millisecond,
+		Duration:    4 * time.Second,
+		Seed:        7,
+	}
+	if outage {
+		spec.Faults = faults.Plan{Outages: []faults.LinkOutage{
+			{Slave: 1, Start: time.Second, End: 2 * time.Second},
+		}}
+	}
+	return spec
+}
+
+const geOutageStart, geOutageEnd = time.Second, 2 * time.Second
+
+// inWindow reports whether the exchange started inside the outage window.
+func inWindow(e piconet.TraceEntry) bool {
+	return e.Start >= geOutageStart && e.Start < geOutageEnd
+}
+
+// TestOutageForcesLossWithZeroDraws: during a declared outage every
+// exchange fails outright — regardless of the Gilbert–Elliott chain state
+// — and the radio model is never consulted, so the chain consumes no RNG
+// draws at all. The counting wrapper proves the accounting exactly: a
+// pinned-Good channel answers twice per exchange outside the window and
+// never inside it.
+func TestOutageForcesLossWithZeroDraws(t *testing.T) {
+	run := func(outage bool) (*radio.GilbertElliott, int, []piconet.TraceEntry, *scenario.Result) {
+		// Pinned Good, lossless: every consulted leg delivers.
+		ge := radio.NewGilbertElliott(0, 0, 0, 1)
+		cnt := &countingRadio{inner: ge}
+		tr := &sliceTracer{}
+		res, err := scenario.RunWith(geOutageSpec(outage), scenario.Hooks{Radio: cnt, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ge, cnt.calls, tr.entries, res
+	}
+
+	// An exchange begun just before the horizon consults the model but
+	// completes — and traces — past it, so the call count may run exactly
+	// one untraced exchange (two draws) ahead of the trace.
+	pairsUpTo := func(what string, calls, exchanges int) {
+		t.Helper()
+		if d := calls - 2*exchanges; d != 0 && d != 2 {
+			t.Fatalf("%s: %d Deliver calls over %d exchanges, want exactly 2 per exchange (+ at most one untraced)",
+				what, calls, exchanges)
+		}
+	}
+	_, baseCalls, baseEntries, baseRes := run(false)
+	pairsUpTo("fault-free run", baseCalls, len(baseEntries))
+	for _, e := range baseEntries {
+		if e.Lost {
+			t.Fatalf("pinned-Good channel lost an exchange at %v", e.Start)
+		}
+	}
+
+	_, calls, entries, res := run(true)
+	outside, inside, insideLost := 0, 0, 0
+	for _, e := range entries {
+		if inWindow(e) {
+			inside++
+			if e.Lost {
+				insideLost++
+			}
+			// Zero delivery inside the window, whatever the chain state:
+			// the fault gate fails the exchange before the model is asked.
+			if e.DownBytes > 0 || e.UpBytes > 0 {
+				t.Fatalf("exchange at %v inside the outage delivered %d+%d bytes",
+					e.Start, e.DownBytes, e.UpBytes)
+			}
+			continue
+		}
+		outside++
+		if e.Lost {
+			t.Fatalf("exchange at %v outside the outage lost on a lossless channel", e.Start)
+		}
+	}
+	if inside == 0 {
+		t.Fatal("no exchanges inside the outage window — the engine stopped polling")
+	}
+	if insideLost == 0 {
+		t.Fatal("no packet-bearing exchange inside the outage was marked lost")
+	}
+	pairsUpTo("faulted run", calls, outside)
+	// The window's packets were really lost.
+	f, _ := res.FlowByID(1)
+	bf, _ := baseRes.FlowByID(1)
+	if f.Delivered >= bf.Delivered {
+		t.Fatalf("faulted run delivered %d >= fault-free %d", f.Delivered, bf.Delivered)
+	}
+}
+
+// TestOutageFreezesChainState: with deterministic transition
+// probabilities (good→bad and bad→good both 1) the chain state is a pure
+// function of the number of Deliver calls. If the outage gating consumed
+// draws or advanced the chain, the end-of-run state would disagree with
+// the call parity; instead the chain resumes after the window exactly
+// where it stopped.
+func TestOutageFreezesChainState(t *testing.T) {
+	for _, outage := range []bool{false, true} {
+		ge := radio.NewGilbertElliott(1, 1, 0, 1)
+		cnt := &countingRadio{inner: ge}
+		if _, err := scenario.RunWith(geOutageSpec(outage), scenario.Hooks{Radio: cnt}); err != nil {
+			t.Fatal(err)
+		}
+		if cnt.calls == 0 {
+			t.Fatal("radio model never consulted")
+		}
+		// Starting Good, the state flips once per call: after n calls the
+		// chain is Bad exactly when n is odd.
+		if want := cnt.calls%2 == 1; ge.InBadState() != want {
+			t.Fatalf("outage=%t: chain state %t after %d calls, want %t — the fault gating perturbed the chain",
+				outage, ge.InBadState(), cnt.calls, want)
+		}
+	}
+}

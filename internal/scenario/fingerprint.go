@@ -9,6 +9,7 @@ import (
 
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
+	"bluegs/internal/faults"
 	"bluegs/internal/piconet"
 )
 
@@ -78,6 +79,29 @@ func (s Spec) WithDefaults() Spec {
 			break
 		}
 	}
+	// Recovery: a policy implies supervision; the degrade factor and
+	// handoff target are inert outside their policies. Normalize so the
+	// implicit and explicit spellings fingerprint identically.
+	if s.Recovery.Supervision < 0 {
+		s.Recovery.Supervision = 0
+	}
+	if s.Recovery.Policy != faults.PolicyNone && s.Recovery.Supervision == 0 {
+		s.Recovery.Supervision = 3
+	}
+	if s.Recovery.Policy == faults.PolicyDegrade {
+		if s.Recovery.DegradeFactor <= 1 {
+			s.Recovery.DegradeFactor = 4
+		}
+	} else {
+		s.Recovery.DegradeFactor = 0
+	}
+	if s.Recovery.Policy != faults.PolicyHandoff {
+		s.Recovery.HandoffTarget = ""
+	}
+	// Fault-plan piconet names resolve to the first piconet, like
+	// defaulted timeline targets (a no-op for flat specs, whose only
+	// piconet is named "").
+	s.Faults = s.Faults.Resolve(s.defaultPiconetName())
 	return s
 }
 
@@ -104,6 +128,25 @@ func (s Spec) Canonical() string {
 	fmt.Fprintf(&b, "batch=%t interference=%t ch=%d win=%d iaa=%t derate=%g\n",
 		s.BatchTraffic, s.Interference.Enabled, s.Interference.Channels,
 		int64(s.Interference.Window), s.InterferenceAwareAdmission, s.AdmissionDerate)
+	// Fault plan and recovery render only when present, so fault-free
+	// specs keep their pre-fault fingerprints (and cache entries move only
+	// via the code-version salt).
+	for _, o := range s.Faults.Outages {
+		fmt.Fprintf(&b, "fault-outage pn=%q slave=%d start=%d end=%d\n",
+			o.Piconet, uint64(o.Slave), int64(o.Start), int64(o.End))
+	}
+	for _, d := range s.Faults.Departures {
+		fmt.Fprintf(&b, "fault-depart pn=%q slave=%d at=%d return=%d\n",
+			d.Piconet, uint64(d.Slave), int64(d.At), int64(d.ReturnAt))
+	}
+	for _, c := range s.Faults.Crashes {
+		fmt.Fprintf(&b, "fault-crash pn=%q at=%d\n", c.Piconet, int64(c.At))
+	}
+	if s.Recovery != (RecoverySpec{}) {
+		fmt.Fprintf(&b, "recovery sup=%d policy=%q degrade=%g target=%q\n",
+			s.Recovery.Supervision, string(s.Recovery.Policy),
+			s.Recovery.DegradeFactor, s.Recovery.HandoffTarget)
+	}
 	canonGS := func(prefix string, at time.Duration, g GSFlow) {
 		fmt.Fprintf(&b, "%s id=%d slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d at=%d\n",
 			prefix, uint64(g.ID), uint64(g.Slave), int(g.Dir), int64(g.Interval),
@@ -154,6 +197,9 @@ func (s Spec) Canonical() string {
 			canonPiconet(*ev.AddPiconet)
 		case ev.RemovePiconet != "":
 			fmt.Fprintf(&b, "tl-remove-piconet name=%q at=%d\n", ev.RemovePiconet, int64(ev.At))
+		case ev.Move != nil:
+			fmt.Fprintf(&b, "tl-move pn=%q id=%d to=%q at=%d\n",
+				ev.Piconet, uint64(ev.Move.Flow), ev.Move.To, int64(ev.At))
 		}
 	}
 	return b.String()

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"bluegs/internal/faults"
 )
 
 func TestCanonicalDefaultsInvariant(t *testing.T) {
@@ -125,5 +127,47 @@ func TestCanonicalMentionsRadioParameters(t *testing.T) {
 	s.Radio = BERRadio(1e-5)
 	if c := s.Canonical(); !strings.Contains(c, "1e-05") {
 		t.Fatalf("canonical form loses the BER parameter:\n%s", c)
+	}
+}
+
+// TestCanonicalFaultFreeStability: the fault plan, the recovery block and
+// the move_flow event render into the canonical form only when present,
+// so every pre-existing fault-free spec keeps its exact fingerprint — and
+// its cache entries move only via the code-version salt, never silently.
+func TestCanonicalFaultFreeStability(t *testing.T) {
+	for _, spec := range []Spec{
+		Paper(40 * time.Millisecond),
+		Baseline(BEPFP),
+		Scatternet(ScatternetConfig{}),
+	} {
+		base := spec.Fingerprint()
+		canon := spec.Canonical()
+		for _, banned := range []string{"fault-outage", "fault-depart", "fault-crash", "recovery ", "tl-move"} {
+			if strings.Contains(canon, banned) {
+				t.Fatalf("%s: fault-free canonical form contains %q:\n%s", spec.Name, banned, canon)
+			}
+		}
+
+		// Each fault feature must be semantically relevant: adding it
+		// moves the fingerprint, stripping it restores the original.
+		faulted := spec
+		faulted.Faults = faults.Plan{Outages: []faults.LinkOutage{{Slave: 1, Start: time.Second, End: 2 * time.Second}}}
+		if faulted.Fingerprint() == base {
+			t.Fatalf("%s: an outage plan did not change the fingerprint", spec.Name)
+		}
+		recovered := spec
+		recovered.Recovery = RecoverySpec{Supervision: 3, Policy: faults.PolicyDegrade}
+		if recovered.Fingerprint() == base {
+			t.Fatalf("%s: a recovery policy did not change the fingerprint", spec.Name)
+		}
+		moved := spec
+		moved.Timeline = append([]TimelineEvent(nil), spec.Timeline...)
+		moved.Timeline = append(moved.Timeline, MoveFlowAt(time.Second, 1, "elsewhere"))
+		if moved.Fingerprint() == base {
+			t.Fatalf("%s: a move_flow event did not change the fingerprint", spec.Name)
+		}
+		if spec.Fingerprint() != base {
+			t.Fatalf("%s: fingerprint unstable across repeated renderings", spec.Name)
+		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"bluegs/internal/faults"
 )
 
 // AllBEPollers lists every best-effort poller kind, in comparison order.
@@ -79,4 +81,10 @@ func init() {
 	}
 	MustRegister("scatternet", func() Spec { return Scatternet(ScatternetConfig{}) })
 	MustRegister("scatternet-pair", func() Spec { return Scatternet(ScatternetConfig{Piconets: 2}) })
+	MustRegister("faults-degrade", func() Spec {
+		return FaultScenario(FaultScenarioConfig{Policy: faults.PolicyDegrade})
+	})
+	MustRegister("faults-handoff", func() Spec {
+		return FaultScenario(FaultScenarioConfig{Policy: faults.PolicyHandoff})
+	})
 }

@@ -8,6 +8,7 @@ import (
 	"bluegs/internal/admission"
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
+	"bluegs/internal/faults"
 	"bluegs/internal/piconet"
 	"bluegs/internal/radio"
 	"bluegs/internal/sco"
@@ -32,6 +33,9 @@ type runner struct {
 	byName map[string]*piconetRunner
 	// defaultName resolves timeline events with an empty Piconet field.
 	defaultName string
+	// fsched is the compiled fault plan: per-piconet link-outage oracles
+	// and master-crash instants (empty, never nil, without faults).
+	fsched *faults.Schedule
 
 	admissions []AdmissionRecord
 	// err is the first fatal timeline-application error; it stops the
@@ -63,11 +67,22 @@ type piconetRunner struct {
 	rates  map[piconet.FlowID]float64
 	// slaves tracks registered slaves across static setup and timeline.
 	slaves map[piconet.SlaveID]bool
+	// gsSpecs remembers every installed GS flow's declarative spec so the
+	// recovery machinery can renegotiate or re-admit it elsewhere.
+	gsSpecs map[piconet.FlowID]GSFlow
+	// fates records what the fault/recovery machinery did to each flow
+	// (see the Fate* constants; absent means untouched).
+	fates map[piconet.FlowID]string
 
 	// removed marks a piconet that left the scatternet at removedAt; its
 	// statistics are final as of that instant.
 	removed   bool
 	removedAt sim.Time
+	// crashed marks a piconet whose master crashed at crashedAt: unlike a
+	// removal, its flows are orphaned where they stand (sources keep
+	// generating into queues nobody polls).
+	crashed   bool
+	crashedAt sim.Time
 }
 
 // source is one self-rescheduling traffic source; ev is its pending tick,
@@ -98,6 +113,9 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	if err := validateTimeline(spec); err != nil {
 		return nil, err
 	}
+	if err := validateFaults(spec); err != nil {
+		return nil, err
+	}
 	piconets := spec.piconetSpecs()
 	if hooks.Radio != nil && (len(piconets) > 1 || timelineAddsPiconet(spec)) {
 		return nil, fmt.Errorf("%w: a live Radio hook cannot serve a multi-piconet run", ErrBadSpec)
@@ -108,6 +126,7 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 		s:           sim.New(sim.WithSeed(spec.Seed)),
 		byName:      make(map[string]*piconetRunner),
 		defaultName: spec.defaultPiconetName(),
+		fsched:      spec.Faults.Compile(),
 	}
 	if spec.Interference.Enabled {
 		r.medium = radio.NewMedium(spec.Interference.Channels, spec.Interference.Window,
@@ -133,6 +152,12 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	for _, ev := range spec.Timeline {
 		ev := ev
 		r.s.Schedule(ev.At, func() { r.applyEvent(ev) })
+	}
+	// Master crashes apply after any timeline events sharing their
+	// instant: the scenario's planned changes happen, then the fault.
+	for _, c := range spec.Faults.Crashes {
+		name := c.Piconet
+		r.s.Schedule(c.At, func() { r.applyCrash(name) })
 	}
 
 	for _, p := range r.pns {
@@ -195,6 +220,8 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 		bounds:  make(map[piconet.FlowID]time.Duration),
 		rates:   make(map[piconet.FlowID]float64),
 		slaves:  make(map[piconet.SlaveID]bool),
+		gsSpecs: make(map[piconet.FlowID]GSFlow),
+		fates:   make(map[piconet.FlowID]string),
 	}
 
 	// Admission: the piconet-wide worst exchange must cover BE traffic,
@@ -263,6 +290,15 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 	if hooks.Tracer != nil {
 		pnOpts = append(pnOpts, piconet.WithTracer(hooks.Tracer))
 	}
+	// Fault plan: the compiled per-slave outage oracle gates this
+	// piconet's radio (a piconet with no declared faults gets no oracle,
+	// keeping the engine's delivery path — and its RNG draws — untouched).
+	if pf := r.fsched.Piconet(ps.Name); pf != nil {
+		pnOpts = append(pnOpts, piconet.WithLinkFault(pf.Down))
+	}
+	if spec.Recovery.Supervision > 0 {
+		pnOpts = append(pnOpts, piconet.WithSupervision(spec.Recovery.Supervision, p.onLinkDead))
+	}
 	pn := piconet.New(r.s, pnOpts...)
 	p.pn = pn
 	for _, g := range ps.GS {
@@ -275,6 +311,7 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 		}); err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
+		p.gsSpecs[g.ID] = g
 	}
 	for _, b := range ps.BE {
 		if err := p.addSlave(b.Slave); err != nil {
@@ -508,6 +545,16 @@ func maxExchange(spec Spec, ps PiconetSpec) time.Duration {
 		if target == "" {
 			target = def
 		}
+		// A move_flow whose destination is (or may be) this piconet
+		// brings the moved flow's exchange here.
+		if ev.Move != nil && target != ps.Name {
+			if ev.Move.To == ps.Name || ev.Move.To == "" {
+				if g, ok := spec.findGS(target, ev.Move.Flow); ok {
+					visitGS(g)
+				}
+			}
+			continue
+		}
 		if target != ps.Name {
 			continue
 		}
@@ -518,6 +565,25 @@ func maxExchange(spec Spec, ps PiconetSpec) time.Duration {
 			visitBE(*ev.AddBE)
 		}
 	}
+	if spec.Recovery.Policy == faults.PolicyHandoff {
+		// The handoff recovery policy can move any GS flow of any piconet
+		// here; Xi must cover every exchange it might ever host.
+		for _, other := range spec.piconetSpecs() {
+			for _, g := range other.GS {
+				visitGS(g)
+			}
+		}
+		for _, ev := range spec.Timeline {
+			if ev.AddGS != nil {
+				visitGS(*ev.AddGS)
+			}
+			if ev.AddPiconet != nil {
+				for _, g := range ev.AddPiconet.GS {
+					visitGS(g)
+				}
+			}
+		}
+	}
 	maxSlots := 2
 	for _, l := range perSlave {
 		if s := l.down + l.up; s > maxSlots {
@@ -525,6 +591,54 @@ func maxExchange(spec Spec, ps PiconetSpec) time.Duration {
 		}
 	}
 	return baseband.SlotsToDuration(maxSlots)
+}
+
+// findGS locates the declarative spec of a GS flow by (piconet, id)
+// across the static sets, every timeline addition, and — for chained
+// handoffs — the moves that brought the flow there (move validation
+// forbids cycles, so the recursion terminates).
+func (s Spec) findGS(pnName string, id piconet.FlowID) (GSFlow, bool) {
+	for _, ps := range s.piconetSpecs() {
+		if ps.Name != pnName {
+			continue
+		}
+		for _, g := range ps.GS {
+			if g.ID == id {
+				return g, true
+			}
+		}
+	}
+	def := s.defaultPiconetName()
+	for _, ev := range s.Timeline {
+		if ev.AddGS != nil {
+			target := ev.Piconet
+			if target == "" {
+				target = def
+			}
+			if target == pnName && ev.AddGS.ID == id {
+				return *ev.AddGS, true
+			}
+		}
+		if ev.AddPiconet != nil && ev.AddPiconet.Name == pnName {
+			for _, g := range ev.AddPiconet.GS {
+				if g.ID == id {
+					return g, true
+				}
+			}
+		}
+	}
+	for _, ev := range s.Timeline {
+		if ev.Move != nil && ev.Move.Flow == id && ev.Move.To == pnName {
+			source := ev.Piconet
+			if source == "" {
+				source = def
+			}
+			if g, ok := s.findGS(source, id); ok {
+				return g, true
+			}
+		}
+	}
+	return GSFlow{}, false
 }
 
 // reject logs a refused timeline operation.
@@ -577,6 +691,9 @@ func (r *runner) applyEvent(ev TimelineEvent) {
 		case p.removed:
 			flow, slave := ev.subject()
 			r.reject(target, ev.Op(), flow, slave, "piconet removed")
+		case p.crashed:
+			flow, slave := ev.subject()
+			r.reject(target, ev.Op(), flow, slave, "piconet crashed")
 		default:
 			p.applyEvent(ev)
 		}
@@ -599,6 +716,8 @@ func (p *piconetRunner) applyEvent(ev TimelineEvent) {
 		p.applyAddSCO(*ev.AddSCO)
 	case ev.DropSCO != 0:
 		p.applyDropSCO(ev.DropSCO)
+	case ev.Move != nil:
+		p.applyMove(*ev.Move)
 	}
 }
 
@@ -730,6 +849,7 @@ func (p *piconetRunner) applyAddGS(g GSFlow) {
 		return
 	}
 	p.noteBounds()
+	p.gsSpecs[g.ID] = g
 	p.attachGSSource(g)
 	p.pn.Kick()
 	p.accept(AdmissionRecord{
@@ -849,10 +969,14 @@ func (p *piconetRunner) collect(end sim.Time) PiconetResult {
 	if p.removed {
 		end = p.removedAt
 	}
+	if p.crashed {
+		end = p.crashedAt
+	}
 	pn := p.pn
 	pr := PiconetResult{
 		Name:       p.name,
 		Removed:    p.removed,
+		Crashed:    p.crashed,
 		SlaveKbps:  make(map[piconet.SlaveID]float64),
 		SCOKbps:    make(map[piconet.SlaveID]float64),
 		Slots:      pn.SlotAccount(end),
@@ -891,6 +1015,7 @@ func (p *piconetRunner) collect(end sim.Time) PiconetResult {
 			fr.Bound = bound
 			fr.Rate = p.rates[id]
 		}
+		fr.Fate = p.fates[id]
 		pr.Flows = append(pr.Flows, fr)
 	}
 	for _, slave := range pn.Slaves() {

@@ -185,6 +185,10 @@ type PiconetResult struct {
 	// Removed reports the piconet left the scatternet mid-run (its
 	// statistics are final as of the removal).
 	Removed bool
+	// Crashed reports the piconet's master crashed per the fault plan:
+	// statistics are final as of the crash, and its flows were orphaned
+	// rather than retired.
+	Crashed bool
 	Flows   []FlowResult
 	// SlaveKbps and SCOKbps are per-slave delivered throughputs within
 	// this piconet.

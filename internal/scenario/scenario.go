@@ -20,6 +20,7 @@ import (
 	"bluegs/internal/admission"
 	"bluegs/internal/baseband"
 	"bluegs/internal/core"
+	"bluegs/internal/faults"
 	"bluegs/internal/piconet"
 	"bluegs/internal/poller"
 	"bluegs/internal/radio"
@@ -211,6 +212,19 @@ type Spec struct {
 	// runs, so the two modes are distinct simulations (and fingerprint
 	// differently).
 	BatchTraffic bool
+	// Faults is the declarative fault plan: timed link outages per
+	// (piconet, slave), slave departure/return events and master crashes
+	// (see internal/faults). Outages force the affected link into 100%
+	// loss without consuming RNG draws, so a fault-free spec is
+	// byte-identical to a build without the fault layer. The zero plan
+	// injects nothing.
+	Faults faults.Plan
+	// Recovery arms the self-healing machinery: a link supervision
+	// timeout in every piconet engine plus the policy applied to flows
+	// whose link is declared dead (suspend only, graceful degradation, or
+	// make-before-break handoff). The zero value leaves supervision off —
+	// faulted flows then keep their queues and silently violate.
+	Recovery RecoverySpec
 }
 
 // Paper returns the paper's Fig. 4 setup: a seven-slave piconet with four
@@ -316,6 +330,12 @@ type FlowResult struct {
 	// DelayJitter is the standard deviation of the packet delay (voice
 	// and video sources care about it as much as the bound).
 	DelayJitter time.Duration
+	// Fate records what the fault/recovery machinery did to the flow:
+	// "" (untouched), FateSuspended (link died, no recovery), FateDegraded
+	// (renegotiated at a looser bound), FateMoved (handed off to another
+	// piconet — this row is the source-side remnant), FateCrashed (its
+	// piconet's master crashed).
+	Fate string
 	// Bound and Rate are set for GS flows only. Bound is the loosest
 	// bound the flow ever exported while installed: later admissions may
 	// shift a flow's priority and grow its x, so this is the weakest

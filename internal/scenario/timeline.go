@@ -23,7 +23,31 @@ const (
 	// the new collision estimate cannot be served by the piconet's
 	// existing contracts — its bounds stay at the previous derate.
 	OpRederate = "rederate"
+	// OpHandoff is the make-before-break move of a GS flow to another
+	// piconet: admitted at the target (interference-derated) before
+	// anything is released at the source. Constructed by a move_flow
+	// timeline event or emitted by the handoff recovery policy.
+	OpHandoff = "move-flow"
+	// OpSuspend records the supervision timeout declaring a flow's link
+	// dead (no timeline event constructs it). The record's Latency is the
+	// detection latency: link-death declaration minus first failed poll.
+	OpSuspend = "suspend-flow"
+	// OpDegrade records the graceful-degradation renegotiation of a
+	// suspended flow at a looser delay bound (no timeline event
+	// constructs it). A rejected degrade leaves the flow suspended.
+	OpDegrade = "degrade-flow"
+	// OpCrash records a master crash from the fault plan (no timeline
+	// event constructs it): the piconet halts and its flows are orphaned.
+	OpCrash = "master-crash"
 )
+
+// MoveFlow is the payload of a move_flow timeline event: hand the flow
+// off to the named piconet ("" resolves like RecoverySpec.HandoffTarget —
+// the spec's configured target, else the first other live piconet).
+type MoveFlow struct {
+	Flow piconet.FlowID
+	To   string
+}
 
 // TimelineEvent is one scheduled mid-run change of a scenario. Exactly one
 // operation field must be set; events apply in slice order when they share
@@ -71,6 +95,12 @@ type TimelineEvent struct {
 	// it stops colliding with the others. Its statistics stay in the
 	// result, final as of the removal.
 	RemovePiconet string
+	// Move hands a Guaranteed Service flow of the target piconet off to
+	// another piconet make-before-break: the destination runs the
+	// admission test (at its own interference derate) and installs the
+	// flow before the source releases its reservation, so a refusal
+	// leaves the flow untouched at the source.
+	Move *MoveFlow
 }
 
 // Op names the event's operation ("" for an invalid event).
@@ -90,6 +120,8 @@ func (e TimelineEvent) Op() string {
 		return OpAddPiconet
 	case e.RemovePiconet != "":
 		return OpRemovePiconet
+	case e.Move != nil:
+		return OpHandoff
 	}
 	return ""
 }
@@ -118,6 +150,9 @@ func (e TimelineEvent) ops() int {
 	if e.RemovePiconet != "" {
 		n++
 	}
+	if e.Move != nil {
+		n++
+	}
 	return n
 }
 
@@ -136,6 +171,8 @@ func (e TimelineEvent) subject() (piconet.FlowID, piconet.SlaveID) {
 		return piconet.None, e.AddSCO.Slave
 	case e.DropSCO != 0:
 		return piconet.None, e.DropSCO
+	case e.Move != nil:
+		return e.Move.Flow, 0
 	}
 	return piconet.None, 0
 }
@@ -181,6 +218,13 @@ func RemovePiconetAt(at time.Duration, name string) TimelineEvent {
 	return TimelineEvent{At: at, RemovePiconet: name}
 }
 
+// MoveFlowAt schedules a make-before-break handoff of a Guaranteed
+// Service flow to another piconet (to "" picks the configured or first
+// other live piconet). Address the source piconet with For.
+func MoveFlowAt(at time.Duration, flow piconet.FlowID, to string) TimelineEvent {
+	return TimelineEvent{At: at, Move: &MoveFlow{Flow: flow, To: to}}
+}
+
 // AdmissionRecord is one entry of a run's online admission log: the
 // outcome of one timeline event.
 type AdmissionRecord struct {
@@ -201,8 +245,12 @@ type AdmissionRecord struct {
 	// admission time (add-gs only).
 	Bound time.Duration
 	Rate  float64
-	// Reason explains a rejection.
+	// Reason explains a rejection (and, for accepted handoffs, names the
+	// source piconet).
 	Reason string
+	// Latency is the supervision detection latency: how long the link had
+	// been failing when it was declared dead (suspend-flow only).
+	Latency time.Duration
 }
 
 // validateTimeline statically checks a timeline against the spec: one
@@ -283,6 +331,28 @@ func validateTimeline(spec Spec) error {
 			if !ev.AddSCO.Type.IsSCO() {
 				return fmt.Errorf("%w: timeline[%d] SCO type %v", ErrBadSpec, i, ev.AddSCO.Type)
 			}
+		case ev.Move != nil:
+			if ev.Move.Flow == piconet.None {
+				return fmt.Errorf("%w: timeline[%d] move-flow with zero flow id", ErrBadSpec, i)
+			}
+			if !flows[ev.Move.Flow] {
+				return fmt.Errorf("%w: timeline[%d] moves unknown flow %d", ErrBadSpec, i, ev.Move.Flow)
+			}
+			if ev.Move.To != "" {
+				if ev.Move.To == target {
+					return fmt.Errorf("%w: timeline[%d] moves flow %d to its own piconet", ErrBadSpec, i, ev.Move.Flow)
+				}
+				toFlows, ok := known[ev.Move.To]
+				if !ok {
+					return fmt.Errorf("%w: timeline[%d] moves flow to unknown piconet %q", ErrBadSpec, i, ev.Move.To)
+				}
+				if toFlows[ev.Move.Flow] {
+					return fmt.Errorf("%w: timeline[%d] duplicate flow id %d at %q", ErrBadSpec, i, ev.Move.Flow, ev.Move.To)
+				}
+				toFlows[ev.Move.Flow] = true
+			}
+			// The id stays claimed at the source too: its retired remnant
+			// keeps the id unusable there.
 		}
 	}
 	return nil
