@@ -244,6 +244,11 @@ func run() error {
 		if err := tbl.WriteCSV(os.Stdout); err != nil {
 			return err
 		}
+		if rt := res.RouteReport(); rt != nil {
+			if err := rt.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		}
 		if adm := res.AdmissionReport(); adm != nil {
 			if err := adm.WriteCSV(os.Stdout); err != nil {
 				return err
@@ -252,6 +257,12 @@ func run() error {
 	} else {
 		if err := tbl.WriteText(os.Stdout); err != nil {
 			return err
+		}
+		if rt := res.RouteReport(); rt != nil {
+			fmt.Println()
+			if err := rt.WriteText(os.Stdout); err != nil {
+				return err
+			}
 		}
 		if adm := res.AdmissionReport(); adm != nil {
 			fmt.Println()

@@ -147,5 +147,9 @@ func run() error {
 	if err := print(e11, err); err != nil {
 		return fmt.Errorf("E11: %w", err)
 	}
+	_, e12, err := experiments.BridgeStudy(cfg, nil, nil, nil)
+	if err := print(e12, err); err != nil {
+		return fmt.Errorf("E12: %w", err)
+	}
 	return nil
 }

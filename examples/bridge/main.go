@@ -1,0 +1,92 @@
+// Bridge demonstrates multi-hop delay guarantees across a scatternet:
+// two voice piconets joined by a bridge node that time-shares them on a
+// 100 ms residency schedule — half the period receiving in pn1, half
+// forwarding into pn2 — with one guaranteed route store-and-forwarded
+// across the bridge against a single end-to-end budget.
+//
+// The point the output makes is the E12 study's: while the bridge is
+// resident in the other piconet, route packets queue at it, so a hop's
+// reservation must drain a backlog, not just a steady stream. The
+// residency-aware admission splits the end-to-end budget across hops and
+// derates each hop's share by the bridge's duty fraction there (composed
+// with any FH interference term), grossing the reservation up by exactly
+// the fraction of the period its consumer is absent — and the measured
+// end-to-end maximum stays inside the budget. The naive twin hands every
+// hop the full budget with no derate: each hop looks generously
+// provisioned on paper, but its token-rate reservation polls too slowly
+// to clear the residency backlog, and the route blows its bound.
+//
+// Run with:
+//
+//	go run ./examples/bridge
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bluegs/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The two-hop bridge pair: pn1 -> b1 -> pn2, duty 0.5, one
+	// background voice flow per piconet, 110 ms end-to-end budget.
+	cfg := scenario.BridgedConfig{Hops: 2, Duration: 30 * time.Second}
+	derated := scenario.Bridged(cfg)
+
+	fmt.Printf("scenario %q: %d piconets, %d bridge, route budget split across %d hops\n",
+		derated.Name, len(derated.Piconets), len(derated.Bridges), len(derated.Routes[0].Bridges)+1)
+	b := derated.Bridges[0]
+	for _, rs := range b.Residency {
+		fmt.Printf("  bridge %s resident in %-4s as slave %d during [%v, %v) of each %v period\n",
+			b.Name, rs.Piconet, rs.Slave, rs.Start, rs.End, b.Period)
+	}
+	fmt.Println()
+
+	res, err := scenario.Run(derated)
+	if err != nil {
+		return err
+	}
+	if err := res.Report().WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := res.RouteReport().WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	rr, _ := res.RouteByID(30)
+	fmt.Printf("derated route: %d delivered, e2e max %v against %v budget\n",
+		rr.Delivered, rr.DelayMax, rr.Target)
+	for i, bound := range rr.HopBounds {
+		fmt.Printf("  hop %d (%s): admitted bound %v at %.1f kB/s reserved\n",
+			i+1, rr.Path[i], bound, rr.HopRates[i]/1000)
+	}
+
+	// The control: same topology, same budget, but every hop admitted
+	// naively — full budget, no residency derate.
+	cfg.Naive = true
+	naiveRes, err := scenario.Run(scenario.Bridged(cfg))
+	if err != nil {
+		return err
+	}
+	nr, _ := naiveRes.RouteByID(30)
+	verdict := "meets"
+	if nr.Violated() {
+		verdict = "VIOLATES"
+	}
+	fmt.Printf("\nnaive twin:    %d delivered, e2e max %v — %s the %v budget (peak bridge backlog %d packets)\n",
+		nr.Delivered, nr.DelayMax, verdict, nr.Target, nr.PeakQueue)
+	fmt.Println("\nthe residency derate is the difference: both routes wait out the same" +
+		"\nbridge absences, but only the derated reservation drains the backlog in budget")
+	return nil
+}

@@ -46,6 +46,14 @@ type Request struct {
 	Allowed baseband.TypeSet
 	// Policy is the segmentation policy (defaults to best-fit).
 	Policy segmentation.Policy
+	// SuccessScale scales the controller's configured success probability
+	// for this flow alone: its effective per-exchange success probability
+	// becomes s·SuccessScale. Routed flows polled through a part-time
+	// bridge use it to fold the bridge's residency duty cycle into the
+	// hop's derating on top of the FH collision term — absence behaves,
+	// statistically, like one more source of failed exchanges. Values
+	// outside (0,1) mean no extra scaling.
+	SuccessScale float64
 }
 
 func (r Request) validate() error {
@@ -121,6 +129,17 @@ func (cfg Config) successProb() float64 {
 		return 1
 	}
 	return cfg.SuccessProb
+}
+
+// successProbFor composes the piconet-wide success probability with a
+// request's own SuccessScale (a bridge hop's residency duty cycle): the
+// flow-effective s the bound math and rate negotiation must use.
+func (cfg Config) successProbFor(r Request) float64 {
+	s := cfg.successProb()
+	if r.SuccessScale > 0 && r.SuccessScale < 1 {
+		s *= r.SuccessScale
+	}
+	return s
 }
 
 // DeriveParams computes the polling parameters of a request.

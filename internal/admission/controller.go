@@ -287,7 +287,10 @@ func (c *Controller) AdmitForDelay(dr DelayRequest) (*PlannedFlow, error) {
 	// Under derating the reserved rate must at least cover the token
 	// rate after the interference tax, and the rate the bound formula
 	// asks for is an effective rate — gross it up by 1/s to reserve.
-	s := c.cfg.successProb()
+	// Bridge hops compound the FH term with their residency duty cycle
+	// (Request.SuccessScale), so a part-time slave reserves enough rate
+	// to drain its queue within its windows alone.
+	s := c.cfg.successProbFor(dr.Request)
 	rate := dr.Request.Spec.TokenRate / s
 	const maxIters = 60
 	for iter := 0; iter < maxIters; iter++ {
@@ -319,6 +322,31 @@ func (c *Controller) AdmitForDelay(dr DelayRequest) (*PlannedFlow, error) {
 	}
 	return nil, fmt.Errorf("%w: no rate meets the %v target for flow %d",
 		ErrRejected, dr.Target, dr.Request.ID)
+}
+
+// Renegotiate re-runs the online rate negotiation for an already-accepted
+// flow at a new delay target: mid-call tightening (a smaller target
+// reserves a higher rate) or loosening (capacity is handed back). The
+// whole exchange is atomic — it trials release-plus-readmission on a
+// clone, so a rejection leaves the controller, and the flow's existing
+// contract, exactly as they were.
+func (c *Controller) Renegotiate(id piconet.FlowID, target time.Duration) (*PlannedFlow, error) {
+	pf, ok := c.Find(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	trial := c.clone()
+	if err := trial.Remove(id); err != nil {
+		return nil, err
+	}
+	req := pf.Request
+	req.Rate = 0
+	if _, err := trial.AdmitForDelay(DelayRequest{Request: req, Target: target}); err != nil {
+		return nil, err
+	}
+	c.groups = trial.groups
+	admitted, _ := c.Find(id)
+	return admitted, nil
 }
 
 // SetSCOLinks replaces the configured synchronous links and recomputes the
@@ -466,7 +494,6 @@ func (c *Controller) finalize(ordered []*group, xi time.Duration) error {
 	if err != nil {
 		return err
 	}
-	s := c.cfg.successProb()
 	for i, g := range ordered {
 		if err := c.cfg.checkSCOWindow(g.stream().Exchange); err != nil {
 			return fmt.Errorf("%w: %w", ErrRejected, err)
@@ -483,6 +510,7 @@ func (c *Controller) finalize(ordered []*group, xi time.Duration) error {
 				ErrRejected, x, st.Interval, i+1)
 		}
 		for _, f := range g.flows() {
+			s := c.cfg.successProbFor(f.Request)
 			f.Priority = i + 1
 			f.X = x
 			f.Terms = DeratedErrorTerms(f.Params.EtaMin, x, s)

@@ -23,6 +23,24 @@ type DelayRequest struct {
 	Target time.Duration
 }
 
+// SplitBudget statically divides an end-to-end delay budget across the
+// hops of a multi-hop route: equal shares, with the division remainder
+// granted to the first hop so the shares sum exactly to the budget. Each
+// share then becomes one hop's AdmitForDelay target, decomposing the
+// end-to-end guarantee into per-piconet contracts.
+func SplitBudget(target time.Duration, hops int) []time.Duration {
+	if hops <= 0 || target <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, hops)
+	share := target / time.Duration(hops)
+	for i := range out {
+		out[i] = share
+	}
+	out[0] += target - share*time.Duration(hops)
+	return out
+}
+
 // PlanForDelay finds, by fixed-point iteration, minimal per-flow rates such
 // that every flow's Guaranteed Service delay bound meets its target under
 // the resulting priority assignment, and returns the final admission plan.
@@ -36,15 +54,15 @@ func PlanForDelay(reqs []DelayRequest, cfg Config, opts ...ControllerOption) (*C
 	if len(reqs) == 0 {
 		return NewController(cfg, opts...), nil
 	}
-	s := cfg.successProb()
 	rates := make([]float64, len(reqs))
 	for i, dr := range reqs {
 		if err := dr.Request.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadRequest, dr.Request.ID, err)
 		}
 		// The legal minimum under derating: the reserved rate must
-		// still cover the token rate after the interference tax.
-		rates[i] = dr.Request.Spec.TokenRate / s
+		// still cover the token rate after the interference tax (and,
+		// for bridge hops, the residency duty cycle).
+		rates[i] = dr.Request.Spec.TokenRate / cfg.successProbFor(dr.Request)
 	}
 
 	const maxIters = 50
@@ -75,7 +93,7 @@ func PlanForDelay(reqs []DelayRequest, cfg Config, opts ...ControllerOption) (*C
 				return nil, fmt.Errorf("%w: flow %d: %v", ErrTargetInfeasible, dr.Request.ID, err)
 			}
 			// RequiredRate speaks in effective rate; reserve 1/s more.
-			needed /= s
+			needed /= cfg.successProbFor(dr.Request)
 			// Rates must be monotone non-decreasing for convergence.
 			if needed > rates[i] {
 				rates[i] = needed
@@ -108,13 +126,12 @@ func PlanForDelayBestEffort(reqs []DelayRequest, cfg Config, opts ...ControllerO
 	if len(reqs) == 0 {
 		return NewController(cfg, opts...), nil
 	}
-	s := cfg.successProb()
 	rates := make([]float64, len(reqs))
 	for i, dr := range reqs {
 		if err := dr.Request.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadRequest, dr.Request.ID, err)
 		}
-		rates[i] = dr.Request.Spec.TokenRate / s
+		rates[i] = dr.Request.Spec.TokenRate / cfg.successProbFor(dr.Request)
 	}
 	admitAll := func(rs []float64) (*Controller, error) {
 		c := NewController(cfg, opts...)
@@ -155,7 +172,7 @@ func PlanForDelayBestEffort(reqs []DelayRequest, cfg Config, opts ...ControllerO
 			} else {
 				// RequiredRate speaks in effective rate; reserve
 				// 1/s more to deliver it through the interference.
-				needed /= s
+				needed /= cfg.successProbFor(dr.Request)
 			}
 			if needed <= goodRates[i] {
 				needed = goodRates[i] * 1.02

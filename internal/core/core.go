@@ -162,6 +162,9 @@ type Scheduler struct {
 	byFlow  map[piconet.FlowID]*stream
 	// lossRecovery enables recovery polls for lost GS segments.
 	lossRecovery bool
+	// resident is the bridge-residency oracle (nil: every slave is always
+	// reachable). See WithResidency.
+	resident func(slave piconet.SlaveID, at sim.Time) (bool, sim.Time)
 	// beOutcomes and gsOutcomes count exchanges for reports.
 	beOutcomes uint64
 	gsOutcomes uint64
@@ -206,6 +209,20 @@ func WithBEPoller(p poller.Poller) Option {
 // Meaningful only with a lossy radio model and ARQ enabled on the piconet.
 func WithLossRecovery(enabled bool) Option {
 	return func(s *Scheduler) { s.lossRecovery = enabled }
+}
+
+// WithResidency installs a slave-residency oracle for scatternet bridge
+// slaves: reachable(slave, at) reports whether the slave is (or will be)
+// listening in this piconet at the instant `at` and, when it is not, when
+// its residency window next opens. The oracle must be a pure function of
+// its arguments — Decide also queries future instants to size its idle
+// horizon. A due poll to an absent slave is deferred, not skipped: the
+// stream keeps its rule-(a) planning state, the lag keeps charging to the
+// original plan, and the poll fires the moment the window opens (never
+// tripping supervision on mere absence). Slaves the oracle does not know
+// should report reachable.
+func WithResidency(reachable func(slave piconet.SlaveID, at sim.Time) (bool, sim.Time)) Option {
+	return func(s *Scheduler) { s.resident = reachable }
 }
 
 // New builds a Scheduler for the piconet from an admission plan (the
@@ -472,6 +489,13 @@ func (s *Scheduler) Decide(now sim.Time, freeSlots int) piconet.Action {
 		if !st.planned || st.inFlight || st.nextPlan > now {
 			continue
 		}
+		if s.resident != nil {
+			if ok, _ := s.resident(st.slave, now); !ok {
+				// The bridge is serving another piconet: defer, keeping
+				// the plan (the wait charges to x like any other lag).
+				continue
+			}
+		}
 		if s.hasRule(SkipEmptyDown) && st.up == piconet.None &&
 			!s.pn.DownHeadAvailable(st.down, now) {
 			// Rule (c): skip and go dormant until an arrival.
@@ -500,6 +524,11 @@ func (s *Scheduler) Decide(now sim.Time, freeSlots int) piconet.Action {
 			if !st.retryPending || st.inFlight || st.retryInFlight {
 				continue
 			}
+			if s.resident != nil {
+				if ok, _ := s.resident(st.slave, now); !ok {
+					continue
+				}
+			}
 			if s.worstExchangeSlots(st, now) > freeSlots {
 				continue
 			}
@@ -520,8 +549,23 @@ func (s *Scheduler) Decide(now sim.Time, freeSlots int) piconet.Action {
 	// master via OnDownArrival.
 	until := now + time.Hour
 	for _, st := range s.streams {
-		if st.planned && !st.inFlight && st.nextPlan < until {
-			until = st.nextPlan
+		if !st.planned || st.inFlight {
+			continue
+		}
+		wake := st.nextPlan
+		if s.resident != nil {
+			at := wake
+			if at < now {
+				at = now
+			}
+			if ok, open := s.resident(st.slave, at); !ok && open > wake {
+				// The poll cannot execute before the slave's residency
+				// window opens; don't wake for nothing.
+				wake = open
+			}
+		}
+		if wake < until {
+			until = wake
 		}
 	}
 	return piconet.Idle(until)

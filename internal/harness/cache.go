@@ -37,7 +37,12 @@ import (
 // master crashes, flow fates in results) — pre-fault cached results can
 // never replay runs the fault-aware engine would produce, and the new
 // on-disk footer format invalidates footerless entries wholesale.
-const DefaultCacheSalt = "sim-v7"
+// sim-v8: bridge nodes and end-to-end routes (residency-gated polls and
+// scheduling, store-and-forward hop handoff, per-hop budget-split
+// admission with duty-cycle derating, renegotiate_flow, route results) —
+// pre-bridge cached results can never replay runs the route-aware runner
+// would produce.
+const DefaultCacheSalt = "sim-v8"
 
 // CacheConfig tunes a RunCache.
 type CacheConfig struct {
@@ -127,6 +132,8 @@ type cacheRecord struct {
 	// Piconets carries the per-piconet results of scatternet runs (one
 	// entry for flat single-piconet specs).
 	Piconets []scenario.PiconetResult
+	// Routes carries the end-to-end results of bridged multi-hop flows.
+	Routes []scenario.RouteResult
 }
 
 func init() {
@@ -339,6 +346,7 @@ func (c *RunCache) readDisk(key string) (*scenario.Result, error) {
 		Admitted:   rec.Admit,
 		Admissions: rec.Admissions,
 		Piconets:   rec.Piconets,
+		Routes:     rec.Routes,
 	}, nil
 }
 
@@ -358,6 +366,7 @@ func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
 
 		Admissions: res.Admissions,
 		Piconets:   res.Piconets,
+		Routes:     res.Routes,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {

@@ -229,21 +229,21 @@ func (p *Piconet) executePoll(now sim.Time, a Action, window int64) error {
 	// Apply downlink state changes.
 	if downPkt != nil {
 		if downDelivered {
-			downFS.advanceHead(downPkt, downEnd, &down)
+			p.advanceHead(downFS, downPkt, downEnd, &down)
 		} else {
 			down.Lost = true
 			down.Bytes = 0
-			p.handleLoss(downFS, downPkt)
+			p.handleLoss(downFS, downPkt, downEnd)
 		}
 	}
 	// Apply uplink state changes.
 	if upPkt != nil {
 		if upDelivered {
-			upFS.advanceHead(upPkt, end, &up)
+			p.advanceHead(upFS, upPkt, end, &up)
 		} else {
 			up.Lost = true
 			up.Bytes = 0
-			p.handleLoss(upFS, upPkt)
+			p.handleLoss(upFS, upPkt, end)
 		}
 	}
 
@@ -350,25 +350,31 @@ func (p *Piconet) pickBEUp(sl *slaveState, cutoff sim.Time) *flowState {
 }
 
 // advanceHead consumes the head segment of pkt at the given delivery time,
-// recording completion in the leg outcome and the flow statistics.
-func (fs *flowState) advanceHead(pkt *hlPacket, deliveredAt sim.Time, leg *LegOutcome) {
+// recording completion in the leg outcome and the flow statistics and
+// firing the delivery hook on packet completion.
+func (p *Piconet) advanceHead(fs *flowState, pkt *hlPacket, deliveredAt sim.Time, leg *LegOutcome) {
 	pkt.consumeSegment()
 	if pkt.done() {
 		leg.CompletedPacketSize = pkt.size
-		if !pkt.corrupt {
+		intact := !pkt.corrupt
+		if intact {
 			fs.delay.Add(deliveredAt - pkt.arrival)
 			fs.delivered.Add(pkt.size)
 		} else {
 			fs.lost.Add(pkt.size)
 		}
 		fs.popCompleted()
+		if p.onDelivery != nil {
+			p.onDelivery(fs.cfg.ID, pkt.size, deliveredAt, intact)
+		}
 	}
 }
 
 // handleLoss processes an on-air segment loss: with ARQ the segment stays at
 // the head of the queue for retransmission; without it the segment is
-// consumed and the packet marked corrupt (counted lost at completion).
-func (p *Piconet) handleLoss(fs *flowState, pkt *hlPacket) {
+// consumed and the packet marked corrupt (counted lost at completion — the
+// delivery hook still fires so observers see every packet leave the queue).
+func (p *Piconet) handleLoss(fs *flowState, pkt *hlPacket, at sim.Time) {
 	if p.arq {
 		return // segment remains pending; the next poll retries it
 	}
@@ -377,6 +383,9 @@ func (p *Piconet) handleLoss(fs *flowState, pkt *hlPacket) {
 	if pkt.done() {
 		fs.lost.Add(pkt.size)
 		fs.popCompleted()
+		if p.onDelivery != nil {
+			p.onDelivery(fs.cfg.ID, pkt.size, at, false)
+		}
 	}
 }
 

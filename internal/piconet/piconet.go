@@ -271,6 +271,18 @@ func WithLinkFault(fn func(slave SlaveID, now sim.Time) bool) Option {
 	return func(p *Piconet) { p.linkDown = fn }
 }
 
+// WithDeliveryHook installs a packet-completion observer: fn fires once
+// per higher-layer packet when its final segment leaves the queue, with
+// the packet's size, its completion instant, and whether it was delivered
+// intact (false: the packet was corrupted on air and counted lost). The
+// hook is how a scatternet bridge store-and-forwards — a packet completing
+// its hop-1 exchange is future-dated into the bridge's hop-2 queue via
+// EnqueuePacketAt at exactly the completion instant. The hook must not
+// mutate this piconet; it may enqueue into other piconets.
+func WithDeliveryHook(fn func(flow FlowID, size int, at sim.Time, delivered bool)) Option {
+	return func(p *Piconet) { p.onDelivery = fn }
+}
+
 // WithSupervision arms a link supervision timeout: after limit
 // consecutive failed ACL exchanges on a slave's link (no decodable slave
 // response), the link is declared dead and onDead fires once with the
@@ -298,6 +310,9 @@ type Piconet struct {
 	// (see WithSupervision).
 	supLimit   int
 	onLinkDead func(slave SlaveID, failingSince, at sim.Time)
+	// onDelivery, when set, observes every higher-layer packet completion
+	// (see WithDeliveryHook).
+	onDelivery func(flow FlowID, size int, at sim.Time, delivered bool)
 
 	slaves map[SlaveID]*slaveState
 	flows  map[FlowID]*flowState

@@ -48,6 +48,8 @@ type specV2 struct {
 	BE                  []beV2          `json:"be_flows,omitempty"`
 	SCO                 []scoV2         `json:"sco_links,omitempty"`
 	Piconets            []piconetV2     `json:"piconets,omitempty"`
+	Bridges             []bridgeV2      `json:"bridges,omitempty"`
+	Routes              []routeV2       `json:"routes,omitempty"`
 	Faults              *faultsV2       `json:"faults,omitempty"`
 	Recovery            *recoveryV2     `json:"recovery,omitempty"`
 	Timeline            []timelineEvtV2 `json:"timeline,omitempty"`
@@ -85,6 +87,42 @@ type recoveryV2 struct {
 	Policy        string  `json:"policy,omitempty"`
 	DegradeFactor float64 `json:"degrade_factor,omitempty"`
 	HandoffTarget string  `json:"handoff_target,omitempty"`
+}
+
+// bridgeV2 is one bridge node's residency schedule.
+type bridgeV2 struct {
+	Name      string        `json:"name"`
+	Period    string        `json:"period"`
+	Residency []residencyV2 `json:"residency"`
+}
+
+type residencyV2 struct {
+	Piconet string `json:"piconet,omitempty"`
+	Slave   int    `json:"slave"`
+	Start   string `json:"start,omitempty"`
+	End     string `json:"end"`
+}
+
+// routeV2 is one end-to-end route.
+type routeV2 struct {
+	ID          int      `json:"id"`
+	Name        string   `json:"name,omitempty"`
+	Source      string   `json:"source,omitempty"`
+	Bridges     []string `json:"bridges,omitempty"`
+	Slave       int      `json:"slave,omitempty"`
+	Dir         string   `json:"dir,omitempty"`
+	Interval    string   `json:"interval"`
+	Size        sizeV2   `json:"size"`
+	Phase       string   `json:"phase,omitempty"`
+	Allowed     []string `json:"allowed_types,omitempty"`
+	DelayTarget string   `json:"delay_target,omitempty"`
+	Naive       bool     `json:"naive,omitempty"`
+}
+
+// renegotiateV2 is the mid-run delay-target renegotiation operation.
+type renegotiateV2 struct {
+	Flow   int    `json:"flow"`
+	Target string `json:"target"`
 }
 
 // piconetV2 is one piconet of a scatternet spec.
@@ -145,15 +183,18 @@ type timelineEvtV2 struct {
 	At string `json:"at"`
 	// Piconet addresses the target piconet of a flow/SCO operation in
 	// scatternet specs ("" targets the first piconet).
-	Piconet       string     `json:"piconet,omitempty"`
-	AddGS         *gsV2      `json:"add_gs,omitempty"`
-	AddBE         *beV2      `json:"add_be,omitempty"`
-	Remove        int        `json:"remove_flow,omitempty"`
-	AddSCO        *scoV2     `json:"add_sco,omitempty"`
-	DropSCO       int        `json:"drop_sco,omitempty"`
-	AddPiconet    *piconetV2 `json:"add_piconet,omitempty"`
-	RemovePiconet string     `json:"remove_piconet,omitempty"`
-	Move          *moveV2    `json:"move_flow,omitempty"`
+	Piconet       string         `json:"piconet,omitempty"`
+	AddGS         *gsV2          `json:"add_gs,omitempty"`
+	AddBE         *beV2          `json:"add_be,omitempty"`
+	Remove        int            `json:"remove_flow,omitempty"`
+	AddSCO        *scoV2         `json:"add_sco,omitempty"`
+	DropSCO       int            `json:"drop_sco,omitempty"`
+	AddPiconet    *piconetV2     `json:"add_piconet,omitempty"`
+	RemovePiconet string         `json:"remove_piconet,omitempty"`
+	Move          *moveV2        `json:"move_flow,omitempty"`
+	AddRoute      *routeV2       `json:"add_route,omitempty"`
+	RemoveRoute   int            `json:"remove_route,omitempty"`
+	Renegotiate   *renegotiateV2 `json:"renegotiate_flow,omitempty"`
 }
 
 // moveV2 is the make-before-break flow handoff operation.
@@ -219,6 +260,61 @@ func marshalBE(b BEFlow) beV2 {
 	}
 }
 
+// marshalRoute converts a route to its file form.
+func marshalRoute(rt RouteSpec) routeV2 {
+	out := routeV2{
+		ID:          int(rt.ID),
+		Name:        rt.Name,
+		Source:      rt.Source,
+		Bridges:     rt.Bridges,
+		Slave:       int(rt.Slave),
+		Interval:    durString(rt.Interval),
+		Size:        sizeV2{Kind: "uniform", Min: rt.MinSize, Max: rt.MaxSize},
+		Phase:       durString(rt.Phase),
+		Allowed:     typeSetNames(rt.Allowed),
+		DelayTarget: durString(rt.DelayTarget),
+		Naive:       rt.Naive,
+	}
+	if rt.Dir != 0 {
+		out.Dir = rt.Dir.String()
+	}
+	return out
+}
+
+// unmarshalRoute converts a file route back.
+func unmarshalRoute(r routeV2) (RouteSpec, error) {
+	rt := RouteSpec{
+		ID:      piconet.FlowID(r.ID),
+		Name:    r.Name,
+		Source:  r.Source,
+		Bridges: r.Bridges,
+		Slave:   piconet.SlaveID(r.Slave),
+		Naive:   r.Naive,
+	}
+	var err error
+	if r.Dir != "" {
+		if rt.Dir, err = parseDir(r.Dir); err != nil {
+			return RouteSpec{}, err
+		}
+	}
+	if rt.Interval, err = parseDur("interval", r.Interval); err != nil {
+		return RouteSpec{}, err
+	}
+	if rt.MinSize, rt.MaxSize, err = unmarshalSize(r.Size); err != nil {
+		return RouteSpec{}, err
+	}
+	if rt.Phase, err = parseDur("phase", r.Phase); err != nil {
+		return RouteSpec{}, err
+	}
+	if rt.Allowed, err = parseTypeSet(r.Allowed); err != nil {
+		return RouteSpec{}, err
+	}
+	if rt.DelayTarget, err = parseDur("delay_target", r.DelayTarget); err != nil {
+		return RouteSpec{}, err
+	}
+	return rt, nil
+}
+
 // marshalPiconet converts one scatternet piconet to its file form.
 func marshalPiconet(ps PiconetSpec) piconetV2 {
 	out := piconetV2{Name: ps.Name}
@@ -264,6 +360,19 @@ func Marshal(spec Spec) ([]byte, error) {
 	// the same piconet Canonical and Run resolve it to.
 	for _, ps := range withPiconetNames(spec.Piconets) {
 		fs.Piconets = append(fs.Piconets, marshalPiconet(ps))
+	}
+	for _, b := range spec.Bridges {
+		out := bridgeV2{Name: b.Name, Period: b.Period.String()}
+		for _, rs := range b.Residency {
+			out.Residency = append(out.Residency, residencyV2{
+				Piconet: rs.Piconet, Slave: int(rs.Slave),
+				Start: durString(rs.Start), End: rs.End.String(),
+			})
+		}
+		fs.Bridges = append(fs.Bridges, out)
+	}
+	for _, rt := range spec.Routes {
+		fs.Routes = append(fs.Routes, marshalRoute(rt))
 	}
 	if !spec.Faults.Empty() {
 		fp := &faultsV2{}
@@ -353,6 +462,15 @@ func Marshal(spec Spec) ([]byte, error) {
 			out.RemovePiconet = ev.RemovePiconet
 		case ev.Move != nil:
 			out.Move = &moveV2{Flow: int(ev.Move.Flow), To: ev.Move.To}
+		case ev.AddRoute != nil:
+			rt := marshalRoute(*ev.AddRoute)
+			out.AddRoute = &rt
+		case ev.RemoveRoute != piconet.None:
+			out.RemoveRoute = int(ev.RemoveRoute)
+		case ev.Renegotiate != nil:
+			out.Renegotiate = &renegotiateV2{
+				Flow: int(ev.Renegotiate.Flow), Target: ev.Renegotiate.Target.String(),
+			}
 		}
 		fs.Timeline = append(fs.Timeline, out)
 	}
@@ -580,6 +698,30 @@ func Unmarshal(data []byte) (Spec, error) {
 		}
 		spec.Piconets = append(spec.Piconets, ps)
 	}
+	for _, b := range fs.Bridges {
+		out := BridgeSpec{Name: b.Name}
+		if out.Period, err = parseDur("period", b.Period); err != nil {
+			return Spec{}, fmt.Errorf("bridge %q: %w", b.Name, err)
+		}
+		for _, rs := range b.Residency {
+			res := ResidencySpec{Piconet: rs.Piconet, Slave: piconet.SlaveID(rs.Slave)}
+			if res.Start, err = parseDur("start", rs.Start); err != nil {
+				return Spec{}, fmt.Errorf("bridge %q: %w", b.Name, err)
+			}
+			if res.End, err = parseDur("end", rs.End); err != nil {
+				return Spec{}, fmt.Errorf("bridge %q: %w", b.Name, err)
+			}
+			out.Residency = append(out.Residency, res)
+		}
+		spec.Bridges = append(spec.Bridges, out)
+	}
+	for _, r := range fs.Routes {
+		rt, err := unmarshalRoute(r)
+		if err != nil {
+			return Spec{}, fmt.Errorf("route %d: %w", r.ID, err)
+		}
+		spec.Routes = append(spec.Routes, rt)
+	}
 	if fs.Faults != nil {
 		for i, o := range fs.Faults.Outages {
 			out := faults.LinkOutage{Piconet: o.Piconet, Slave: piconet.SlaveID(o.Slave)}
@@ -649,7 +791,8 @@ func Unmarshal(data []byte) (Spec, error) {
 		ops := 0
 		for _, set := range []bool{ev.AddGS != nil, ev.AddBE != nil,
 			ev.Remove != 0, ev.AddSCO != nil, ev.DropSCO != 0,
-			ev.AddPiconet != nil, ev.RemovePiconet != "", ev.Move != nil} {
+			ev.AddPiconet != nil, ev.RemovePiconet != "", ev.Move != nil,
+			ev.AddRoute != nil, ev.RemoveRoute != 0, ev.Renegotiate != nil} {
 			if set {
 				ops++
 			}
@@ -692,6 +835,20 @@ func Unmarshal(data []byte) (Spec, error) {
 			out.RemovePiconet = ev.RemovePiconet
 		case ev.Move != nil:
 			out.Move = &MoveFlow{Flow: piconet.FlowID(ev.Move.Flow), To: ev.Move.To}
+		case ev.AddRoute != nil:
+			rt, err := unmarshalRoute(*ev.AddRoute)
+			if err != nil {
+				return Spec{}, fmt.Errorf("timeline[%d]: %w", i, err)
+			}
+			out.AddRoute = &rt
+		case ev.RemoveRoute != 0:
+			out.RemoveRoute = piconet.FlowID(ev.RemoveRoute)
+		case ev.Renegotiate != nil:
+			rn := RenegotiateFlow{Flow: piconet.FlowID(ev.Renegotiate.Flow)}
+			if rn.Target, err = parseDur("target", ev.Renegotiate.Target); err != nil {
+				return Spec{}, fmt.Errorf("timeline[%d]: %w", i, err)
+			}
+			out.Renegotiate = &rn
 		default:
 			return Spec{}, fmt.Errorf("%w: timeline[%d] sets no operation", ErrBadSpec, i)
 		}
@@ -701,6 +858,9 @@ func Unmarshal(data []byte) (Spec, error) {
 	// resolved) — the same view Run and Canonical act on.
 	def := spec.WithDefaults()
 	if err := def.validateScatternet(); err != nil {
+		return Spec{}, err
+	}
+	if err := validateBridges(def); err != nil {
 		return Spec{}, err
 	}
 	if err := validateTimeline(def); err != nil {

@@ -147,6 +147,7 @@ func TestCodecGoldenPresets(t *testing.T) {
 	}{
 		{"paper-fig4.json", Paper(40 * time.Millisecond)},
 		{"baseline-pfp.json", Baseline(BEPFP)},
+		{"bridge-pair.json", Bridged(BridgedConfig{Hops: 2})},
 	} {
 		t.Run(tt.file, func(t *testing.T) {
 			data, err := Marshal(tt.spec)

@@ -126,6 +126,9 @@ func (p *piconetRunner) onLinkDead(slave piconet.SlaveID, since, at sim.Time) {
 		if cfg.Class != piconet.Guaranteed {
 			continue
 		}
+		if p.routeOf[id] != nil {
+			continue // routes suspend end-to-end, below
+		}
 		src, installed := p.sources[id]
 		if !installed {
 			continue // already suspended, moved or retired
@@ -165,6 +168,12 @@ func (p *piconetRunner) onLinkDead(slave piconet.SlaveID, since, at sim.Time) {
 				}
 			}
 		}
+	}
+	if r.err == nil {
+		// Routes with a hop at the dead link suspend end-to-end: a broken
+		// hop breaks the whole path, so every hop's reservation is
+		// released, not just the local one.
+		r.onRouteLinkDead(p, slave, since, at)
 	}
 	if r.err != nil {
 		r.s.Stop()
@@ -351,6 +360,10 @@ func (p *piconetRunner) applyHandoff(id piconet.FlowID, to string, suspended boo
 // handoff of an installed flow, ordered by the scenario rather than the
 // recovery policy (planned mobility instead of self-healing).
 func (p *piconetRunner) applyMove(mv MoveFlow) {
+	if p.routeOf[mv.Flow] != nil {
+		p.reject(OpHandoff, mv.Flow, 0, "routed flows cannot be moved; their piconets are fixed by the route")
+		return
+	}
 	if _, installed := p.sources[mv.Flow]; !installed {
 		// Admission was rejected, or the flow already left/moved.
 		p.reject(OpHandoff, mv.Flow, 0, "flow not installed")
@@ -399,6 +412,9 @@ func (r *runner) applyCrash(name string) {
 		}
 	}
 	r.accept(AdmissionRecord{Op: OpCrash, Piconet: name})
+	// Routes traversing the crashed piconet are severed for good: no
+	// recovery policy can resurrect a master that no longer polls.
+	r.severRoutesThrough(name, FateCrashed, fmt.Sprintf("master of %q crashed", name))
 	r.rederate(nil)
 	if r.err != nil {
 		r.s.Stop()

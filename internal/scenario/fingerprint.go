@@ -65,19 +65,60 @@ func (s Spec) WithDefaults() Spec {
 		// piconet describe — and fingerprint as — the same simulation.
 		// Flat specs resolve to "" and stay untouched.
 		def := s.Piconets[0].Name
+		// Scatternet-level operations (piconet churn and routes) stay
+		// unaddressed: they act on the scatternet, not a piconet.
+		global := func(ev TimelineEvent) bool {
+			return ev.AddPiconet != nil || ev.RemovePiconet != "" ||
+				ev.AddRoute != nil || ev.RemoveRoute != piconet.None
+		}
 		for i, ev := range s.Timeline {
-			if ev.Piconet != "" || ev.AddPiconet != nil || ev.RemovePiconet != "" {
+			if ev.Piconet != "" || global(ev) {
 				continue
 			}
 			tl := append([]TimelineEvent(nil), s.Timeline...)
 			for j := i; j < len(tl); j++ {
-				if tl[j].Piconet == "" && tl[j].AddPiconet == nil && tl[j].RemovePiconet == "" {
+				if tl[j].Piconet == "" && !global(tl[j]) {
 					tl[j].Piconet = def
 				}
 			}
 			s.Timeline = tl
 			break
 		}
+	}
+	// Routes: resolve the defaulted source, budget and label, so implicit
+	// and explicit spellings of the same route fingerprint identically.
+	normRoute := func(rt RouteSpec) RouteSpec {
+		if rt.Name == "" {
+			rt.Name = fmt.Sprintf("route-%d", rt.ID)
+		}
+		if rt.Source == "" {
+			rt.Source = s.defaultPiconetName()
+		}
+		if rt.DelayTarget <= 0 {
+			rt.DelayTarget = s.DelayTarget
+		}
+		return rt
+	}
+	if len(s.Routes) > 0 {
+		rts := make([]RouteSpec, len(s.Routes))
+		for i, rt := range s.Routes {
+			rts[i] = normRoute(rt)
+		}
+		s.Routes = rts
+	}
+	for i, ev := range s.Timeline {
+		if ev.AddRoute == nil {
+			continue
+		}
+		tl := append([]TimelineEvent(nil), s.Timeline...)
+		for j := i; j < len(tl); j++ {
+			if tl[j].AddRoute != nil {
+				rt := normRoute(*tl[j].AddRoute)
+				tl[j].AddRoute = &rt
+			}
+		}
+		s.Timeline = tl
+		break
 	}
 	// Recovery: a policy implies supervision; the degrade factor and
 	// handoff target are inert outside their policies. Normalize so the
@@ -147,6 +188,25 @@ func (s Spec) Canonical() string {
 			s.Recovery.Supervision, string(s.Recovery.Policy),
 			s.Recovery.DegradeFactor, s.Recovery.HandoffTarget)
 	}
+	// Bridges and routes render only when present, like the fault plan, so
+	// bridge-free specs keep their pre-bridge fingerprints byte-identically.
+	for _, br := range s.Bridges {
+		fmt.Fprintf(&b, "bridge name=%q period=%d\n", br.Name, int64(br.Period))
+		for _, rs := range br.Residency {
+			fmt.Fprintf(&b, "bridge-res pn=%q slave=%d start=%d end=%d\n",
+				rs.Piconet, uint64(rs.Slave), int64(rs.Start), int64(rs.End))
+		}
+	}
+	// Route names are report labels (like Spec.Name) and stay excluded.
+	canonRoute := func(prefix string, at time.Duration, rt RouteSpec) {
+		fmt.Fprintf(&b, "%s id=%d src=%q via=%q slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d target=%d naive=%t at=%d\n",
+			prefix, uint64(rt.ID), rt.Source, strings.Join(rt.Bridges, ","),
+			uint64(rt.Slave), int(rt.Dir), int64(rt.Interval), rt.MinSize, rt.MaxSize,
+			int64(rt.Phase), uint64(rt.Allowed), int64(rt.DelayTarget), rt.Naive, int64(at))
+	}
+	for _, rt := range s.Routes {
+		canonRoute("route", 0, rt)
+	}
 	canonGS := func(prefix string, at time.Duration, g GSFlow) {
 		fmt.Fprintf(&b, "%s id=%d slave=%d dir=%d ival=%d min=%d max=%d phase=%d allowed=%d at=%d\n",
 			prefix, uint64(g.ID), uint64(g.Slave), int(g.Dir), int64(g.Interval),
@@ -200,6 +260,13 @@ func (s Spec) Canonical() string {
 		case ev.Move != nil:
 			fmt.Fprintf(&b, "tl-move pn=%q id=%d to=%q at=%d\n",
 				ev.Piconet, uint64(ev.Move.Flow), ev.Move.To, int64(ev.At))
+		case ev.AddRoute != nil:
+			canonRoute("tl-add-route", ev.At, *ev.AddRoute)
+		case ev.RemoveRoute != piconet.None:
+			fmt.Fprintf(&b, "tl-remove-route id=%d at=%d\n", uint64(ev.RemoveRoute), int64(ev.At))
+		case ev.Renegotiate != nil:
+			fmt.Fprintf(&b, "tl-renegotiate pn=%q id=%d target=%d at=%d\n",
+				ev.Piconet, uint64(ev.Renegotiate.Flow), int64(ev.Renegotiate.Target), int64(ev.At))
 		}
 	}
 	return b.String()

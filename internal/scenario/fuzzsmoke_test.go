@@ -36,11 +36,15 @@ func randomTimeline(rng *rand.Rand, spec Spec) []TimelineEvent {
 	var added []piconet.FlowID
 	addedTarget := map[piconet.FlowID]string{}
 	var fuzzPNs []string
+	var routes []piconet.FlowID
+	for _, rt := range spec.Routes {
+		routes = append(routes, rt.ID)
+	}
 	id := piconet.FlowID(10000)
 	at := func() time.Duration { return time.Duration(rng.Int63n(int64(horizon))) }
 	for e := 0; e < 12; e++ {
 		target := targets[rng.Intn(len(targets))]
-		switch rng.Intn(6) {
+		switch rng.Intn(8) {
 		case 0:
 			events = append(events, AddGSAt(at(), GSFlow{
 				ID: id, Slave: piconet.SlaveID(1 + rng.Intn(7)), Dir: dirs[rng.Intn(2)],
@@ -81,6 +85,36 @@ func randomTimeline(rng *rand.Rand, spec Spec) []TimelineEvent {
 			}))
 			fuzzPNs = append(fuzzPNs, name)
 			targets = append(targets, name)
+		case 6:
+			// Route churn: add a single-hop route (valid in any piconet,
+			// batch traffic aside), or remove one added earlier — or the
+			// preset's own route, exercising mid-run route teardown.
+			if spec.BatchTraffic {
+				continue
+			}
+			if len(routes) > 0 && rng.Intn(3) == 0 {
+				victim := routes[rng.Intn(len(routes))]
+				events = append(events, RemoveRouteAt(at(), victim))
+				continue
+			}
+			events = append(events, AddRouteAt(at(), RouteSpec{
+				ID: id, Source: target, Slave: piconet.SlaveID(1 + rng.Intn(7)), Dir: dirs[rng.Intn(2)],
+				Interval: time.Duration(10+rng.Intn(40)) * time.Millisecond,
+				MinSize:  100, MaxSize: 176,
+				DelayTarget: time.Duration(30+rng.Intn(120)) * time.Millisecond,
+			}))
+			routes = append(routes, id)
+			id++
+		case 7:
+			// Renegotiation: retarget an earlier fuzz-added flow (runtime
+			// rejections — BE flows, not-yet-installed flows, infeasible
+			// targets — are expected; engine errors are not).
+			if len(added) == 0 {
+				continue
+			}
+			victim := added[rng.Intn(len(added))]
+			events = append(events, RenegotiateAt(at(), victim,
+				time.Duration(20+rng.Intn(100))*time.Millisecond).For(addedTarget[victim]))
 		}
 	}
 	return events

@@ -87,4 +87,6 @@ func init() {
 	MustRegister("faults-handoff", func() Spec {
 		return FaultScenario(FaultScenarioConfig{Policy: faults.PolicyHandoff})
 	})
+	MustRegister("bridge-pair", func() Spec { return Bridged(BridgedConfig{Hops: 2}) })
+	MustRegister("bridge-chain", func() Spec { return Bridged(BridgedConfig{Hops: 3}) })
 }

@@ -36,6 +36,11 @@ type runner struct {
 	// fsched is the compiled fault plan: per-piconet link-outage oracles
 	// and master-crash instants (empty, never nil, without faults).
 	fsched *faults.Schedule
+	// routes lists every route ever created (including retired ones, for
+	// reporting) in creation order; routeByID addresses them from timeline
+	// events and keeps retired ids claimed.
+	routes    []*routeState
+	routeByID map[piconet.FlowID]*routeState
 
 	admissions []AdmissionRecord
 	// err is the first fatal timeline-application error; it stops the
@@ -73,6 +78,10 @@ type piconetRunner struct {
 	// fates records what the fault/recovery machinery did to each flow
 	// (see the Fate* constants; absent means untouched).
 	fates map[piconet.FlowID]string
+	// routeOf maps a hop flow's id to its route (nil-free for ordinary
+	// flows): hop flows are installed by the route machinery and refuse
+	// the per-flow operations (remove, move, renegotiate).
+	routeOf map[piconet.FlowID]*routeState
 
 	// removed marks a piconet that left the scatternet at removedAt; its
 	// statistics are final as of that instant.
@@ -106,10 +115,13 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	if spec.AdmissionDerate < 0 || spec.AdmissionDerate >= 1 {
 		return nil, fmt.Errorf("%w: AdmissionDerate %g outside [0,1)", ErrBadSpec, spec.AdmissionDerate)
 	}
-	if spec.flowCount() == 0 && len(spec.Timeline) == 0 {
+	if spec.flowCount() == 0 && len(spec.Routes) == 0 && len(spec.Timeline) == 0 {
 		return nil, fmt.Errorf("%w: no flows", ErrBadSpec)
 	}
 	spec = spec.WithDefaults()
+	if err := validateBridges(spec); err != nil {
+		return nil, err
+	}
 	if err := validateTimeline(spec); err != nil {
 		return nil, err
 	}
@@ -131,6 +143,9 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 	if spec.Interference.Enabled {
 		r.medium = radio.NewMedium(spec.Interference.Channels, spec.Interference.Window,
 			func() time.Duration { return r.s.Now() })
+	}
+	if err := r.initRoutes(); err != nil {
+		return nil, err
 	}
 
 	for i, ps := range piconets {
@@ -222,7 +237,9 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 		slaves:  make(map[piconet.SlaveID]bool),
 		gsSpecs: make(map[piconet.FlowID]GSFlow),
 		fates:   make(map[piconet.FlowID]string),
+		routeOf: make(map[piconet.FlowID]*routeState),
 	}
+	hops := r.staticHopsAt(ps.Name)
 
 	// Admission: the piconet-wide worst exchange must cover BE traffic,
 	// including every flow the timeline may ever install here.
@@ -254,6 +271,11 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 			},
 			Target: spec.DelayTarget,
 		})
+	}
+	// Route hops plan like run-start GS flows, each at its share of the
+	// route's end-to-end budget and derated by its bridge's residency duty.
+	for _, h := range hops {
+		delayReqs = append(delayReqs, p.hopRequest(h.rt, h.rt.hops[h.idx]))
 	}
 	ctrl, err := admission.PlanForDelayBestEffort(delayReqs, admCfg, admOpts...)
 	if err != nil {
@@ -293,8 +315,29 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 	// Fault plan: the compiled per-slave outage oracle gates this
 	// piconet's radio (a piconet with no declared faults gets no oracle,
 	// keeping the engine's delivery path — and its RNG draws — untouched).
-	if pf := r.fsched.Piconet(ps.Name); pf != nil {
+	// Bridge residency composes into the same gate: a poll to a bridge
+	// outside its window fails exactly like a declared outage, with zero
+	// RNG draws either way.
+	gate, reach := r.residencyFor(ps.Name)
+	pf := r.fsched.Piconet(ps.Name)
+	switch {
+	case pf != nil && gate != nil:
+		down := pf.Down
+		pnOpts = append(pnOpts, piconet.WithLinkFault(func(s piconet.SlaveID, now sim.Time) bool {
+			return down(s, now) || gate(s, now)
+		}))
+	case pf != nil:
 		pnOpts = append(pnOpts, piconet.WithLinkFault(pf.Down))
+	case gate != nil:
+		pnOpts = append(pnOpts, piconet.WithLinkFault(gate))
+	}
+	if spec.usesRoutes() {
+		// The delivery hook drives the bridges' store-and-forward handoff;
+		// it is installed only when routes exist so route-free runs keep
+		// the exact pre-bridge delivery path.
+		pnOpts = append(pnOpts, piconet.WithDeliveryHook(func(flow piconet.FlowID, size int, at sim.Time, delivered bool) {
+			r.onHopComplete(p, flow, size, at, delivered)
+		}))
 	}
 	if spec.Recovery.Supervision > 0 {
 		pnOpts = append(pnOpts, piconet.WithSupervision(spec.Recovery.Supervision, p.onLinkDead))
@@ -312,6 +355,11 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 		p.gsSpecs[g.ID] = g
+	}
+	for _, h := range hops {
+		if err := p.installHop(h.rt, h.rt.hops[h.idx]); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
 	}
 	for _, b := range ps.BE {
 		if err := p.addSlave(b.Slave); err != nil {
@@ -348,6 +396,12 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 	if spec.RulesSet {
 		coreOpts = append(coreOpts, core.WithImprovements(spec.Rules))
 	}
+	if reach != nil {
+		// The scheduler plans around the residency windows: polls to an
+		// absent bridge defer to its window-open instant instead of burning
+		// failed exchanges.
+		coreOpts = append(coreOpts, core.WithResidency(reach))
+	}
 	sched, err := core.New(pn, ctrl.Flows(), coreOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
@@ -356,12 +410,17 @@ func (r *runner) buildPiconet(ps PiconetSpec, hooks Hooks, others int) (*piconet
 	p.sched = sched
 	p.noteBounds()
 
-	// Traffic sources.
+	// Traffic sources. A route's source lives in its first-hop piconet.
 	for _, g := range ps.GS {
 		p.attachGSSource(g)
 	}
 	for _, b := range ps.BE {
 		p.attachBESource(b)
+	}
+	for _, h := range hops {
+		if h.idx == 0 {
+			p.attachRouteSource(h.rt)
+		}
 	}
 
 	built = true
@@ -536,6 +595,21 @@ func maxExchange(spec Spec, ps PiconetSpec) time.Duration {
 	for _, b := range ps.BE {
 		visitBE(b)
 	}
+	// Route hops hosted here count like GS flows of their endpoint.
+	visitRoute := func(rt RouteSpec) {
+		hops, err := spec.routeHops(rt)
+		if err != nil {
+			return // validation rejects the spec before Xi matters
+		}
+		for _, h := range hops {
+			if h.Piconet == ps.Name {
+				visit(h.Slave, h.Dir, allowedFor(rt.Allowed), !spec.DirectionAware)
+			}
+		}
+	}
+	for _, rt := range spec.Routes {
+		visitRoute(rt)
+	}
 	def := spec.defaultPiconetName()
 	for _, ev := range spec.Timeline {
 		// Timeline arrivals targeting this piconet are folded in
@@ -563,6 +637,13 @@ func maxExchange(spec Spec, ps PiconetSpec) time.Duration {
 		}
 		if ev.AddBE != nil {
 			visitBE(*ev.AddBE)
+		}
+	}
+	for _, ev := range spec.Timeline {
+		// Timeline routes are scatternet-level: any of their hops may land
+		// here regardless of the event's (ignored) piconet address.
+		if ev.AddRoute != nil {
+			visitRoute(*ev.AddRoute)
 		}
 	}
 	if spec.Recovery.Policy == faults.PolicyHandoff {
@@ -678,6 +759,10 @@ func (r *runner) applyEvent(ev TimelineEvent) {
 		r.applyAddPiconet(*ev.AddPiconet)
 	case ev.RemovePiconet != "":
 		r.applyRemovePiconet(ev.RemovePiconet)
+	case ev.AddRoute != nil:
+		r.applyAddRoute(*ev.AddRoute)
+	case ev.RemoveRoute != piconet.None:
+		r.applyRemoveRoute(ev.RemoveRoute)
 	default:
 		target := ev.Piconet
 		if target == "" {
@@ -718,6 +803,8 @@ func (p *piconetRunner) applyEvent(ev TimelineEvent) {
 		p.applyDropSCO(ev.DropSCO)
 	case ev.Move != nil:
 		p.applyMove(*ev.Move)
+	case ev.Renegotiate != nil:
+		p.applyRenegotiate(*ev.Renegotiate)
 	}
 }
 
@@ -783,6 +870,8 @@ func (r *runner) applyRemovePiconet(name string) {
 	p.removed = true
 	p.removedAt = r.s.Now()
 	r.accept(AdmissionRecord{Op: OpRemovePiconet, Piconet: name})
+	// Routes traversing the departed piconet lose their path for good.
+	r.severRoutesThrough(name, FateSuspended, fmt.Sprintf("piconet %q removed", name))
 	r.rederate(nil)
 }
 
@@ -880,6 +969,10 @@ func (p *piconetRunner) applyAddBE(b BEFlow) {
 // a Guaranteed Service flow's bandwidth is released by re-planning.
 func (p *piconetRunner) applyRemove(id piconet.FlowID) {
 	r := p.r
+	if p.routeOf[id] != nil {
+		p.reject(OpRemoveFlow, id, 0, "flow belongs to a route; use remove_route")
+		return
+	}
 	src, installed := p.sources[id]
 	if !installed {
 		// The flow's admission was rejected (or it was already
@@ -1015,6 +1108,9 @@ func (p *piconetRunner) collect(end sim.Time) PiconetResult {
 			fr.Bound = bound
 			fr.Rate = p.rates[id]
 		}
+		if rt := p.routeOf[id]; rt != nil {
+			fr.Route = rt.spec.Name
+		}
 		fr.Fate = p.fates[id]
 		pr.Flows = append(pr.Flows, fr)
 	}
@@ -1053,6 +1149,7 @@ func (r *runner) collect() *Result {
 	for _, p := range r.pns {
 		res.Piconets = append(res.Piconets, p.collect(elapsed))
 	}
+	res.Routes = r.collectRoutes(elapsed)
 	if len(res.Piconets) == 1 {
 		pr := res.Piconets[0]
 		res.Flows = pr.Flows

@@ -10,6 +10,14 @@
 // pre-seeded radio model instance) travel separately through Hooks and
 // RunWith. Named specs register into a process-wide registry (Register/
 // Lookup/Names) that the presets populate.
+//
+// Scatternet specs may additionally declare Bridges — devices
+// time-sharing several piconets on a periodic residency schedule — and
+// Routes, multi-hop guaranteed flows store-and-forwarded across those
+// bridges. A route's end-to-end delay budget is split across its hops
+// and each hop is admitted (atomically, all-or-nothing) against its
+// residency-derated share; end-to-end measurements land in
+// Result.Routes. See internal/README.md for the full bridge model.
 package scenario
 
 import (
@@ -225,6 +233,19 @@ type Spec struct {
 	// make-before-break handoff). The zero value leaves supervision off —
 	// faulted flows then keep their queues and silently violate.
 	Recovery RecoverySpec
+	// Bridges declares the scatternet's bridge nodes: slaves resident in
+	// two or more piconets on a deterministic time-division residency
+	// schedule (see BridgeSpec). Bridges lift the one-device-one-piconet
+	// assumption: polls to a bridge outside its residency window fail like
+	// a declared link outage (no RNG draws), and the scheduler plans
+	// around the windows. Requires scatternet form.
+	Bridges []BridgeSpec
+	// Routes declares end-to-end Guaranteed Service flows that traverse
+	// bridges: source piconet → bridge(s) → destination, with ONE
+	// end-to-end delay target split across the hops at admission time and
+	// each hop derated by its bridge's residency duty cycle (see
+	// RouteSpec). Admission is atomic all-or-nothing across the hops.
+	Routes []RouteSpec
 }
 
 // Paper returns the paper's Fig. 4 setup: a seven-slave piconet with four
@@ -316,7 +337,11 @@ type FlowResult struct {
 	ID piconet.FlowID
 	// Piconet names the flow's piconet in scatternet runs ("" for flat
 	// single-piconet specs). Flow ids are unique per piconet only.
-	Piconet   string
+	Piconet string
+	// Route names the end-to-end route this flow is one hop of ("" for
+	// ordinary flows). Per-hop rows measure the hop; the end-to-end view
+	// lives in Result.Routes.
+	Route     string
 	Slave     piconet.SlaveID
 	Dir       piconet.Direction
 	Class     piconet.Class
@@ -372,6 +397,11 @@ type Result struct {
 	// outcomes (empty for static specs). In scatternet runs every record
 	// names its piconet.
 	Admissions []AdmissionRecord
+	// Routes holds the end-to-end results of the spec's routes, in
+	// declaration order (empty for route-free specs). Per-hop flow rows
+	// appear in Flows/Piconets like ordinary GS flows, labelled with the
+	// route name.
+	Routes []RouteResult
 	// Piconets holds the per-piconet results, in creation order. Flat
 	// single-piconet specs carry one entry; the Result-level fields above
 	// are its values verbatim. Scatternet runs roll the piconets up into
@@ -456,6 +486,18 @@ func (r *Result) Report() *stats.Table {
 	title := fmt.Sprintf("%s: %v over %v (GS polls %d, BE polls %d, skipped %d)",
 		r.Spec.Name, r.Spec.Mode, r.Elapsed, r.GSPolls, r.BEPolls, r.Skipped)
 	columns := []string{"flow", "slave", "dir", "class", "kbps", "delay_mean", "jitter", "delay_p99", "delay_max", "bound", "ok"}
+	// A route column appears only when routed flows exist, mirroring the
+	// piconet-column rule: route-free reports render exactly as before.
+	withRoute := false
+	for _, f := range r.Flows {
+		if f.Route != "" {
+			withRoute = true
+			break
+		}
+	}
+	if withRoute {
+		columns = append([]string{"route"}, columns...)
+	}
 	if r.multiPiconet() {
 		columns = append([]string{"piconet"}, columns...)
 	}
@@ -475,6 +517,9 @@ func (r *Result) Report() *stats.Table {
 			f.DelayMean.Round(time.Microsecond), f.DelayJitter.Round(time.Microsecond),
 			f.DelayP99.Round(time.Microsecond),
 			f.DelayMax.Round(time.Microsecond), bound, ok}
+		if withRoute {
+			cells = append([]any{f.Route}, cells...)
+		}
 		if r.multiPiconet() {
 			cells = append([]any{f.Piconet}, cells...)
 		}
@@ -490,14 +535,21 @@ func (r *Result) AdmissionReport() *stats.Table {
 	if len(r.Admissions) == 0 {
 		return nil
 	}
-	withPiconet := false
+	withPiconet, withRoute := false, false
 	for _, a := range r.Admissions {
 		if a.Piconet != "" {
 			withPiconet = true
-			break
+		}
+		if a.Route != "" {
+			withRoute = true
 		}
 	}
 	columns := []string{"at", "op", "flow", "slave", "outcome", "bound", "rate_Bps", "reason"}
+	if withRoute {
+		// Route admissions render one row per hop; route-free logs are
+		// unchanged (same only-when-present rule as the piconet column).
+		columns = append(columns, "route", "hop")
+	}
 	if withPiconet {
 		columns = append([]string{"piconet"}, columns...)
 	}
@@ -520,6 +572,13 @@ func (r *Result) AdmissionReport() *stats.Table {
 			rate = fmt.Sprintf("%.0f", a.Rate)
 		}
 		cells := []any{a.At, a.Op, flow, a.Slave, outcome, bound, rate, a.Reason}
+		if withRoute {
+			hop := ""
+			if a.Hop > 0 {
+				hop = fmt.Sprintf("%d", a.Hop)
+			}
+			cells = append(cells, a.Route, hop)
+		}
 		if withPiconet {
 			cells = append([]any{a.Piconet}, cells...)
 		}

@@ -39,6 +39,19 @@ const (
 	// OpCrash records a master crash from the fault plan (no timeline
 	// event constructs it): the piconet halts and its flows are orphaned.
 	OpCrash = "master-crash"
+	// OpAddRoute requests admission of an end-to-end route: every hop runs
+	// the admission test at its share of the end-to-end budget (derated by
+	// its bridge's residency duty cycle), atomically — a refusal at any
+	// hop rolls the earlier hops back. Accepted routes log one record per
+	// hop; a rejection logs the failing hop.
+	OpAddRoute = "add-route"
+	// OpRemoveRoute retires a route end-to-end: the source stops and every
+	// hop's reservation is released (one record per hop).
+	OpRemoveRoute = "remove-route"
+	// OpRenegotiate re-runs the admission test of a healthy Guaranteed
+	// Service flow at a new delay target mid-run. The negotiation is
+	// atomic: a refusal leaves the old contract untouched.
+	OpRenegotiate = "renegotiate-flow"
 )
 
 // MoveFlow is the payload of a move_flow timeline event: hand the flow
@@ -47,6 +60,13 @@ const (
 type MoveFlow struct {
 	Flow piconet.FlowID
 	To   string
+}
+
+// RenegotiateFlow is the payload of a renegotiate_flow timeline event:
+// re-admit the flow at the new delay target (tighter or looser).
+type RenegotiateFlow struct {
+	Flow   piconet.FlowID
+	Target time.Duration
 }
 
 // TimelineEvent is one scheduled mid-run change of a scenario. Exactly one
@@ -101,6 +121,17 @@ type TimelineEvent struct {
 	// flow before the source releases its reservation, so a refusal
 	// leaves the flow untouched at the source.
 	Move *MoveFlow
+	// AddRoute requests admission of an end-to-end route across the
+	// scatternet. Like AddPiconet/RemovePiconet it acts on the scatternet
+	// itself (the route names its own source piconet) and ignores the
+	// Piconet field.
+	AddRoute *RouteSpec
+	// RemoveRoute retires the route with this flow id end-to-end.
+	RemoveRoute piconet.FlowID
+	// Renegotiate re-admits a Guaranteed Service flow of the target
+	// piconet at a new delay target. Routed hop flows are refused: their
+	// targets follow from the route's end-to-end budget.
+	Renegotiate *RenegotiateFlow
 }
 
 // Op names the event's operation ("" for an invalid event).
@@ -122,6 +153,12 @@ func (e TimelineEvent) Op() string {
 		return OpRemovePiconet
 	case e.Move != nil:
 		return OpHandoff
+	case e.AddRoute != nil:
+		return OpAddRoute
+	case e.RemoveRoute != piconet.None:
+		return OpRemoveRoute
+	case e.Renegotiate != nil:
+		return OpRenegotiate
 	}
 	return ""
 }
@@ -153,6 +190,15 @@ func (e TimelineEvent) ops() int {
 	if e.Move != nil {
 		n++
 	}
+	if e.AddRoute != nil {
+		n++
+	}
+	if e.RemoveRoute != piconet.None {
+		n++
+	}
+	if e.Renegotiate != nil {
+		n++
+	}
 	return n
 }
 
@@ -173,6 +219,12 @@ func (e TimelineEvent) subject() (piconet.FlowID, piconet.SlaveID) {
 		return piconet.None, e.DropSCO
 	case e.Move != nil:
 		return e.Move.Flow, 0
+	case e.AddRoute != nil:
+		return e.AddRoute.ID, e.AddRoute.Slave
+	case e.RemoveRoute != piconet.None:
+		return e.RemoveRoute, 0
+	case e.Renegotiate != nil:
+		return e.Renegotiate.Flow, 0
 	}
 	return piconet.None, 0
 }
@@ -225,6 +277,22 @@ func MoveFlowAt(at time.Duration, flow piconet.FlowID, to string) TimelineEvent 
 	return TimelineEvent{At: at, Move: &MoveFlow{Flow: flow, To: to}}
 }
 
+// AddRouteAt schedules an end-to-end route arrival.
+func AddRouteAt(at time.Duration, rt RouteSpec) TimelineEvent {
+	return TimelineEvent{At: at, AddRoute: &rt}
+}
+
+// RemoveRouteAt schedules a route departure.
+func RemoveRouteAt(at time.Duration, id piconet.FlowID) TimelineEvent {
+	return TimelineEvent{At: at, RemoveRoute: id}
+}
+
+// RenegotiateAt schedules a mid-run delay-target renegotiation of a
+// Guaranteed Service flow. Address the flow's piconet with For.
+func RenegotiateAt(at time.Duration, flow piconet.FlowID, target time.Duration) TimelineEvent {
+	return TimelineEvent{At: at, Renegotiate: &RenegotiateFlow{Flow: flow, Target: target}}
+}
+
 // AdmissionRecord is one entry of a run's online admission log: the
 // outcome of one timeline event.
 type AdmissionRecord struct {
@@ -251,6 +319,10 @@ type AdmissionRecord struct {
 	// Latency is the supervision detection latency: how long the link had
 	// been failing when it was declared dead (suspend-flow only).
 	Latency time.Duration
+	// Route and Hop tie the record to one hop of an end-to-end route
+	// (route operations only: Hop counts from 1 in path order).
+	Route string
+	Hop   int
 }
 
 // validateTimeline statically checks a timeline against the spec: one
@@ -268,6 +340,32 @@ func validateTimeline(spec Spec) error {
 	known := make(map[string]map[piconet.FlowID]bool)
 	for _, ps := range spec.piconetSpecs() {
 		known[ps.Name] = ps.flowIDSet()
+	}
+	// Static routes claim their flow id in every traversed piconet (and in
+	// the route id space), so timeline flows cannot collide with a hop.
+	routeIDs := make(map[piconet.FlowID]bool)
+	for _, rt := range spec.Routes {
+		routeIDs[rt.ID] = true
+		hops, err := spec.routeHops(rt)
+		if err != nil {
+			continue // validateBridges already rejected the spec
+		}
+		for _, h := range hops {
+			if flows, ok := known[h.Piconet]; ok {
+				if flows[rt.ID] {
+					return fmt.Errorf("%w: route %d: flow id %d already used in piconet %q",
+						ErrBadSpec, rt.ID, rt.ID, h.Piconet)
+				}
+				flows[rt.ID] = true
+			}
+		}
+	}
+	pnSet := func() map[string]bool {
+		pns := make(map[string]bool, len(known))
+		for name := range known {
+			pns[name] = true
+		}
+		return pns
 	}
 	for i, ev := range spec.Timeline {
 		if n := ev.ops(); n != 1 {
@@ -294,6 +392,21 @@ func validateTimeline(spec Spec) error {
 		case ev.RemovePiconet != "":
 			if _, ok := known[ev.RemovePiconet]; !ok {
 				return fmt.Errorf("%w: timeline[%d] removes unknown piconet %q", ErrBadSpec, i, ev.RemovePiconet)
+			}
+			continue
+		case ev.AddRoute != nil:
+			// Routes are scatternet-level (the route names its own source
+			// piconet); validateRoute claims the id across all hops.
+			if spec.BatchTraffic {
+				return fmt.Errorf("%w: timeline[%d]: routes use the per-packet source path; BatchTraffic is incompatible with add_route", ErrBadSpec, i)
+			}
+			if err := spec.validateRoute(*ev.AddRoute, pnSet(), routeIDs, known); err != nil {
+				return fmt.Errorf("timeline[%d]: %w", i, err)
+			}
+			continue
+		case ev.RemoveRoute != piconet.None:
+			if !routeIDs[ev.RemoveRoute] {
+				return fmt.Errorf("%w: timeline[%d] removes unknown route %d", ErrBadSpec, i, ev.RemoveRoute)
 			}
 			continue
 		}
@@ -353,6 +466,16 @@ func validateTimeline(spec Spec) error {
 			}
 			// The id stays claimed at the source too: its retired remnant
 			// keeps the id unusable there.
+		case ev.Renegotiate != nil:
+			if ev.Renegotiate.Flow == piconet.None {
+				return fmt.Errorf("%w: timeline[%d] renegotiate-flow with zero flow id", ErrBadSpec, i)
+			}
+			if !flows[ev.Renegotiate.Flow] {
+				return fmt.Errorf("%w: timeline[%d] renegotiates unknown flow %d", ErrBadSpec, i, ev.Renegotiate.Flow)
+			}
+			if ev.Renegotiate.Target <= 0 {
+				return fmt.Errorf("%w: timeline[%d] renegotiate-flow with non-positive target", ErrBadSpec, i)
+			}
 		}
 	}
 	return nil
