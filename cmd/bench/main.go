@@ -14,7 +14,12 @@
 // harness_sweep_warm), so the cache-replay speedup is tracked alongside
 // the simulator itself. -cache-dir points the measurement at a specific
 // directory (default: a temp dir); a fresh salt keeps the cold pass cold
-// either way. The paper scenario is measured with per-packet and with
+// either way. The same sweep also runs through the distributed fabric
+// with one and two in-process workers (fabric_sweep_1w /
+// fabric_sweep_2w), so the coordination overhead — JSON leases, HTTP
+// round trips, gob-encoded result entries — is tracked against the
+// in-process harness_sweep_cold row. The paper scenario is measured
+// with per-packet and with
 // burst-batched traffic generation (paper_scenario_10s vs
 // paper_scenario_10s_batch — the batching before/after), and the
 // scatternet_<N>pn rows track how sim_s/wall_s scales with the number of
@@ -26,14 +31,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"bluegs/internal/fabric"
 	"bluegs/internal/harness"
 	"bluegs/internal/piconet"
 	"bluegs/internal/scenario"
@@ -191,6 +199,55 @@ func measureSweep(cacheDir string) (cold, warm Result, err error) {
 	return cold, warm, err
 }
 
+// measureFabric runs the measureSweep grid through an in-process fabric
+// coordinator with n worker goroutines attached, cacheless so every run
+// simulates. Against harness_sweep_cold this row is the distribution
+// tax: JSON leases, HTTP round trips and gob-encoded result entries on
+// top of the same simulations.
+func measureFabric(n int) (Result, error) {
+	const simulated = 5 * time.Second
+	sw := harness.Fig5Sweep(
+		harness.SweepConfig{Duration: simulated, Seed: 1, Replications: 2},
+		[]time.Duration{30 * time.Millisecond, 38 * time.Millisecond, 46 * time.Millisecond})
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{Grid: "bench"})
+	if err != nil {
+		return Result{}, err
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fabric.RunWorker(ctx, fabric.WorkerConfig{
+				Coordinator: coord.Addr(),
+				Name:        fmt.Sprintf("bench-w%d", i),
+				Poll:        10 * time.Millisecond,
+			})
+		}(i)
+	}
+	start := time.Now()
+	results, err := coord.Execute(sw.Runs, harness.Options{})
+	wall := time.Since(start)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		return Result{}, err
+	}
+	var events uint64
+	for _, r := range results {
+		events += r.Result.Events
+	}
+	out := Result{Name: fmt.Sprintf("fabric_sweep_%dw", n), NsPerOp: float64(wall.Nanoseconds())}
+	if wall > 0 {
+		out.EventsPerSec = float64(events) / wall.Seconds()
+		out.SimSecPerWallSec = simulated.Seconds() * float64(len(results)) / wall.Seconds()
+	}
+	return out, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_kernel.json", "baseline output path (- for stdout)")
 	cacheDir := flag.String("cache-dir", "", "run-cache directory for the harness sweep workloads (default: a temp dir)")
@@ -221,6 +278,14 @@ func main() {
 		os.Exit(1)
 	}
 	base.Benchmarks = append(base.Benchmarks, cold, warm)
+	for _, n := range []int{1, 2} {
+		row, err := measureFabric(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		base.Benchmarks = append(base.Benchmarks, row)
+	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {

@@ -23,9 +23,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bluegs/internal/experiments"
@@ -34,6 +37,10 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, harness.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "fig5: interrupted — completed points printed; cached runs replay on the next invocation")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "fig5:", err)
 		os.Exit(1)
 	}
@@ -83,15 +90,33 @@ func run() error {
 		cfg.Cache = cache
 		defer func() { reportCache("fig5", cache) }()
 	}
+
+	// First SIGINT checkpoints: in-flight runs finish (and land in the
+	// cache), the completed points print below. A second exits immediately.
+	interrupt := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "fig5: interrupt — checkpointing (again to exit immediately)")
+		close(interrupt)
+		<-sig
+		os.Exit(1)
+	}()
+	cfg.Interrupt = interrupt
+
 	rows, tbl, err := experiments.Figure5(cfg, targets)
-	if err != nil {
+	if err != nil && (tbl == nil || !errors.Is(err, harness.ErrInterrupted)) {
 		return err
 	}
 	if *csv {
-		if err := tbl.WriteCSV(os.Stdout); err != nil {
-			return err
+		if werr := tbl.WriteCSV(os.Stdout); werr != nil {
+			return werr
 		}
-	} else if err := tbl.WriteText(os.Stdout); err != nil {
+	} else if werr := tbl.WriteText(os.Stdout); werr != nil {
+		return werr
+	}
+	if err != nil {
 		return err
 	}
 	for _, r := range rows {

@@ -20,21 +20,39 @@
 // so re-rendering the report — or iterating on a single experiment —
 // replays unchanged cells instantly; Fig. 5, T2 and T3 share grid cells
 // and hit each other's entries even within one invocation.
+//
+// -journal FILE renders a table from a sweepd run journal instead of
+// simulating: every CRC-intact record is decoded and aggregated, so a
+// partial journal (interrupted or still-running sweep) renders the
+// completed cells. No other flag applies; the sweep configuration comes
+// from the journal's own meta block.
+//
+// SIGINT checkpoints instead of killing: in-flight runs finish (and land
+// in the cache), the interrupted experiment's completed cells print, and
+// the process exits 130.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bluegs/internal/experiments"
+	"bluegs/internal/fabric"
 	"bluegs/internal/harness"
 	"bluegs/internal/stats"
 )
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, harness.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "report: interrupted — completed tables printed; cached runs replay on the next invocation")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)
 	}
@@ -51,8 +69,12 @@ func run() error {
 		ciMetric = flag.String("ci-metric", "", "adaptive stopping metric: gs-delay, violations, gs-kbps or be-kbps (default: per experiment)")
 		maxReps  = flag.Int("max-reps", 0, "adaptive replication cap per cell (default 32)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed run cache directory shared by all experiments")
+		journal  = flag.String("journal", "", "render a table from this sweepd run journal instead of simulating")
 	)
 	flag.Parse()
+	if *journal != "" {
+		return renderJournal(*journal)
+	}
 	cfg := experiments.Config{
 		Duration:     *duration,
 		Seed:         *seed,
@@ -76,15 +98,31 @@ func run() error {
 		}()
 	}
 
+	// First SIGINT checkpoints: the running experiment finishes its
+	// in-flight runs, prints its completed cells, and run returns
+	// ErrInterrupted. A second SIGINT exits immediately.
+	interrupt := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "report: interrupt — checkpointing (again to exit immediately)")
+		close(interrupt)
+		<-sig
+		os.Exit(1)
+	}()
+	cfg.Interrupt = interrupt
+
+	// print renders the table (an interrupted experiment still prints the
+	// cells it completed) and passes the error through.
 	print := func(tbl *stats.Table, err error) error {
-		if err != nil {
-			return err
+		if tbl != nil && (err == nil || errors.Is(err, harness.ErrInterrupted)) {
+			if werr := tbl.WriteText(os.Stdout); werr != nil {
+				return werr
+			}
+			fmt.Println()
 		}
-		if err := tbl.WriteText(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		return nil
+		return err
 	}
 
 	_, t1, err := experiments.TableT1()
@@ -151,5 +189,47 @@ func run() error {
 	if err := print(e12, err); err != nil {
 		return fmt.Errorf("E12: %w", err)
 	}
+	return nil
+}
+
+// renderJournal rebuilds a table from a sweepd run journal: the meta
+// block names the grid and sweep knobs, every CRC-intact record is
+// key-verified and decoded, and the completed cells render exactly as
+// the live sweep would have rendered them.
+func renderJournal(path string) error {
+	meta, recs, err := fabric.ReadJournal(path)
+	if err != nil {
+		return err
+	}
+	if meta.Grid != "fig5" {
+		return fmt.Errorf("journal %s: grid %q not renderable (supported: fig5)", path, meta.Grid)
+	}
+	targets := make([]time.Duration, 0, len(meta.Cells))
+	for _, cell := range meta.Cells {
+		t, err := time.ParseDuration(cell)
+		if err != nil {
+			return fmt.Errorf("journal %s: cell %q is not a delay target: %w", path, cell, err)
+		}
+		targets = append(targets, t)
+	}
+	cfg := harness.SweepConfig{
+		Duration:     meta.Duration,
+		Seed:         meta.Seed,
+		Replications: meta.Replications,
+	}
+	results, skipped, err := fabric.JournalResults(meta, recs, harness.Fig5Grid(targets), cfg)
+	if err != nil {
+		return err
+	}
+	_, tbl := experiments.Figure5FromResults(experiments.Config{
+		Duration:     meta.Duration,
+		Seed:         meta.Seed,
+		Replications: meta.Replications,
+	}, targets, results)
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "report: journal %s: %d records rendered, %d skipped\n",
+		path, len(results), skipped)
 	return nil
 }

@@ -132,7 +132,7 @@ func BridgeStudy(cfg Config, hops []int, duties []float64, loads []int) ([]Bridg
 			Naive:        p.naive,
 		})
 	}}
-	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	results, err := cfg.execute(grid.Sweep(cfg.sweep()).Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: bridge study: %w", err)
 	}

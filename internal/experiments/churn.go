@@ -63,7 +63,7 @@ func ChurnStudy(cfg Config, arrivals []time.Duration) ([]ChurnRow, *stats.Table,
 			Duration:    cfg.Duration,
 		})
 	}}
-	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	results, err := cfg.execute(grid.Sweep(cfg.sweep()).Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: churn: %w", err)
 	}
@@ -150,7 +150,7 @@ func ChurnPollers(cfg Config, kinds []scenario.BEPollerKind) ([]ChurnPollerRow, 
 			Poller:   scenario.BEPollerKind(cell),
 		})
 	}}
-	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	results, err := cfg.execute(grid.Sweep(cfg.sweep()).Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: churn pollers: %w", err)
 	}

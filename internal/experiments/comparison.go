@@ -79,7 +79,7 @@ func TableT4(cfg Config) ([]T4Row, *stats.Table, error) {
 		p := byCell[cell]
 		return voiceSpec(cfg, p.target, p.busy)
 	})
-	results, err := harness.Execute(sw.Runs, cfg.options())
+	results, err := cfg.execute(sw.Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: T4: %w", err)
 	}
@@ -187,7 +187,7 @@ func AblationImprovements(cfg Config) ([]AblationRow, *stats.Table, error) {
 		spec.WithoutPiggybacking = true
 		return spec
 	})
-	results, err := harness.Execute(sw.Runs, cfg.options())
+	results, err := cfg.execute(sw.Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: ablation: %w", err)
 	}

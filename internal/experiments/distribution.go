@@ -34,7 +34,7 @@ func DelayDistribution(cfg Config, target time.Duration) ([]E7Row, *stats.Table,
 		target = 38 * time.Millisecond
 	}
 	sw := harness.Fig5Sweep(cfg.sweep(), []time.Duration{target})
-	results, err := harness.Execute(sw.Runs, cfg.options())
+	results, err := cfg.execute(sw.Runs)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("experiments: E7: %w", err)
 	}

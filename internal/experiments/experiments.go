@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -66,6 +67,17 @@ type Config struct {
 	// holds instead of executing the simulator — across experiments too,
 	// since Figure5, T2 and T3 share grid cells.
 	Cache *harness.RunCache
+	// Executor, when set, routes every sweep through it instead of the
+	// in-process harness (harness.Local{}). This is how cmd/sweepd runs
+	// the same experiment code distributed: a fabric.Coordinator is an
+	// Executor, and because both implementations share the harness
+	// determinism contract, the rendered tables are byte-identical.
+	Executor harness.Executor
+	// Interrupt, when set and closed, abandons undispatched runs
+	// (harness.Options.Interrupt): experiments return partial results
+	// wrapping harness.ErrInterrupted, and Figure5 still renders the
+	// completed cells — the cmd tools' graceful-SIGINT path.
+	Interrupt <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -92,12 +104,25 @@ func (c Config) sweep() harness.SweepConfig {
 
 // options converts the execution half of the configuration.
 func (c Config) options() harness.Options {
-	opts := harness.Options{Workers: c.Workers, Cache: c.Cache}
+	opts := harness.Options{Workers: c.Workers, Cache: c.Cache, Interrupt: c.Interrupt}
 	if c.Progress != nil {
 		p := c.Progress
 		opts.OnProgress = func(done, total int, _ harness.RunResult) { p(done, total) }
 	}
 	return opts
+}
+
+// executor resolves the sweep executor (in-process by default).
+func (c Config) executor() harness.Executor {
+	if c.Executor != nil {
+		return c.Executor
+	}
+	return harness.Local{}
+}
+
+// execute routes a fixed run list through the configured executor.
+func (c Config) execute(runs []harness.Run) ([]harness.RunResult, error) {
+	return c.executor().Execute(runs, c.options())
 }
 
 // adaptive reports whether confidence-driven replication is requested.
@@ -127,33 +152,61 @@ func (c Config) adaptiveOptions(def harness.Metric) (harness.AdaptiveOptions, er
 // adaptive mode, under the CI stopping rule. It returns the cells in grid
 // order, the per-cell replications, and — in adaptive mode — the per-cell
 // outcomes keyed by cell.
+//
+// An interrupted sweep (harness.ErrInterrupted) still returns the
+// completed runs alongside the error, grouped with abandoned runs
+// filtered out, so experiments that support it can render a partial
+// table. Any other failure returns nil data as before.
 func (c Config) runGrid(g harness.Grid, def harness.Metric) (
 	[]string, map[string][]harness.RunResult, map[string]harness.CellOutcome, error) {
 	if !c.adaptive() {
-		results, err := harness.Execute(g.Sweep(c.sweep()).Runs, c.options())
-		if err != nil {
+		results, err := c.execute(g.Sweep(c.sweep()).Runs)
+		if err != nil && !errors.Is(err, harness.ErrInterrupted) {
 			return nil, nil, nil, err
 		}
-		order, byCell := harness.Cells(results)
-		return order, byCell, nil, nil
+		order, byCell := harness.Cells(successful(results))
+		return order, byCell, nil, err
 	}
 	opts, err := c.adaptiveOptions(def)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	outcomes, err := harness.ExecuteAdaptive(g, c.sweep(), opts)
-	if err != nil {
+	outcomes, err := c.executor().ExecuteAdaptive(g, c.sweep(), opts)
+	if err != nil && !errors.Is(err, harness.ErrInterrupted) {
 		return nil, nil, nil, err
 	}
 	order := make([]string, 0, len(outcomes))
 	byCell := make(map[string][]harness.RunResult, len(outcomes))
 	byOutcome := make(map[string]harness.CellOutcome, len(outcomes))
 	for _, o := range outcomes {
+		runs := successful(o.Runs)
+		if err != nil && len(runs) == 0 {
+			continue // no completed replication to render
+		}
 		order = append(order, o.Cell)
-		byCell[o.Cell] = o.Runs
+		byCell[o.Cell] = runs
 		byOutcome[o.Cell] = o
 	}
-	return order, byCell, byOutcome, nil
+	return order, byCell, byOutcome, err
+}
+
+// successful filters a result list down to completed runs. With no
+// failures it returns the input unchanged, so the common path allocates
+// nothing and partial rendering composes with the existing helpers.
+func successful(results []harness.RunResult) []harness.RunResult {
+	ok := results[:0:0]
+	clean := true
+	for _, r := range results {
+		if r.Err != nil || r.Result == nil {
+			clean = false
+			continue
+		}
+		ok = append(ok, r)
+	}
+	if clean {
+		return results
+	}
+	return ok
 }
 
 // repNote annotates table titles when an experiment replicates.
@@ -201,10 +254,13 @@ func classKbps(rs []harness.RunResult, class piconet.Class) stats.Summary {
 }
 
 // cellViolations sums the GS bound violations across a cell's
-// replications (must stay zero).
+// replications (must stay zero), skipping failed runs.
 func cellViolations(rs []harness.RunResult) int {
 	n := 0
 	for _, r := range rs {
+		if r.Err != nil || r.Result == nil {
+			continue
+		}
 		n += len(r.Result.BoundViolations())
 	}
 	return n
@@ -272,8 +328,41 @@ func Figure5(cfg Config, targets []time.Duration) ([]Fig5Row, *stats.Table, erro
 	}
 	targets = uniqueTargets(targets)
 	order, byCell, outcomes, err := cfg.runGrid(harness.Fig5Grid(targets), harness.MeanGSDelay)
-	if err != nil {
+	if err != nil && !errors.Is(err, harness.ErrInterrupted) {
 		return nil, nil, fmt.Errorf("experiments: figure 5: %w", err)
+	}
+	rows, tbl := fig5Table(cfg, targets, order, byCell, outcomes)
+	if err != nil {
+		// Interrupted: the completed cells render above; the caller
+		// decides whether the partial table is worth printing.
+		return rows, tbl, fmt.Errorf("experiments: figure 5: %w", err)
+	}
+	return rows, tbl, nil
+}
+
+// Figure5FromResults renders the Fig. 5 rows and table from
+// already-executed run results — cmd/report's -journal mode feeds
+// fabric.JournalResults output here. Cells with no successful
+// replication are omitted, so a partial journal renders a partial
+// table. Adaptive columns are dropped: convergence state is not part of
+// a result set.
+func Figure5FromResults(cfg Config, targets []time.Duration, results []harness.RunResult) ([]Fig5Row, *stats.Table) {
+	cfg = cfg.withDefaults()
+	cfg.CITarget, cfg.CIAbsTol = 0, 0
+	if len(targets) == 0 {
+		targets = DefaultFig5Targets()
+	}
+	targets = uniqueTargets(targets)
+	order, byCell := harness.Cells(successful(results))
+	return fig5Table(cfg, targets, order, byCell, nil)
+}
+
+// fig5Table aggregates per-cell results into the Fig. 5 rows and table.
+func fig5Table(cfg Config, targets []time.Duration, order []string,
+	byCell map[string][]harness.RunResult, outcomes map[string]harness.CellOutcome) ([]Fig5Row, *stats.Table) {
+	byTarget := make(map[string]time.Duration, len(targets))
+	for _, t := range targets {
+		byTarget[t.String()] = t
 	}
 	columns := []string{
 		"delay_req", "S1_kbps", "S2_kbps", "S3_kbps", "S4_kbps", "S5_kbps", "S6_kbps", "S7_kbps",
@@ -286,10 +375,13 @@ func Figure5(cfg Config, targets []time.Duration) ([]Fig5Row, *stats.Table, erro
 			cfg.Duration, cfg.repNote()),
 		columns...)
 	var rows []Fig5Row
-	for i, cell := range order {
+	for _, cell := range order {
 		rs := byCell[cell]
+		if len(rs) == 0 {
+			continue // interrupted before any replication completed
+		}
 		row := Fig5Row{
-			Target:     targets[i],
+			Target:     byTarget[cell],
 			SlaveKbps:  make(map[piconet.SlaveID]float64),
 			GS:         classKbps(rs, piconet.Guaranteed),
 			BE:         classKbps(rs, piconet.BestEffort),
@@ -319,7 +411,7 @@ func Figure5(cfg Config, targets []time.Duration) ([]Fig5Row, *stats.Table, erro
 		rows = append(rows, row)
 		tbl.AddRow(cells...)
 	}
-	return rows, tbl, nil
+	return rows, tbl
 }
 
 // convergedReps renders an adaptive cell's replication count, flagging
@@ -421,7 +513,7 @@ func TableT2(cfg Config, targets []time.Duration) ([]T2Row, *stats.Table, error)
 		targets = []time.Duration{29 * time.Millisecond, 38 * time.Millisecond, 46 * time.Millisecond}
 	}
 	targets = uniqueTargets(targets)
-	results, err := harness.Execute(harness.Fig5Sweep(cfg.sweep(), targets).Runs, cfg.options())
+	results, err := cfg.execute(harness.Fig5Sweep(cfg.sweep(), targets).Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: T2: %w", err)
 	}
@@ -486,7 +578,7 @@ type T3 struct {
 func TableT3(cfg Config) (T3, *stats.Table, error) {
 	cfg = cfg.withDefaults()
 	sw := harness.Fig5Sweep(cfg.sweep(), []time.Duration{46 * time.Millisecond})
-	results, err := harness.Execute(sw.Runs, cfg.options())
+	results, err := cfg.execute(sw.Runs)
 	if err != nil {
 		return T3{}, nil, fmt.Errorf("experiments: T3: %w", err)
 	}

@@ -128,7 +128,7 @@ func FaultStudy(cfg Config, counts []int, durations []time.Duration, policies []
 			Duration:       cfg.Duration,
 		})
 	}}
-	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	results, err := cfg.execute(grid.Sweep(cfg.sweep()).Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: fault study: %w", err)
 	}

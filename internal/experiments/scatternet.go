@@ -96,7 +96,7 @@ func ScatternetStudy(cfg Config, counts []int, loads []float64) ([]ScatternetRow
 			Duration: cfg.Duration,
 		})
 	}}
-	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	results, err := cfg.execute(grid.Sweep(cfg.sweep()).Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: scatternet: %w", err)
 	}

@@ -115,7 +115,7 @@ func ScatternetAdmissionStudy(cfg Config, counts []int, loads []float64) ([]Scat
 			InterferenceAware: p.derated,
 		})
 	}}
-	results, err := harness.Execute(grid.Sweep(cfg.sweep()).Runs, cfg.options())
+	results, err := cfg.execute(grid.Sweep(cfg.sweep()).Runs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: scatternet admission: %w", err)
 	}

@@ -1,0 +1,169 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"strings"
+)
+
+// HTTPBackend is a harness.CacheBackend speaking the coordinator's
+// /cache/entry endpoint: workers without a shared filesystem plug it
+// into a RunCache and get the same hit/store semantics as a shared
+// -cache-dir. Entries travel as their on-disk bytes (gob + CRC footer);
+// the RunCache on either end verifies the footer, so a truncated
+// transfer degrades to a miss exactly like a torn disk file.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend points a backend at a coordinator ("host:port" or a
+// full http:// URL).
+func NewHTTPBackend(base string) *HTTPBackend {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &HTTPBackend{
+		base:   strings.TrimSuffix(base, "/"),
+		client: &http.Client{},
+	}
+}
+
+func (b *HTTPBackend) url(key string) string {
+	return b.base + "/cache/entry?key=" + key
+}
+
+// Get fetches an entry; a 404 reports fs.ErrNotExist like a missing file.
+func (b *HTTPBackend) Get(key string) ([]byte, error) {
+	resp, err := b.client.Get(b.url(key))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return io.ReadAll(resp.Body)
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("fabric: cache entry %s: %w", key, fs.ErrNotExist)
+	default:
+		return nil, fmt.Errorf("fabric: cache GET %s: %s", key, resp.Status)
+	}
+}
+
+// Put uploads an entry.
+func (b *HTTPBackend) Put(key string, entry []byte) error {
+	req, err := http.NewRequest(http.MethodPut, b.url(key), bytes.NewReader(entry))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("fabric: cache PUT %s: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Has asks with a HEAD request.
+func (b *HTTPBackend) Has(key string) (bool, error) {
+	resp, err := b.client.Head(b.url(key))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("fabric: cache HEAD %s: %s", key, resp.Status)
+	}
+}
+
+// Delete removes an entry; missing entries are not an error.
+func (b *HTTPBackend) Delete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, b.url(key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("fabric: cache DELETE %s: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// validKey gates /cache/entry: content addresses are exactly 64 hex
+// digits, which (with the fixed ".run.gob" suffix the DirBackend
+// appends) also keeps the endpoint path-traversal-safe.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleCacheEntry serves the coordinator's RunCache entry-at-a-time.
+func (c *Coordinator) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if !validKey(key) {
+		http.Error(w, "fabric: malformed cache key", http.StatusBadRequest)
+		return
+	}
+	cache := c.cfg.Cache
+	switch r.Method {
+	case http.MethodGet:
+		data, err := cache.GetEntry(key)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodHead:
+		ok, err := cache.HasEntry(key)
+		if err != nil || !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodPut:
+		entry, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := cache.PutEntry(key, entry); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		if err := cache.DeleteEntry(key); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "fabric: unsupported method", http.StatusMethodNotAllowed)
+	}
+}

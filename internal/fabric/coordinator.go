@@ -1,0 +1,628 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"bluegs/internal/harness"
+	"bluegs/internal/scenario"
+)
+
+// CoordinatorConfig tunes a Coordinator.
+type CoordinatorConfig struct {
+	// Addr is the listen address (default "127.0.0.1:0" — loopback on a
+	// free port; use ":port" to accept workers from other machines).
+	Addr string
+	// Grid names the sweep in /info and the journal meta.
+	Grid string
+	// Cache, when set, resolves runs the coordinator already holds
+	// without leasing them, stores every worker result, and supplies the
+	// salt workers derive keys under. Without a cache the salt is
+	// harness.DefaultCacheSalt.
+	Cache *harness.RunCache
+	// ServeCache additionally serves the cache entry-at-a-time on
+	// /cache/entry, so workers without a shared filesystem can run with
+	// an HTTPBackend-backed cache.
+	ServeCache bool
+	// JournalPath, when set, streams every completed run into an
+	// append-only CRC-framed journal at this path. Meta must describe
+	// the sweep (it is compared verbatim on resume).
+	JournalPath string
+	Meta        JournalMeta
+	// Resume re-opens an existing journal instead of truncating it:
+	// every intact record resolves its run without leasing, a torn tail
+	// is dropped, and a meta mismatch is an error. A missing file falls
+	// back to a fresh journal, so -resume is safe on first start.
+	Resume bool
+	// LeaseTTL is the heartbeat deadline before a lease's unresolved
+	// runs are re-queued (default 10s).
+	LeaseTTL time.Duration
+	// LeaseRuns caps the runs handed out per lease (default 4). Small
+	// leases spread a grid across more workers; large ones amortize
+	// round trips.
+	LeaseRuns int
+	// Logf, when set, receives operational events (worker joins, lease
+	// expiries, resume counts).
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.LeaseRuns <= 0 {
+		c.LeaseRuns = 4
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Coordinator serves a sweep to workers over HTTP and implements
+// harness.Executor, so experiment code runs distributed unchanged. One
+// coordinator serves many sweeps in sequence (a report is a dozen
+// Execute calls); workers poll across sweep boundaries.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	salt    string
+	ln      net.Listener
+	srv     *http.Server
+	journal *Journal
+
+	mu        sync.Mutex
+	journaled map[string]*JournalRecord // resumed records by key
+	written   map[string]bool           // keys already appended this life
+	sweep     *sweepState
+	leaseSeq  uint64
+	stats     CoordinatorStats
+	workers   map[string]bool
+}
+
+// sweepState is one Execute call's book-keeping.
+type sweepState struct {
+	runs     []harness.Run
+	specJSON [][]byte
+	keys     []string
+	results  []harness.RunResult
+	resolved []bool
+	byKey    map[string][]int
+	ready    []int // FIFO of indexes available for leasing
+	leases   map[string]*activeLease
+	pending  int
+	doneRuns int
+	opts     harness.Options
+	done     chan struct{}
+}
+
+type activeLease struct {
+	id      string
+	worker  string
+	runs    []int
+	expires time.Time
+}
+
+// NewCoordinator starts listening and serving immediately; the sweep
+// content arrives with the first Execute call (workers polling before
+// that see StatusDone).
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:       cfg,
+		salt:      harness.DefaultCacheSalt,
+		journaled: make(map[string]*JournalRecord),
+		written:   make(map[string]bool),
+		workers:   make(map[string]bool),
+	}
+	if cfg.Cache != nil {
+		c.salt = cfg.Cache.Salt()
+	}
+	if cfg.JournalPath != "" {
+		meta := cfg.Meta
+		if meta.Salt == "" {
+			meta.Salt = c.salt
+		}
+		if meta.Salt != c.salt {
+			return nil, fmt.Errorf("fabric: journal meta salt %q differs from cache salt %q", meta.Salt, c.salt)
+		}
+		if meta.Grid == "" {
+			meta.Grid = cfg.Grid
+		}
+		j, recs, err := openOrCreateJournal(cfg.JournalPath, meta, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		for i := range recs {
+			c.journaled[recs[i].Key] = &recs[i]
+			c.written[recs[i].Key] = true
+		}
+		if len(recs) > 0 {
+			cfg.Logf("fabric: resumed %d journaled runs from %s", len(recs), cfg.JournalPath)
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		if c.journal != nil {
+			c.journal.Close()
+		}
+		return nil, fmt.Errorf("fabric: listen %s: %w", cfg.Addr, err)
+	}
+	c.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/info", c.handleInfo)
+	mux.HandleFunc("/lease", c.handleLease)
+	mux.HandleFunc("/complete", c.handleComplete)
+	mux.HandleFunc("/heartbeat", c.handleHeartbeat)
+	if cfg.ServeCache && cfg.Cache != nil {
+		mux.HandleFunc("/cache/entry", c.handleCacheEntry)
+	}
+	c.srv = &http.Server{Handler: mux}
+	go c.srv.Serve(ln)
+	return c, nil
+}
+
+// openOrCreateJournal resolves the resume semantics: resume an existing
+// file (meta must match), otherwise start fresh — so -resume is safe on
+// a first start too.
+func openOrCreateJournal(path string, meta JournalMeta, resume bool) (*Journal, []JournalRecord, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			return OpenJournal(path, meta)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, fmt.Errorf("fabric: open journal: %w", err)
+		}
+	}
+	j, err := CreateJournal(path, meta)
+	return j, nil, err
+}
+
+// Addr returns the coordinator's listen address ("host:port").
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Salt returns the cache salt workers must derive keys under.
+func (c *Coordinator) Salt() string { return c.salt }
+
+// Stats returns the accumulated resolution counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close stops serving and closes the journal. Safe after (not during) a
+// sweep: in-flight Execute calls should be interrupted first. In-flight
+// requests get a short drain — severing a worker's /complete response
+// after its results were folded in would make the worker retry and log a
+// spurious failure.
+func (c *Coordinator) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	err := c.srv.Shutdown(ctx)
+	if err != nil {
+		err = c.srv.Close()
+	}
+	if c.journal != nil {
+		if jerr := c.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// Execute implements harness.Executor: resolve what the journal and
+// cache already hold, lease the remainder to workers, and return results
+// in run-index order — the same contract, and therefore the same bytes,
+// as the in-process harness.Execute.
+func (c *Coordinator) Execute(runs []harness.Run, opts harness.Options) ([]harness.RunResult, error) {
+	results := make([]harness.RunResult, len(runs))
+	if len(runs) == 0 {
+		return results, nil
+	}
+	st := &sweepState{
+		runs:     runs,
+		specJSON: make([][]byte, len(runs)),
+		keys:     make([]string, len(runs)),
+		results:  results,
+		resolved: make([]bool, len(runs)),
+		byKey:    make(map[string][]int),
+		leases:   make(map[string]*activeLease),
+		opts:     opts,
+		done:     make(chan struct{}),
+	}
+
+	// Hooked runs carry live tracers or radio instances — they cannot be
+	// serialized into a lease, so they execute in-process, exactly as a
+	// local sweep would run them.
+	var hooked []int
+	for i, run := range runs {
+		if !run.Hooks.Zero() {
+			hooked = append(hooked, i)
+			continue
+		}
+		data, err := scenario.Marshal(run.Spec)
+		if err != nil {
+			return results, fmt.Errorf("fabric: marshal run %d (cell %q rep %d): %w", run.Index, run.Cell, run.Rep, err)
+		}
+		st.specJSON[i] = data
+		st.keys[i] = harness.CacheKey(c.salt, run.Spec)
+		st.byKey[st.keys[i]] = append(st.byKey[st.keys[i]], i)
+	}
+	if len(hooked) > 0 {
+		local := make([]harness.Run, len(hooked))
+		for k, i := range hooked {
+			local[k] = runs[i]
+		}
+		localOpts := opts
+		localOpts.OnProgress = nil // folded into the sweep-wide count below
+		localResults, _ := harness.Execute(local, localOpts)
+		for k, i := range hooked {
+			results[i] = localResults[k]
+		}
+	}
+
+	// Resolve the rest: journal first, then the coordinator's own cache;
+	// what's left is leased out.
+	c.mu.Lock()
+	for i := range runs {
+		if runs[i].Hooks.Zero() {
+			c.prefillLocked(st, i)
+		} else {
+			st.resolved[i] = true
+			st.doneRuns++
+			c.stats.Runs++
+			if opts.OnProgress != nil {
+				opts.OnProgress(st.doneRuns, len(st.runs), results[i])
+			}
+		}
+	}
+	interrupted := false
+	pending := st.pending
+	if pending == 0 {
+		close(st.done)
+	} else {
+		c.sweep = st
+	}
+	c.mu.Unlock()
+
+	if pending > 0 {
+		stop := make(chan struct{})
+		go c.expiryLoop(stop)
+		select {
+		case <-st.done:
+		case <-opts.Interrupt:
+			interrupted = true
+		}
+		close(stop)
+		c.mu.Lock()
+		c.sweep = nil
+		if interrupted {
+			for i := range runs {
+				if runs[i].Hooks.Zero() && !st.resolved[i] {
+					results[i] = harness.RunResult{Run: runs[i], Err: harness.ErrInterrupted}
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+
+	if interrupted {
+		return results, harness.ErrInterrupted
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("harness: run %d (cell %q rep %d): %w",
+				runs[i].Index, runs[i].Cell, runs[i].Rep, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// ExecuteAdaptive implements harness.Executor by running the harness's
+// own adaptive scheduling loop over the coordinator's lease-based
+// Execute: batch composition and per-cell replication counts are the
+// same code path as in-process, so adaptive tables stay byte-identical
+// at any worker count. Each round's batch for an unconverged cell is
+// ordinary leasable work — that is the work-stealing rule for hot cells.
+func (c *Coordinator) ExecuteAdaptive(g harness.Grid, cfg harness.SweepConfig, opts harness.AdaptiveOptions) ([]harness.CellOutcome, error) {
+	return harness.ExecuteAdaptiveWith(c.Execute, g, cfg, opts)
+}
+
+// prefillLocked resolves run i from the journal or the cache when
+// possible, otherwise queues it for leasing.
+func (c *Coordinator) prefillLocked(st *sweepState, i int) {
+	key := st.keys[i]
+	if rec, ok := c.journaled[key]; ok {
+		rr := harness.RunResult{Run: st.runs[i], CacheHit: true}
+		if rec.Err != "" {
+			rr.Err = errors.New(rec.Err)
+		} else {
+			res, err := harness.DecodeResultEntry(key, rec.Entry, st.runs[i].Spec)
+			if err != nil {
+				// A journaled record that fails its footer re-check
+				// cannot be replayed; fall through to the cache or a
+				// fresh lease.
+				delete(c.journaled, key)
+				c.cfg.Logf("fabric: journaled entry for %s corrupt, re-running: %v", key[:12], err)
+				c.prefillLocked(st, i)
+				return
+			}
+			rr.Result = res
+			if c.cfg.Cache != nil {
+				// Warm the cache from the journal so later sweeps (and
+				// served workers) hit it directly.
+				_ = c.cfg.Cache.Put(st.runs[i].Spec, res)
+			}
+		}
+		c.resolveLocked(st, i, rr, &c.stats.FromJournal)
+		return
+	}
+	if c.cfg.Cache != nil {
+		if res, ok := c.cfg.Cache.Get(st.runs[i].Spec); ok {
+			rr := harness.RunResult{Run: st.runs[i], Result: res, CacheHit: true}
+			c.journalLocked(st, i, rr)
+			c.resolveLocked(st, i, rr, &c.stats.FromCache)
+			return
+		}
+	}
+	st.pending++
+	st.ready = append(st.ready, i)
+}
+
+// resolveLocked places run i's result, books it, and signals sweep
+// completion.
+func (c *Coordinator) resolveLocked(st *sweepState, i int, rr harness.RunResult, source *uint64) {
+	st.results[i] = rr
+	st.resolved[i] = true
+	st.doneRuns++
+	c.stats.Runs++
+	*source++
+	if st.opts.OnProgress != nil {
+		st.opts.OnProgress(st.doneRuns, len(st.runs), rr)
+	}
+	if source == &c.stats.FromWorkers {
+		st.pending--
+		if st.pending == 0 {
+			close(st.done)
+		}
+	}
+}
+
+// journalLocked appends run i's result to the journal (once per key).
+func (c *Coordinator) journalLocked(st *sweepState, i int, rr harness.RunResult) {
+	if c.journal == nil || c.written[st.keys[i]] {
+		return
+	}
+	rec := JournalRecord{Cell: st.runs[i].Cell, Rep: st.runs[i].Rep, Key: st.keys[i]}
+	if rr.Err != nil {
+		rec.Err = rr.Err.Error()
+	} else {
+		entry, err := harness.EncodeResultEntry(st.keys[i], rr.Result)
+		if err != nil {
+			c.cfg.Logf("fabric: journal encode %s: %v", st.keys[i][:12], err)
+			return
+		}
+		rec.Entry = entry
+	}
+	if err := c.journal.Append(rec); err != nil {
+		c.cfg.Logf("fabric: journal append: %v", err)
+		return
+	}
+	c.written[st.keys[i]] = true
+}
+
+// expiryLoop re-queues expired leases while a sweep is live.
+func (c *Coordinator) expiryLoop(stop <-chan struct{}) {
+	t := time.NewTicker(c.cfg.LeaseTTL / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.mu.Lock()
+			if c.sweep != nil {
+				c.expireLocked(c.sweep, time.Now())
+			}
+			c.mu.Unlock()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// expireLocked returns every expired lease's unresolved runs to the
+// ready queue.
+func (c *Coordinator) expireLocked(st *sweepState, now time.Time) {
+	for id, l := range st.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		requeued := 0
+		for _, i := range l.runs {
+			if !st.resolved[i] {
+				st.ready = append(st.ready, i)
+				requeued++
+			}
+		}
+		delete(st.leases, id)
+		c.stats.Expired++
+		c.cfg.Logf("fabric: lease %s (worker %s) expired, re-queued %d runs", id, l.worker, requeued)
+	}
+}
+
+// --- HTTP handlers ---
+
+func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, InfoResponse{
+		Grid:     c.cfg.Grid,
+		Salt:     c.salt,
+		LeaseTTL: c.cfg.LeaseTTL,
+		Cache:    c.cfg.ServeCache && c.cfg.Cache != nil,
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.workers[req.Worker] {
+		c.workers[req.Worker] = true
+		c.cfg.Logf("fabric: worker %s joined", req.Worker)
+	}
+	st := c.sweep
+	if st == nil {
+		writeJSON(w, LeaseResponse{Status: StatusDone})
+		return
+	}
+	c.expireLocked(st, time.Now())
+	// Pop up to LeaseRuns indexes, skipping any that a late complete
+	// resolved while they sat in the queue.
+	var idxs []int
+	for len(idxs) < c.cfg.LeaseRuns && len(st.ready) > 0 {
+		i := st.ready[0]
+		st.ready = st.ready[1:]
+		if !st.resolved[i] {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		writeJSON(w, LeaseResponse{Status: StatusWait})
+		return
+	}
+	c.leaseSeq++
+	l := &activeLease{
+		id:      fmt.Sprintf("L%d", c.leaseSeq),
+		worker:  req.Worker,
+		runs:    idxs,
+		expires: time.Now().Add(c.cfg.LeaseTTL),
+	}
+	st.leases[l.id] = l
+	c.stats.Leases++
+	lease := &Lease{ID: l.id, TTL: c.cfg.LeaseTTL}
+	for _, i := range idxs {
+		lease.Runs = append(lease.Runs, LeaseRun{
+			Index: i,
+			Cell:  st.runs[i].Cell,
+			Rep:   st.runs[i].Rep,
+			Spec:  json.RawMessage(st.specJSON[i]),
+		})
+	}
+	writeJSON(w, LeaseResponse{Status: StatusLease, Lease: lease})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.sweep
+	if st == nil {
+		// A straggler finishing a lease from an already-completed sweep.
+		c.stats.DupCompletes += uint64(len(req.Runs))
+		writeJSON(w, map[string]bool{"ok": true})
+		return
+	}
+	l, leased := st.leases[req.Lease]
+	for _, cr := range req.Runs {
+		idx := -1
+		if leased && cr.Index >= 0 && cr.Index < len(st.runs) && !st.resolved[cr.Index] {
+			if st.keys[cr.Index] != cr.Key {
+				// The worker derived a different content address for the
+				// spec we sent: codec or salt drift. Resolving the run
+				// with a loud error fails the sweep immediately instead
+				// of re-leasing forever.
+				c.resolveLocked(st, cr.Index, harness.RunResult{
+					Run: st.runs[cr.Index],
+					Err: fmt.Errorf("fabric: worker %s derived key %s for run %d, coordinator expected %s (codec drift?)",
+						req.Worker, cr.Key, cr.Index, st.keys[cr.Index]),
+				}, &c.stats.FromWorkers)
+				continue
+			}
+			idx = cr.Index
+		} else {
+			// Late complete (expired lease, or a run re-leased and
+			// resolved elsewhere): accept by key if still pending.
+			for _, i := range st.byKey[cr.Key] {
+				if !st.resolved[i] {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				c.stats.LateCompletes++
+			}
+		}
+		if idx < 0 {
+			c.stats.DupCompletes++
+			continue
+		}
+		rr := harness.RunResult{Run: st.runs[idx], CacheHit: cr.CacheHit}
+		if cr.Err != "" {
+			rr.Err = errors.New(cr.Err)
+		} else {
+			res, err := harness.DecodeResultEntry(cr.Key, cr.Entry, st.runs[idx].Spec)
+			if err != nil {
+				// A corrupt wire entry: leave the run pending for
+				// re-leasing rather than poisoning the sweep.
+				c.cfg.Logf("fabric: corrupt entry from worker %s for %s: %v", req.Worker, cr.Key[:12], err)
+				st.ready = append(st.ready, idx)
+				continue
+			}
+			rr.Result = res
+			if c.cfg.Cache != nil {
+				_ = c.cfg.Cache.Put(st.runs[idx].Spec, res)
+			}
+		}
+		c.journalLocked(st, idx, rr)
+		c.resolveLocked(st, idx, rr, &c.stats.FromWorkers)
+	}
+	if leased {
+		delete(st.leases, l.id)
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.sweep; st != nil {
+		if l, ok := st.leases[req.Lease]; ok {
+			l.expires = time.Now().Add(c.cfg.LeaseTTL)
+			writeJSON(w, map[string]bool{"ok": true})
+			return
+		}
+	}
+	c.cfg.Logf("fabric: heartbeat %s (worker %s): unknown lease", req.Lease, req.Worker)
+	// Unknown lease: expired (its runs are re-queued) or from a finished
+	// sweep. The worker should finish and /complete anyway — a late
+	// complete still lands if the run is pending.
+	w.WriteHeader(http.StatusGone)
+	writeJSON(w, map[string]bool{"ok": false})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,466 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bluegs/internal/experiments"
+	"bluegs/internal/harness"
+	"bluegs/internal/stats"
+)
+
+// testConfig is a small but non-trivial Fig. 5 slice: 3 cells × 2 reps.
+func testConfig() (experiments.Config, []time.Duration) {
+	cfg := experiments.Config{
+		Duration:     2 * time.Second,
+		Seed:         1,
+		Replications: 2,
+	}
+	targets := []time.Duration{30 * time.Millisecond, 38 * time.Millisecond, 46 * time.Millisecond}
+	return cfg, targets
+}
+
+// tableText renders a table to the exact bytes the cmd tools print.
+func tableText(t *testing.T, tbl *stats.Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatalf("render table: %v", err)
+	}
+	return buf.String()
+}
+
+// startWorkers launches n workers against a coordinator and returns a
+// stop function that waits for them to exit.
+func startWorkers(t *testing.T, addr string, n int, mutate func(i int, cfg *WorkerConfig)) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cfg := WorkerConfig{
+			Coordinator: addr,
+			Name:        "w" + string(rune('1'+i)),
+			Workers:     2,
+			Poll:        20 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := RunWorker(ctx, cfg); err != nil {
+				t.Errorf("worker %s: %v", cfg.Name, err)
+			}
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// TestByteIdentityFixed is the acceptance criterion: a fixed-replication
+// grid run by a coordinator with two workers renders the byte-identical
+// Figure 5 table to the single-process run.
+func TestByteIdentityFixed(t *testing.T) {
+	cfg, targets := testConfig()
+	_, localTbl, err := experiments.Figure5(cfg, targets)
+	if err != nil {
+		t.Fatalf("local figure5: %v", err)
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{Grid: "fig5", LeaseRuns: 2})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	stop := startWorkers(t, coord.Addr(), 2, nil)
+	defer stop()
+
+	dcfg := cfg
+	dcfg.Executor = coord
+	_, distTbl, err := experiments.Figure5(dcfg, targets)
+	if err != nil {
+		t.Fatalf("distributed figure5: %v", err)
+	}
+	if got, want := tableText(t, distTbl), tableText(t, localTbl); got != want {
+		t.Errorf("distributed table differs from local:\n--- local ---\n%s--- distributed ---\n%s", want, got)
+	}
+	st := coord.Stats()
+	if want := uint64(len(targets) * cfg.Replications); st.Runs != want {
+		t.Errorf("coordinator resolved %d runs, want %d", st.Runs, want)
+	}
+	if st.FromWorkers != st.Runs {
+		t.Errorf("expected all %d runs from workers, got %d", st.Runs, st.FromWorkers)
+	}
+}
+
+// TestByteIdentityAdaptive runs the same comparison under the CI
+// stopping rule: per-cell adaptive replication counts (the "reps" table
+// column) must match the in-process schedule exactly.
+func TestByteIdentityAdaptive(t *testing.T) {
+	cfg, targets := testConfig()
+	cfg.Replications = 0
+	cfg.CITarget = 0.2
+	cfg.MaxReps = 6
+	_, localTbl, err := experiments.Figure5(cfg, targets)
+	if err != nil {
+		t.Fatalf("local adaptive figure5: %v", err)
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{Grid: "fig5", LeaseRuns: 2})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	stop := startWorkers(t, coord.Addr(), 2, nil)
+	defer stop()
+
+	dcfg := cfg
+	dcfg.Executor = coord
+	_, distTbl, err := experiments.Figure5(dcfg, targets)
+	if err != nil {
+		t.Fatalf("distributed adaptive figure5: %v", err)
+	}
+	if got, want := tableText(t, distTbl), tableText(t, localTbl); got != want {
+		t.Errorf("adaptive distributed table differs from local:\n--- local ---\n%s--- distributed ---\n%s", want, got)
+	}
+}
+
+// TestWorkerCrashRecovery kills a worker mid-lease (a lease is taken and
+// never completed or heartbeated): after the TTL the coordinator
+// re-issues the runs and the sweep finishes byte-identical, with no run
+// lost or double-counted.
+func TestWorkerCrashRecovery(t *testing.T) {
+	cfg, targets := testConfig()
+	_, localTbl, err := experiments.Figure5(cfg, targets)
+	if err != nil {
+		t.Fatalf("local figure5: %v", err)
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Grid:      "fig5",
+		LeaseRuns: 2,
+		LeaseTTL:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+
+	// The "crashed" worker: grab a lease over the raw protocol as soon
+	// as the sweep starts, then never heartbeat or complete it.
+	crashed := make(chan struct{})
+	go func() {
+		defer close(crashed)
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Post("http://"+coord.Addr()+"/lease", "application/json",
+				strings.NewReader(`{"worker":"crasher"}`))
+			if err == nil {
+				var lr LeaseResponse
+				derr := json.NewDecoder(resp.Body).Decode(&lr)
+				resp.Body.Close()
+				if derr == nil && lr.Status == StatusLease {
+					return // lease acquired and abandoned
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	stop := startWorkers(t, coord.Addr(), 1, nil)
+	defer stop()
+
+	dcfg := cfg
+	dcfg.Executor = coord
+	_, distTbl, err := experiments.Figure5(dcfg, targets)
+	if err != nil {
+		t.Fatalf("distributed figure5 with crash: %v", err)
+	}
+	<-crashed
+	if got, want := tableText(t, distTbl), tableText(t, localTbl); got != want {
+		t.Errorf("post-crash table differs from local:\n--- local ---\n%s--- distributed ---\n%s", want, got)
+	}
+	st := coord.Stats()
+	if want := uint64(len(targets) * cfg.Replications); st.Runs != want {
+		t.Errorf("resolved %d runs, want %d (no loss, no double count)", st.Runs, want)
+	}
+	if st.Expired == 0 {
+		t.Errorf("expected at least one expired lease, stats: %s", st)
+	}
+}
+
+// TestJournalResume kills the coordinator after a completed sweep and
+// resumes from the journal with no workers at all: every run must replay
+// from the journal, byte-identically.
+func TestJournalResume(t *testing.T) {
+	cfg, targets := testConfig()
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := JournalMeta{
+		Grid: "fig5", Duration: cfg.Duration, Seed: cfg.Seed,
+		Replications: cfg.Replications,
+		Cells:        []string{"30ms", "38ms", "46ms"},
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{Grid: "fig5", JournalPath: path, Meta: meta, LeaseRuns: 2})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	stop := startWorkers(t, coord.Addr(), 2, nil)
+	dcfg := cfg
+	dcfg.Executor = coord
+	_, firstTbl, err := experiments.Figure5(dcfg, targets)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	stop()
+	coord.Close()
+
+	// Restart from the journal. No workers join: if anything failed to
+	// journal, the sweep would hang — guard with a timeout via the
+	// harness interrupt.
+	resumed, err := NewCoordinator(CoordinatorConfig{
+		Grid: "fig5", JournalPath: path, Meta: meta, Resume: true, LeaseRuns: 2,
+	})
+	if err != nil {
+		t.Fatalf("resume coordinator: %v", err)
+	}
+	defer resumed.Close()
+	interrupt := make(chan struct{})
+	timer := time.AfterFunc(30*time.Second, func() { close(interrupt) })
+	defer timer.Stop()
+	rcfg := cfg
+	rcfg.Executor = resumed
+	rcfg.Interrupt = interrupt
+	_, resumedTbl, err := experiments.Figure5(rcfg, targets)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got, want := tableText(t, resumedTbl), tableText(t, firstTbl); got != want {
+		t.Errorf("resumed table differs:\n--- first ---\n%s--- resumed ---\n%s", want, got)
+	}
+	st := resumed.Stats()
+	if st.FromJournal != st.Runs || st.Runs == 0 {
+		t.Errorf("resume should serve every run from the journal: %s", st)
+	}
+	if st.FromWorkers != 0 {
+		t.Errorf("resume should lease nothing: %s", st)
+	}
+}
+
+// TestJournalMidSweepResume interrupts a sweep partway (only some runs
+// journaled), then resumes: journaled runs replay, the rest execute, and
+// the final table is byte-identical to an uninterrupted local run.
+func TestJournalMidSweepResume(t *testing.T) {
+	cfg, targets := testConfig()
+	_, localTbl, err := experiments.Figure5(cfg, targets)
+	if err != nil {
+		t.Fatalf("local figure5: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	meta := JournalMeta{
+		Grid: "fig5", Duration: cfg.Duration, Seed: cfg.Seed,
+		Replications: cfg.Replications,
+		Cells:        []string{"30ms", "38ms", "46ms"},
+	}
+
+	// First life: one worker, interrupted after the first completions
+	// arrive.
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Grid: "fig5", JournalPath: path, Meta: meta, LeaseRuns: 1,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	stop := startWorkers(t, coord.Addr(), 1, nil)
+	interrupt := make(chan struct{})
+	var once sync.Once
+	dcfg := cfg
+	dcfg.Executor = coord
+	dcfg.Interrupt = interrupt
+	dcfg.Progress = func(done, total int) {
+		if done >= 2 {
+			once.Do(func() { close(interrupt) })
+		}
+	}
+	_, _, err = experiments.Figure5(dcfg, targets)
+	stop()
+	coord.Close()
+	if err == nil {
+		t.Logf("sweep completed before the interrupt landed; resume still exercises the journal")
+	}
+
+	meta2 := meta
+	resumed, err := NewCoordinator(CoordinatorConfig{
+		Grid: "fig5", JournalPath: path, Meta: meta2, Resume: true, LeaseRuns: 2,
+	})
+	if err != nil {
+		t.Fatalf("resume coordinator: %v", err)
+	}
+	defer resumed.Close()
+	stop2 := startWorkers(t, resumed.Addr(), 2, nil)
+	defer stop2()
+	rcfg := cfg
+	rcfg.Executor = resumed
+	_, resumedTbl, err := experiments.Figure5(rcfg, targets)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got, want := tableText(t, resumedTbl), tableText(t, localTbl); got != want {
+		t.Errorf("mid-sweep resumed table differs from local:\n--- local ---\n%s--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestJournalTornTail corrupts the journal's tail (a torn write from a
+// killed coordinator) and asserts resume drops exactly the tail.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	meta := JournalMeta{Grid: "g", Salt: "s", Cells: []string{"a"}}
+	j, err := CreateJournal(path, meta)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	recs := []JournalRecord{
+		{Cell: "a", Rep: 0, Key: strings.Repeat("0", 64), Entry: []byte("e0")},
+		{Cell: "a", Rep: 1, Key: strings.Repeat("1", 64), Entry: []byte("e1")},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	j.Close()
+
+	// Simulate the torn write: half a record of garbage.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x10, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3})
+	f.Close()
+	tornSize := fileSize(t, path)
+
+	j2, got, err := OpenJournal(path, meta)
+	if err != nil {
+		t.Fatalf("open torn journal: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Key != recs[i].Key || string(got[i].Entry) != string(recs[i].Entry) {
+			t.Errorf("record %d mismatch: %+v", i, got[i])
+		}
+	}
+	// The tail must be gone, and appending must still work.
+	if s := fileSize(t, path); s >= tornSize {
+		t.Errorf("torn tail not truncated: %d >= %d", s, tornSize)
+	}
+	if err := j2.Append(JournalRecord{Cell: "a", Rep: 2, Key: strings.Repeat("2", 64), Entry: []byte("e2")}); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	j2.Close()
+	_, got, err = ReadJournal(path)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("after re-append: %d records, err %v", len(got), err)
+	}
+}
+
+// TestJournalMetaMismatch: resuming a journal written under different
+// sweep knobs must fail loudly, not replay wrong results.
+func TestJournalMetaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.journal")
+	meta := JournalMeta{Grid: "g", Salt: "s", Seed: 1, Cells: []string{"a"}}
+	j, err := CreateJournal(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	other := meta
+	other.Seed = 2
+	if _, _, err := OpenJournal(path, other); err == nil {
+		t.Fatal("expected meta mismatch error, got nil")
+	} else if !strings.Contains(err.Error(), "different sweep configuration") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestHTTPCacheBackend drives a worker with no filesystem cache at all:
+// its RunCache speaks to the coordinator over /cache/entry. A second
+// identical sweep must then resolve entirely from the coordinator's
+// cache without leasing a single run.
+func TestHTTPCacheBackend(t *testing.T) {
+	cfg, targets := testConfig()
+	cache, err := harness.NewRunCache(harness.CacheConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Grid: "fig5", Cache: cache, ServeCache: true, LeaseRuns: 2,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	stop := startWorkers(t, coord.Addr(), 2, func(i int, wc *WorkerConfig) {
+		wc.UseCoordinatorCache = true
+	})
+	defer stop()
+
+	dcfg := cfg
+	dcfg.Executor = coord
+	_, firstTbl, err := experiments.Figure5(dcfg, targets)
+	if err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	first := coord.Stats()
+	if first.FromWorkers == 0 {
+		t.Fatalf("first sweep should lease work: %s", first)
+	}
+
+	_, secondTbl, err := experiments.Figure5(dcfg, targets)
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	second := coord.Stats()
+	if got := second.FromWorkers - first.FromWorkers; got != 0 {
+		t.Errorf("second sweep leased %d runs, want 0 (cache-resolved)", got)
+	}
+	if got := second.FromCache - first.FromCache; got != uint64(len(targets)*cfg.Replications) {
+		t.Errorf("second sweep served %d from cache, want %d", got, len(targets)*cfg.Replications)
+	}
+	if a, b := tableText(t, firstTbl), tableText(t, secondTbl); a != b {
+		t.Errorf("cache replay differs:\n%s\nvs\n%s", a, b)
+	}
+
+	// The backend round trip itself.
+	b := NewHTTPBackend(coord.Addr())
+	key := strings.Repeat("a", 64)
+	if ok, err := b.Has(key); err != nil || ok {
+		t.Fatalf("Has(missing) = %v, %v", ok, err)
+	}
+	if _, err := b.Get(key); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Get(missing) = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

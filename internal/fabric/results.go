@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"errors"
+	"sort"
+
+	"bluegs/internal/harness"
+)
+
+// JournalResults rebuilds harness run results from journal records
+// against the grid the journal was written for: each record's (cell,
+// rep) spec is re-derived through the grid exactly as the coordinator
+// derived it, its content address is verified against the record's key,
+// and the entry is decoded with the footer check. Results come back in
+// grid cell order with replications ascending — the order every
+// aggregation helper expects — so cmd/report renders tables from a
+// partial journal that are byte-identical (for the cells present) to the
+// finished sweep's.
+//
+// Records that match no grid cell, whose re-derived key disagrees (a
+// journal written under other knobs), or whose entry fails its footer
+// check are counted in skipped rather than failing the render.
+func JournalResults(meta JournalMeta, recs []JournalRecord, g harness.Grid, cfg harness.SweepConfig) (results []harness.RunResult, skipped int, err error) {
+	cfg = cfg.WithDefaults()
+	cells := make(map[string]bool, len(g.Cells))
+	for _, cell := range g.Cells {
+		cells[cell] = true
+	}
+	type cr struct {
+		rep int
+		rec *JournalRecord
+	}
+	byCell := make(map[string][]cr)
+	for i := range recs {
+		rec := &recs[i]
+		if !cells[rec.Cell] {
+			skipped++
+			continue
+		}
+		byCell[rec.Cell] = append(byCell[rec.Cell], cr{rec.Rep, rec})
+	}
+	index := 0
+	for _, cell := range g.Cells {
+		rs := byCell[cell]
+		sort.Slice(rs, func(a, b int) bool { return rs[a].rep < rs[b].rep })
+		for _, x := range rs {
+			run := g.Run(cfg, index, cell, x.rep)
+			key := harness.CacheKey(meta.Salt, run.Spec)
+			if key != x.rec.Key {
+				skipped++
+				continue
+			}
+			rr := harness.RunResult{Run: run, CacheHit: true}
+			if x.rec.Err != "" {
+				rr.Err = errors.New(x.rec.Err)
+			} else {
+				res, derr := harness.DecodeResultEntry(key, x.rec.Entry, run.Spec)
+				if derr != nil {
+					skipped++
+					continue
+				}
+				rr.Result = res
+			}
+			results = append(results, rr)
+			index++
+		}
+	}
+	return results, skipped, nil
+}

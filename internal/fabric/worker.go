@@ -1,0 +1,300 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"bluegs/internal/harness"
+	"bluegs/internal/scenario"
+)
+
+// WorkerConfig tunes RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's address ("host:port", or a full
+	// http:// URL).
+	Coordinator string
+	// Name identifies the worker in leases and logs (default
+	// "hostname-pid").
+	Name string
+	// Workers bounds the local simulation pool per lease (<= 0 means
+	// GOMAXPROCS), exactly as harness.Options.Workers.
+	Workers int
+	// Cache, when set, is the worker's local run cache (e.g. a shared
+	// -cache-dir). Its salt must match the coordinator's, or keys would
+	// disagree.
+	Cache *harness.RunCache
+	// UseCoordinatorCache, when no local Cache is set and the
+	// coordinator serves /cache/entry, backs the worker's cache with the
+	// coordinator over HTTP — no shared filesystem needed.
+	UseCoordinatorCache bool
+	// Poll is the idle re-poll interval while the coordinator has no
+	// work (default 300ms).
+	Poll time.Duration
+	// Logf, when set, receives operational events.
+	Logf func(format string, args ...any)
+
+	// abandonNth, when > 0, makes the worker exit without executing or
+	// completing its nth lease — the crash-mid-lease the recovery tests
+	// inject.
+	abandonNth int
+}
+
+// RunWorker joins a coordinator and processes leases until the context
+// is cancelled or the coordinator goes away (which, after a successful
+// first contact, is a clean exit — the sweep is over).
+func RunWorker(ctx context.Context, cfg WorkerConfig) (WorkerStats, error) {
+	var stats WorkerStats
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 300 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	base := cfg.Coordinator
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	info, err := fetchInfo(ctx, client, base)
+	if err != nil {
+		return stats, err
+	}
+	cache := cfg.Cache
+	if cache != nil && cache.Salt() != info.Salt {
+		return stats, fmt.Errorf("fabric: worker cache salt %q differs from coordinator salt %q", cache.Salt(), info.Salt)
+	}
+	if cache == nil && cfg.UseCoordinatorCache && info.Cache {
+		cache, err = harness.NewRunCache(harness.CacheConfig{
+			Backend: NewHTTPBackend(base),
+			Salt:    info.Salt,
+		})
+		if err != nil {
+			return stats, err
+		}
+	}
+	cfg.Logf("fabric: worker %s joined %s (grid %q, salt %s)", cfg.Name, base, info.Grid, info.Salt)
+
+	leased := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return stats, nil
+		default:
+		}
+		var resp LeaseResponse
+		if err := postJSON(ctx, client, base+"/lease", LeaseRequest{Worker: cfg.Name}, &resp); err != nil {
+			if ctx.Err() != nil {
+				return stats, nil
+			}
+			// The coordinator answered /info once, so an unreachable
+			// coordinator now means the sweep driver exited: done.
+			cfg.Logf("fabric: worker %s: coordinator gone (%v), exiting", cfg.Name, err)
+			return stats, nil
+		}
+		switch resp.Status {
+		case StatusLease:
+			leased++
+			if cfg.abandonNth > 0 && leased >= cfg.abandonNth {
+				cfg.Logf("fabric: worker %s abandoning lease %s (injected crash)", cfg.Name, resp.Lease.ID)
+				return stats, nil
+			}
+			executeLease(ctx, client, base, cfg, info, cache, resp.Lease, &stats)
+		case StatusWait, StatusDone:
+			select {
+			case <-ctx.Done():
+				return stats, nil
+			case <-time.After(cfg.Poll):
+			}
+		default:
+			return stats, fmt.Errorf("fabric: unknown lease status %q", resp.Status)
+		}
+	}
+}
+
+// executeLease runs one lease through the local harness (heartbeating
+// while it computes) and returns the results to the coordinator.
+func executeLease(ctx context.Context, client *http.Client, base string, cfg WorkerConfig,
+	info InfoResponse, cache *harness.RunCache, lease *Lease, stats *WorkerStats) {
+	runs := make([]harness.Run, len(lease.Runs))
+	bad := make([]string, len(lease.Runs)) // per-run unmarshal failure
+	for k, lr := range lease.Runs {
+		spec, err := scenario.Unmarshal(lr.Spec)
+		if err != nil {
+			bad[k] = fmt.Sprintf("fabric: worker unmarshal spec: %v", err)
+			continue
+		}
+		runs[k] = harness.Run{Index: lr.Index, Cell: lr.Cell, Rep: lr.Rep, Spec: spec}
+	}
+
+	// Heartbeat at a third of the TTL while the lease computes — and while
+	// the results upload: a /complete carrying large entries can outlast
+	// the TTL on its own, and an expiry mid-upload would force the runs
+	// through a redundant re-lease.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		interval := info.LeaseTTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if err := postJSON(ctx, client, base+"/heartbeat", HeartbeatRequest{Lease: lease.ID, Worker: cfg.Name}, nil); err != nil {
+					cfg.Logf("fabric: worker %s: heartbeat %s: %v", cfg.Name, lease.ID, err)
+				}
+			}
+		}
+	}()
+
+	var interrupt chan struct{}
+	if ctx.Done() != nil {
+		interrupt = make(chan struct{})
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-ctx.Done():
+				close(interrupt)
+			case <-done:
+			}
+		}()
+	}
+	results, _ := harness.Execute(runs, harness.Options{
+		Workers:   cfg.Workers,
+		Cache:     cache,
+		Interrupt: interrupt,
+	})
+
+	req := CompleteRequest{Lease: lease.ID, Worker: cfg.Name}
+	for k, rr := range results {
+		cr := CompletedRun{
+			Index:    lease.Runs[k].Index,
+			Cell:     lease.Runs[k].Cell,
+			Rep:      lease.Runs[k].Rep,
+			CacheHit: rr.CacheHit,
+		}
+		switch {
+		case bad[k] != "":
+			cr.Err = bad[k]
+		case rr.Err != nil:
+			cr.Key = harness.CacheKey(info.Salt, runs[k].Spec)
+			cr.Err = rr.Err.Error()
+		default:
+			cr.Key = harness.CacheKey(info.Salt, runs[k].Spec)
+			entry, err := harness.EncodeResultEntry(cr.Key, rr.Result)
+			if err != nil {
+				cr.Err = err.Error()
+			} else {
+				cr.Entry = entry
+			}
+		}
+		if rr.Err != nil && bad[k] == "" && isInterrupted(rr.Err) {
+			// An interrupted run is not a completion: leave it out so
+			// the coordinator re-leases it after the TTL. (Unmarshal
+			// failures do report — they would fail identically anywhere.)
+			continue
+		}
+		req.Runs = append(req.Runs, cr)
+		stats.Runs++
+		if rr.CacheHit {
+			stats.CacheHits++
+		}
+	}
+	stats.Leases++
+
+	// A failed complete is not fatal: the lease expires and re-leases.
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := postJSON(ctx, client, base+"/complete", req, nil); err == nil {
+			return
+		} else if attempt == 2 || ctx.Err() != nil {
+			cfg.Logf("fabric: worker %s: complete %s failed: %v", cfg.Name, lease.ID, err)
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func isInterrupted(err error) bool {
+	return err != nil && strings.Contains(err.Error(), harness.ErrInterrupted.Error())
+}
+
+// fetchInfo retries /info briefly: workers routinely start before the
+// coordinator finishes binding its port.
+func fetchInfo(ctx context.Context, client *http.Client, base string) (InfoResponse, error) {
+	var info InfoResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := getJSON(ctx, client, base+"/info", &info)
+		if err == nil {
+			return info, nil
+		}
+		if ctx.Err() != nil {
+			return info, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return info, fmt.Errorf("fabric: coordinator %s unreachable: %w", base, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fabric: GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fabric: POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

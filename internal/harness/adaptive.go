@@ -118,7 +118,11 @@ type AdaptiveOptions struct {
 	OnRound func(round, activeCells, totalRuns int)
 }
 
-func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+// WithDefaults returns the options with the documented defaults filled
+// in (MinReps 3, MaxReps DefaultMaxReps, Batch 4). Exported because the
+// fabric coordinator mirrors ExecuteAdaptive's checkpoint schedule and
+// must resolve the identical effective knobs.
+func (o AdaptiveOptions) WithDefaults() AdaptiveOptions {
 	if o.MinReps < 2 {
 		o.MinReps = 3
 	}
@@ -154,8 +158,12 @@ type CellOutcome struct {
 // Reps returns the number of replications the cell used.
 func (o CellOutcome) Reps() int { return len(o.Runs) }
 
-// converged reports whether a summary meets the tolerance.
-func (o AdaptiveOptions) convergedAt(s stats.Summary) bool {
+// ConvergedAt reports whether a metric summary meets the stopping
+// tolerance. It is a pure function of the summary, which is what makes
+// the stopping rule — and therefore per-cell replication counts —
+// identical wherever it is evaluated: in-process rounds or a fabric
+// coordinator folding worker results.
+func (o AdaptiveOptions) ConvergedAt(s stats.Summary) bool {
 	if s.N < 2 {
 		return false
 	}
@@ -182,6 +190,19 @@ func (o AdaptiveOptions) convergedAt(s stats.Summary) bool {
 // The returned error is the first failing run in grid order, with the
 // partial outcomes still returned.
 func ExecuteAdaptive(g Grid, cfg SweepConfig, opts AdaptiveOptions) ([]CellOutcome, error) {
+	return ExecuteAdaptiveWith(Execute, g, cfg, opts)
+}
+
+// ExecuteAdaptiveWith is ExecuteAdaptive over a pluggable batch executor.
+// The fabric coordinator (internal/fabric) passes its lease-based Execute
+// here, so the adaptive scheduling loop — batch composition, the stopping
+// rule, the per-cell replication counts — is the *same code* in-process
+// and distributed; only where each batch's runs execute differs. That is
+// the structural form of the determinism contract: an unconverged cell's
+// next rep-batch is leased out like any other work, which is exactly the
+// work-stealing rule for hot cells.
+func ExecuteAdaptiveWith(execute func([]Run, Options) ([]RunResult, error),
+	g Grid, cfg SweepConfig, opts AdaptiveOptions) ([]CellOutcome, error) {
 	if opts.Metric.Eval == nil {
 		return nil, ErrNoMetric
 	}
@@ -189,7 +210,7 @@ func ExecuteAdaptive(g Grid, cfg SweepConfig, opts AdaptiveOptions) ([]CellOutco
 		return nil, ErrNoTolerance
 	}
 	cfg = cfg.WithDefaults()
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 
 	outcomes := make([]CellOutcome, len(g.Cells))
 	active := make([]int, 0, len(g.Cells))
@@ -219,7 +240,7 @@ func ExecuteAdaptive(g Grid, cfg SweepConfig, opts AdaptiveOptions) ([]CellOutco
 				runs = append(runs, g.Run(cfg, len(runs), outcomes[ci].Cell, rep))
 			}
 		}
-		results, err := Execute(runs, opts.Options)
+		results, err := execute(runs, opts.Options)
 		totalRuns += len(runs)
 
 		// Fold the batch into the outcomes and re-evaluate the rule.
@@ -240,7 +261,7 @@ func ExecuteAdaptive(g Grid, cfg SweepConfig, opts AdaptiveOptions) ([]CellOutco
 				}
 			}
 			o.Metric = w.Summary()
-			o.Converged = len(o.Runs) >= opts.MinReps && opts.convergedAt(o.Metric)
+			o.Converged = len(o.Runs) >= opts.MinReps && opts.ConvergedAt(o.Metric)
 			if !o.Converged && len(o.Runs) < opts.MaxReps {
 				next = append(next, ci)
 			}

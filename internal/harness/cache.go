@@ -7,8 +7,10 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -44,12 +46,39 @@ import (
 // would produce.
 const DefaultCacheSalt = "sim-v8"
 
+// CacheBackend is the persistent half of a RunCache: a keyed store of
+// raw cache entries (gob payload plus integrity footer, the
+// EncodeResultEntry form). The RunCache owns the encoding, the footer
+// verification and the in-memory LRU; a backend only moves bytes, which
+// is what lets one implementation serve a local directory (DirBackend)
+// and another a fabric coordinator's HTTP cache endpoint
+// (internal/fabric), so workers need no shared filesystem. Backends must
+// be safe for concurrent use — including concurrent use from several
+// processes, where the content-addressed keys make racing writers of the
+// same entry harmless.
+type CacheBackend interface {
+	// Get returns the raw entry stored under key. A missing entry's
+	// error must satisfy errors.Is(err, fs.ErrNotExist).
+	Get(key string) ([]byte, error)
+	// Put stores an entry atomically: a concurrent reader must observe
+	// either no entry or a complete one, never a partial write.
+	Put(key string, entry []byte) error
+	// Has reports whether an entry exists without reading it.
+	Has(key string) (bool, error)
+	// Delete removes an entry; deleting a missing entry is not an error.
+	Delete(key string) error
+}
+
 // CacheConfig tunes a RunCache.
 type CacheConfig struct {
 	// Dir, when non-empty, backs the cache with one gob file per run
 	// under this directory (created if missing). Entries evicted from
-	// the in-memory LRU remain readable from disk.
+	// the in-memory LRU remain readable from disk. Shorthand for
+	// Backend: NewDirBackend(Dir).
 	Dir string
+	// Backend, when set, is the persistent store behind the in-memory
+	// LRU and wins over Dir.
+	Backend CacheBackend
 	// MaxEntries bounds the in-memory LRU (default 4096 results).
 	MaxEntries int
 	// Salt is the code-version salt (default DefaultCacheSalt). Sweeps
@@ -69,6 +98,12 @@ type CacheStats struct {
 	Misses uint64
 	// Stores counts Put calls accepted.
 	Stores uint64
+	// DupPuts counts Put calls for a key the cache already held — a
+	// clean no-op, because content-addressed keys make the incoming
+	// entry identical to the stored one. Under a shared directory two
+	// processes completing the same cell book the second write here
+	// instead of rewriting (or corrupting) the entry.
+	DupPuts uint64
 	// Corrupt counts on-disk entries whose integrity footer failed
 	// verification; each was deleted and its Get served as a miss (so the
 	// fresh result rewrites the entry).
@@ -76,11 +111,15 @@ type CacheStats struct {
 }
 
 // String renders the counters as "H/T runs served from cache (D from
-// disk, S stored)". Corruption drops are appended only when they
-// happened, keeping the healthy-cache line byte-stable for log greps.
+// disk, S stored)". Duplicate-put and corruption drops are appended only
+// when they happened, keeping the healthy-cache line byte-stable for log
+// greps.
 func (s CacheStats) String() string {
 	out := fmt.Sprintf("%d/%d runs served from cache (%d from disk, %d stored)",
 		s.Hits, s.Hits+s.Misses, s.DiskHits, s.Stores)
+	if s.DupPuts > 0 {
+		out += fmt.Sprintf(", %d duplicate puts ignored", s.DupPuts)
+	}
 	if s.Corrupt > 0 {
 		out += fmt.Sprintf(", %d corrupt dropped", s.Corrupt)
 	}
@@ -99,7 +138,8 @@ func (s CacheStats) String() string {
 // statistics. Runs that carry a Tracer are never served from or written
 // to the cache (their side effects cannot be replayed).
 type RunCache struct {
-	cfg CacheConfig
+	cfg     CacheConfig
+	backend CacheBackend // nil when the cache is memory-only
 
 	mu      sync.Mutex
 	entries map[string]*list.Element
@@ -152,25 +192,40 @@ func NewRunCache(cfg CacheConfig) (*RunCache, error) {
 	if cfg.Salt == "" {
 		cfg.Salt = DefaultCacheSalt
 	}
-	if cfg.Dir != "" {
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-			return nil, fmt.Errorf("harness: cache dir: %w", err)
+	backend := cfg.Backend
+	if backend == nil && cfg.Dir != "" {
+		b, err := NewDirBackend(cfg.Dir)
+		if err != nil {
+			return nil, err
 		}
+		backend = b
 	}
 	return &RunCache{
 		cfg:     cfg,
+		backend: backend,
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
 	}, nil
 }
 
-// Key returns the content address of a run: the SHA-256 over the cache
-// salt and the spec's canonical rendering, hex encoded.
-func (c *RunCache) Key(spec scenario.Spec) string {
+// CacheKey returns the content address of a run: the SHA-256 over the
+// cache salt and the spec's canonical rendering, hex encoded. Every
+// party of a distributed sweep — caches, fabric coordinator, workers —
+// derives keys through this one function, which is what makes results
+// location-independent.
+func CacheKey(salt string, spec scenario.Spec) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "bluegs/run\n%s\n%s", c.cfg.Salt, spec.Canonical())
+	fmt.Fprintf(h, "bluegs/run\n%s\n%s", salt, spec.Canonical())
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// Key returns the content address of a run under this cache's salt.
+func (c *RunCache) Key(spec scenario.Spec) string {
+	return CacheKey(c.cfg.Salt, spec)
+}
+
+// Salt returns the cache's code-version salt.
+func (c *RunCache) Salt() string { return c.cfg.Salt }
 
 // Get returns the cached result of the spec, if present, with the spec
 // re-attached. The in-memory LRU is consulted first, then the directory.
@@ -192,11 +247,11 @@ func (c *RunCache) getByKey(key string, spec scenario.Spec) (*scenario.Result, b
 	}
 	c.mu.Unlock()
 
-	if c.cfg.Dir == "" {
+	if c.backend == nil {
 		c.miss()
 		return nil, false
 	}
-	res, err := c.readDisk(key)
+	res, err := c.readBackend(key)
 	if err != nil {
 		c.miss()
 		return nil, false
@@ -210,7 +265,11 @@ func (c *RunCache) getByKey(key string, spec scenario.Spec) (*scenario.Result, b
 }
 
 // Put stores a completed result under the spec's key, in memory and — when
-// a directory is configured — on disk (written atomically via a temp file).
+// a backend is configured — persistently (directories write atomically via
+// a temp file and rename). Putting a key the cache already holds is a
+// clean no-op counted in Stats().DupPuts: content-addressed keys make the
+// incoming entry identical to the stored one, so concurrent sweeps over a
+// shared directory never rewrite each other's entries.
 func (c *RunCache) Put(spec scenario.Spec, res *scenario.Result) error {
 	return c.putByKey(c.Key(spec), res)
 }
@@ -221,13 +280,29 @@ func (c *RunCache) putByKey(key string, res *scenario.Result) error {
 		return nil
 	}
 	c.mu.Lock()
+	_, dup := c.entries[key]
 	c.insertLocked(key, res)
-	c.stats.Stores++
 	c.mu.Unlock()
-	if c.cfg.Dir == "" {
+	if !dup && c.backend != nil {
+		// Another process may have completed the identical run already;
+		// leave its (identical) entry in place. Two writers racing past
+		// this check both write — harmless, the write is atomic and the
+		// content identical.
+		if ok, err := c.backend.Has(key); err == nil && ok {
+			dup = true
+		}
+	}
+	c.mu.Lock()
+	if dup {
+		c.stats.DupPuts++
+	} else {
+		c.stats.Stores++
+	}
+	c.mu.Unlock()
+	if dup || c.backend == nil {
 		return nil
 	}
-	return c.writeDisk(key, res)
+	return c.writeBackend(key, res)
 }
 
 // Stats returns a snapshot of the effectiveness counters.
@@ -262,10 +337,6 @@ func (c *RunCache) insertLocked(key string, res *scenario.Result) {
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 	}
-}
-
-func (c *RunCache) path(key string) string {
-	return filepath.Join(c.cfg.Dir, key+".run.gob")
 }
 
 // The on-disk entry layout is gob payload followed by a fixed integrity
@@ -304,53 +375,12 @@ func checkFooter(data []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// dropCorrupt deletes a failed entry and books the corruption.
-func (c *RunCache) dropCorrupt(key string) {
-	os.Remove(c.path(key))
-	c.mu.Lock()
-	c.stats.Corrupt++
-	c.mu.Unlock()
-}
-
-func (c *RunCache) readDisk(key string) (*scenario.Result, error) {
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
-		return nil, err
-	}
-	payload, err := checkFooter(data)
-	if err != nil {
-		c.dropCorrupt(key)
-		return nil, err
-	}
-	var rec cacheRecord
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-		// The footer verified, so the bytes are as written — a decode
-		// failure means an incompatible record schema. Drop it too: it
-		// can never be read, only rewritten.
-		c.dropCorrupt(key)
-		return nil, fmt.Errorf("harness: cache decode %s: %w", key, err)
-	}
-	if rec.Key != key {
-		return nil, fmt.Errorf("harness: cache file %s holds key %s", key, rec.Key)
-	}
-	return &scenario.Result{
-		Elapsed:    rec.Elapsed,
-		Events:     rec.Events,
-		Flows:      rec.Flows,
-		SlaveKbps:  rec.Slaves,
-		SCOKbps:    rec.SCO,
-		Slots:      rec.Slots,
-		GSPolls:    rec.GSPolls,
-		BEPolls:    rec.BEPolls,
-		Skipped:    rec.Skipped,
-		Admitted:   rec.Admit,
-		Admissions: rec.Admissions,
-		Piconets:   rec.Piconets,
-		Routes:     rec.Routes,
-	}, nil
-}
-
-func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
+// EncodeResultEntry renders a result as a raw cache entry: the gob
+// payload of its cacheRecord followed by the integrity footer. This is
+// the byte form backends store, the fabric coordinator journals, and
+// workers ship over the wire — one encoding everywhere, so any party can
+// verify any entry with the same footer check.
+func EncodeResultEntry(key string, res *scenario.Result) ([]byte, error) {
 	rec := cacheRecord{
 		Key:     key,
 		Elapsed: res.Elapsed,
@@ -370,14 +400,192 @@ func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
-		return fmt.Errorf("harness: cache encode %s: %w", key, err)
+		return nil, fmt.Errorf("harness: cache encode %s: %w", key, err)
 	}
 	buf.Write(cacheFooter(buf.Bytes()))
-	tmp, err := os.CreateTemp(c.cfg.Dir, key+".tmp*")
+	return buf.Bytes(), nil
+}
+
+// decodeEntry verifies and decodes a raw cache entry into a spec-less
+// result (callers attach their spec via withSpec).
+func decodeEntry(key string, entry []byte) (*scenario.Result, error) {
+	payload, err := checkFooter(entry)
+	if err != nil {
+		return nil, err
+	}
+	var rec cacheRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("harness: cache decode %s: %w", key, err)
+	}
+	if rec.Key != key {
+		return nil, fmt.Errorf("harness: cache entry %s holds key %s", key, rec.Key)
+	}
+	return &scenario.Result{
+		Elapsed:    rec.Elapsed,
+		Events:     rec.Events,
+		Flows:      rec.Flows,
+		SlaveKbps:  rec.Slaves,
+		SCOKbps:    rec.SCO,
+		Slots:      rec.Slots,
+		GSPolls:    rec.GSPolls,
+		BEPolls:    rec.BEPolls,
+		Skipped:    rec.Skipped,
+		Admitted:   rec.Admit,
+		Admissions: rec.Admissions,
+		Piconets:   rec.Piconets,
+		Routes:     rec.Routes,
+	}, nil
+}
+
+// DecodeResultEntry verifies a raw cache entry (footer and key) and
+// decodes it, attaching the caller's spec exactly as a cache hit would.
+func DecodeResultEntry(key string, entry []byte, spec scenario.Spec) (*scenario.Result, error) {
+	res, err := decodeEntry(key, entry)
+	if err != nil {
+		return nil, err
+	}
+	return withSpec(res, spec), nil
+}
+
+// dropCorrupt deletes a failed entry and books the corruption.
+func (c *RunCache) dropCorrupt(key string) {
+	if c.backend != nil {
+		c.backend.Delete(key)
+	}
+	c.mu.Lock()
+	c.stats.Corrupt++
+	c.mu.Unlock()
+}
+
+func (c *RunCache) readBackend(key string) (*scenario.Result, error) {
+	data, err := c.backend.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	res, err := decodeEntry(key, data)
+	if err != nil {
+		// A footer failure means truncation or bit rot; a verified
+		// footer with a failed decode means an incompatible record
+		// schema. Either way the entry can never be read, only
+		// rewritten — drop it and degrade to a miss.
+		c.dropCorrupt(key)
+		return nil, err
+	}
+	return res, nil
+}
+
+func (c *RunCache) writeBackend(key string, res *scenario.Result) error {
+	entry, err := EncodeResultEntry(key, res)
+	if err != nil {
+		return err
+	}
+	return c.backend.Put(key, entry)
+}
+
+// GetEntry returns the raw entry stored under key — footer included,
+// verified — from the backend. This is the read half of the entry-level
+// API the fabric coordinator serves over /cache/entry: entries move
+// between processes as opaque verified bytes, never re-encoded. A
+// memory-only cache (no backend) reports every key missing.
+func (c *RunCache) GetEntry(key string) ([]byte, error) {
+	if c.backend == nil {
+		return nil, fs.ErrNotExist
+	}
+	data, err := c.backend.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := checkFooter(data); err != nil {
+		c.dropCorrupt(key)
+		return nil, fs.ErrNotExist
+	}
+	return data, nil
+}
+
+// PutEntry stores a raw entry under key after verifying its footer,
+// refusing corrupt bytes at the door. Like Put, storing a key the
+// backend already holds is a clean no-op counted in Stats().DupPuts.
+// Requires a backend: entry-level callers (the fabric) move persistent
+// bytes, which a memory-only cache cannot hold.
+func (c *RunCache) PutEntry(key string, entry []byte) error {
+	if c.backend == nil {
+		return fmt.Errorf("harness: PutEntry requires a cache backend")
+	}
+	if _, err := checkFooter(entry); err != nil {
+		return err
+	}
+	if ok, err := c.backend.Has(key); err == nil && ok {
+		c.mu.Lock()
+		c.stats.DupPuts++
+		c.mu.Unlock()
+		return nil
+	}
+	if err := c.backend.Put(key, entry); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Stores++
+	c.mu.Unlock()
+	return nil
+}
+
+// HasEntry reports whether the backend holds an entry for key.
+func (c *RunCache) HasEntry(key string) (bool, error) {
+	if c.backend == nil {
+		return false, nil
+	}
+	return c.backend.Has(key)
+}
+
+// DeleteEntry removes an entry from the backend (missing is not an
+// error) and drops any in-memory copy.
+func (c *RunCache) DeleteEntry(key string) error {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	if c.backend == nil {
+		return nil
+	}
+	return c.backend.Delete(key)
+}
+
+// DirBackend stores one entry file per key under a directory — the
+// CacheBackend behind CacheConfig.Dir. Writes go to a temp file in the
+// same directory and rename into place, so concurrent readers (and
+// concurrent writers in other processes) observe only absent or complete
+// entries.
+type DirBackend struct {
+	dir string
+}
+
+// NewDirBackend creates the directory if missing so configuration errors
+// surface before a sweep starts.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: cache dir: %w", err)
+	}
+	return &DirBackend{dir: dir}, nil
+}
+
+func (b *DirBackend) path(key string) string {
+	return filepath.Join(b.dir, key+".run.gob")
+}
+
+// Get reads the entry file for key.
+func (b *DirBackend) Get(key string) ([]byte, error) {
+	return os.ReadFile(b.path(key))
+}
+
+// Put writes the entry atomically via temp file + rename.
+func (b *DirBackend) Put(key string, entry []byte) error {
+	tmp, err := os.CreateTemp(b.dir, key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("harness: cache write: %w", err)
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(entry); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache write: %w", err)
@@ -386,9 +594,29 @@ func (c *RunCache) writeDisk(key string, res *scenario.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache write: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), b.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	return nil
+}
+
+// Has stats the entry file.
+func (b *DirBackend) Has(key string) (bool, error) {
+	_, err := os.Stat(b.path(key))
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	return false, err
+}
+
+// Delete removes the entry file; missing entries are not an error.
+func (b *DirBackend) Delete(key string) error {
+	if err := os.Remove(b.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,32 @@
+package harness
+
+// Executor abstracts where a sweep's runs execute. Local (the default
+// everywhere) runs them in-process through the worker pool; the fabric
+// coordinator (internal/fabric) implements the same pair of methods by
+// leasing runs to worker processes over HTTP. Because both entry points
+// share the determinism contract — results in run-index order, seeds from
+// (baseSeed, rep), adaptive batch composition a pure function of results
+// — any table rendered through an Executor is byte-identical regardless
+// of which implementation (and how many machines) produced it.
+type Executor interface {
+	// Execute runs every Run and returns results in run-index order,
+	// exactly as the package-level Execute.
+	Execute(runs []Run, opts Options) ([]RunResult, error)
+	// ExecuteAdaptive runs the grid under the adaptive replication rule,
+	// exactly as the package-level ExecuteAdaptive.
+	ExecuteAdaptive(g Grid, cfg SweepConfig, opts AdaptiveOptions) ([]CellOutcome, error)
+}
+
+// Local executes runs in-process: the zero value is the Executor behind
+// every single-process sweep.
+type Local struct{}
+
+// Execute calls the package-level Execute.
+func (Local) Execute(runs []Run, opts Options) ([]RunResult, error) {
+	return Execute(runs, opts)
+}
+
+// ExecuteAdaptive calls the package-level ExecuteAdaptive.
+func (Local) ExecuteAdaptive(g Grid, cfg SweepConfig, opts AdaptiveOptions) ([]CellOutcome, error) {
+	return ExecuteAdaptive(g, cfg, opts)
+}

@@ -67,6 +67,12 @@ var ErrTimeout = errors.New("harness: run timed out")
 // survives and the sweep's other runs complete normally.
 var ErrRunPanicked = errors.New("harness: run panicked")
 
+// ErrInterrupted is the Err of every run a sweep abandoned because
+// Options.Interrupt fired. Runs already dispatched to workers still
+// finish (and are cached), so an interrupted sweep checkpoints cleanly:
+// re-running it replays the completed prefix from the cache.
+var ErrInterrupted = errors.New("harness: sweep interrupted")
+
 // Run is one point of a sweep grid: a complete scenario specification plus
 // its position (cell and replication) for aggregation.
 type Run struct {
@@ -122,6 +128,13 @@ type Options struct {
 	// stored bytes of an identical earlier run, sweeps remain
 	// bit-identical whether the cache is cold, warm or partially warm.
 	Cache *RunCache
+	// Interrupt, when set and closed (or sent to), stops dispatching
+	// further runs: in-flight runs finish and are cached, every
+	// undispatched run's Err becomes ErrInterrupted, and Execute returns
+	// the partial results with an error wrapping ErrInterrupted. A nil
+	// channel never fires. This is how the cmd tools turn SIGINT into a
+	// checkpoint-and-print-partial-table instead of dying mid-grid.
+	Interrupt <-chan struct{}
 }
 
 // workers resolves the pool size.
@@ -165,12 +178,38 @@ func Execute(runs []Run, opts Options) ([]RunResult, error) {
 			}
 		}()
 	}
+	interrupted := false
+dispatch:
 	for i := range runs {
-		jobs <- i
+		// Check the interrupt with priority before blocking on a worker:
+		// once it has fired, no further run is dispatched (at most the
+		// send already blocking below can still win its race).
+		select {
+		case <-opts.Interrupt:
+			interrupted = true
+		default:
+		}
+		if !interrupted {
+			select {
+			case jobs <- i:
+				continue
+			case <-opts.Interrupt:
+				interrupted = true
+			}
+		}
+		// Mark this and every later run abandoned; in-flight runs drain
+		// normally below.
+		for j := i; j < len(runs); j++ {
+			results[j] = RunResult{Run: runs[j], Err: ErrInterrupted}
+		}
+		break dispatch
 	}
 	close(jobs)
 	wg.Wait()
 
+	if interrupted {
+		return results, ErrInterrupted
+	}
 	for i := range results {
 		if results[i].Err != nil {
 			return results, fmt.Errorf("harness: run %d (cell %q rep %d): %w",
