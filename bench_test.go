@@ -345,6 +345,49 @@ func BenchmarkScatternet(b *testing.B) {
 	}
 }
 
+// BenchmarkScatternetWorkers measures the sharded kernel's worker
+// multiplexing on a fixed 4-piconet scatternet: the same spec at 1, 2
+// and GOMAXPROCS kernel workers. Results are byte-identical at every
+// count (the shard-determinism suite enforces it), so the rows differ
+// only in wall clock — on multi-core hardware the sim_s/wall_s spread
+// is the shard-parallel speedup, on one core it is the cost of
+// multiplexing four shard goroutines over the epoch barrier.
+func BenchmarkScatternetWorkers(b *testing.B) {
+	simulated := 5 * time.Second
+	counts := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				spec := scenario.Scatternet(scenario.ScatternetConfig{Piconets: 4})
+				spec.Duration = simulated
+				spec.BatchTraffic = true
+				spec.KernelWorkers = workers
+				res, err := scenario.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalKbps(piconet.Guaranteed) < 400 {
+					b.Fatal("implausible result")
+				}
+				events += res.Events
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if perOp > 0 {
+				b.ReportMetric(simulated.Seconds()/perOp.Seconds(), "sim_s/wall_s")
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 && events > 0 {
+				b.ReportMetric(float64(events)/sec, "events/s")
+			}
+		})
+	}
+}
+
 // BenchmarkScatternetStudy regenerates the E9 erosion table.
 func BenchmarkScatternetStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {

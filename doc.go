@@ -30,11 +30,16 @@
 //     join and leave — a scenario registry of named presets, and the
 //     runner threading online admission through piconet, core and
 //     admission (Result.Admissions logs every request's outcome). The
-//     scatternet form (Spec.Piconets) runs N co-located piconets over
-//     one shared kernel clock, each with its own scheduler and
-//     admission controller, coupled through the 1/79 FH co-channel
-//     collision model (radio.Medium/HopInterference) — the flat
-//     single-piconet spec is its byte-identical degenerate case.
+//     scatternet form (Spec.Piconets) runs N co-located piconets, each
+//     with its own scheduler and admission controller, coupled through
+//     the 1/79 FH co-channel collision model
+//     (radio.Medium/HopInterference) — the flat single-piconet spec is
+//     its byte-identical degenerate case. Execution shards the event
+//     kernel per bridge-connected piconet group (sim.ShardSet:
+//     conservative parallel DES, interference snapshots exchanged at
+//     fixed epochs); Spec.KernelWorkers multiplexes the shards onto
+//     worker goroutines and is a pure execution knob — results,
+//     fingerprints and cache keys are byte-identical at every count.
 //     Spec.Faults/Spec.Recovery add fault injection and self-healing:
 //     declared link outages, slave departures and master crashes meet
 //     a supervision timeout (N failed polls declare a link dead and

@@ -626,23 +626,25 @@ func (p *Piconet) FlowConfig(id FlowID) (FlowConfig, bool) {
 }
 
 // DownQueueLen returns the number of higher-layer packets queued for a
-// master-to-slave flow (master-side knowledge).
+// master-to-slave flow and already arrived (master-side knowledge: a
+// batched source's future-dated arrivals do not exist for the master
+// until their stamp passes).
 func (p *Piconet) DownQueueLen(flow FlowID) int {
 	fs, ok := p.flows[flow]
 	if !ok || fs.cfg.Dir != Down {
 		return 0
 	}
-	return fs.qlen()
+	return fs.availableLen(p.simulator.Now())
 }
 
 // DownQueueBytes returns the remaining payload bytes queued for a
-// master-to-slave flow (master-side knowledge).
+// master-to-slave flow and already arrived (master-side knowledge).
 func (p *Piconet) DownQueueBytes(flow FlowID) int {
 	fs, ok := p.flows[flow]
 	if !ok || fs.cfg.Dir != Down {
 		return 0
 	}
-	return fs.queuedBytes()
+	return fs.availableBytes(p.simulator.Now())
 }
 
 // DownHeadAvailable reports whether the head packet of a down flow was

@@ -2,6 +2,7 @@ package piconet
 
 import (
 	"fmt"
+	"sort"
 
 	"bluegs/internal/segmentation"
 	"bluegs/internal/sim"
@@ -85,6 +86,13 @@ type flowState struct {
 	delivered *stats.Meter
 	offered   *stats.Meter
 	lost      *stats.Meter
+
+	// wakeDown is the flow's pooled down-arrival notification: built once
+	// on first use and rescheduled for every future-dated down arrival,
+	// instead of allocating a fresh closure per pre-enqueued packet. It
+	// reads the arrival instant off the kernel clock (the event fires
+	// exactly at the arrival time), so one closure serves every packet.
+	wakeDown func()
 }
 
 func newFlowState(pn *Piconet, cfg FlowConfig) *flowState {
@@ -129,6 +137,34 @@ func (fs *flowState) qpop() *hlPacket {
 func (fs *flowState) queuedBytes() int {
 	total := 0
 	for i := 0; i < fs.qlen(); i++ {
+		total += fs.qat(i).remainingBytes()
+	}
+	return total
+}
+
+// availableLen counts the queued packets that have arrived by cutoff.
+// The queue is arrival-ordered, so the count is a prefix length: a
+// batched source's pre-enqueued future arrivals sit at the tail and
+// stay invisible until their stamp passes. The whole-queue and
+// empty-prefix cases are answered without the binary search — unbatched
+// queues never hold future arrivals, so they always take the first
+// fast path.
+func (fs *flowState) availableLen(cutoff sim.Time) int {
+	n := fs.qlen()
+	if n == 0 || fs.qat(n-1).arrival <= cutoff {
+		return n
+	}
+	if fs.qat(0).arrival > cutoff {
+		return 0
+	}
+	return sort.Search(n, func(i int) bool { return fs.qat(i).arrival > cutoff })
+}
+
+// availableBytes sums the remaining payload of the packets that have
+// arrived by cutoff.
+func (fs *flowState) availableBytes(cutoff sim.Time) int {
+	total := 0
+	for i, n := 0, fs.availableLen(cutoff); i < n; i++ {
 		total += fs.qat(i).remainingBytes()
 	}
 	return total
@@ -249,12 +285,15 @@ func (p *Piconet) EnqueuePacketAt(flow FlowID, size int, at sim.Time) error {
 		} else {
 			// The master must not learn of — or react to — the packet
 			// before it arrives.
-			p.simulator.Schedule(at, func() {
-				if p.started && !p.stopped && !fs.retired && !fs.suspended {
-					p.scheduler.OnDownArrival(flow, at)
-					p.wakeIfIdle()
+			if fs.wakeDown == nil {
+				fs.wakeDown = func() {
+					if p.started && !p.stopped && !fs.retired && !fs.suspended {
+						p.scheduler.OnDownArrival(flow, p.simulator.Now())
+						p.wakeIfIdle()
+					}
 				}
-			})
+			}
+			p.simulator.Schedule(at, fs.wakeDown)
 		}
 	}
 	return nil

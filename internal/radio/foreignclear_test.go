@@ -1,0 +1,83 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bluegs/internal/baseband"
+)
+
+// TestClearFactorMatchesCollisionProb: the clear-channel product one
+// medium exports at an epoch boundary must equal the complement of the
+// collision probability an outside observer at that instant would see —
+// the arithmetic identity the sharded interference exchange relies on.
+func TestClearFactorMatchesCollisionProb(t *testing.T) {
+	ck := &clock{t: time.Second}
+	m := NewMedium(79, 0, ck.now)
+	a := m.Attach(Ideal{})
+	b := m.Attach(Ideal{})
+	a.act.attachedAt, a.act.busyTotal = 0, 300*time.Millisecond
+	b.act.attachedAt, b.act.busyTotal = 0, 700*time.Millisecond
+	// An outside observer is a self not attached to the medium.
+	outside := &Activity{m: m, active: true}
+	wantClear := 1 - m.collisionProb(outside, ck.t)
+	if got := m.ClearFactor(ck.t); math.Abs(got-wantClear) > 1e-12 {
+		t.Fatalf("ClearFactor = %g, want %g", got, wantClear)
+	}
+	// A piconet on air at the boundary counts as occupying one channel.
+	a.act.busyUntil = ck.t + baseband.SlotDuration
+	qB := b.act.utilization(ck.t)
+	want := (1 - 1.0/79) * (1 - qB/79)
+	if got := m.ClearFactor(ck.t); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ClearFactor with on-air piconet = %g, want %g", got, want)
+	}
+	// Detached piconets stop contributing.
+	m.Detach(a)
+	if got := m.ClearFactor(ck.t); math.Abs(got-(1-qB/79)) > 1e-12 {
+		t.Fatalf("ClearFactor after detach = %g, want %g", got, 1-qB/79)
+	}
+}
+
+// TestSetForeignClearFoldsIntoCollisionProb: an installed epoch snapshot
+// multiplies every local collision read, and the default of 1 keeps the
+// single-kernel arithmetic exact.
+func TestSetForeignClearFoldsIntoCollisionProb(t *testing.T) {
+	ck := &clock{t: time.Second}
+	m := NewMedium(79, 0, ck.now)
+	self := m.Attach(Ideal{})
+	other := m.Attach(Ideal{})
+	other.act.attachedAt, other.act.busyTotal = 0, 400*time.Millisecond
+	local := m.collisionProb(self.act, ck.t)
+
+	const foreign = 0.95
+	m.SetForeignClear(foreign)
+	want := 1 - foreign*(1-local)
+	if got := m.collisionProb(self.act, ck.t); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("collisionProb with foreign snapshot = %g, want %g", got, want)
+	}
+	// A lone local piconet still collides against the foreign snapshot.
+	m.Detach(other)
+	if got := m.collisionProb(self.act, ck.t); math.Abs(got-(1-foreign)) > 1e-12 {
+		t.Fatalf("lone piconet vs foreign snapshot = %g, want %g", got, 1-foreign)
+	}
+	// Restoring 1 restores the unsharded arithmetic exactly.
+	m.SetForeignClear(1)
+	if got := m.collisionProb(self.act, ck.t); got != 0 {
+		t.Fatalf("collisionProb after reset = %g, want 0", got)
+	}
+}
+
+// TestSetForeignClearRejectsBadValues: out-of-range snapshots reset to
+// the neutral 1 instead of corrupting every subsequent probability.
+func TestSetForeignClearRejectsBadValues(t *testing.T) {
+	ck := &clock{t: time.Second}
+	for _, bad := range []float64{0, -0.5, 1.5, math.NaN()} {
+		m := NewMedium(79, 0, ck.now)
+		self := m.Attach(Ideal{})
+		m.SetForeignClear(bad)
+		if got := m.collisionProb(self.act, ck.t); got != 0 {
+			t.Fatalf("SetForeignClear(%g): collisionProb = %g, want neutral 0", bad, got)
+		}
+	}
+}

@@ -41,6 +41,13 @@ type Medium struct {
 	minWindow time.Duration
 	now       func() time.Duration
 	piconets  []*Activity
+	// foreignClear is the epoch-snapshot clear-channel product
+	// ∏ (1 − q_j/C) contributed by piconets attached to *other* shards'
+	// media when the run is sharded (see SetForeignClear): collisionProb
+	// multiplies the live local product by it. 1 — the NewMedium default
+	// — means no foreign interferers, which keeps single-kernel runs on
+	// the exact pre-shard arithmetic.
+	foreignClear float64
 }
 
 // NewMedium creates a shared spectrum with the given hop-set size
@@ -53,7 +60,7 @@ func NewMedium(channels int, minWindow time.Duration, now func() time.Duration) 
 	if minWindow <= 0 {
 		minWindow = DefaultUtilizationWindow
 	}
-	return &Medium{channels: channels, minWindow: minWindow, now: now}
+	return &Medium{channels: channels, minWindow: minWindow, now: now, foreignClear: 1}
 }
 
 // Channels returns the hop-set size.
@@ -161,7 +168,7 @@ func (a *Activity) Utilization(now time.Duration) float64 { return a.utilization
 // collisionProb is the probability that a packet of piconet self collides
 // with any concurrently transmitting co-located piconet.
 func (m *Medium) collisionProb(self *Activity, now time.Duration) float64 {
-	clear := 1.0
+	clear := m.foreignClear
 	c := float64(m.channels)
 	for _, a := range m.piconets {
 		if a == self || !a.active {
@@ -176,6 +183,43 @@ func (m *Medium) collisionProb(self *Activity, now time.Duration) float64 {
 		clear *= 1 - q/c
 	}
 	return 1 - clear
+}
+
+// ClearFactor returns the clear-channel product ∏ (1 − q_j/C) over this
+// medium's active piconets at the given instant — the contribution its
+// piconets make to the collision probability seen from *outside* the
+// medium. A sharded run calls it at every epoch barrier (with all shard
+// clocks parked at the boundary) to build each shard's foreign snapshot:
+// foreign piconets that are mid-transmission at the boundary count as
+// fully occupying one hop channel (q = 1), exactly as a live reader at
+// that instant would see them.
+func (m *Medium) ClearFactor(now time.Duration) float64 {
+	clear := 1.0
+	c := float64(m.channels)
+	for _, a := range m.piconets {
+		if !a.active {
+			continue
+		}
+		q := a.utilization(now)
+		if a.busyUntil > now {
+			q = 1
+		}
+		clear *= 1 - q/c
+	}
+	return clear
+}
+
+// SetForeignClear installs the epoch snapshot of the spectrum outside
+// this medium: the clear-channel product of every foreign piconet,
+// frozen at the epoch boundary. collisionProb folds it into every local
+// read until the next barrier replaces it. Callers must only invoke it
+// between epochs (the sharded runner's barrier is single-threaded);
+// 1 restores the unsharded default of "no foreign interferers".
+func (m *Medium) SetForeignClear(clear float64) {
+	if !(clear > 0 && clear <= 1) { // also catches NaN
+		clear = 1
+	}
+	m.foreignClear = clear
 }
 
 // HopInterference exposes one piconet's packets to the scatternet's

@@ -57,12 +57,14 @@ type hopRef struct {
 	idx int
 }
 
-// initRoutes derives the static routes' hops and prepares their state
-// before any piconet is built (buildPiconet folds the hops of its piconet
-// into the admission plan and flow set).
-func (r *runner) initRoutes() error {
+// initRoutes derives the given static routes' hops and prepares their
+// state before any piconet is built (buildPiconet folds the hops of its
+// piconet into the admission plan and flow set). A single-kernel run
+// passes the whole spec.Routes slice; a sharded run passes each shard
+// the routes whose hops it owns.
+func (r *runner) initRoutes(rts []RouteSpec) error {
 	r.routeByID = make(map[piconet.FlowID]*routeState)
-	for _, spec := range r.spec.Routes {
+	for _, spec := range rts {
 		rt, err := r.newRouteState(spec)
 		if err != nil {
 			return err

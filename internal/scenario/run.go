@@ -133,6 +133,15 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 		return nil, fmt.Errorf("%w: a live Radio hook cannot serve a multi-piconet run", ErrBadSpec)
 	}
 
+	// KernelWorkers is a pure execution knob: resolve it, then zero it so
+	// neither the runners nor Result.Spec ever see a worker count (results
+	// must compare byte-identical across worker counts and cache replays).
+	workers := kernelWorkersFor(spec.KernelWorkers)
+	spec.KernelWorkers = 0
+	if groups := kernelShards(spec, hooks); len(groups) > 1 {
+		return runSharded(spec, piconets, groups, workers)
+	}
+
 	r := &runner{
 		spec:        spec,
 		s:           sim.New(sim.WithSeed(spec.Seed)),
@@ -144,7 +153,7 @@ func RunWith(spec Spec, hooks Hooks) (*Result, error) {
 		r.medium = radio.NewMedium(spec.Interference.Channels, spec.Interference.Window,
 			func() time.Duration { return r.s.Now() })
 	}
-	if err := r.initRoutes(); err != nil {
+	if err := r.initRoutes(spec.Routes); err != nil {
 		return nil, err
 	}
 
@@ -476,20 +485,27 @@ func (p *piconetRunner) attachBESource(b BEFlow) {
 // event.
 const maxBurst = 64
 
+// batchWindow bounds how far ahead of the kernel clock a batched source
+// pre-enqueues arrivals: half the timing wheel's 640 ms span, so the
+// future-dated arrival events (and a down flow's arrival notifications)
+// stay on the O(1) wheel instead of spilling into the overflow heap, and
+// queues stay shallow enough for the per-run packet pool to recycle.
+const batchWindow = 320 * time.Millisecond
+
 // attachSource schedules a self-rescheduling traffic source whose pending
 // tick stays cancellable (flow removal stops the source). With
-// Spec.BatchTraffic, up-flow sources whose generator supports bursts
-// pre-enqueue one burst of future-dated arrivals per kernel event (see
-// piconet.EnqueuePacketAt) instead of one event per packet; down flows
-// keep the per-packet path so the master's arrival knowledge is
-// untouched.
+// Spec.BatchTraffic, sources whose generator supports bursts pre-enqueue
+// one burst of future-dated arrivals per kernel event (see
+// piconet.EnqueuePacketAt) instead of one event per packet; a down
+// flow's pre-enqueued arrivals notify the master at their arrival
+// instants, so its arrival knowledge is untouched.
 func (p *piconetRunner) attachSource(flow piconet.FlowID, dir piconet.Direction,
 	gen traffic.Generator, sizes traffic.SizeDist, phase time.Duration) {
 	if phase < 0 {
 		phase = 0
 	}
 	r := p.r
-	if r.spec.BatchTraffic && dir == piconet.Up {
+	if r.spec.BatchTraffic {
 		if bg, ok := gen.(traffic.BurstGenerator); ok {
 			p.attachBurstSource(flow, bg, sizes, phase)
 			return
@@ -506,36 +522,34 @@ func (p *piconetRunner) attachSource(flow piconet.FlowID, dir piconet.Direction,
 }
 
 // attachBurstSource is the batched form of attachSource: each tick
-// enqueues the packet arriving now, pre-enqueues the rest of the burst as
-// future-dated arrivals (clamped at the horizon — an arrival the
-// per-packet path could never generate must not exist here either), and
-// reschedules itself at the burst's last arrival.
+// enqueues the packet arriving now, pre-enqueues up to a burst of further
+// arrivals as future-dated packets, and reschedules itself at the first
+// arrival it did not pre-enqueue. Intervals are drawn one at a time
+// (BurstGenerator guarantees NextBurst ≡ repeated NextInterval, so the
+// draw sequence is the same either way) and the loop stops at whichever
+// comes first of the burst cap, the horizon, or batchWindow ahead of the
+// clock — so the source draws exactly the randomness it uses and never
+// floods the kernel with arrivals parked seconds in the future.
 func (p *piconetRunner) attachBurstSource(flow piconet.FlowID, gen traffic.BurstGenerator,
 	sizes traffic.SizeDist, phase time.Duration) {
 	r := p.r
 	horizon := r.spec.Duration
 	src := &source{}
-	var offs []time.Duration
 	var tick func()
 	tick = func() {
 		now := r.s.Now()
 		_ = p.pn.EnqueuePacketAt(flow, sizes.Draw(r.s.Rand()), now)
-		offs = gen.NextBurst(r.s.Rand(), offs[:0], maxBurst)
 		at := now
-		for _, gap := range offs[:len(offs)-1] {
-			at += gap
-			if at > horizon {
+		for n := 1; ; n++ {
+			at += gen.NextInterval(r.s.Rand())
+			if n >= maxBurst || at > horizon || at > now+batchWindow {
 				break
 			}
 			_ = p.pn.EnqueuePacketAt(flow, sizes.Draw(r.s.Rand()), at)
 		}
-		// The burst's last arrival is the next tick: it enqueues its own
-		// packet when it fires and draws the following burst.
-		next := now
-		for _, gap := range offs {
-			next += gap
-		}
-		src.ev = r.s.Schedule(next, tick)
+		// The first arrival past the cutoff is the next tick: it enqueues
+		// its own packet when it fires and continues the burst.
+		src.ev = r.s.Schedule(at, tick)
 	}
 	src.ev = r.s.Schedule(r.s.Now()+phase, tick)
 	p.sources[flow] = src
@@ -1150,6 +1164,16 @@ func (r *runner) collect() *Result {
 		res.Piconets = append(res.Piconets, p.collect(elapsed))
 	}
 	res.Routes = r.collectRoutes(elapsed)
+	rollup(res)
+	return res
+}
+
+// rollup derives the scatternet-wide aggregate fields from the
+// per-piconet results already in res. A single-piconet run's rollup is
+// its piconet's result verbatim (byte-identical to the pre-scatternet
+// runner). Shared by the single-kernel and sharded collectors so the
+// aggregation arithmetic cannot drift between them.
+func rollup(res *Result) {
 	if len(res.Piconets) == 1 {
 		pr := res.Piconets[0]
 		res.Flows = pr.Flows
@@ -1158,7 +1182,7 @@ func (r *runner) collect() *Result {
 		res.Slots = pr.Slots
 		res.GSPolls, res.BEPolls, res.Skipped = pr.GSPolls, pr.BEPolls, pr.Skipped
 		res.Admitted = pr.Admitted
-		return res
+		return
 	}
 	res.SlaveKbps = make(map[piconet.SlaveID]float64)
 	res.SCOKbps = make(map[piconet.SlaveID]float64)
@@ -1176,7 +1200,6 @@ func (r *runner) collect() *Result {
 		res.Skipped += pr.Skipped
 		res.Admitted = append(res.Admitted, pr.Admitted...)
 	}
-	return res
 }
 
 // addSlots sums two slot accounts field by field (the scatternet rollup:

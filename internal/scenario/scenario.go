@@ -213,12 +213,15 @@ type Spec struct {
 	// co-location the value was chosen for. Meaningful only with
 	// InterferenceAwareAdmission; zero means "use the medium estimate".
 	AdmissionDerate float64
-	// BatchTraffic batches traffic generation: up-flow sources that
-	// support it (CBR, ON/OFF) pre-enqueue one burst of future-dated
-	// arrivals per kernel event instead of one event per packet. Runs
-	// stay deterministic, but the RNG draw order differs from unbatched
-	// runs, so the two modes are distinct simulations (and fingerprint
-	// differently).
+	// BatchTraffic batches traffic generation: sources whose generator
+	// supports it (CBR, ON/OFF) pre-enqueue one burst of future-dated
+	// arrivals per kernel event instead of one event per packet, bounded
+	// to a short look-ahead window so arrival events stay on the kernel's
+	// O(1) timing wheel. Down-flow arrivals notify the master's scheduler
+	// at their arrival instants, so its arrival knowledge is unchanged.
+	// Runs stay deterministic, but the RNG draw order differs from
+	// unbatched runs, so the two modes are distinct simulations (and
+	// fingerprint differently).
 	BatchTraffic bool
 	// Faults is the declarative fault plan: timed link outages per
 	// (piconet, slave), slave departure/return events and master crashes
@@ -246,6 +249,15 @@ type Spec struct {
 	// each hop derated by its bridge's residency duty cycle (see
 	// RouteSpec). Admission is atomic all-or-nothing across the hops.
 	Routes []RouteSpec
+	// KernelWorkers bounds the worker goroutines the sharded event
+	// kernel multiplexes piconet groups onto (<= 0 means GOMAXPROCS,
+	// capped at the shard count). It is a pure execution knob: the shard
+	// partition, every shard's RNG stream and the interference-exchange
+	// epochs are derived from the spec alone, so results are
+	// byte-identical at any value. It is therefore excluded from the
+	// canonical rendering (and the fingerprint/run-cache key), from the
+	// v2 JSON codec, and from Result.Spec, which always reports 0.
+	KernelWorkers int
 }
 
 // Paper returns the paper's Fig. 4 setup: a seven-slave piconet with four
